@@ -1,0 +1,30 @@
+# Development targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples report docs clean all
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f > /dev/null || exit 1; done
+	@echo "all examples ran clean"
+
+report:
+	$(PYTHON) -m repro report --out report.md
+
+docs:
+	$(PYTHON) -m repro.tools.apidoc --out docs/api.md
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+
+all: install test bench

@@ -1,0 +1,103 @@
+"""E11 — ablation: the threshold multipliers f_k..f_m.
+
+Two mis-tuning axes, each measured on both an adversarial and a benign
+workload, showing the paper's parameters sit on the Pareto frontier:
+
+* **factor scaling** — multiply every f_h by s:
+  - s < 1 (laxer admission): the three-phase adversary's forced ratio
+    strictly worsens (the algorithm over-commits in phase 2);
+  - s > 1 (stricter admission): worst-case stays put against this
+    adversary, but benign accepted load strictly drops — pure loss;
+* **slack mis-estimation** — run with parameters derived for a wrong
+  slack eps' on instances with true slack eps: underestimating the slack
+  (conservative) costs benign load; overestimating voids the worst-case
+  guarantee (forced ratio exceeds c for the true slack).
+"""
+
+from repro.adversary.base import duel
+from repro.analysis.tables import format_table
+from repro.core.params import c_bound, threshold_parameters
+from repro.core.threshold import ThresholdPolicy
+from repro.engine.simulator import simulate
+from repro.workloads import random_instance
+
+M, EPS = 3, 0.2
+SCALES = [0.5, 0.75, 1.0, 2.0, 4.0]
+ASSUMED_EPS = [0.05, 0.2, 0.8]
+
+
+def measure_scaling():
+    benign = random_instance(150, M, EPS, seed=5)
+    rows = []
+    for scale in SCALES:
+        forced = duel(ThresholdPolicy(factor_scale=scale), m=M, epsilon=EPS).forced_ratio
+        load = simulate(ThresholdPolicy(factor_scale=scale), benign).accepted_load
+        rows.append(
+            {
+                "factor_scale": scale,
+                "forced_ratio": forced,
+                "benign_load": load,
+                "c(eps,m)": c_bound(EPS, M),
+            }
+        )
+    return rows
+
+
+def measure_mistuning():
+    benign = random_instance(150, M, EPS, seed=5)
+    rows = []
+    for eps_assumed in ASSUMED_EPS:
+        params = threshold_parameters(eps_assumed, M)
+        policy = ThresholdPolicy(parameters=params)
+        forced = duel(
+            ThresholdPolicy(parameters=params), m=M, epsilon=EPS
+        ).forced_ratio
+        load = simulate(policy, benign).accepted_load
+        rows.append(
+            {
+                "eps_assumed": eps_assumed,
+                "eps_true": EPS,
+                "forced_ratio": forced,
+                "benign_load": load,
+            }
+        )
+    return rows
+
+
+def test_ablation_factor_scaling(benchmark, save_artifact):
+    rows = benchmark.pedantic(measure_scaling, rounds=1, iterations=1)
+    by_scale = {r["factor_scale"]: r for r in rows}
+
+    # Laxer than the paper: strictly worse worst case.
+    assert by_scale[0.5]["forced_ratio"] > by_scale[1.0]["forced_ratio"] * 1.1
+    # Stricter than the paper: strictly less benign load, no worst-case win.
+    assert by_scale[4.0]["benign_load"] < by_scale[1.0]["benign_load"] * 0.95
+    assert by_scale[4.0]["forced_ratio"] >= by_scale[1.0]["forced_ratio"] - 1e-6
+
+    save_artifact(
+        "ablation_factor_scaling.txt",
+        format_table(rows, title="E11a — scaling the f multipliers (m=3, eps=0.2)"),
+    )
+
+
+def test_ablation_slack_mistuning(benchmark, save_artifact):
+    rows = benchmark.pedantic(measure_mistuning, rounds=1, iterations=1)
+    by_eps = {r["eps_assumed"]: r for r in rows}
+    c_true = c_bound(EPS, M)
+
+    # Correct tuning achieves ~c.
+    assert abs(by_eps[EPS]["forced_ratio"] - c_true) / c_true < 5e-3
+    # Overestimating the slack (0.8 > 0.2) voids the guarantee.
+    assert by_eps[0.8]["forced_ratio"] > c_true * 1.1
+    # Underestimating (0.05 < 0.2) keeps the worst case near c but pays on
+    # benign load.
+    assert by_eps[0.05]["benign_load"] < by_eps[EPS]["benign_load"] + 1e-9
+
+    save_artifact(
+        "ablation_slack_mistuning.txt",
+        format_table(
+            rows,
+            title="E11b — running with parameters for the wrong slack "
+            f"(true eps = {EPS}, m = {M}, c = {c_true:.4f})",
+        ),
+    )

@@ -1,0 +1,99 @@
+"""E19 — the cloud operator's view: slack as a service-level knob.
+
+The paper motivates slack as "a system parameter determined by the system
+provider" (§1).  This bench runs the IaaS workload across a slack grid
+with repetitions and bootstrap confidence intervals, answering the
+operator question: *how much admission quality does buying more slack
+(longer deadlines in the SLA) purchase?*
+
+Checks:
+
+* Threshold's mean certified ratio falls as slack grows (more slack =>
+  milder worst case *and* milder average case);
+* the per-ε theoretical guarantee always dominates the measured CI upper
+  end;
+* results are reproducible: the parallel and serial sweep paths agree.
+"""
+
+from functools import partial
+
+from repro.analysis.stats import bootstrap_mean
+from repro.analysis.tables import format_table
+from repro.core.guarantees import theorem2_bound
+from repro.workloads.cloud import cloud_instance
+from repro.workloads.parallel import run_sweep_parallel
+from repro.workloads.sweep import SweepSpec, run_sweep
+
+EPSILONS = [0.05, 0.1, 0.2, 0.4]
+MACHINES = 4
+REPS = 5
+N_JOBS = 60
+
+
+def _spec() -> SweepSpec:
+    return SweepSpec(
+        epsilons=EPSILONS,
+        machine_counts=[MACHINES],
+        algorithms=["threshold", "greedy"],
+        workload=partial(cloud_instance, N_JOBS),
+        repetitions=REPS,
+        base_seed=77,
+        force_bounds=True,
+        label="cloud-sweep",
+    )
+
+
+def measure():
+    rows_raw = run_sweep(_spec())
+    out = []
+    for eps in EPSILONS:
+        for algorithm in ("threshold", "greedy"):
+            ratios = [
+                r.ratio_upper
+                for r in rows_raw
+                if r.epsilon == eps and r.algorithm == algorithm
+            ]
+            ci = bootstrap_mean(ratios, seed=0)
+            out.append(
+                {
+                    "eps": eps,
+                    "algorithm": algorithm,
+                    "mean_ratio": ci.mean,
+                    "ci_low": ci.lower,
+                    "ci_high": ci.upper,
+                    "guarantee": theorem2_bound(eps, MACHINES)
+                    if algorithm == "threshold"
+                    else 2 + 1 / eps,
+                }
+            )
+    return rows_raw, out
+
+
+def test_e19_cloud_slack_sweep(benchmark, save_artifact):
+    rows_raw, rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    threshold_means = [r["mean_ratio"] for r in rows if r["algorithm"] == "threshold"]
+    assert all(b <= a + 0.15 for a, b in zip(threshold_means, threshold_means[1:])), (
+        "threshold's mean ratio should broadly improve with slack"
+    )
+    for row in rows:
+        assert row["ci_high"] <= row["guarantee"] + 1e-9, row
+
+    save_artifact(
+        "e19_cloud_sweep.txt",
+        format_table(
+            rows,
+            title=f"E19 — cloud workload, m={MACHINES}, {REPS} reps, "
+            "bootstrap 95% CIs of the certified ratio",
+        ),
+    )
+
+
+def test_e19_parallel_path_agrees(benchmark):
+    spec = _spec()
+
+    def both():
+        return run_sweep(spec), run_sweep_parallel(spec, max_workers=2)
+
+    serial, parallel = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert serial == parallel

@@ -1,0 +1,117 @@
+"""E12/E13 — the price of commitment across the §1 model taxonomy.
+
+The paper's introduction ranks commitment models by strength: immediate
+commitment (this paper) > delayed commitment (Chen et al. [8]) >
+commitment with penalties (Fung [15]) > commitment on admission.  These
+benches *measure* that hierarchy on the bait-and-whale streams where
+commitment hurts most:
+
+* **E12 (delayed + on-admission)** — δ-deferral lets plain greedy dodge
+  the trap; commitment-on-admission (lazy start) recovers near-offline
+  value; the immediate-commitment Threshold algorithm recovers most of
+  the deferral value with zero deferral (its entire point);
+* **E13 (penalties)** — net value of revocable greedy interpolates from
+  near-offline power at φ = 0 down to plain greedy as φ → ∞, and is
+  monotone non-increasing in φ.
+
+Artefacts: both tables.
+"""
+
+from repro.analysis.tables import format_table
+from repro.baselines.registry import run_algorithm
+from repro.engine.admission import AdmissionLazyPolicy, simulate_admission
+from repro.engine.delayed import DelayedGreedyPolicy, simulate_delayed
+from repro.engine.penalties import RevocableGreedyPolicy, simulate_with_penalties
+from repro.offline.bracket import opt_bracket
+from repro.workloads import alternating_instance
+
+EPS_SERIES = [0.1, 0.05]
+M = 3
+ROUNDS = 4
+PHI_SERIES = [0.0, 0.5, 2.0, 10.0, 1e9]
+
+
+def measure_delayed():
+    rows = []
+    for eps in EPS_SERIES:
+        inst = alternating_instance(pairs=ROUNDS, machines=M, epsilon=eps)
+        opt_ub = opt_bracket(inst, force_bounds=True).upper
+        greedy = run_algorithm("greedy", inst).accepted_load
+        threshold = run_algorithm("threshold", inst).accepted_load
+        on_admission = simulate_admission(AdmissionLazyPolicy(), inst).accepted_load
+        for delta_frac, delta in [(0.0, 0.0), (0.5, eps / 2), (1.0, eps)]:
+            delayed = simulate_delayed(DelayedGreedyPolicy(), inst, delta).accepted_load
+            rows.append(
+                {
+                    "eps": eps,
+                    "delta/eps": delta_frac,
+                    "delayed-greedy": delayed,
+                    "immediate greedy": greedy,
+                    "immediate threshold": threshold,
+                    "on-admission (lazy)": on_admission,
+                    "opt_upper": opt_ub,
+                }
+            )
+    return rows
+
+
+def measure_penalties():
+    rows = []
+    for eps in EPS_SERIES:
+        inst = alternating_instance(pairs=ROUNDS, machines=M, epsilon=eps)
+        greedy = run_algorithm("greedy", inst).accepted_load
+        for phi in PHI_SERIES:
+            out = simulate_with_penalties(RevocableGreedyPolicy(), inst, phi)
+            rows.append(
+                {
+                    "eps": eps,
+                    "phi": phi,
+                    "net_value": out.net_value,
+                    "completed": out.completed_load,
+                    "revoked_jobs": len(out.revoked),
+                    "plain greedy": greedy,
+                }
+            )
+    return rows
+
+
+def test_e12_delayed_commitment(benchmark, save_artifact):
+    rows = benchmark.pedantic(measure_delayed, rounds=1, iterations=1)
+    for eps in EPS_SERIES:
+        grp = {r["delta/eps"]: r for r in rows if r["eps"] == eps}
+        # Zero deferral = plain greedy's trap.
+        assert grp[0.0]["delayed-greedy"] == grp[0.0]["immediate greedy"]
+        # Any real deferral escapes it by a large factor.
+        assert grp[1.0]["delayed-greedy"] > 3.0 * grp[0.0]["immediate greedy"]
+        # Immediate-commitment Threshold recovers most of the deferral value
+        # with no deferral at all.
+        assert grp[1.0]["immediate threshold"] > 0.8 * grp[1.0]["delayed-greedy"]
+        # Commitment-on-admission (waiting allowed) approaches the offline
+        # ceiling on this family — the weakest commitment is the strongest
+        # scheduler, exactly the ordering of §1.
+        assert grp[1.0]["on-admission (lazy)"] > grp[1.0]["delayed-greedy"]
+        assert grp[1.0]["on-admission (lazy)"] > 0.9 * grp[1.0]["opt_upper"]
+    save_artifact(
+        "e12_delayed_commitment.txt",
+        format_table(rows, title="E12 — the price of immediacy (bait-and-whale, m=3)"),
+    )
+
+
+def test_e13_commitment_with_penalties(benchmark, save_artifact):
+    rows = benchmark.pedantic(measure_penalties, rounds=1, iterations=1)
+    for eps in EPS_SERIES:
+        grp = [r for r in rows if r["eps"] == eps]
+        values = [r["net_value"] for r in grp]
+        # Monotone non-increasing in phi; endpoints sandwich greedy.
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+        assert grp[0]["net_value"] > 3.0 * grp[0]["plain greedy"]
+        assert grp[-1]["net_value"] == grp[-1]["plain greedy"]
+        assert grp[-1]["revoked_jobs"] == 0
+    save_artifact(
+        "e13_commitment_penalties.txt",
+        format_table(
+            rows,
+            title="E13 — commitment with penalties: net value vs phi "
+            "(bait-and-whale, m=3)",
+        ),
+    )

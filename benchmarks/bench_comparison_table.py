@@ -1,0 +1,99 @@
+"""E9 — the Section-1.2 comparison, measured.
+
+Runs every algorithm in the registry over three workload regimes and
+produces the comparison table the paper's related-work discussion implies:
+
+* **benign random** — greedy-style policies win (worst-case-safe
+  admission pays a price on easy inputs);
+* **bait-and-whale adversarial** — Threshold wins by a growing factor for
+  m >= 2 (the commitment-aware admission earning its keep);
+* **cloud mix** — the motivating scenario; all certified ratios must stay
+  within the published guarantees.
+
+Artefact: all three tables.
+"""
+
+from repro.analysis.ratio import compare_algorithms
+from repro.analysis.tables import format_table
+from repro.baselines.registry import run_algorithm
+from repro.workloads import alternating_instance, cloud_instance, random_instance
+
+ALGORITHMS = ["threshold", "greedy", "lee-style", "dasgupta-palis", "migration-greedy"]
+
+
+def measure_benign():
+    inst = random_instance(120, 3, 0.2, seed=11)
+    return inst, compare_algorithms(ALGORITHMS, inst)
+
+
+def measure_cloud():
+    inst = cloud_instance(160, 4, 0.1, seed=12, utilization=1.8)
+    return inst, compare_algorithms(ALGORITHMS, inst)
+
+
+def measure_adversarial():
+    rows = []
+    for eps in (0.1, 0.05, 0.02):
+        inst = alternating_instance(pairs=5, machines=3, epsilon=eps)
+        th = run_algorithm("threshold", inst).accepted_load
+        gr = run_algorithm("greedy", inst).accepted_load
+        lee = run_algorithm("lee-style", inst).accepted_load
+        rows.append(
+            {
+                "eps": eps,
+                "threshold": th,
+                "greedy": gr,
+                "lee-style": lee,
+                "threshold/greedy": th / gr,
+            }
+        )
+    return rows
+
+
+def test_comparison_benign_and_cloud(benchmark, save_artifact):
+    def run():
+        return measure_benign(), measure_cloud()
+
+    (benign_inst, benign), (cloud_inst, cloud) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    for rep in benign + cloud:
+        assert rep.within_guarantee, rep.algorithm
+
+    # On benign inputs the aggressive policies out-accept Threshold.
+    loads = {r.algorithm: r.accepted_load for r in benign}
+    assert loads["greedy"] >= loads["threshold"]
+
+    text = (
+        format_table(
+            [r.as_dict() for r in benign],
+            columns=["algorithm", "load", "ratio_upper", "guarantee", "within"],
+            title=f"benign random ({benign_inst.describe()['jobs']} jobs, m=3, eps=0.2)",
+        )
+        + "\n\n"
+        + format_table(
+            [r.as_dict() for r in cloud],
+            columns=["algorithm", "load", "ratio_upper", "guarantee", "within"],
+            title=f"cloud mix ({cloud_inst.describe()['jobs']} jobs, m=4, eps=0.1)",
+        )
+    )
+    save_artifact("comparison_benign_cloud.txt", text)
+
+
+def test_comparison_adversarial(benchmark, save_artifact):
+    rows = benchmark.pedantic(measure_adversarial, rounds=1, iterations=1)
+
+    factors = [r["threshold/greedy"] for r in rows]
+    assert all(f > 2.0 for f in factors), rows
+    assert factors[-1] > factors[0], "threshold's edge must grow as eps shrinks"
+
+    save_artifact(
+        "comparison_adversarial.txt",
+        format_table(
+            rows,
+            title="bait-and-whale (m=3): accepted load per algorithm — "
+            "who wins and by what factor",
+        ),
+    )
+    benchmark.extra_info["threshold_over_greedy"] = factors

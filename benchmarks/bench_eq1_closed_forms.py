@@ -1,0 +1,89 @@
+"""E2 — Eq. (1) and the analytic phases k in {m-2, m-1, m}.
+
+The paper gives closed forms only for the last three phases; everything
+else is numeric.  This bench times the numeric solver across a dense grid
+and certifies that it matches every published closed form to near machine
+precision:
+
+* Eq. (1) for m = 2 (both branches);
+* phase k = m:   c = 1 + 1/m + 1/eps;
+* phase k = m-1: the quadratic root;
+* phase k = m-2: the cubic root.
+"""
+
+import numpy as np
+
+from repro.analysis.phase import log_grid
+from repro.core.params import (
+    BoundFunction,
+    closed_form_last_phase,
+    closed_form_m2,
+    closed_form_second_last_phase,
+    closed_form_third_last_phase,
+    corner_values,
+    phase_index,
+)
+
+GRID = log_grid(0.01, 1.0, 300)
+
+
+def eq1_max_error() -> float:
+    bf = BoundFunction(2)
+    return max(abs(bf.value(float(e)) - closed_form_m2(float(e))) for e in GRID)
+
+
+def test_eq1_m2_closed_form(benchmark, save_artifact):
+    worst = benchmark(eq1_max_error)
+    assert worst < 1e-9
+    benchmark.extra_info["max_abs_error"] = worst
+    save_artifact(
+        "eq1_closed_forms_m2.txt",
+        f"Eq. (1) vs numeric recursion on {len(GRID)} grid points: "
+        f"max |error| = {worst:.3e}\n",
+    )
+
+
+def analytic_phase_errors() -> dict[str, float]:
+    errors = {"k=m": 0.0, "k=m-1": 0.0, "k=m-2": 0.0}
+    for m in (2, 3, 4, 5, 6):
+        corners = corner_values(m)
+        bf = BoundFunction(m)
+        # Sample three points inside each of the last three phases.
+        for label, k in (("k=m", m), ("k=m-1", m - 1), ("k=m-2", m - 2)):
+            if k < 1:
+                continue
+            lo, hi = corners[k - 1], corners[k]
+            for frac in (0.25, 0.5, 0.9):
+                eps = lo + frac * (hi - lo)
+                if eps <= 0:
+                    continue
+                assert phase_index(eps, m) == k
+                numeric = bf.value(eps)
+                if k == m:
+                    closed = closed_form_last_phase(eps, m)
+                elif k == m - 1:
+                    closed = closed_form_second_last_phase(eps, m)
+                else:
+                    closed = closed_form_third_last_phase(eps, m)
+                errors[label] = max(errors[label], abs(numeric - closed))
+    return errors
+
+
+def test_last_three_phases_closed_forms(benchmark, save_artifact):
+    errors = benchmark(analytic_phase_errors)
+    for label, err in errors.items():
+        assert err < 1e-7, f"{label}: {err}"
+    benchmark.extra_info.update({k: float(v) for k, v in errors.items()})
+    lines = [f"{label}: max |numeric - closed| = {err:.3e}" for label, err in errors.items()]
+    save_artifact("eq1_analytic_phases.txt", "\n".join(lines) + "\n")
+
+
+def test_solver_throughput(benchmark):
+    """Raw solver speed: full parameter solve across the m = 4 grid."""
+    bf = BoundFunction(4)
+
+    def solve_grid():
+        return np.array([bf.value(float(e)) for e in GRID])
+
+    values = benchmark(solve_grid)
+    assert np.all(np.diff(values) < 0)

@@ -1,0 +1,67 @@
+"""E1 — Fig. 1: the tight bound curves c(eps, m) for m = 1..4.
+
+Regenerates the paper's Fig. 1: the four curves on a log grid over
+(0, 1], the phase-transition circles, and the m = 1 dashed reference
+2 + 1/eps.  The artefact ``out/fig1_bound_curves.txt`` holds the ASCII
+figure and the CSV series.
+
+Shape checks (paper-vs-measured, recorded in EXPERIMENTS.md):
+* every curve is strictly decreasing in eps;
+* curves are ordered by m (more machines -> smaller ratio);
+* m = 2 has one transition at 2/7, m = 3 at {0.09, 6/13}, m = 4 three;
+* transition ordinates are (2m+1)/k.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.phase import fig1_series, log_grid
+from repro.analysis.plotting import ascii_plot, series_to_csv
+from repro.analysis.svg import fig1_svg
+from repro.core.params import corner_values
+
+GRID = log_grid(0.02, 1.0, 200)
+MACHINES = (1, 2, 3, 4)
+
+
+def compute_fig1():
+    return fig1_series(MACHINES, epsilons=GRID)
+
+
+def test_fig1_bound_curves(benchmark, save_artifact):
+    series = benchmark(compute_fig1)
+
+    # --- shape assertions -------------------------------------------------
+    for s in series:
+        assert np.all(np.diff(s.values) < 0), f"c(eps, {s.m}) must decrease"
+    for a, b in zip(series, series[1:]):
+        assert np.all(b.values <= a.values + 1e-9), "more machines must not hurt"
+    assert [len(s.transitions) for s in series] == [0, 1, 2, 3]
+    assert series[1].transitions[0][0] == pytest.approx(2.0 / 7.0)
+    assert series[2].transitions[0][0] == pytest.approx(0.09)
+    assert series[2].transitions[1][0] == pytest.approx(6.0 / 13.0)
+    for s in series:
+        for k, (eps_corner, c_corner) in enumerate(s.transitions, start=1):
+            assert c_corner == pytest.approx((2 * s.m + 1) / k)
+
+    # --- artefact ----------------------------------------------------------
+    plot = ascii_plot(
+        {f"m={s.m}": (s.epsilons, np.minimum(s.values, 25.0)) for s in series},
+        logx=True,
+        markers={f"m={s.m}": s.transitions for s in series},
+        title="Fig. 1 — c(eps, m), m = 1..4 (clipped at 25; O = phase transition)",
+        width=78,
+        height=24,
+    )
+    csv = series_to_csv(
+        {f"m={s.m}": (s.epsilons, s.values) for s in series}, x_name="epsilon"
+    )
+    save_artifact("fig1_bound_curves.txt", plot + "\n\n" + csv)
+    save_artifact("fig1_bound_curves.svg", fig1_svg(MACHINES))
+
+    benchmark.extra_info["corners_m2"] = [float(c) for c in corner_values(2)[1:-1]]
+    benchmark.extra_info["corners_m3"] = [float(c) for c in corner_values(3)[1:-1]]
+    benchmark.extra_info["corners_m4"] = [float(c) for c in corner_values(4)[1:-1]]
+    benchmark.extra_info["c_at_eps_0.1"] = {
+        s.m: float(np.interp(0.1, s.epsilons, s.values)) for s in series
+    }

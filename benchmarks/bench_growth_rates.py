@@ -1,0 +1,131 @@
+"""E14 — growth rates and the corner closed form.
+
+Quantitative checks of the phase-structure statements in Section 1.1:
+
+* the *dominant first phase* grows like ``eps^{-1/m}``: log-log fits on
+  the numeric curve deep inside phase 1 recover slope ``-1/m`` to 2 %;
+* the last phase is ``1 + 1/m + 1/eps`` exactly (slope -1 after shift);
+* the corner values obey the closed form
+  ``eps_{k,m} = (km/(km+2m+1))^{m-k}`` — derived in this reproduction and
+  validated against exact rational arithmetic (a contribution on top of
+  the paper, which computes corners numerically);
+* the *measured* forced ratios of the adversary duels inherit the same
+  growth: fitting forced ratios of the Threshold algorithm over an eps
+  series inside phase 1 reproduces slope ``-1/m``.
+"""
+
+import numpy as np
+
+from repro.adversary.base import duel
+from repro.analysis.stats import fit_power_law
+from repro.analysis.tables import format_table
+from repro.core.params import (
+    BoundFunction,
+    corner_closed_form,
+    corner_values,
+    corner_values_exact,
+)
+from repro.core.threshold import ThresholdPolicy
+
+
+def fit_curve_slopes():
+    rows = []
+    for m in (2, 3, 4, 5):
+        eps = np.geomspace(1e-8, 1e-5, 25)
+        fit = fit_power_law(eps, BoundFunction(m).series(eps))
+        rows.append(
+            {
+                "m": m,
+                "fit_slope": fit.slope,
+                "predicted": -1.0 / m,
+                "r_squared": fit.r_squared,
+            }
+        )
+    return rows
+
+
+def fit_duel_slopes():
+    rows = []
+    for m in (2, 3):
+        corners = corner_values(m)
+        eps_series = np.geomspace(corners[1] / 300.0, corners[1] / 3.0, 6)
+        forced = [
+            duel(ThresholdPolicy(), m=m, epsilon=float(e)).forced_ratio
+            for e in eps_series
+        ]
+        fit = fit_power_law(eps_series, forced)
+        rows.append(
+            {
+                "m": m,
+                "fit_slope": fit.slope,
+                "predicted": -1.0 / m,
+                "r_squared": fit.r_squared,
+            }
+        )
+    return rows
+
+
+def corner_table():
+    rows = []
+    for m in (2, 3, 4, 5, 8):
+        exact = corner_values_exact(m)
+        for k in range(1, m):
+            rows.append(
+                {
+                    "m": m,
+                    "k": k,
+                    "exact": str(exact[k]),
+                    "closed_form": corner_closed_form(k, m),
+                    "float_pipeline": corner_values(m)[k],
+                }
+            )
+    return rows
+
+
+def test_e14_curve_growth_rates(benchmark, save_artifact):
+    rows = benchmark.pedantic(fit_curve_slopes, rounds=1, iterations=1)
+    for row in rows:
+        assert abs(row["fit_slope"] - row["predicted"]) < 0.02, row
+        assert row["r_squared"] > 0.999
+    save_artifact(
+        "e14_curve_growth_rates.txt",
+        format_table(rows, title="E14a — dominant-phase exponent: c ~ eps^{-1/m}"),
+    )
+
+
+def test_e14_measured_duel_growth_rates(benchmark, save_artifact):
+    rows = benchmark.pedantic(fit_duel_slopes, rounds=1, iterations=1)
+    for row in rows:
+        assert abs(row["fit_slope"] - row["predicted"]) < 0.05, row
+    save_artifact(
+        "e14_duel_growth_rates.txt",
+        format_table(
+            rows,
+            title="E14b — exponent recovered from *measured* forced ratios",
+        ),
+    )
+
+
+def test_e14_corner_closed_form(benchmark, save_artifact):
+    rows = benchmark.pedantic(corner_table, rounds=1, iterations=1)
+    import math
+    from fractions import Fraction
+
+    for row in rows:
+        # Agreement to float round-off (the closed form and the rational
+        # chain take different arithmetic paths).
+        assert math.isclose(
+            row["closed_form"], float(Fraction(row["exact"])), rel_tol=1e-14
+        )
+        assert math.isclose(
+            row["closed_form"], row["float_pipeline"], rel_tol=1e-11
+        )
+    save_artifact(
+        "e14_corner_closed_form.txt",
+        format_table(
+            rows,
+            title="E14c — corner values: exact rationals vs "
+            "(km/(km+2m+1))^{m-k} vs float pipeline",
+            precision=10,
+        ),
+    )

@@ -1,0 +1,87 @@
+"""E4 — Theorem 1: the three-phase adversary forces c(eps, m).
+
+Plays the Section-3 adversary against the Threshold algorithm and the
+non-preemptive baselines across a (m, eps) grid.  Shape checks:
+
+* Threshold's forced ratio lands in ``[c(eps,m) (1 - tol), c + 0.165]`` —
+  the Theorem-1 / Theorem-2 sandwich (tol covers beta-discretisation);
+* greedy and Lee-style are forced to at least c, usually far above it;
+* greedy approaches its own 2 + 1/eps guarantee in the small-slack regime.
+
+Artefact: the full duel table (``out/thm1_adversary_duels.txt``).
+"""
+
+import pytest
+
+from repro.adversary.base import duel
+from repro.analysis.tables import format_table
+from repro.baselines.greedy import GreedyPolicy
+from repro.baselines.lee import LeeStylePolicy
+from repro.core.guarantees import theorem2_bound
+from repro.core.params import c_bound
+from repro.core.threshold import ThresholdPolicy
+
+GRID = [
+    (1, 0.05), (1, 0.2), (1, 0.8),
+    (2, 0.05), (2, 0.2), (2, 0.5),
+    (3, 0.05), (3, 0.2), (3, 0.6),
+    (4, 0.1), (4, 0.3),
+    (5, 0.1),
+]
+POLICIES = [ThresholdPolicy, GreedyPolicy, LeeStylePolicy]
+#: Relative slack for beta-discretisation of the forced ratio.
+RATIO_TOL = 5e-3
+
+
+def run_duels():
+    rows = []
+    for m, eps in GRID:
+        for factory in POLICIES:
+            policy = factory()
+            result = duel(policy, m=m, epsilon=eps)
+            rows.append(
+                {
+                    "m": m,
+                    "eps": eps,
+                    "algorithm": policy.name,
+                    "forced": result.forced_ratio,
+                    "c": c_bound(eps, m),
+                    "thm2_cap": theorem2_bound(eps, m),
+                    "u": result.summary["u"],
+                    "h": result.summary["final_h"],
+                }
+            )
+    return rows
+
+
+def test_thm1_adversary_duels(benchmark, save_artifact):
+    rows = benchmark.pedantic(run_duels, rounds=1, iterations=1)
+
+    for row in rows:
+        assert row["forced"] >= row["c"] * (1.0 - RATIO_TOL), row
+
+    threshold_rows = [r for r in rows if r["algorithm"] == "threshold"]
+    for row in threshold_rows:
+        assert row["forced"] <= row["thm2_cap"] + 0.01, row
+
+    greedy_small_slack = [
+        r for r in rows if r["algorithm"] == "greedy" and r["eps"] <= 0.2 and r["m"] >= 2
+    ]
+    for row in greedy_small_slack:
+        assert row["forced"] >= 0.85 * (2.0 + 1.0 / row["eps"]), row
+
+    save_artifact(
+        "thm1_adversary_duels.txt",
+        format_table(rows, title="Theorem-1 duels: forced ratio vs c(eps, m)"),
+    )
+    worst_gap = max(
+        abs(r["forced"] - r["c"]) / r["c"] for r in threshold_rows
+    )
+    benchmark.extra_info["threshold_worst_relative_gap"] = worst_gap
+
+
+@pytest.mark.parametrize("m,eps", [(2, 0.2), (3, 0.2)])
+def test_duel_speed(benchmark, m, eps):
+    """Raw duel latency for one Threshold game (engine + adversary cost)."""
+    result = benchmark(lambda: duel(ThresholdPolicy(), m=m, epsilon=eps))
+    assert result.forced_ratio >= 1.0

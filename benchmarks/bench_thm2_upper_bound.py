@@ -1,0 +1,100 @@
+"""E5 — Theorem 2: measured ratios of Threshold never exceed the bound.
+
+Certified check across workload families: the empirical ratio computed
+against a certified *upper* bound on OPT (exact optimum on small
+instances, flow relaxation on large ones) over-estimates the true ratio,
+so staying below ``theorem2_bound`` is a genuine verification on every
+sampled instance.
+
+Families: random uniform, tight-slack lognormal, bursty common-release,
+cloud mix, and the static adversarial-like replay — across eps and m.
+"""
+
+from repro.analysis.tables import format_table
+from repro.baselines.registry import run_algorithm
+from repro.core.guarantees import theorem2_bound
+from repro.offline.bracket import opt_bracket
+from repro.workloads import (
+    adversarial_like_instance,
+    burst_instance,
+    cloud_instance,
+    random_instance,
+    tight_slack_instance,
+)
+
+SMALL_GRID = [(0.1, 2), (0.3, 2), (0.2, 3), (0.5, 3)]
+LARGE_GRID = [(0.1, 2), (0.2, 4)]
+
+
+def _families_small(eps, m, seed):
+    yield random_instance(11, m, eps, seed=seed)
+    yield tight_slack_instance(11, m, eps, seed=seed, distribution="lognormal")
+    yield burst_instance(2, 5, machines=m, epsilon=eps, seed=seed)
+
+
+def _families_large(eps, m, seed):
+    yield random_instance(120, m, eps, seed=seed)
+    yield cloud_instance(120, m, eps, seed=seed)
+    yield adversarial_like_instance(machines=m, epsilon=eps)
+
+
+def measure(grid, families, force_bounds):
+    rows = []
+    for eps, m in grid:
+        for seed in (0, 1):
+            for inst in families(eps, m, seed):
+                bracket = opt_bracket(inst, force_bounds=force_bounds)
+                result = run_algorithm("threshold", inst)
+                ratio = (
+                    float("inf")
+                    if result.accepted_load <= 0
+                    else bracket.upper / result.accepted_load
+                )
+                rows.append(
+                    {
+                        "workload": inst.name,
+                        "eps": eps,
+                        "m": m,
+                        "seed": seed,
+                        "load": result.accepted_load,
+                        "opt_upper": bracket.upper,
+                        "ratio_upper": ratio,
+                        "bound": theorem2_bound(eps, m),
+                        "exact_opt": bracket.exact,
+                    }
+                )
+    return rows
+
+
+def test_thm2_small_instances_exact_opt(benchmark, save_artifact):
+    rows = benchmark.pedantic(
+        lambda: measure(SMALL_GRID, _families_small, force_bounds=False),
+        rounds=1,
+        iterations=1,
+    )
+    for row in rows:
+        assert row["exact_opt"], "small instances must use the exact optimum"
+        assert row["ratio_upper"] <= row["bound"] + 1e-9, row
+    save_artifact(
+        "thm2_small_instances.txt",
+        format_table(rows, title="Theorem 2 vs exact OPT (small instances)"),
+    )
+    benchmark.extra_info["max_ratio"] = max(r["ratio_upper"] for r in rows)
+    benchmark.extra_info["min_headroom"] = min(
+        r["bound"] - r["ratio_upper"] for r in rows
+    )
+
+
+def test_thm2_large_instances_flow_bound(benchmark, save_artifact):
+    rows = benchmark.pedantic(
+        lambda: measure(LARGE_GRID, _families_large, force_bounds=True),
+        rounds=1,
+        iterations=1,
+    )
+    for row in rows:
+        assert row["ratio_upper"] <= row["bound"] + 1e-9, row
+    save_artifact(
+        "thm2_large_instances.txt",
+        format_table(rows, title="Theorem 2 vs flow upper bound (large instances)"),
+    )
+    benchmark.extra_info["max_ratio"] = max(r["ratio_upper"] for r in rows)

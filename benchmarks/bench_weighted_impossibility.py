@@ -1,0 +1,73 @@
+"""E15 — the weighted-objective impossibility (Lucier et al., §1).
+
+The paper restricts itself to the load objective ``w_j = p_j`` because,
+as it notes in §1, "for general objective functions, any online algorithm
+has an unbounded competitive ratio for any slack value" [28].  The
+escalation adversary makes this executable: against *every* algorithm in
+the non-preemptive registry, the forced weighted ratio grows linearly in
+the escalation factor R — i.e. without bound — at *every* slack value,
+including the maximal slack 1.
+
+This is the negative-result counterpart of E4: slack rescues the load
+objective (Theorem 1/2's finite c(eps, m)) but cannot rescue arbitrary
+weights.
+"""
+
+from repro.adversary.weighted import weighted_duel
+from repro.analysis.tables import format_table
+from repro.baselines.greedy import GreedyPolicy
+from repro.baselines.lee import LeeStylePolicy
+from repro.core.threshold import ThresholdPolicy
+
+ESCALATIONS = [10.0, 100.0, 1000.0]
+CONFIGS = [(1, 0.5), (2, 0.2), (3, 0.2), (3, 1.0)]
+POLICIES = [ThresholdPolicy, GreedyPolicy, LeeStylePolicy]
+
+
+def measure():
+    rows = []
+    for escalation in ESCALATIONS:
+        for m, eps in CONFIGS:
+            for factory in POLICIES:
+                policy = factory()
+                result = weighted_duel(policy, m=m, epsilon=eps, escalation=escalation)
+                rows.append(
+                    {
+                        "R": escalation,
+                        "m": m,
+                        "eps": eps,
+                        "algorithm": policy.name,
+                        "forced_ratio": result.forced_ratio,
+                        "levels_accepted": result.levels_accepted,
+                    }
+                )
+    return rows
+
+
+def test_e15_weighted_impossibility(benchmark, save_artifact):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # Every policy is forced to at least ~R, at every slack.
+    for row in rows:
+        assert row["forced_ratio"] >= 0.99 * row["R"], row
+
+    # The ratio is genuinely unbounded: scaling R scales the forced ratio.
+    for m, eps in CONFIGS:
+        for factory in POLICIES:
+            name = factory().name
+            series = [
+                r["forced_ratio"]
+                for r in rows
+                if r["m"] == m and r["eps"] == eps and r["algorithm"] == name
+            ]
+            assert series[1] > 5 * series[0] and series[2] > 5 * series[1]
+
+    save_artifact(
+        "e15_weighted_impossibility.txt",
+        format_table(
+            rows,
+            title="E15 — general weights: forced ratio ~ R for every algorithm "
+            "and every slack (Lucier et al.'s impossibility, executable)",
+        ),
+    )
+    benchmark.extra_info["max_forced_ratio"] = max(r["forced_ratio"] for r in rows)

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark writes its paper-style table/figure artefact to
+``benchmarks/out/<name>.txt`` (so the reproduced rows/series survive the
+run) and attaches headline numbers to ``benchmark.extra_info`` (so they
+appear in pytest-benchmark's JSON export).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def save_artifact(artifact_dir):
+    """Write a named text artefact; returns the path."""
+
+    def _save(name: str, text: str) -> pathlib.Path:
+        path = artifact_dir / name
+        path.write_text(text)
+        return path
+
+    return _save

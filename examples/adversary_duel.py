@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Play the Theorem-1 adversary against every online algorithm.
+
+The three-phase adaptive adversary of Section 3 forces any deterministic
+immediate-commitment algorithm to a ratio of at least c(eps, m).  This
+example runs the duel for several (m, eps) pairs and shows that:
+
+* the Threshold algorithm is forced to essentially exactly c(eps, m)
+  (it is optimal against this adversary, Theorem 2);
+* greedy and the Lee-style baseline are forced well above it.
+
+Run:  python examples/adversary_duel.py
+"""
+
+from repro.adversary import duel, enumerate_decision_tree, render_decision_tree
+from repro.analysis import render_rows
+from repro.baselines import GreedyPolicy, LeeStylePolicy
+from repro.core import ThresholdPolicy, c_bound
+
+
+def main() -> None:
+    rows = []
+    for m, eps in [(1, 0.1), (2, 0.1), (2, 0.4), (3, 0.05), (3, 0.2), (4, 0.1)]:
+        for factory in (ThresholdPolicy, GreedyPolicy, LeeStylePolicy):
+            policy = factory()
+            result = duel(policy, m=m, epsilon=eps)
+            rows.append(
+                {
+                    "m": m,
+                    "eps": eps,
+                    "algorithm": policy.name,
+                    "forced_ratio": result.forced_ratio,
+                    "c(eps,m)": c_bound(eps, m),
+                    "alg_load": result.algorithm_load,
+                    "opt": result.constructive_opt,
+                    "u": result.summary["u"],
+                    "h": result.summary["final_h"],
+                }
+            )
+    print(render_rows(rows, title="Theorem-1 adversary duels (lower the better)"))
+    print()
+
+    print("Fig. 2 reproduction: the full decision tree for m=3, eps=0.2:")
+    outcomes = enumerate_decision_tree(3, 0.2)
+    print(render_decision_tree(outcomes))
+    print()
+    print(
+        "Every leaf forces at least c(eps, m) — the adversary wins whatever\n"
+        "the algorithm does; Threshold merely loses by the least possible."
+    )
+
+
+if __name__ == "__main__":
+    main()

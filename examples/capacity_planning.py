@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Capacity planning with the bound function: the operator's workflow.
+
+The paper frames slack as "a system parameter determined by the system
+provider".  This example inverts the theory into the two decisions a
+provider actually makes:
+
+1. *How many machines do I need* to guarantee a worst-case ratio R at my
+   current SLA slack?
+2. *How much deadline stretch (slack) must I sell* to meet R on the fleet
+   I have?
+
+It also prints the marginal value of each added machine — including the
+curious dip where Theorem 2's additive (3−e)/(e−1) loss switches on —
+and validates one planned configuration by simulation.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.analysis.capacity import (
+    machines_for_target,
+    marginal_machine_value,
+    planning_table,
+    slack_for_target,
+)
+from repro.analysis.ratio import empirical_ratio
+from repro.analysis.tables import render_rows
+from repro.workloads import random_instance
+
+
+def main() -> None:
+    print("trade-off surface: worst-case guarantee per (slack, fleet):")
+    print(
+        render_rows(
+            planning_table(epsilons=(0.05, 0.1, 0.2), machine_counts=(1, 2, 4, 8)),
+            precision=3,
+        )
+    )
+    print()
+
+    target = 5.0
+    for eps in (0.05, 0.1, 0.2):
+        m = machines_for_target(eps, target)
+        print(
+            f"target ratio {target} at eps={eps}: "
+            + (f"need m = {m} machines" if m else "unachievable with machines alone")
+        )
+    for m in (2, 4, 8):
+        eps = slack_for_target(m, target)
+        print(
+            f"target ratio {target} with m={m}: "
+            + (f"need slack eps >= {eps:.4f}" if eps else "unachievable")
+        )
+    print()
+
+    print("marginal value of each added machine at eps = 0.1:")
+    print(
+        render_rows(
+            marginal_machine_value(0.1, up_to=9),
+            columns=["machines", "c", "guarantee", "guarantee_improvement"],
+            precision=4,
+        )
+    )
+    print(
+        "\n(note m=8: the guarantee *worsens* — Lemma 11's additive loss\n"
+        "switches on when the phase index reaches 4, even though the tight\n"
+        "bound c keeps improving; the planner linear-scans for this reason)"
+    )
+    print()
+
+    # Validate one planned configuration empirically.
+    eps, m = 0.1, machines_for_target(0.1, target)
+    inst = random_instance(14, m, eps, seed=3)
+    report = empirical_ratio("threshold", inst)
+    print(
+        f"validation: threshold on a random instance with the planned "
+        f"(eps={eps}, m={m}): certified ratio {report.ratio_upper:.3f} "
+        f"<= target {target} (guarantee {report.guarantee:.3f})"
+    )
+    assert report.ratio_upper <= target + 1e-9
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""The commitment-model taxonomy of §1, measured side by side.
+
+Runs the same bait-and-whale stream through every commitment model the
+paper's introduction discusses:
+
+* immediate commitment (this paper's setting): greedy and Threshold;
+* δ-delayed commitment (Chen et al. style): delayed greedy for several δ;
+* commitment with penalties (Fung style): revocable greedy across φ;
+* the offline optimum as the ceiling.
+
+The punchline: the Threshold algorithm — with *zero* deferral and *zero*
+revocation — recovers most of the value the relaxed models buy with
+their extra power.
+
+Run:  python examples/commitment_models.py
+"""
+
+from repro.analysis.tables import render_rows
+from repro.baselines.registry import run_algorithm
+from repro.engine.admission import AdmissionLazyPolicy, simulate_admission
+from repro.engine.delayed import DelayedGreedyPolicy, simulate_delayed
+from repro.engine.penalties import RevocableGreedyPolicy, simulate_with_penalties
+from repro.offline.bracket import opt_bracket
+from repro.workloads import alternating_instance
+
+
+def main() -> None:
+    eps, machines, rounds = 0.05, 3, 4
+    instance = alternating_instance(pairs=rounds, machines=machines, epsilon=eps)
+    opt_upper = opt_bracket(instance, force_bounds=True).upper
+
+    rows = []
+
+    def add(model: str, value: float, note: str = "") -> None:
+        rows.append(
+            {
+                "model": model,
+                "objective": value,
+                "fraction of OPT": value / opt_upper,
+                "note": note,
+            }
+        )
+
+    add("immediate greedy", run_algorithm("greedy", instance).accepted_load,
+        "takes every bait, loses every whale")
+    add("immediate THRESHOLD (the paper)",
+        run_algorithm("threshold", instance).accepted_load,
+        "no deferral, no revocation")
+    for frac in (0.25, 1.0):
+        load = simulate_delayed(
+            DelayedGreedyPolicy(), instance, frac * eps
+        ).accepted_load
+        add(f"delayed greedy, delta = {frac:g}*eps", load, "decides after seeing whales")
+    add(
+        "commitment on admission (lazy)",
+        simulate_admission(AdmissionLazyPolicy(), instance).accepted_load,
+        "waits; commits only at start",
+    )
+    for phi in (0.0, 1.0, 5.0):
+        out = simulate_with_penalties(RevocableGreedyPolicy(), instance, phi)
+        add(
+            f"revocable greedy, phi = {phi:g}",
+            out.net_value,
+            f"{len(out.revoked)} revocations, penalty {out.penalty_paid:.1f}",
+        )
+    add("offline optimum (upper bound)", opt_upper, "clairvoyant ceiling")
+
+    print(
+        render_rows(
+            rows,
+            title=(
+                f"Commitment models on bait-and-whale "
+                f"(m={machines}, eps={eps}, {rounds} rounds)"
+            ),
+            precision=3,
+        )
+    )
+    print()
+    print(
+        "Reading guide: the gap between 'immediate greedy' and everything\n"
+        "else is the price of committing blindly; the small gap between\n"
+        "THRESHOLD and the relaxed models is the paper's contribution —\n"
+        "worst-case-optimal admission without deferral or revocation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Hunt for hard instances, then diagnose what made them hard.
+
+Workflow:
+
+1. run the blind falsification search against greedy and Threshold on a
+   single machine (no knowledge of the paper's constructions);
+2. compare the found hardness against the theoretical guarantees;
+3. open the hood on the hardest instance found: the covered-interval
+   diagnostics (the paper's own proof objects) show exactly which time
+   window the policy conceded and at what local ratio.
+
+Run:  python examples/falsification_hunt.py
+"""
+
+from repro.adversary.search import falsify
+from repro.analysis.covered import rows as covered_rows
+from repro.analysis.tables import render_rows
+from repro.baselines.registry import run_algorithm
+from repro.core.guarantees import greedy_bound, theorem2_bound
+
+
+def main() -> None:
+    m, eps, budget = 1, 0.1, 300
+
+    results = {
+        name: falsify(name, machines=m, epsilon=eps, budget=budget, n_jobs=6, seed=1)
+        for name in ("greedy", "threshold")
+    }
+    print(
+        render_rows(
+            [
+                {
+                    "algorithm": name,
+                    "found ratio": r.best_ratio,
+                    "guarantee": greedy_bound(eps, m)
+                    if name == "greedy"
+                    else theorem2_bound(eps, m),
+                    "improvements": r.improvements,
+                    "jobs in witness": len(r.best_instance),
+                }
+                for name, r in results.items()
+            ],
+            title=f"blind search, m={m}, eps={eps}, budget={budget}",
+            precision=3,
+        )
+    )
+    print()
+
+    hardest = results["greedy"]
+    print("hardest instance found against greedy:")
+    for job in hardest.best_instance:
+        print(
+            f"  job {job.job_id}: r={job.release:.3f} p={job.processing:.3f} "
+            f"d={job.deadline:.3f} (slack {job.slack():.3f})"
+        )
+    print()
+
+    schedule = run_algorithm("greedy", hardest.best_instance).detail
+    print("greedy's schedule on it:")
+    print(schedule.gantt_ascii(width=60))
+    print()
+    print("covered-interval diagnostics (the Section-4 proof objects):")
+    print(render_rows(covered_rows(schedule), precision=3))
+    print()
+    print(
+        "The ratio_bound column is Definition 3's conservative per-interval\n"
+        "bound: the window where it peaks is the window the policy conceded\n"
+        "— on the found witness it is exactly the bait-then-whale pattern\n"
+        "the paper's lower bound formalises."
+    )
+
+
+if __name__ == "__main__":
+    main()

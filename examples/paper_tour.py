@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""A guided tour of the paper, section by section, live.
+
+Walks through the paper's storyline executing the reproduction at each
+step: the slack condition, the bound function and its phases, Algorithm 1
+in action, the Theorem-1 adversary, Corollary 1, and the commitment
+taxonomy.  Ten minutes of reading, one second of compute.
+
+Run:  python examples/paper_tour.py
+"""
+
+import math
+
+from repro import (
+    Instance,
+    Job,
+    ThresholdPolicy,
+    c_bound,
+    corner_values,
+    duel,
+    simulate,
+    threshold_parameters,
+)
+from repro.adversary import enumerate_decision_tree
+from repro.analysis.tables import render_rows
+from repro.core.params import corner_closed_form
+from repro.core.randomized import expected_load_classify_select
+from repro.offline.bracket import opt_bracket
+from repro.workloads import alternating_instance
+
+
+def section(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    section("§2  The slack condition: d >= (1+eps)p + r")
+    eps = 0.2
+    job = Job(release=1.0, processing=2.0, deadline=1.0 + 1.2 * 2.0)
+    print(f"job {job!r}: slack = {job.slack():.3f} (tight at eps = {eps})")
+
+    section("§2  The bound function c(eps, m) and its phases")
+    rows = []
+    for m in (1, 2, 3):
+        p = threshold_parameters(eps, m)
+        rows.append(
+            {
+                "m": m,
+                "c(0.2, m)": p.c,
+                "phase k": p.k,
+                "f ladder": ", ".join(f"{v:.3f}" for v in p.f),
+            }
+        )
+    print(render_rows(rows))
+    print(
+        f"\ncorners for m=3: {[round(float(c), 4) for c in corner_values(3)]}"
+        f"  (closed form (km/(km+2m+1))^(m-k): "
+        f"{corner_closed_form(1, 3):.4f}, {corner_closed_form(2, 3):.4f})"
+    )
+
+    section("§4  Algorithm 1 (Threshold) deciding a stream")
+    jobs = [
+        Job(0.0, 1.0, 10.0),
+        Job(0.0, 1.0, 1.2),   # tight filler
+        Job(0.1, 4.0, 5.0),   # tight whale
+    ]
+    inst = Instance(jobs, machines=2, epsilon=eps)
+    schedule = simulate(ThresholdPolicy(), inst)
+    print(schedule.meta["trace"].render())
+    print(schedule.gantt_ascii(width=56))
+    bracket = opt_bracket(inst)
+    print(
+        f"load {schedule.accepted_load:.2f} vs OPT {bracket.upper:.2f} "
+        f"(guarantee {c_bound(eps, 2):.2f})"
+    )
+
+    section("§3  Theorem 1: the adversary forces c(eps, m)")
+    result = duel(ThresholdPolicy(), m=3, epsilon=eps)
+    print(
+        f"forced ratio {result.forced_ratio:.4f} vs c(0.2, 3) = "
+        f"{c_bound(eps, 3):.4f}  (game: u={result.summary['u']}, "
+        f"h={result.summary['final_h']})"
+    )
+    leaves = enumerate_decision_tree(3, eps)
+    print(
+        "all game-tree leaves: "
+        + ", ".join(f"{o.forced_ratio:.3f}" for o in leaves)
+        + "  — no escape below c"
+    )
+
+    section("Cor. 1  Randomized classify-and-select on the deterministic trap")
+    trap = alternating_instance(pairs=4, machines=1, epsilon=0.05)
+    expected, _ = expected_load_classify_select(trap, 3)
+    det = simulate(ThresholdPolicy(), trap)
+    ub = opt_bracket(trap, force_bounds=True).upper
+    print(
+        f"E[ratio] randomized = {ub / expected:.3f}  vs deterministic "
+        f"{ub / det.accepted_load:.2f}  (ln(1/eps) = {math.log(20):.3f}, "
+        f"1 + 1/eps = 21)"
+    )
+
+    section("§1  The commitment taxonomy, measured")
+    from repro.engine.admission import AdmissionLazyPolicy, simulate_admission
+    from repro.engine.delayed import DelayedGreedyPolicy, simulate_delayed
+    from repro.baselines.greedy import GreedyPolicy
+
+    trap3 = alternating_instance(pairs=3, machines=3, epsilon=0.05)
+    print(
+        render_rows(
+            [
+                {"model": "immediate greedy", "load": simulate(GreedyPolicy(), trap3).accepted_load},
+                {"model": "immediate Threshold", "load": simulate(ThresholdPolicy(), trap3).accepted_load},
+                {"model": "delayed greedy (d=eps)", "load": simulate_delayed(DelayedGreedyPolicy(), trap3, 0.05).accepted_load},
+                {"model": "on-admission (lazy)", "load": simulate_admission(AdmissionLazyPolicy(), trap3).accepted_load},
+                {"model": "offline ceiling", "load": opt_bracket(trap3, force_bounds=True).upper},
+            ],
+            precision=1,
+        )
+    )
+    print(
+        "\nThe paper's point in one table: with full immediate commitment,\n"
+        "Threshold recovers most of what weaker commitment models buy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Corollary 1: randomized classify-and-select on a single machine.
+
+Runs the deterministic Threshold algorithm on m* ~ ln(1/eps) virtual
+machines, selects one uniformly at random, and executes only its jobs on
+the real machine.
+
+The demonstration workload is the *bait-and-whale* stream (unit bait with
+tight slack, then a ~1/eps whale whose deadline rules out waiting behind
+the bait): any deterministic immediate-commitment algorithm takes the
+bait and loses the whale — the Omega(1/eps) lower bound — while the
+virtual multi-machine simulation catches the whale on an idle virtual
+machine, so a random selection keeps an eps-independent share of it and
+the expected ratio grows only like O(log 1/eps).
+
+Run:  python examples/randomized_single_machine.py
+"""
+
+import math
+
+from repro.analysis import render_rows
+from repro.baselines.registry import run_algorithm
+from repro.core.randomized import default_virtual_machines, expected_load_classify_select
+from repro.offline.bracket import opt_bracket
+from repro.workloads import alternating_instance
+
+
+def main() -> None:
+    rows = []
+    for eps in [0.2, 0.1, 0.05, 0.02, 0.01]:
+        # One bait + one whale per round, single machine, six rounds.
+        instance = alternating_instance(pairs=6, machines=1, epsilon=eps)
+        bracket = opt_bracket(instance, force_bounds=True)
+        m_star = default_virtual_machines(eps)
+        expected, _ = expected_load_classify_select(instance, m_star)
+
+        deterministic = run_algorithm("goldwasser-kerbikov", instance)
+        rows.append(
+            {
+                "eps": eps,
+                "m*": m_star,
+                "E[load] randomized": expected,
+                "load deterministic": deterministic.accepted_load,
+                "E[ratio] randomized": bracket.upper / expected,
+                "ratio deterministic": bracket.upper / deterministic.accepted_load,
+                "2+1/eps": 2 + 1 / eps,
+                "ln(1/eps)": math.log(1 / eps),
+            }
+        )
+    print(
+        render_rows(
+            rows,
+            title="Corollary 1 — classify-and-select vs deterministic single machine "
+            "on bait-and-whale streams (ratios vs certified OPT upper bound)",
+            precision=3,
+        )
+    )
+    print()
+    print(
+        "The deterministic ratio blows up like Theta(1/eps) (it always takes\n"
+        "the bait); the randomized expectation stays within a small multiple\n"
+        "of ln(1/eps) — Corollary 1 in action.  Per-virtual-machine loads for\n"
+        "eps = 0.02 show where the whales went:"
+    )
+    eps = 0.02
+    instance = alternating_instance(pairs=6, machines=1, epsilon=eps)
+    _, loads = expected_load_classify_select(instance, default_virtual_machines(eps))
+    print("    " + ", ".join(f"{x:.2f}" for x in loads))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package.
+
+The environment for this reproduction is offline and ships setuptools 65
+without `wheel`; PEP 660 editable installs need `bdist_wheel`, so pip falls
+back to this setup.py when invoked as `python setup.py develop`.  All real
+metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""Adversarial lower-bound constructions (Section 3 of the paper).
+
+* :mod:`repro.adversary.multi_machine` — the three-phase adaptive adversary
+  behind Theorem 1, implemented as a
+  :class:`~repro.engine.policy.JobSource` that reacts to every decision of
+  the policy under test.
+* :mod:`repro.adversary.single_machine` — Goldwasser's classic two-job
+  single-machine construction (Section 1.1's warm-up).
+* :mod:`repro.adversary.base` — the duel harness: run a policy against an
+  adversary, compute the forced ratio with a constructive (certified)
+  optimum.
+* :mod:`repro.adversary.analysis` — decision-tree enumeration (Fig. 2) and
+  schedule extraction for highlighted paths (Fig. 3).
+"""
+
+from repro.adversary.base import DuelResult, duel
+from repro.adversary.multi_machine import ThreePhaseAdversary
+from repro.adversary.single_machine import GoldwasserTwoJobAdversary
+from repro.adversary.analysis import (
+    PathOutcome,
+    ScriptedPolicy,
+    enumerate_decision_tree,
+    render_decision_tree,
+    render_decision_tree_dot,
+)
+from repro.adversary.search import SearchResult, falsify
+from repro.adversary.weighted import (
+    WeightedEscalationAdversary,
+    WeightedDuelResult,
+    weighted_duel,
+)
+
+__all__ = [
+    "DuelResult",
+    "duel",
+    "ThreePhaseAdversary",
+    "GoldwasserTwoJobAdversary",
+    "PathOutcome",
+    "ScriptedPolicy",
+    "enumerate_decision_tree",
+    "render_decision_tree",
+    "render_decision_tree_dot",
+    "WeightedEscalationAdversary",
+    "WeightedDuelResult",
+    "weighted_duel",
+    "SearchResult",
+    "falsify",
+]

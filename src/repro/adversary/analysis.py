@@ -1,0 +1,206 @@
+"""Decision-tree enumeration of the adversary game (Fig. 2) and schedule
+extraction for highlighted paths (Fig. 3).
+
+Fig. 2 of the paper draws the adversary's protocol as a decision tree whose
+branches are the algorithm's accept/reject choices per subphase.  We
+reproduce it *executably*: a :class:`ScriptedPolicy` plays any prescribed
+accept/reject plan, each root-to-leaf path is simulated as a real duel, and
+the leaf ratios are computed from the actually emitted jobs.  Theorem 1's
+claim — every leaf forces at least :math:`c(\\varepsilon, m)` — becomes a
+checkable property of the enumeration.
+
+A *plan* is ``(u, h)``:
+
+* accept one job in each phase-2 subphase ``1 .. u-1``, reject all of
+  subphase ``u`` (``u ∈ {1..m}``);
+* if ``u >= k``: accept one job in each phase-3 subphase ``u .. h-1``,
+  reject all of subphase ``h`` (``h ∈ {u..m}``); phase-3 acceptance needs
+  an idle machine, which exists exactly while the subphase index is below
+  ``m`` — so every syntactically valid plan is playable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.adversary.base import DuelResult, duel
+from repro.adversary.multi_machine import ThreePhaseAdversary
+from repro.core.params import threshold_parameters
+from repro.engine.policy import Decision, OnlinePolicy
+from repro.model.job import Job
+from repro.model.machine import MachineState
+
+
+class ScriptedPolicy(OnlinePolicy):
+    """Plays a fixed accept/reject plan against the three-phase adversary.
+
+    The policy reads the adversary's phase/subphase tags — it is a probe
+    for enumerating the game tree, not a legitimate online algorithm.
+    """
+
+    def __init__(self, u: int, h: int | None, start_delay: float = 0.0) -> None:
+        self.u = u
+        self.h = h
+        self.start_delay = start_delay
+        self.name = f"scripted(u={u}, h={h})"
+
+    def on_submission(
+        self, job: Job, t: float, machines: Sequence[MachineState]
+    ) -> Decision:
+        phase = job.tag("adversary_phase")
+        if phase == 1:
+            # Accept J_1, optionally delaying its start (Fig. 3 shows the
+            # online algorithm starting J_1 at t >= 1).
+            start = max(t, job.release + self.start_delay)
+            start = min(start, job.latest_start)
+            return Decision.accept(machine=0, start=start)
+        subphase = job.tag("subphase")
+        accept = (phase == 2 and subphase < self.u) or (
+            phase == 3 and self.h is not None and subphase < self.h
+        )
+        if not accept:
+            return Decision.reject(scripted=True)
+        idle = [ms for ms in machines if ms.is_idle_from(t)]
+        if not idle:  # pragma: no cover - plans are constructed playable
+            return Decision.reject(scripted=True, forced=True)
+        chosen = min(idle, key=lambda ms: ms.index)
+        return Decision.accept(machine=chosen.index, start=chosen.append_start(job, t))
+
+
+@dataclass
+class PathOutcome:
+    """One root-to-leaf path of the Fig. 2 tree, fully simulated."""
+
+    u: int
+    h: int | None
+    forced_ratio: float
+    target_ratio: float
+    algorithm_load: float
+    constructive_opt: float
+    duel: DuelResult
+
+    @property
+    def label(self) -> str:
+        """Compact node label matching the Fig. 2 vocabulary."""
+        if self.h is None:
+            return f"phase2-stop(u={self.u})"
+        return f"phase3-stop(u={self.u}, h={self.h})"
+
+
+def enumerate_decision_tree(
+    m: int,
+    epsilon: float,
+    beta: float | None = None,
+    start_delay: float = 0.0,
+) -> list[PathOutcome]:
+    """Simulate every plan of the game tree for ``(m, epsilon)``.
+
+    Returns one :class:`PathOutcome` per leaf, ordered by ``(u, h)``.
+    """
+    params = threshold_parameters(epsilon, m)
+    k = params.k
+    outcomes: list[PathOutcome] = []
+    for u in range(1, m + 1):
+        if u < k:
+            plans: list[tuple[int, int | None]] = [(u, None)]
+        else:
+            plans = [(u, h) for h in range(u, m + 1)]
+        for u_plan, h_plan in plans:
+            policy = ScriptedPolicy(u=u_plan, h=h_plan, start_delay=start_delay)
+            result = duel(policy, m=m, epsilon=epsilon, beta=beta)
+            outcomes.append(
+                PathOutcome(
+                    u=u_plan,
+                    h=h_plan,
+                    forced_ratio=result.forced_ratio,
+                    target_ratio=result.target_ratio,
+                    algorithm_load=result.algorithm_load,
+                    constructive_opt=result.constructive_opt,
+                    duel=result,
+                )
+            )
+    return outcomes
+
+
+def render_decision_tree(outcomes: list[PathOutcome]) -> str:
+    """ASCII rendering of the enumerated tree (the Fig. 2 artifact)."""
+    lines = ["J1 accepted, all further jobs at time t"]
+    by_u: dict[int, list[PathOutcome]] = {}
+    for o in outcomes:
+        by_u.setdefault(o.u, []).append(o)
+    for u in sorted(by_u):
+        group = by_u[u]
+        lines.append(f"├─ phase 2 stops at subphase u={u}")
+        for o in group:
+            if o.h is None:
+                lines.append(
+                    f"│   └─ leaf: stop (u<k)  ratio={o.forced_ratio:.4f}"
+                    f"  (target c={o.target_ratio:.4f})"
+                )
+            else:
+                lines.append(
+                    f"│   ├─ phase 3 stops at h={o.h}:"
+                    f"  ratio={o.forced_ratio:.4f}  (target c={o.target_ratio:.4f})"
+                )
+    return "\n".join(lines)
+
+
+def render_decision_tree_dot(outcomes: list[PathOutcome], title: str = "") -> str:
+    """Graphviz DOT rendering of the enumerated game tree (Fig. 2 artwork).
+
+    Nodes are adversary states (phase/subphase); edges are the algorithm's
+    accept/continue vs reject/stop choices; leaves carry the forced ratio.
+    The text is plain DOT — render with ``dot -Tsvg`` where available, or
+    read directly (the structure is the artefact).
+    """
+    lines = [
+        "digraph fig2 {",
+        '  rankdir=TB; node [fontsize=11, shape=box, style=rounded];',
+    ]
+    if title:
+        lines.append(f'  label="{title}"; labelloc=t;')
+    lines.append('  root [label="phase 1: J1 accepted\\nall further jobs at t"];')
+    seen_u: set[int] = set()
+    for o in sorted(outcomes, key=lambda o: (o.u, o.h if o.h is not None else -1)):
+        u_node = f"u{o.u}"
+        if o.u not in seen_u:
+            seen_u.add(o.u)
+            lines.append(
+                f'  {u_node} [label="phase 2 stops\\nat subphase u={o.u}"];'
+            )
+            lines.append(f"  root -> {u_node};")
+        if o.h is None:
+            leaf = f"leaf_u{o.u}"
+            lines.append(
+                f'  {leaf} [shape=ellipse, label="stop (u<k)\\n'
+                f'ratio={o.forced_ratio:.4f}"];'
+            )
+            lines.append(f"  {u_node} -> {leaf};")
+        else:
+            leaf = f"leaf_u{o.u}_h{o.h}"
+            lines.append(
+                f'  {leaf} [shape=ellipse, label="phase 3 stops at h={o.h}\\n'
+                f'ratio={o.forced_ratio:.4f}"];'
+            )
+            lines.append(f"  {u_node} -> {leaf};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def red_path_schedules(
+    m: int = 3,
+    epsilon: float = 0.2,
+    beta: float | None = None,
+) -> tuple[DuelResult, str]:
+    """The Fig. 3 artifact: online schedule of the highlighted path.
+
+    Fig. 2/3 use ``m = 3`` and ``epsilon ∈ [eps_{1,3}, eps_{2,3})`` (phase
+    ``k = 2``); the highlighted (red) path accepts through phase 2 up to
+    ``u = 2`` and through phase 3 up to ``h = 3``, with :math:`J_1` started
+    at ``t >= 1``.  Returns the duel result plus an ASCII Gantt chart of
+    the online schedule.
+    """
+    policy = ScriptedPolicy(u=2, h=3, start_delay=1.0)
+    result = duel(policy, m=m, epsilon=epsilon, beta=beta)
+    return result, result.schedule.gantt_ascii()

@@ -1,0 +1,90 @@
+"""Duel harness: run a policy against an adaptive adversary.
+
+The harness wires a :class:`~repro.engine.policy.JobSource` adversary into
+the standard simulator, then extracts the forced competitive ratio using
+the adversary's constructive optimum (a certified lower bound on the true
+offline optimum — optionally cross-checked against the exact solver on
+small instances via ``verify_opt=True``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.adversary.multi_machine import ThreePhaseAdversary
+from repro.engine.policy import OnlinePolicy
+from repro.engine.simulator import simulate_source
+from repro.model.schedule import Schedule
+from repro.offline.bounds import flow_upper_bound
+from repro.offline.exact import EXACT_JOB_LIMIT, exact_optimum
+
+
+@dataclass
+class DuelResult:
+    """Outcome of one adversary-vs-policy game."""
+
+    policy_name: str
+    m: int
+    epsilon: float
+    forced_ratio: float
+    target_ratio: float
+    algorithm_load: float
+    constructive_opt: float
+    schedule: Schedule
+    summary: dict[str, Any]
+    exact_opt: float | None = None
+    flow_opt_bound: float | None = None
+
+    @property
+    def unbounded(self) -> bool:
+        """Whether the policy was forced into an unbounded ratio."""
+        return math.isinf(self.forced_ratio)
+
+    def ratio_vs_target(self) -> float:
+        """Forced ratio normalised by the theoretical target ``c(eps, m)``."""
+        return self.forced_ratio / self.target_ratio
+
+
+def duel(
+    policy: OnlinePolicy | Callable[[], OnlinePolicy],
+    m: int,
+    epsilon: float,
+    beta: float | None = None,
+    verify_opt: bool = False,
+) -> DuelResult:
+    """Play the Theorem-1 adversary against *policy*.
+
+    ``verify_opt=True`` additionally computes the exact offline optimum of
+    the emitted instance (small games only) and the flow upper bound —
+    used by tests to certify the constructive optimum.
+    """
+    policy_obj = policy() if callable(policy) and not isinstance(policy, OnlinePolicy) else policy
+    adversary = ThreePhaseAdversary(m=m, epsilon=epsilon, beta=beta)
+    schedule = simulate_source(policy_obj, adversary)
+
+    alg = adversary.algorithm_load()
+    opt = adversary.constructive_optimum()
+    ratio = math.inf if alg <= 0 else opt / alg
+
+    exact_opt = None
+    flow_bound = None
+    if verify_opt and len(schedule.instance) > 0:
+        flow_bound = flow_upper_bound(schedule.instance)
+        if len(schedule.instance) <= EXACT_JOB_LIMIT:
+            exact_opt = exact_optimum(schedule.instance).value
+
+    return DuelResult(
+        policy_name=policy_obj.name,
+        m=m,
+        epsilon=epsilon,
+        forced_ratio=ratio,
+        target_ratio=adversary.params.c,
+        algorithm_load=alg,
+        constructive_opt=opt,
+        schedule=schedule,
+        summary=adversary.outcome_summary(),
+        exact_opt=exact_opt,
+        flow_opt_bound=flow_bound,
+    )

@@ -1,0 +1,264 @@
+"""The three-phase adaptive adversary of Theorem 1.
+
+Protocol (Section 3 of the paper), for ``m`` machines and slack
+``epsilon`` in phase ``k`` (i.e. ``epsilon ∈ (eps_{k-1,m}, eps_{k,m}]``):
+
+* **Phase 1** — submit :math:`J_1(0, 1, d_1)` with a comfortably large
+  deadline.  If rejected, stop (the forced ratio is unbounded).  Otherwise
+  let :math:`t` be the start time the algorithm committed; *all* further
+  jobs are released at :math:`t`.
+* **Phase 2** — up to :math:`m` subphases.  Subphase ``h`` submits up to
+  :math:`2m` identical jobs :math:`J_{2,h}(t, p_{2,h}, t + 2 p_{2,h})`
+  whose processing time is the midpoint of the current *overlap interval*
+  minus :math:`t` (Lemma 1's halving construction keeps every already
+  accepted job running through the overlap interval, so no machine can
+  ever execute two jobs).  An acceptance ends the subphase; a fully
+  rejected subphase ``u`` ends the phase.  For ``u < k`` the adversary
+  stops; otherwise phase 3 starts.
+* **Phase 3** — subphases ``h = u .. m``.  Subphase ``h`` submits up to
+  :math:`m` identical jobs
+  :math:`J_{3,h}(t,\\; p_{3,h} = (f_h - 1) p_{2,u},\\;
+  t + p_{2,u} + p_{3,h})`.  An acceptance ends the subphase; a fully
+  rejected subphase ends the game.
+
+The forced optimum is computed *constructively* from the lemmas (and is a
+certified lower bound on the true offline optimum, which the test-suite
+confirms exactly on small instances):
+
+* stop in phase 2 at ``u``:  :math:`OPT \\ge 1 + 2 m \\, p_{2,u}`;
+* stop in phase 3 at ``h``:
+  :math:`OPT \\ge 1 + \\max(2 m \\, p_{2,u},\\;
+  m \\, p_{2,u} + m \\, p_{3,h})`.
+
+With the interval width ``beta -> 0`` the forced ratio approaches
+:math:`c(\\varepsilon, m) = (m f_k + 1)/k` for every play of the policy
+(Theorem 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.params import ThresholdParameters, threshold_parameters
+from repro.engine.policy import Decision, JobSource
+from repro.model.job import Job
+from repro.utils.intervals import Interval
+from repro.utils.tolerances import TIME_EPS
+
+
+@dataclass
+class AdversaryState:
+    """Mutable play-by-play bookkeeping of one adversary run."""
+
+    phase: int = 1
+    subphase: int = 0  # 1-based index of the current subphase
+    submissions_in_subphase: int = 0
+    t: float | None = None  # start time of J_1 as committed by the policy
+    overlap: Interval | None = None
+    p2: dict[int, float] = field(default_factory=dict)  # subphase -> p_{2,h}
+    p3: dict[int, float] = field(default_factory=dict)  # subphase -> p_{3,h}
+    accepted_p2: list[float] = field(default_factory=list)
+    accepted_p3: list[float] = field(default_factory=list)
+    u: int | None = None  # final subphase of phase 2
+    final_h: int | None = None  # final subphase of phase 3
+    j1_accepted: bool | None = None
+    done: bool = False
+
+
+class ThreePhaseAdversary(JobSource):
+    """Adaptive job source implementing the Theorem-1 construction.
+
+    Parameters
+    ----------
+    m, epsilon:
+        Machine count and slack; the phase index ``k`` and multipliers
+        ``f_k..f_m`` are derived via :func:`threshold_parameters`.
+    beta:
+        Width of the initial overlap interval (Lemma 1).  Needs
+        :math:`2^m` halvings of head-room; the default provides them with
+        a wide margin.
+    d1:
+        Deadline of the phase-1 job; defaults to a value large enough for
+        the optimum to push :math:`J_1` after every other job.
+    """
+
+    name = "three-phase-adversary"
+
+    def __init__(
+        self,
+        m: int,
+        epsilon: float,
+        beta: float | None = None,
+        d1: float | None = None,
+    ) -> None:
+        if m < 1:
+            raise ValueError(f"machine count must be >= 1, got {m}")
+        self._m = m
+        self._epsilon = float(epsilon)
+        self.params: ThresholdParameters = threshold_parameters(epsilon, m)
+        self.k = self.params.k
+        if beta is None:
+            beta = min(0.5 ** (m + 6), epsilon / 16.0, 1e-3)
+        if beta <= 0 or beta >= 1:
+            raise ValueError(f"beta must lie in (0, 1), got {beta}")
+        self.beta = beta
+        # OPT may schedule J_1 after everything: the last deadline is at
+        # most t + p2 + p3 <= (d1 - 1) + 1 + 1/eps; leave slack on top.
+        self._d1 = d1 if d1 is not None else 8.0 + 4.0 / self._epsilon
+        self.state = AdversaryState()
+
+    # ------------------------------------------------------------------
+    # JobSource interface
+    # ------------------------------------------------------------------
+    @property
+    def machines(self) -> int:
+        return self._m
+
+    @property
+    def epsilon(self) -> float:
+        return self._epsilon
+
+    def _factor(self, h: int) -> float:
+        """Multiplier :math:`f_h` for subphase ``h`` of phase 3."""
+        return self.params.factor_for_rank(h)
+
+    def next_job(self) -> Job | None:
+        st = self.state
+        if st.done:
+            return None
+        if st.phase == 1:
+            return Job(release=0.0, processing=1.0, deadline=self._d1).with_tags(
+                adversary_phase=1
+            )
+        if st.phase == 2:
+            if st.submissions_in_subphase >= 2 * self._m:
+                # Fully rejected subphase: phase 2 ends here.
+                self._end_phase2()
+                return self.next_job()
+            assert st.t is not None and st.overlap is not None
+            p = st.overlap.midpoint - st.t
+            st.p2[st.subphase] = p
+            st.submissions_in_subphase += 1
+            return Job(release=st.t, processing=p, deadline=st.t + 2.0 * p).with_tags(
+                adversary_phase=2, subphase=st.subphase
+            )
+        if st.phase == 3:
+            if st.submissions_in_subphase >= self._m:
+                # Fully rejected subphase: the game ends.
+                st.final_h = st.subphase
+                st.done = True
+                return None
+            assert st.t is not None and st.u is not None
+            p2u = st.p2[st.u]
+            p = (self._factor(st.subphase) - 1.0) * p2u
+            st.p3[st.subphase] = p
+            st.submissions_in_subphase += 1
+            return Job(
+                release=st.t, processing=p, deadline=st.t + p2u + p
+            ).with_tags(adversary_phase=3, subphase=st.subphase)
+        raise RuntimeError(f"invalid adversary phase {st.phase}")  # pragma: no cover
+
+    def observe(self, job: Job, decision: Decision) -> None:
+        st = self.state
+        phase = job.tag("adversary_phase")
+        if phase == 1:
+            st.j1_accepted = decision.accepted
+            if not decision.accepted:
+                st.done = True
+                return
+            st.t = float(decision.start)
+            st.overlap = Interval(st.t + 1.0 - self.beta, st.t + 1.0)
+            st.phase = 2
+            st.subphase = 1
+            st.submissions_in_subphase = 0
+            return
+        if phase == 2:
+            if decision.accepted:
+                st.accepted_p2.append(job.processing)
+                # Lemma 1: shrink the overlap interval to the part covered
+                # by the newly committed execution window.
+                assert st.overlap is not None and decision.start is not None
+                execution = Interval(decision.start, decision.start + job.processing)
+                lo = max(st.overlap.start, execution.start)
+                hi = min(st.overlap.end, execution.end)
+                if hi - lo <= TIME_EPS:  # pragma: no cover - defensive
+                    raise RuntimeError(
+                        "overlap interval collapsed: beta too small for this run"
+                    )
+                st.overlap = Interval(lo, hi)
+                if st.subphase >= self._m:
+                    # All m subphases accepted is impossible by Lemma 1
+                    # (m + 1 jobs on m machines); ending the phase here is
+                    # defensive.
+                    self._end_phase2()  # pragma: no cover - unreachable
+                else:
+                    st.subphase += 1
+                    st.submissions_in_subphase = 0
+            return
+        if phase == 3:
+            if decision.accepted:
+                st.accepted_p3.append(job.processing)
+                if st.subphase >= self._m:
+                    st.final_h = st.subphase
+                    st.done = True
+                else:
+                    st.subphase += 1
+                    st.submissions_in_subphase = 0
+            return
+        raise RuntimeError(f"job without adversary phase tag: {job}")  # pragma: no cover
+
+    def _end_phase2(self) -> None:
+        st = self.state
+        st.u = st.subphase
+        if st.u < self.k:
+            st.done = True
+            return
+        st.phase = 3
+        st.submissions_in_subphase = 0
+        # phase 3 starts at subphase u.
+
+    # ------------------------------------------------------------------
+    # Outcome accounting
+    # ------------------------------------------------------------------
+    def constructive_optimum(self) -> float:
+        """Certified lower bound on the offline optimum of the emitted jobs.
+
+        Follows Lemmas 2 and 4; ``inf`` stands in for the unbounded case
+        where :math:`J_1` was rejected and no further job exists.
+        """
+        st = self.state
+        if st.j1_accepted is False:
+            return 1.0  # J_1 alone; the *ratio* is infinite (ALG = 0).
+        if st.u is None:
+            # Game ended inside phase 2 bookkeeping only if J_1 rejected.
+            raise RuntimeError("constructive optimum queried before the game ended")
+        p2u = st.p2[st.u]
+        best = 1.0 + 2.0 * self._m * p2u
+        if st.final_h is not None:
+            p3h = st.p3[st.final_h]
+            best = max(best, 1.0 + self._m * (p2u + p3h))
+        return best
+
+    def algorithm_load(self) -> float:
+        """Load the policy under test accepted during the game."""
+        st = self.state
+        base = 1.0 if st.j1_accepted else 0.0
+        return base + sum(st.accepted_p2) + sum(st.accepted_p3)
+
+    def outcome_summary(self) -> dict[str, Any]:
+        """Play-by-play summary for reports and the Fig. 2 bench."""
+        st = self.state
+        return {
+            "m": self._m,
+            "epsilon": self._epsilon,
+            "k": self.k,
+            "beta": self.beta,
+            "j1_accepted": st.j1_accepted,
+            "t": st.t,
+            "u": st.u,
+            "final_h": st.final_h,
+            "accepted_p2": list(st.accepted_p2),
+            "accepted_p3": list(st.accepted_p3),
+            "target_ratio": self.params.c,
+        }

@@ -1,0 +1,84 @@
+"""Goldwasser's classic two-job single-machine adversary.
+
+Section 1.1's warm-up construction: submit :math:`J_1(0, 1, 1+\\varepsilon)`
+(unit job with tight slack).  If the algorithm rejects, stop — unbounded
+ratio.  Otherwise, the moment the algorithm *starts* the job (immediate
+commitment fixes this moment at acceptance time), submit a second job with
+processing time :math:`p` slightly below :math:`1/\\varepsilon` and tight
+slack.  The busy machine cannot fit it, forcing ratio
+:math:`(1 + p)/1 \\to 1 + 1/\\varepsilon`.
+
+The paper notes the *optimal* single-machine bound is
+:math:`2 + 1/\\varepsilon`; the sharper version is exactly what the
+three-phase adversary of :mod:`repro.adversary.multi_machine` produces at
+``m = 1``, which the test-suite verifies.  This module keeps the simple
+construction because it is the didactic entry point (and exercises the
+tight-slack code path).
+"""
+
+from __future__ import annotations
+
+from repro.engine.policy import Decision, JobSource
+from repro.model.job import Job, tight_deadline
+
+
+class GoldwasserTwoJobAdversary(JobSource):
+    """Two-job warm-up adversary forcing :math:`\\approx 1 + 1/\\varepsilon`."""
+
+    name = "goldwasser-two-job"
+
+    def __init__(self, epsilon: float, gap: float = 1e-6) -> None:
+        if epsilon <= 0 or epsilon > 1:
+            raise ValueError(f"slack must lie in (0, 1], got {epsilon}")
+        if gap <= 0:
+            raise ValueError(f"gap must be positive, got {gap}")
+        self._epsilon = epsilon
+        #: processing time of the killer job, slightly below 1/eps.
+        self.killer_p = max(1.0, 1.0 / epsilon - gap)
+        self._stage = 0
+        self._t: float | None = None
+        self.j1_accepted: bool | None = None
+        self.killer_accepted: bool | None = None
+
+    @property
+    def machines(self) -> int:
+        return 1
+
+    @property
+    def epsilon(self) -> float:
+        return self._epsilon
+
+    def next_job(self) -> Job | None:
+        if self._stage == 0:
+            return Job(
+                release=0.0,
+                processing=1.0,
+                deadline=tight_deadline(0.0, 1.0, self._epsilon),
+            ).with_tags(role="bait")
+        if self._stage == 1 and self.j1_accepted:
+            assert self._t is not None
+            return Job(
+                release=self._t,
+                processing=self.killer_p,
+                deadline=tight_deadline(self._t, self.killer_p, self._epsilon),
+            ).with_tags(role="killer")
+        return None
+
+    def observe(self, job: Job, decision: Decision) -> None:
+        if job.tag("role") == "bait":
+            self.j1_accepted = decision.accepted
+            self._t = float(decision.start) if decision.accepted else None
+            self._stage = 1
+        else:
+            self.killer_accepted = decision.accepted
+            self._stage = 2
+
+    def forced_ratio(self) -> float:
+        """Ratio forced on the policy (``inf`` when the bait was rejected)."""
+        if not self.j1_accepted:
+            return float("inf")
+        if self.killer_accepted:
+            # The killer was schedulable after all (large start-time games);
+            # the adversary then achieved nothing beyond ratio ~1.
+            return (1.0 + self.killer_p) / (1.0 + self.killer_p)
+        return (1.0 + self.killer_p) / 1.0

@@ -1,0 +1,173 @@
+"""The weighted-objective impossibility (Lucier et al., quoted in §1).
+
+For the general objective :math:`\\sum w_j (1 - U_j)` with arbitrary
+non-negative weights, *no* online algorithm with immediate commitment has
+a bounded competitive ratio — for any slack.  The paper cites this
+(Lucier et al. [28]) as the reason it studies the load objective
+:math:`w_j = p_j`.  This module makes the impossibility executable.
+
+Construction (weight escalation)
+--------------------------------
+
+All jobs are unit-length with slack exactly :math:`\\varepsilon \\le 1`
+and overlapping windows, so no machine can ever run two of them (the same
+Lemma-1 overlap-interval bookkeeping as the three-phase adversary).  The
+adversary submits jobs of weights :math:`1, R, R^2, \\dots`:
+
+* if the algorithm rejects the level-:math:`i` job, submission stops; it
+  has collected at most :math:`\\sum_{j<i} R^j < \\frac{R^i}{R-1} \\cdot
+  \\frac{R-1}{R-1}` while the optimum takes the top-:math:`m` weights
+  including :math:`R^i`, forcing ratio :math:`> R - 1`;
+* if the algorithm accepts levels :math:`0..m-1`, all machines are
+  occupied, level :math:`m` *must* be rejected, and the same bound fires.
+
+Hence the forced ratio grows without bound in the escalation factor
+:math:`R` — the headline of benchmark E15.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.policy import Decision, JobSource, OnlinePolicy
+from repro.engine.simulator import simulate_source
+from repro.model.job import Job
+from repro.utils.intervals import Interval
+from repro.utils.tolerances import TIME_EPS
+
+
+class WeightedEscalationAdversary(JobSource):
+    """Escalating-weight adversary for the general objective.
+
+    Parameters
+    ----------
+    m, epsilon:
+        Machines and slack (any ``epsilon`` in (0, 1]).
+    escalation:
+        The weight ratio ``R > 1`` between consecutive submissions.
+    beta:
+        Width of the overlap interval used to keep the unit jobs mutually
+        exclusive per machine.
+    """
+
+    name = "weighted-escalation-adversary"
+
+    def __init__(
+        self, m: int, epsilon: float, escalation: float = 10.0, beta: float | None = None
+    ) -> None:
+        if m < 1:
+            raise ValueError(f"machine count must be >= 1, got {m}")
+        if not 0 < epsilon <= 1:
+            raise ValueError(f"slack must lie in (0, 1], got {epsilon}")
+        if escalation <= 1:
+            raise ValueError(f"escalation must exceed 1, got {escalation}")
+        self._m = m
+        self._epsilon = epsilon
+        self.escalation = escalation
+        self.beta = beta if beta is not None else min(0.5 ** (m + 6), epsilon / 16.0)
+        self.level = 0
+        self.done = False
+        self.accepted_weights: list[float] = []
+        self.all_weights: list[float] = []
+        self.overlap: Interval | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def machines(self) -> int:
+        return self._m
+
+    @property
+    def epsilon(self) -> float:
+        return self._epsilon
+
+    def _processing(self) -> tuple[float, float]:
+        """(release, processing) for the next unit-ish job.
+
+        The first job anchors the overlap interval; later jobs are sized
+        to the interval midpoint so every execution must cross it
+        (Lemma 1's argument — one job per machine, ever).
+        """
+        if self.overlap is None:
+            return 0.0, 1.0
+        return 0.0, self.overlap.midpoint
+
+    def next_job(self) -> Job | None:
+        if self.done or self.level > self._m:
+            return None
+        release, processing = self._processing()
+        weight = self.escalation**self.level
+        self.all_weights.append(weight)
+        return Job(
+            release=release,
+            processing=processing,
+            deadline=release + (1.0 + self._epsilon) * processing,
+            weight=weight,
+        ).with_tags(level=self.level)
+
+    def observe(self, job: Job, decision: Decision) -> None:
+        if decision.accepted:
+            self.accepted_weights.append(float(job.weight))
+            execution = Interval(decision.start, decision.start + job.processing)
+            if self.overlap is None:
+                self.overlap = Interval(
+                    execution.end - self.beta, execution.end
+                )
+            else:
+                lo = max(self.overlap.start, execution.start)
+                hi = min(self.overlap.end, execution.end)
+                if hi - lo <= TIME_EPS:  # pragma: no cover - defensive
+                    raise RuntimeError("overlap interval collapsed; reduce beta")
+                self.overlap = Interval(lo, hi)
+            self.level += 1
+            if self.level > self._m:
+                self.done = True
+        else:
+            self.done = True
+
+    # ------------------------------------------------------------------
+    def constructive_optimum(self) -> float:
+        """Top-``m`` submitted weights (pairwise-conflicting unit jobs)."""
+        return float(sum(sorted(self.all_weights, reverse=True)[: self._m]))
+
+    def algorithm_value(self) -> float:
+        """Weighted value collected by the policy under test."""
+        return float(sum(self.accepted_weights))
+
+
+@dataclass
+class WeightedDuelResult:
+    """Outcome of one escalation game."""
+
+    policy_name: str
+    m: int
+    epsilon: float
+    escalation: float
+    forced_ratio: float
+    algorithm_value: float
+    optimum: float
+    levels_accepted: int
+    summary: dict[str, Any] = field(default_factory=dict)
+
+
+def weighted_duel(
+    policy: OnlinePolicy, m: int, epsilon: float, escalation: float = 10.0
+) -> WeightedDuelResult:
+    """Play the escalation adversary against *policy*."""
+    adversary = WeightedEscalationAdversary(m=m, epsilon=epsilon, escalation=escalation)
+    simulate_source(policy, adversary)
+    alg = adversary.algorithm_value()
+    opt = adversary.constructive_optimum()
+    ratio = math.inf if alg <= 0 else opt / alg
+    return WeightedDuelResult(
+        policy_name=policy.name,
+        m=m,
+        epsilon=epsilon,
+        escalation=escalation,
+        forced_ratio=ratio,
+        algorithm_value=alg,
+        optimum=opt,
+        levels_accepted=len(adversary.accepted_weights),
+        summary={"weights": adversary.all_weights},
+    )

@@ -1,0 +1,93 @@
+"""Analysis & reporting: empirical ratios, phase detection, tables, plots.
+
+This layer turns raw simulation output into the artefacts the paper
+presents: the Fig. 1 curve series, theory-vs-measurement tables, and
+phase-transition locations.
+"""
+
+from repro.analysis.ratio import empirical_ratio, RatioReport, compare_algorithms
+from repro.analysis.phase import (
+    detect_transitions,
+    fig1_series,
+    Fig1Series,
+)
+from repro.analysis.tables import format_table, format_markdown, render_rows
+from repro.analysis.plotting import ascii_plot, series_to_csv
+from repro.analysis.capacity import (
+    machines_for_target,
+    slack_for_target,
+    planning_table,
+    marginal_machine_value,
+)
+from repro.analysis.sla import ClassStats, service_stats, service_table
+from repro.analysis.latency import (
+    LatencyStats,
+    latency_stats,
+    compare_latency,
+    slack_headroom,
+)
+from repro.analysis.covered import (
+    covered_intervals,
+    interval_diagnostics,
+    performance_ratio_bound,
+    uncovered_fraction,
+)
+from repro.analysis.profile import (
+    AcceptanceProfile,
+    acceptance_profile,
+    compare_profiles,
+)
+from repro.analysis.timeline import (
+    UtilizationSeries,
+    utilization,
+    render_heat_strip,
+    render_heatmap,
+)
+from repro.analysis.stats import (
+    BootstrapCI,
+    PowerLawFit,
+    bootstrap_mean,
+    fit_power_law,
+    growth_exponent_per_phase,
+)
+
+__all__ = [
+    "empirical_ratio",
+    "RatioReport",
+    "compare_algorithms",
+    "detect_transitions",
+    "fig1_series",
+    "Fig1Series",
+    "format_table",
+    "format_markdown",
+    "render_rows",
+    "ascii_plot",
+    "series_to_csv",
+    "BootstrapCI",
+    "PowerLawFit",
+    "bootstrap_mean",
+    "fit_power_law",
+    "growth_exponent_per_phase",
+    "UtilizationSeries",
+    "utilization",
+    "render_heat_strip",
+    "render_heatmap",
+    "AcceptanceProfile",
+    "acceptance_profile",
+    "compare_profiles",
+    "covered_intervals",
+    "interval_diagnostics",
+    "performance_ratio_bound",
+    "uncovered_fraction",
+    "machines_for_target",
+    "slack_for_target",
+    "planning_table",
+    "marginal_machine_value",
+    "LatencyStats",
+    "latency_stats",
+    "compare_latency",
+    "slack_headroom",
+    "ClassStats",
+    "service_stats",
+    "service_table",
+]

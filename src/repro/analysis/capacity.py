@@ -1,0 +1,122 @@
+"""Capacity planning: the provider-facing inverses of c(ε, m).
+
+The paper treats slack as "a system parameter determined by the system
+provider" and shows how the guarantee improves with machines.  This
+module answers the two planning questions an operator would actually ask:
+
+* :func:`machines_for_target` — the fewest machines whose *worst-case*
+  guarantee meets a target ratio at a given slack;
+* :func:`slack_for_target` — the smallest slack (longest acceptable SLA
+  deadline stretch) that meets a target ratio on a given fleet.
+
+Both walk the exact bound function, so the answers inherit its
+guarantees; :func:`planning_table` tabulates the trade-off surface.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+from repro.core.guarantees import theorem2_bound
+from repro.core.params import c_bound
+
+#: Largest fleet the planner scans.  The infimum of the bound over m is
+#: 2 + ln(1/eps) (EXPERIMENTS.md E3) and is checked analytically first, so
+#: the scan only runs for genuinely achievable targets; those need modest
+#: fleets (the bound is within 0.1 of its limit by m ~ 256 for eps >= 1e-4).
+M_SEARCH_CAP = 512
+
+
+def machines_for_target(epsilon: float, target_ratio: float) -> int | None:
+    """Fewest machines with ``theorem2_bound(eps, m) <= target_ratio``.
+
+    Returns ``None`` when the target is unachievable at this slack — the
+    fixed-ε limit of the bound is ``2 + ln(1/ε)`` (see EXPERIMENTS.md E3),
+    so targets below that cannot be bought with machines alone.
+
+    The search is a linear scan: unlike the tight bound ``c(ε, m)``, the
+    Theorem-2 *guarantee* is not monotone in ``m`` — the Lemma-11 additive
+    loss ``(3−e)/(e−1)`` switches on when the phase index reaches 4, so an
+    extra machine can occasionally *worsen* the guarantee by up to 0.164
+    (e.g. ``theorem2_bound(0.1, 8) > theorem2_bound(0.1, 7)``); binary
+    search would be unsound.
+    """
+    if target_ratio <= 1.0:
+        return None
+    # Analytic impossibility: c(eps, m) decreases in m toward its infimum
+    # 2 + ln(1/eps), and theorem2_bound >= c, so targets at or below the
+    # infimum can never be met (avoids scanning the whole cap).
+    if target_ratio <= 2.0 + math.log(1.0 / min(epsilon, 1.0)):
+        return None
+    for m in range(1, M_SEARCH_CAP + 1):
+        if theorem2_bound(epsilon, m) <= target_ratio:
+            return m
+    return None
+
+
+def machines_for_target_exact(epsilon: float, target_ratio: float) -> int | None:
+    """Alias of :func:`machines_for_target` (the scan is already exact)."""
+    return machines_for_target(epsilon, target_ratio)
+
+
+def slack_for_target(m: int, target_ratio: float, tol: float = 1e-9) -> float | None:
+    """Smallest slack with ``theorem2_bound(eps, m) <= target_ratio``.
+
+    ``c(·, m)`` is continuous and strictly decreasing on (0, 1], so the
+    answer is a bisection; returns ``None`` when even ``eps = 1`` misses
+    the target (the floor is ``2 + 1/m``).
+    """
+    if theorem2_bound(1.0, m) > target_ratio:
+        return None
+    lo, hi = 1e-9, 1.0
+    if theorem2_bound(lo, m) <= target_ratio:
+        return lo
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        if theorem2_bound(mid, m) <= target_ratio:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def planning_table(
+    epsilons=(0.05, 0.1, 0.2, 0.5),
+    machine_counts=(1, 2, 4, 8, 16),
+) -> list[dict]:
+    """The (ε, m) → guarantee trade-off surface, one row per cell."""
+    rows = []
+    for eps in epsilons:
+        for m in machine_counts:
+            rows.append(
+                {
+                    "epsilon": eps,
+                    "machines": m,
+                    "c": c_bound(eps, m),
+                    "guarantee": theorem2_bound(eps, m),
+                }
+            )
+    return rows
+
+
+def marginal_machine_value(epsilon: float, up_to: int = 16) -> list[dict]:
+    """Per-machine improvement of the tight bound and the guarantee.
+
+    The ``c_improvement`` column is always non-negative (``c`` is monotone
+    in ``m``); the ``guarantee_improvement`` column can dip slightly
+    negative where the Lemma-11 additive loss switches on — the planner's
+    reason for linear scanning.
+    """
+    cs = [c_bound(epsilon, m) for m in range(1, up_to + 1)]
+    gs = [theorem2_bound(epsilon, m) for m in range(1, up_to + 1)]
+    return [
+        {
+            "machines": m + 1,
+            "c": cs[m],
+            "guarantee": gs[m],
+            "c_improvement": cs[m - 1] - cs[m] if m > 0 else float("nan"),
+            "guarantee_improvement": gs[m - 1] - gs[m] if m > 0 else float("nan"),
+        }
+        for m in range(up_to)
+    ]

@@ -1,0 +1,91 @@
+"""Latency analytics: how long accepted jobs wait before starting.
+
+Admission control trades acceptance against responsiveness: a policy
+that queues work deep behind committed load accepts more but responds
+slower.  This module summarises the *waiting time* (``start − release``)
+and *flow time* (``completion − release``, also normalised by processing
+time — the classical *stretch*) of a schedule's accepted jobs, enabling
+the response-time columns in the cloud comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Waiting/flow/stretch statistics of one schedule's accepted jobs."""
+
+    count: int
+    mean_wait: float
+    median_wait: float
+    p95_wait: float
+    max_wait: float
+    mean_flow: float
+    mean_stretch: float
+
+    def as_dict(self) -> dict:
+        """Flat dict for the table layer."""
+        return {
+            "accepted": self.count,
+            "mean_wait": self.mean_wait,
+            "median_wait": self.median_wait,
+            "p95_wait": self.p95_wait,
+            "max_wait": self.max_wait,
+            "mean_flow": self.mean_flow,
+            "mean_stretch": self.mean_stretch,
+        }
+
+
+def latency_stats(schedule: Schedule) -> LatencyStats:
+    """Compute :class:`LatencyStats` for *schedule* (zeros when empty)."""
+    waits, flows, stretches = [], [], []
+    for jid, a in schedule.assignments.items():
+        job = schedule.instance[jid]
+        wait = a.start - job.release
+        flow = wait + job.processing
+        waits.append(wait)
+        flows.append(flow)
+        stretches.append(flow / job.processing)
+    if not waits:
+        return LatencyStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    w = np.asarray(waits)
+    return LatencyStats(
+        count=len(w),
+        mean_wait=float(w.mean()),
+        median_wait=float(np.median(w)),
+        p95_wait=float(np.quantile(w, 0.95)),
+        max_wait=float(w.max()),
+        mean_flow=float(np.mean(flows)),
+        mean_stretch=float(np.mean(stretches)),
+    )
+
+
+def compare_latency(schedules: dict[str, Schedule]) -> list[dict]:
+    """One latency row per named schedule (for the reporting layer)."""
+    rows = []
+    for name, schedule in schedules.items():
+        row = {"algorithm": name}
+        row.update(latency_stats(schedule).as_dict())
+        rows.append(row)
+    return rows
+
+
+def slack_headroom(schedule: Schedule) -> float:
+    """Mean unused deadline headroom of accepted jobs, in units of p.
+
+    ``(d − completion)/p`` averaged over accepted jobs: how much of the
+    purchased slack the policy actually consumed.  1 full unit of ε means
+    the job finished exactly one ``ε·p`` before its deadline.
+    """
+    ratios = []
+    for jid, a in schedule.assignments.items():
+        job = schedule.instance[jid]
+        completion = a.start + job.processing
+        ratios.append((job.deadline - completion) / job.processing)
+    return float(np.mean(ratios)) if ratios else 0.0

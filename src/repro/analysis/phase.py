@@ -1,0 +1,121 @@
+"""Phase structure of the bound function (the Fig. 1 artifacts).
+
+:func:`fig1_series` evaluates :math:`c(\\varepsilon, m)` on a grid for a
+set of machine counts together with the phase-transition circles, i.e.
+everything needed to redraw Fig. 1 of the paper.  :func:`detect_transitions`
+locates the transitions *empirically* from a sampled curve (by the jump in
+the third derivative at the corner values, where the closed form changes)
+and is cross-checked against the analytic corners in the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import BoundFunction
+
+
+@dataclass(frozen=True)
+class Fig1Series:
+    """One curve of Fig. 1: machine count, grid, values, and corners."""
+
+    m: int
+    epsilons: np.ndarray
+    values: np.ndarray
+    transitions: tuple[tuple[float, float], ...]  # (eps_{k,m}, c at corner)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form."""
+        return {
+            "m": self.m,
+            "epsilons": self.epsilons.tolist(),
+            "values": self.values.tolist(),
+            "transitions": [list(t) for t in self.transitions],
+        }
+
+
+def log_grid(lo: float = 0.01, hi: float = 1.0, n: int = 200) -> np.ndarray:
+    """Logarithmic slack grid matching Fig. 1's visual range."""
+    return np.geomspace(lo, hi, n)
+
+
+def fig1_series(
+    machine_counts: tuple[int, ...] = (1, 2, 3, 4),
+    epsilons: np.ndarray | None = None,
+) -> list[Fig1Series]:
+    """Evaluate the Fig. 1 curves for *machine_counts* on *epsilons*."""
+    if epsilons is None:
+        epsilons = log_grid()
+    series = []
+    for m in machine_counts:
+        bf = BoundFunction(m)
+        values = bf.series(epsilons)
+        series.append(
+            Fig1Series(
+                m=m,
+                epsilons=np.asarray(epsilons, dtype=float),
+                values=values,
+                transitions=tuple(bf.transition_points()),
+            )
+        )
+    return series
+
+
+def detect_transitions(
+    epsilons: np.ndarray, values: np.ndarray, threshold: float = 100.0
+) -> list[float]:
+    """Locate phase transitions from a sampled ``c(eps, m)`` curve.
+
+    The curve is continuous with a kink in higher derivatives at each
+    corner; working in ``log(eps)`` (where each phase is smooth and slowly
+    varying), the discrete third difference spikes at corners by 3-4
+    orders of magnitude — hence the large default threshold (root-solver
+    noise sits around 4x the median).  Returns the estimated corner slack
+    values, ascending.
+    """
+    eps = np.asarray(epsilons, dtype=float)
+    val = np.asarray(values, dtype=float)
+    if len(eps) < 8:
+        raise ValueError("need at least 8 samples to detect transitions")
+    x = np.log(eps)
+    # Third central difference of the curve wrt log-eps.
+    d3 = np.abs(np.diff(val, n=3))
+    scale = np.median(d3) + 1e-15
+    spikes = np.flatnonzero(d3 > threshold * scale)
+    if len(spikes) == 0:
+        return []
+    # Merge adjacent spike indices into one corner estimate each.
+    corners: list[float] = []
+    group = [spikes[0]]
+    for idx in spikes[1:]:
+        if idx - group[-1] <= 2:
+            group.append(idx)
+        else:
+            centre = group[len(group) // 2] + 1
+            corners.append(float(np.exp(x[centre])))
+            group = [idx]
+    centre = group[len(group) // 2] + 1
+    corners.append(float(np.exp(x[centre])))
+    return corners
+
+
+def phase_profile(m: int, epsilons: np.ndarray | None = None) -> list[dict]:
+    """Tabulate (epsilon, k, c, f_k, f_m) along a grid — reporting helper."""
+    if epsilons is None:
+        epsilons = log_grid(n=25)
+    bf = BoundFunction(m)
+    rows = []
+    for eps in epsilons:
+        p = bf.parameters(float(eps))
+        rows.append(
+            {
+                "epsilon": float(eps),
+                "k": p.k,
+                "c": p.c,
+                "f_k": float(p.f[0]),
+                "f_m": float(p.f[-1]),
+            }
+        )
+    return rows

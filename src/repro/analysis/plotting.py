@@ -1,0 +1,113 @@
+"""Terminal plotting and series export.
+
+The benchmark environment has no display and no plotting library, so the
+Fig. 1 reproduction is emitted two ways:
+
+* :func:`ascii_plot` — a braille-free, pure-ASCII scatter of one or more
+  series on a shared canvas (log-x support for slack axes), good enough to
+  eyeball the phase structure in CI logs;
+* :func:`series_to_csv` — CSV text of the same series for external
+  plotting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+#: Glyph per series, cycled.
+_GLYPHS = "oxv*#@+%"
+
+
+def ascii_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 78,
+    height: int = 22,
+    logx: bool = False,
+    markers: Mapping[str, Sequence[tuple[float, float]]] | None = None,
+    title: str | None = None,
+) -> str:
+    """Scatter-plot named ``(x, y)`` series on one ASCII canvas.
+
+    ``markers`` draws additional emphasised points (the Fig. 1 transition
+    circles) with ``O``.
+    """
+    xs_all = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    ys_all = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    finite = np.isfinite(ys_all)
+    xs_all, ys_all = xs_all[finite], ys_all[finite]
+    if len(xs_all) == 0:
+        return "(empty plot)"
+
+    def tx(x: np.ndarray) -> np.ndarray:
+        return np.log10(x) if logx else x
+
+    x_lo, x_hi = float(tx(xs_all).min()), float(tx(xs_all).max())
+    y_lo, y_hi = float(ys_all.min()), float(ys_all.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, glyph: str) -> None:
+        if not (math.isfinite(x) and math.isfinite(y)):
+            return
+        col = int(round((x - x_lo) / x_span * (width - 1)))
+        row = int(round((y_hi - y) / y_span * (height - 1)))
+        if 0 <= row < height and 0 <= col < width:
+            canvas[row][col] = glyph
+
+    legend = []
+    for idx, (name, (x, y)) in enumerate(series.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        legend.append(f"{glyph} = {name}")
+        for xi, yi in zip(np.asarray(x, dtype=float), np.asarray(y, dtype=float)):
+            if math.isfinite(yi):
+                place(float(tx(np.array([xi]))[0]), float(yi), glyph)
+    if markers:
+        for pts in markers.values():
+            for mx, my in pts:
+                place(float(tx(np.array([mx]))[0]), float(my), "O")
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend("|" + "".join(row) for row in canvas)
+    lines.append("+" + "-" * width)
+    x_label = "log10(x)" if logx else "x"
+    lines.append(
+        f"  {x_label}: [{x_lo:.3g}, {x_hi:.3g}]   y: [{y_lo:.3g}, {y_hi:.3g}]   "
+        + "   ".join(legend)
+    )
+    return "\n".join(lines)
+
+
+def series_to_csv(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    x_name: str = "x",
+) -> str:
+    """Export series sharing one x-grid to CSV text.
+
+    All series must be sampled on the same grid (the Fig. 1 series are);
+    raises otherwise.
+    """
+    names = list(series)
+    if not names:
+        return x_name + "\n"
+    base_x = np.asarray(series[names[0]][0], dtype=float)
+    for name in names[1:]:
+        x = np.asarray(series[name][0], dtype=float)
+        if len(x) != len(base_x) or not np.allclose(x, base_x):
+            raise ValueError(f"series {name!r} is not on the shared x-grid")
+    header = ",".join([x_name] + names)
+    rows = [header]
+    for i, x in enumerate(base_x):
+        rows.append(
+            ",".join(
+                [f"{x:.10g}"]
+                + [f"{float(series[n][1][i]):.10g}" for n in names]
+            )
+        )
+    return "\n".join(rows) + "\n"

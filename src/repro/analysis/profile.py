@@ -1,0 +1,148 @@
+"""Acceptance profiles: *which* jobs an admission policy lets in.
+
+Two algorithms with similar total accepted load can have very different
+acceptance behaviour — greedy fills on whatever comes first, Threshold
+filters by deadline-vs-load.  The profile buckets submitted jobs by size
+(or laxity) quantiles and reports per-bucket acceptance rates, making the
+difference visible in one table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class AcceptanceProfile:
+    """Per-bucket acceptance statistics of one schedule."""
+
+    dimension: str
+    bucket_edges: np.ndarray  # length B+1
+    offered_count: np.ndarray  # length B
+    accepted_count: np.ndarray
+    offered_load: np.ndarray
+    accepted_load: np.ndarray
+
+    @property
+    def count_rates(self) -> np.ndarray:
+        """Accepted/offered job counts per bucket (NaN for empty buckets)."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(
+                self.offered_count > 0,
+                self.accepted_count / self.offered_count,
+                np.nan,
+            )
+
+    @property
+    def load_rates(self) -> np.ndarray:
+        """Accepted/offered load per bucket (NaN for empty buckets)."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(
+                self.offered_load > 0,
+                self.accepted_load / self.offered_load,
+                np.nan,
+            )
+
+    def rows(self) -> list[dict]:
+        """Table rows for the reporting layer."""
+        out = []
+        for b in range(len(self.offered_count)):
+            out.append(
+                {
+                    f"{self.dimension}_lo": float(self.bucket_edges[b]),
+                    f"{self.dimension}_hi": float(self.bucket_edges[b + 1]),
+                    "offered": int(self.offered_count[b]),
+                    "accepted": int(self.accepted_count[b]),
+                    "count_rate": float(self.count_rates[b]),
+                    "load_rate": float(self.load_rates[b]),
+                }
+            )
+        return out
+
+
+def acceptance_profile(
+    schedule: Schedule, dimension: str = "processing", buckets: int = 5
+) -> AcceptanceProfile:
+    """Bucketed acceptance statistics of *schedule*.
+
+    ``dimension`` selects the bucketing axis: ``processing`` (job size),
+    ``laxity`` (`d − r − p`), or ``slack`` (individual `(d−r)/p − 1`).
+    Bucket edges are the empirical quantiles of the *offered* jobs.
+    """
+    extractors = {
+        "processing": lambda j: j.processing,
+        "laxity": lambda j: j.laxity,
+        "slack": lambda j: j.slack(),
+    }
+    if dimension not in extractors:
+        raise ValueError(f"unknown dimension {dimension!r}; choose from {list(extractors)}")
+    if buckets < 1:
+        raise ValueError(f"buckets must be >= 1, got {buckets}")
+    jobs = list(schedule.instance)
+    if not jobs:
+        edges = np.linspace(0.0, 1.0, buckets + 1)
+        zero = np.zeros(buckets)
+        return AcceptanceProfile(dimension, edges, zero, zero.copy(), zero.copy(), zero.copy())
+    values = np.array([extractors[dimension](j) for j in jobs])
+    edges = np.quantile(values, np.linspace(0.0, 1.0, buckets + 1))
+    # Guard against degenerate (constant) dimensions.
+    edges[-1] += 1e-12
+    for i in range(1, len(edges)):
+        edges[i] = max(edges[i], edges[i - 1] + 1e-15)
+
+    offered_count = np.zeros(buckets)
+    accepted_count = np.zeros(buckets)
+    offered_load = np.zeros(buckets)
+    accepted_load = np.zeros(buckets)
+    idx = np.clip(np.searchsorted(edges, values, side="right") - 1, 0, buckets - 1)
+    for job, b in zip(jobs, idx):
+        offered_count[b] += 1
+        offered_load[b] += job.processing
+        if schedule.is_accepted(job.job_id):
+            accepted_count[b] += 1
+            accepted_load[b] += job.processing
+    return AcceptanceProfile(
+        dimension=dimension,
+        bucket_edges=edges,
+        offered_count=offered_count,
+        accepted_count=accepted_count,
+        offered_load=offered_load,
+        accepted_load=accepted_load,
+    )
+
+
+def compare_profiles(
+    schedules: dict[str, Schedule], dimension: str = "processing", buckets: int = 5
+) -> list[dict]:
+    """Side-by-side per-bucket load acceptance rates for several schedules.
+
+    All schedules must be over the same instance; returns one row per
+    bucket with one column per algorithm.
+    """
+    names = list(schedules)
+    if not names:
+        return []
+    base = schedules[names[0]].instance
+    for name in names[1:]:
+        if schedules[name].instance is not base and len(schedules[name].instance) != len(base):
+            raise ValueError("profiles must share one instance")
+    profiles = {
+        name: acceptance_profile(s, dimension=dimension, buckets=buckets)
+        for name, s in schedules.items()
+    }
+    first = profiles[names[0]]
+    rows = []
+    for b in range(buckets):
+        row = {
+            f"{dimension}_lo": float(first.bucket_edges[b]),
+            f"{dimension}_hi": float(first.bucket_edges[b + 1]),
+            "offered": int(first.offered_count[b]),
+        }
+        for name in names:
+            row[name] = float(profiles[name].load_rates[b])
+        rows.append(row)
+    return rows

@@ -1,0 +1,102 @@
+"""Empirical competitive-ratio measurement.
+
+Given an instance and an algorithm, the empirical ratio is the offline
+optimum (or its certified bracket) divided by the algorithm's accepted
+load.  :func:`empirical_ratio` returns both ends of the bracket so callers
+can make certified statements:
+
+* ``ratio_upper`` (OPT upper bound / load) **over**-estimates the truth —
+  an algorithm staying below its guarantee on this number certifiably
+  satisfies the guarantee on this instance;
+* ``ratio_lower`` (heuristic schedule / load) **under**-estimates — an
+  algorithm exceeding a bound on this number certifiably violates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.baselines.registry import run_algorithm
+from repro.core.guarantees import guarantee_for
+from repro.model.instance import Instance
+from repro.offline.bracket import OptBracket, opt_bracket
+
+
+@dataclass(frozen=True)
+class RatioReport:
+    """Empirical ratio of one algorithm on one instance."""
+
+    algorithm: str
+    instance_name: str
+    accepted_load: float
+    opt: OptBracket
+    guarantee: float | None
+
+    @property
+    def ratio_upper(self) -> float:
+        """Certified over-estimate of the competitive ratio."""
+        return float("inf") if self.accepted_load <= 0 else self.opt.upper / self.accepted_load
+
+    @property
+    def ratio_lower(self) -> float:
+        """Certified under-estimate of the competitive ratio."""
+        return float("inf") if self.accepted_load <= 0 else self.opt.lower / self.accepted_load
+
+    @property
+    def within_guarantee(self) -> bool | None:
+        """Whether the certified over-estimate respects the guarantee.
+
+        ``None`` when no guarantee is registered for the algorithm.
+        """
+        if self.guarantee is None:
+            return None
+        return self.ratio_upper <= self.guarantee + 1e-9
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat dict form for the table layer."""
+        return {
+            "algorithm": self.algorithm,
+            "instance": self.instance_name,
+            "load": self.accepted_load,
+            "opt_lower": self.opt.lower,
+            "opt_upper": self.opt.upper,
+            "ratio_lower": self.ratio_lower,
+            "ratio_upper": self.ratio_upper,
+            "guarantee": self.guarantee,
+            "within": self.within_guarantee,
+        }
+
+
+def empirical_ratio(
+    algorithm: str,
+    instance: Instance,
+    bracket: OptBracket | None = None,
+    **algorithm_kwargs: Any,
+) -> RatioReport:
+    """Measure *algorithm* on *instance* against the offline bracket."""
+    if bracket is None:
+        bracket = opt_bracket(instance)
+    result = run_algorithm(algorithm, instance, **algorithm_kwargs)
+    return RatioReport(
+        algorithm=algorithm,
+        instance_name=instance.name,
+        accepted_load=result.accepted_load,
+        opt=bracket,
+        guarantee=guarantee_for(algorithm, instance.epsilon, instance.machines),
+    )
+
+
+def compare_algorithms(
+    algorithms: Sequence[str],
+    instance: Instance,
+    **kwargs_by_algorithm: dict,
+) -> list[RatioReport]:
+    """Measure several algorithms against one shared offline bracket."""
+    bracket = opt_bracket(instance)
+    return [
+        empirical_ratio(
+            name, instance, bracket=bracket, **kwargs_by_algorithm.get(name, {})
+        )
+        for name in algorithms
+    ]

@@ -1,0 +1,95 @@
+"""Service-level analytics for tagged workloads.
+
+The cloud generator tags every job with its service class; this module
+aggregates schedules into the numbers an SLA report quotes: per-class
+offered/accepted load and counts, acceptance rates, and mean waiting time
+per class.  Works with any schedule whose instance carries a string tag
+(default ``"service"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class ClassStats:
+    """Acceptance statistics of one service class."""
+
+    service: str
+    offered_jobs: int
+    accepted_jobs: int
+    offered_load: float
+    accepted_load: float
+    mean_wait: float
+
+    @property
+    def job_acceptance_rate(self) -> float:
+        """Accepted / offered jobs (1.0 when nothing was offered)."""
+        return 1.0 if self.offered_jobs == 0 else self.accepted_jobs / self.offered_jobs
+
+    @property
+    def load_acceptance_rate(self) -> float:
+        """Accepted / offered load (1.0 when nothing was offered)."""
+        return 1.0 if self.offered_load == 0 else self.accepted_load / self.offered_load
+
+    def as_dict(self) -> dict:
+        """Flat dict for the table layer."""
+        return {
+            "service": self.service,
+            "offered_jobs": self.offered_jobs,
+            "accepted_jobs": self.accepted_jobs,
+            "job_rate": self.job_acceptance_rate,
+            "load_rate": self.load_acceptance_rate,
+            "mean_wait": self.mean_wait,
+        }
+
+
+def service_stats(schedule: Schedule, tag: str = "service") -> list[ClassStats]:
+    """Per-class statistics of *schedule*, sorted by class name."""
+    offered_jobs: dict[str, int] = {}
+    accepted_jobs: dict[str, int] = {}
+    offered_load: dict[str, float] = {}
+    accepted_load: dict[str, float] = {}
+    waits: dict[str, list[float]] = {}
+    for job in schedule.instance:
+        service = str(job.tag(tag, "untagged"))
+        offered_jobs[service] = offered_jobs.get(service, 0) + 1
+        offered_load[service] = offered_load.get(service, 0.0) + job.processing
+        assignment = schedule.assignments.get(job.job_id)
+        if assignment is not None:
+            accepted_jobs[service] = accepted_jobs.get(service, 0) + 1
+            accepted_load[service] = accepted_load.get(service, 0.0) + job.processing
+            waits.setdefault(service, []).append(assignment.start - job.release)
+    out = []
+    for service in sorted(offered_jobs):
+        w = waits.get(service, [])
+        out.append(
+            ClassStats(
+                service=service,
+                offered_jobs=offered_jobs[service],
+                accepted_jobs=accepted_jobs.get(service, 0),
+                offered_load=offered_load[service],
+                accepted_load=accepted_load.get(service, 0.0),
+                mean_wait=sum(w) / len(w) if w else 0.0,
+            )
+        )
+    return out
+
+
+def service_table(schedules: dict[str, Schedule], tag: str = "service") -> list[dict]:
+    """Load-acceptance rate per class, one row per class, one column per
+    algorithm — the cloud comparison table."""
+    names = list(schedules)
+    per_alg = {name: service_stats(s, tag) for name, s in schedules.items()}
+    classes = sorted({c.service for stats in per_alg.values() for c in stats})
+    rows = []
+    for service in classes:
+        row: dict = {"service": service}
+        for name in names:
+            match = [c for c in per_alg[name] if c.service == service]
+            row[name] = match[0].load_acceptance_rate if match else None
+        rows.append(row)
+    return rows

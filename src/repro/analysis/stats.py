@@ -1,0 +1,117 @@
+"""Statistical helpers: bootstrap intervals and power-law slope fits.
+
+Used by the growth-rate benchmark (E14) to verify the paper's
+:math:`c(\\varepsilon, m) = O(\\varepsilon^{-1/k})` phase structure from
+*measured* forced ratios, and by sweep aggregation to attach confidence
+intervals to mean ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import rng_from_any
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A bootstrap confidence interval for the mean."""
+
+    mean: float
+    lower: float
+    upper: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        """Whether *value* lies in the interval."""
+        return self.lower <= value <= self.upper
+
+    @property
+    def halfwidth(self) -> float:
+        """Half of the interval width."""
+        return 0.5 * (self.upper - self.lower)
+
+
+def bootstrap_mean(
+    samples,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int | np.random.Generator | None = 0,
+) -> BootstrapCI:
+    """Percentile-bootstrap confidence interval for the mean of *samples*."""
+    x = np.asarray(list(samples), dtype=float)
+    if len(x) == 0:
+        raise ValueError("bootstrap needs at least one sample")
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+    rng = rng_from_any(seed)
+    idx = rng.integers(0, len(x), size=(n_resamples, len(x)))
+    means = x[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return BootstrapCI(
+        mean=float(x.mean()), lower=float(lo), upper=float(hi), confidence=confidence
+    )
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y = a * x^slope`` in log-log space."""
+
+    slope: float
+    intercept: float  # log(a)
+    r_squared: float
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted power law."""
+        return np.exp(self.intercept) * np.asarray(x, dtype=float) ** self.slope
+
+
+def fit_power_law(x, y) -> PowerLawFit:
+    """Fit ``y ~ a * x^slope`` by linear regression on ``(log x, log y)``.
+
+    Both inputs must be positive.  ``r_squared`` is the coefficient of
+    determination in log space.
+    """
+    x = np.asarray(list(x), dtype=float)
+    y = np.asarray(list(y), dtype=float)
+    if len(x) != len(y) or len(x) < 2:
+        raise ValueError("need at least two matching (x, y) samples")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fit requires positive data")
+    lx, ly = np.log(x), np.log(y)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    residuals = ly - (slope * lx + intercept)
+    ss_res = float(np.sum(residuals**2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(slope=float(slope), intercept=float(intercept), r_squared=r2)
+
+
+def growth_exponent_per_phase(
+    epsilons, values, corners
+) -> list[tuple[int, PowerLawFit]]:
+    """Fit one power law per phase of a sampled ``c(eps, m)`` curve.
+
+    ``corners`` is the full corner tuple ``(0, eps_1, ..., 1)``; samples
+    are bucketed by phase and each bucket with >= 3 points is fitted.
+    Returns ``[(k, fit), ...]``.
+
+    Phase ``k`` runs the recursion over ranks ``k..m`` — a chain of depth
+    ``m - k + 1`` — so deep inside the phase the paper predicts
+    ``c ~ eps^{-1/(m-k+1)}`` (the *dominant first phase* is
+    ``O(eps^{-1/m})``).  Near corners the local slope is transitional, and
+    in the last phase the additive constant ``1 + 1/m`` flattens it;
+    subtract it before fitting when targeting the pure exponent.
+    """
+    epsilons = np.asarray(list(epsilons), dtype=float)
+    values = np.asarray(list(values), dtype=float)
+    fits: list[tuple[int, PowerLawFit]] = []
+    for k in range(1, len(corners)):
+        lo, hi = corners[k - 1], corners[k]
+        mask = (epsilons > lo) & (epsilons <= hi)
+        if mask.sum() >= 3:
+            fits.append((k, fit_power_law(epsilons[mask], values[mask])))
+    return fits

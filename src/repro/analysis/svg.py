@@ -1,0 +1,300 @@
+"""Dependency-free SVG line charts (publication-grade Fig. 1 output).
+
+The benchmark environment has no plotting stack, but SVG is just text:
+this module renders multi-series line charts with optional log-x axes,
+circle markers (the Fig. 1 phase transitions), tick labels and a legend —
+enough to drop the reproduced Fig. 1 straight into a paper or README.
+
+The geometry is deliberately simple (fixed margins, linear y), and the
+output is deterministic, so golden tests can pin structural properties.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+#: Default series colours (colour-blind-safe Okabe–Ito subset).
+PALETTE = ("#0072B2", "#E69F00", "#009E73", "#CC79A7", "#56B4E9", "#D55E00")
+
+
+@dataclass
+class SvgChart:
+    """Accumulates series and renders an SVG text document."""
+
+    width: int = 640
+    height: int = 420
+    margin: int = 56
+    logx: bool = False
+    title: str = ""
+    x_label: str = ""
+    y_label: str = ""
+    _series: list[dict] = field(default_factory=list)
+    _markers: list[tuple[float, float, str]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def add_series(
+        self,
+        name: str,
+        x: Sequence[float],
+        y: Sequence[float],
+        color: str | None = None,
+        dashed: bool = False,
+    ) -> "SvgChart":
+        """Add a polyline series; returns ``self`` for chaining."""
+        if len(x) != len(y):
+            raise ValueError(f"series {name!r}: x and y lengths differ")
+        if len(x) < 2:
+            raise ValueError(f"series {name!r}: need at least two points")
+        color = color or PALETTE[len(self._series) % len(PALETTE)]
+        self._series.append(
+            {"name": name, "x": list(map(float, x)), "y": list(map(float, y)),
+             "color": color, "dashed": dashed}
+        )
+        return self
+
+    def add_marker(self, x: float, y: float, color: str = "#000000") -> "SvgChart":
+        """Add an emphasised circle marker (Fig. 1's transition circles)."""
+        self._markers.append((float(x), float(y), color))
+        return self
+
+    # ------------------------------------------------------------------
+    def _tx(self, x: float) -> float:
+        return math.log10(x) if self.logx else x
+
+    def _bounds(self) -> tuple[float, float, float, float]:
+        xs = [self._tx(v) for s in self._series for v in s["x"]]
+        ys = [v for s in self._series for v in s["y"] if math.isfinite(v)]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        return x_lo, x_hi, y_lo, y_hi
+
+    def _project(self, x: float, y: float, bounds) -> tuple[float, float]:
+        x_lo, x_hi, y_lo, y_hi = bounds
+        w = self.width - 2 * self.margin
+        h = self.height - 2 * self.margin
+        px = self.margin + (self._tx(x) - x_lo) / (x_hi - x_lo) * w
+        py = self.height - self.margin - (y - y_lo) / (y_hi - y_lo) * h
+        return px, py
+
+    @staticmethod
+    def _fmt_tick(value: float) -> str:
+        if value == 0:
+            return "0"
+        if abs(value) >= 100 or abs(value) < 0.01:
+            return f"{value:.1e}"
+        return f"{value:g}"
+
+    def render(self) -> str:
+        """Render the chart as a complete SVG document."""
+        if not self._series:
+            raise ValueError("cannot render an empty chart")
+        bounds = self._bounds()
+        x_lo, x_hi, y_lo, y_hi = bounds
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+        ]
+        # Axes.
+        ax0, ay0 = self.margin, self.height - self.margin
+        ax1, ay1 = self.width - self.margin, self.margin
+        parts.append(
+            f'<line x1="{ax0}" y1="{ay0}" x2="{ax1}" y2="{ay0}" stroke="#333"/>'
+        )
+        parts.append(
+            f'<line x1="{ax0}" y1="{ay0}" x2="{ax0}" y2="{ay1}" stroke="#333"/>'
+        )
+        # Ticks (5 per axis).
+        for i in range(5):
+            frac = i / 4
+            tx_val = x_lo + frac * (x_hi - x_lo)
+            x_data = 10**tx_val if self.logx else tx_val
+            px = self.margin + frac * (self.width - 2 * self.margin)
+            parts.append(
+                f'<line x1="{px:.1f}" y1="{ay0}" x2="{px:.1f}" y2="{ay0 + 5}" stroke="#333"/>'
+            )
+            parts.append(
+                f'<text x="{px:.1f}" y="{ay0 + 18}" font-size="11" '
+                f'text-anchor="middle" fill="#333">{self._fmt_tick(x_data)}</text>'
+            )
+            y_val = y_lo + frac * (y_hi - y_lo)
+            py = self.height - self.margin - frac * (self.height - 2 * self.margin)
+            parts.append(
+                f'<line x1="{ax0 - 5}" y1="{py:.1f}" x2="{ax0}" y2="{py:.1f}" stroke="#333"/>'
+            )
+            parts.append(
+                f'<text x="{ax0 - 8}" y="{py + 4:.1f}" font-size="11" '
+                f'text-anchor="end" fill="#333">{self._fmt_tick(y_val)}</text>'
+            )
+        # Series.
+        for s in self._series:
+            points = " ".join(
+                f"{px:.2f},{py:.2f}"
+                for px, py in (
+                    self._project(x, y, bounds)
+                    for x, y in zip(s["x"], s["y"])
+                    if math.isfinite(y)
+                )
+            )
+            dash = ' stroke-dasharray="6,4"' if s["dashed"] else ""
+            parts.append(
+                f'<polyline points="{points}" fill="none" stroke="{s["color"]}" '
+                f'stroke-width="1.8"{dash}/>'
+            )
+        # Markers.
+        for x, y, color in self._markers:
+            px, py = self._project(x, y, bounds)
+            parts.append(
+                f'<circle cx="{px:.2f}" cy="{py:.2f}" r="4.5" fill="none" '
+                f'stroke="{color}" stroke-width="1.6"/>'
+            )
+        # Legend.
+        for i, s in enumerate(self._series):
+            lx = self.width - self.margin - 150
+            ly = self.margin + 8 + 18 * i
+            parts.append(
+                f'<line x1="{lx}" y1="{ly}" x2="{lx + 26}" y2="{ly}" '
+                f'stroke="{s["color"]}" stroke-width="2"/>'
+            )
+            parts.append(
+                f'<text x="{lx + 32}" y="{ly + 4}" font-size="12" fill="#222">'
+                f'{s["name"]}</text>'
+            )
+        # Labels.
+        if self.title:
+            parts.append(
+                f'<text x="{self.width / 2:.0f}" y="22" font-size="14" '
+                f'text-anchor="middle" fill="#111">{self.title}</text>'
+            )
+        if self.x_label:
+            parts.append(
+                f'<text x="{self.width / 2:.0f}" y="{self.height - 10}" '
+                f'font-size="12" text-anchor="middle" fill="#333">{self.x_label}</text>'
+            )
+        if self.y_label:
+            parts.append(
+                f'<text x="16" y="{self.height / 2:.0f}" font-size="12" '
+                f'text-anchor="middle" fill="#333" '
+                f'transform="rotate(-90 16 {self.height / 2:.0f})">{self.y_label}</text>'
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+
+def gantt_svg(
+    schedule,
+    width: int = 720,
+    row_height: int = 34,
+    title: str = "",
+) -> str:
+    """Render an audited schedule as a standalone SVG Gantt chart.
+
+    One row per machine; accepted jobs are colored blocks labelled by job
+    id; rejected jobs appear as thin hollow outlines spanning their
+    feasibility window ``[r, d)`` below the machine rows (the Fig. 3
+    blue/orange distinction).  Returns a complete SVG document.
+    """
+    margin = 48
+    machines = schedule.instance.machines
+    horizon = max(schedule.makespan(), schedule.instance.horizon, 1e-9)
+    rejected = sorted(schedule.rejected)
+    height = margin * 2 + row_height * machines + (18 if rejected else 0) + 24
+
+    def px(t: float) -> float:
+        return margin + (t / horizon) * (width - 2 * margin)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="20" font-size="13" '
+            f'text-anchor="middle" fill="#111">{title}</text>'
+        )
+    # Machine rows + accepted jobs.
+    for machine in range(machines):
+        y = margin + machine * row_height
+        parts.append(
+            f'<line x1="{margin}" y1="{y + row_height - 6}" '
+            f'x2="{width - margin}" y2="{y + row_height - 6}" stroke="#ccc"/>'
+        )
+        parts.append(
+            f'<text x="{margin - 6}" y="{y + row_height / 2:.0f}" font-size="11" '
+            f'text-anchor="end" fill="#333">m{machine}</text>'
+        )
+        for job, iv in schedule.machine_timeline(machine):
+            x0, x1 = px(iv.start), px(iv.end)
+            color = PALETTE[job.job_id % len(PALETTE)]
+            parts.append(
+                f'<rect x="{x0:.1f}" y="{y + 4}" width="{max(x1 - x0, 1.5):.1f}" '
+                f'height="{row_height - 14}" fill="{color}" fill-opacity="0.75" '
+                f'stroke="{color}"/>'
+            )
+            if x1 - x0 > 16:
+                parts.append(
+                    f'<text x="{(x0 + x1) / 2:.1f}" y="{y + row_height / 2 + 1:.0f}" '
+                    f'font-size="10" text-anchor="middle" fill="#fff">'
+                    f"{job.job_id}</text>"
+                )
+    # Rejected windows strip.
+    if rejected:
+        y = margin + machines * row_height + 6
+        parts.append(
+            f'<text x="{margin - 6}" y="{y + 9}" font-size="10" '
+            f'text-anchor="end" fill="#a33">rej</text>'
+        )
+        for jid in rejected:
+            job = schedule.instance[jid]
+            x0, x1 = px(job.release), px(job.deadline)
+            parts.append(
+                f'<rect x="{x0:.1f}" y="{y}" width="{max(x1 - x0, 1.0):.1f}" '
+                f'height="10" fill="none" stroke="#cc3311" stroke-dasharray="3,2"/>'
+            )
+    # Time axis.
+    ax_y = height - 20
+    parts.append(
+        f'<line x1="{margin}" y1="{ax_y}" x2="{width - margin}" y2="{ax_y}" stroke="#333"/>'
+    )
+    for i in range(5):
+        t = horizon * i / 4
+        parts.append(
+            f'<text x="{px(t):.1f}" y="{ax_y + 14}" font-size="10" '
+            f'text-anchor="middle" fill="#333">{t:.2g}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def fig1_svg(machine_counts: tuple[int, ...] = (1, 2, 3, 4), clip: float = 25.0) -> str:
+    """Render the paper's Fig. 1 as an SVG document."""
+    import numpy as np
+
+    from repro.analysis.phase import fig1_series, log_grid
+
+    chart = SvgChart(
+        logx=True,
+        title="Tight competitive ratios c(ε, m) — Fig. 1 reproduction",
+        x_label="slack ε (log scale)",
+        y_label="competitive ratio",
+    )
+    series = fig1_series(machine_counts, epsilons=log_grid(0.02, 1.0, 150))
+    for s in series:
+        chart.add_series(
+            f"m = {s.m}",
+            s.epsilons,
+            np.minimum(s.values, clip),
+            dashed=(s.m == 1),  # the paper draws m = 1 dashed
+        )
+    for i, s in enumerate(series):
+        for eps_corner, c_corner in s.transitions:
+            if c_corner <= clip:
+                chart.add_marker(eps_corner, c_corner, PALETTE[i % len(PALETTE)])
+    return chart.render()

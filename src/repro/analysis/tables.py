@@ -1,0 +1,89 @@
+"""Plain-text and markdown table rendering for benchmark reports.
+
+Rows are plain dicts; columns are inferred (or given).  Numeric cells are
+formatted to a consistent precision; ``None`` renders as an em-dash.  Kept
+dependency-free so benchmark output stays readable in CI logs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Mapping, Sequence
+
+
+def _fmt(value: Any, precision: int) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        if math.isnan(value):
+            return "nan"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render *rows* as an aligned monospace table."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_fmt(row.get(col), precision) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)) for row in cells
+    )
+    out = [header, rule, body]
+    if title:
+        out.insert(0, title)
+    return "\n".join(out)
+
+
+def format_markdown(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    precision: int = 4,
+) -> str:
+    """Render *rows* as a GitHub-flavoured markdown table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_fmt(row.get(col), precision) for col in columns) + " |"
+        )
+    return "\n".join(lines)
+
+
+def render_rows(
+    rows: Iterable[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    precision: int = 4,
+    title: str | None = None,
+    markdown: bool = False,
+) -> str:
+    """Dispatch to :func:`format_table` or :func:`format_markdown`."""
+    rows = list(rows)
+    if markdown:
+        head = (f"**{title}**\n\n" if title else "")
+        return head + format_markdown(rows, columns, precision)
+    return format_table(rows, columns, precision, title)

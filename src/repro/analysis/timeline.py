@@ -1,0 +1,110 @@
+"""Utilization timelines: how busy the committed schedule keeps the fleet.
+
+Admission control is ultimately a capacity-management tool, so the cloud
+example and comparison benches report *utilization*: the fraction of
+machine-time occupied by committed work over sliding windows.  This module
+computes those series from audited schedules and renders them as ASCII
+heat strips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.schedule import Schedule
+from repro.utils.intervals import Interval, merge_intervals
+from repro.utils.tolerances import TIME_EPS
+
+#: Shade glyphs from idle to fully busy.
+_SHADES = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class UtilizationSeries:
+    """Windowed utilization of one schedule."""
+
+    window_edges: np.ndarray  # length n+1
+    per_machine: np.ndarray  # shape (machines, n) in [0, 1]
+
+    @property
+    def total(self) -> np.ndarray:
+        """Fleet-average utilization per window."""
+        return self.per_machine.mean(axis=0)
+
+    @property
+    def peak(self) -> float:
+        """Highest fleet-average utilization over the horizon."""
+        return float(self.total.max()) if self.total.size else 0.0
+
+    def mean_utilization(self) -> float:
+        """Time-weighted average fleet utilization."""
+        if self.total.size == 0:
+            return 0.0
+        widths = np.diff(self.window_edges)
+        return float(np.average(self.total, weights=widths))
+
+
+def utilization(
+    schedule: Schedule, windows: int = 50, horizon: float | None = None
+) -> UtilizationSeries:
+    """Windowed utilization of *schedule*.
+
+    Splits ``[0, horizon)`` (default: the later of makespan and instance
+    horizon) into equal windows and computes, per machine, the busy
+    fraction of each window.
+    """
+    if windows < 1:
+        raise ValueError(f"windows must be >= 1, got {windows}")
+    if horizon is None:
+        horizon = max(schedule.makespan(), schedule.instance.horizon)
+    if horizon <= TIME_EPS:
+        edges = np.linspace(0.0, 1.0, windows + 1)
+        return UtilizationSeries(
+            window_edges=edges,
+            per_machine=np.zeros((schedule.instance.machines, windows)),
+        )
+    edges = np.linspace(0.0, horizon, windows + 1)
+    m = schedule.instance.machines
+    busy = np.zeros((m, windows))
+    for machine in range(m):
+        intervals = merge_intervals(
+            [iv for _, iv in schedule.machine_timeline(machine)]
+        )
+        for iv in intervals:
+            lo_idx = int(np.searchsorted(edges, iv.start, side="right")) - 1
+            hi_idx = int(np.searchsorted(edges, iv.end, side="left"))
+            for w in range(max(lo_idx, 0), min(hi_idx, windows)):
+                overlap = min(iv.end, edges[w + 1]) - max(iv.start, edges[w])
+                if overlap > 0:
+                    busy[machine, w] += overlap
+    widths = np.diff(edges)
+    return UtilizationSeries(window_edges=edges, per_machine=busy / widths)
+
+
+def render_heat_strip(series: UtilizationSeries, label: str = "fleet") -> str:
+    """One-line ASCII heat strip of the fleet-average utilization."""
+    glyphs = "".join(
+        _SHADES[min(int(u * (len(_SHADES) - 1) + 0.5), len(_SHADES) - 1)]
+        for u in series.total
+    )
+    return f"{label:>8s} |{glyphs}| mean={series.mean_utilization():.2f} peak={series.peak:.2f}"
+
+
+def render_heatmap(series: UtilizationSeries) -> str:
+    """Per-machine ASCII heatmap plus the fleet strip."""
+    lines = []
+    for machine in range(series.per_machine.shape[0]):
+        glyphs = "".join(
+            _SHADES[min(int(u * (len(_SHADES) - 1) + 0.5), len(_SHADES) - 1)]
+            for u in series.per_machine[machine]
+        )
+        lines.append(f"      m{machine} |{glyphs}|")
+    lines.append(render_heat_strip(series))
+    return "\n".join(lines)
+
+
+def busy_intervals(schedule: Schedule, machine: int) -> list[Interval]:
+    """Merged busy intervals of one machine (convenience re-export)."""
+    return merge_intervals([iv for _, iv in schedule.machine_timeline(machine)])

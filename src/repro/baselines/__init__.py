@@ -1,0 +1,52 @@
+"""Baseline algorithms from the paper's related-work section (Section 1.2).
+
+All baselines are built on the same engine substrate as the core algorithm:
+
+* :mod:`repro.baselines.greedy` — greedy admission with list scheduling
+  (Kim–Chwa / Goldwasser style), non-preemptive, immediate commitment.
+* :mod:`repro.baselines.goldwasser` — the optimal single-machine algorithm
+  of Goldwasser–Kerbikov (the ``m = 1`` specialisation of Threshold).
+* :mod:`repro.baselines.lee` — a reconstruction of Lee's classify-by-size
+  multi-machine algorithm (commitment on admission).
+* :mod:`repro.baselines.dasgupta_palis` — preemption without migration,
+  accept-iff-EDF-feasible (immediate notification).
+* :mod:`repro.baselines.migration` — preemption + migration model with a
+  max-flow feasibility oracle (Schwiegelshohn² machine model).
+* :mod:`repro.baselines.registry` — name-based factory plus a uniform
+  ``run`` entry point dispatching to the right execution engine.
+"""
+
+from repro.baselines.greedy import GreedyPolicy
+from repro.baselines.goldwasser import GoldwasserKerbikovPolicy
+from repro.baselines.lee import LeeStylePolicy
+from repro.baselines.dasgupta_palis import DasGuptaPalisPolicy
+from repro.baselines.migration import MigrationGreedyScheduler, migration_feasible
+from repro.baselines.reference import (
+    OraclePolicy,
+    RandomAdmissionPolicy,
+    run_oracle,
+)
+from repro.baselines.registry import (
+    ALGORITHMS,
+    AlgorithmSpec,
+    make_algorithm,
+    run_algorithm,
+    RunResult,
+)
+
+__all__ = [
+    "GreedyPolicy",
+    "GoldwasserKerbikovPolicy",
+    "LeeStylePolicy",
+    "DasGuptaPalisPolicy",
+    "MigrationGreedyScheduler",
+    "migration_feasible",
+    "OraclePolicy",
+    "RandomAdmissionPolicy",
+    "run_oracle",
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "make_algorithm",
+    "run_algorithm",
+    "RunResult",
+]

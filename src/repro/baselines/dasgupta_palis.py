@@ -1,0 +1,49 @@
+"""DasGupta–Palis: preemption without migration, accept-iff-EDF-feasible.
+
+DasGupta and Palis [10] prove a competitive ratio of
+:math:`1 + 1/\\varepsilon` for online load maximization when jobs may be
+preempted (but never migrated between machines).  Their admission rule is
+feasibility-preserving greedy: admit a job iff some machine can still meet
+*all* of its commitments plus the new job when scheduling preemptively.
+
+Because admission happens at release time, every active job on a machine
+is already released, so per-machine EDF feasibility is the exact test
+(EDF is optimal for single-machine preemptive feasibility) — provided by
+:func:`repro.engine.preemptive.edf_feasible`.
+
+Placement among feasible machines uses best-fit (largest outstanding
+remainder) to mirror the paper's allocation philosophy; ``least-loaded``
+is available for ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+from repro.engine.preemptive import PreemptiveMachine, PreemptivePolicy
+from repro.model.job import Job
+
+
+class DasGuptaPalisPolicy(PreemptivePolicy):
+    """Feasibility-greedy admission in the preemptive no-migration model."""
+
+    name = "dasgupta-palis"
+
+    def __init__(self, placement: Literal["best-fit", "least-loaded"] = "best-fit") -> None:
+        if placement not in ("best-fit", "least-loaded"):
+            raise ValueError(f"unknown placement rule: {placement!r}")
+        self.placement = placement
+        if placement != "best-fit":
+            self.name = f"dasgupta-palis[{placement}]"
+
+    def on_submission(
+        self, job: Job, t: float, machines: Sequence[PreemptiveMachine]
+    ) -> int | None:
+        feasible = [m for m in machines if m.feasible_with(job)]
+        if not feasible:
+            return None
+        if self.placement == "best-fit":
+            chosen = max(feasible, key=lambda m: (m.outstanding(), -m.index))
+        else:
+            chosen = min(feasible, key=lambda m: (m.outstanding(), m.index))
+        return chosen.index

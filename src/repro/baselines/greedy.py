@@ -1,0 +1,54 @@
+"""Greedy admission with list scheduling.
+
+The natural baseline (Fig. 1's ``m = 1`` dashed line generalised): accept a
+job whenever *some* machine can still complete it on time, append it to a
+machine, start it as early as possible.  Kim and Chwa [23] show this is
+:math:`(2 + 1/\\varepsilon)`-competitive on identical machines — i.e. the
+greedy approach does not benefit from additional machines, which is
+exactly the gap the paper's Threshold algorithm closes.
+
+The placement rule among fitting machines is configurable because the
+comparison benches also use greedy as an ablation anchor:
+
+* ``best-fit`` — most loaded fitting machine (default; mirrors Threshold's
+  allocation so measured differences isolate the *admission* rule);
+* ``first-fit`` — lowest machine index;
+* ``least-loaded`` — least loaded fitting machine.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+from repro.engine.policy import Decision, OnlinePolicy
+from repro.model.job import Job
+from repro.model.machine import MachineState
+
+PlacementRule = Literal["best-fit", "first-fit", "least-loaded"]
+
+
+class GreedyPolicy(OnlinePolicy):
+    """Accept-if-feasible admission with configurable placement."""
+
+    def __init__(self, placement: PlacementRule = "best-fit") -> None:
+        if placement not in ("best-fit", "first-fit", "least-loaded"):
+            raise ValueError(f"unknown placement rule: {placement!r}")
+        self.placement: PlacementRule = placement
+        self.name = "greedy" if placement == "best-fit" else f"greedy[{placement}]"
+
+    def on_submission(
+        self, job: Job, t: float, machines: Sequence[MachineState]
+    ) -> Decision:
+        candidates = [ms for ms in machines if ms.fits(job, t)]
+        if not candidates:
+            return Decision.reject(reason="no fitting machine")
+        if self.placement == "best-fit":
+            chosen = max(candidates, key=lambda ms: (ms.outstanding(t), -ms.index))
+        elif self.placement == "least-loaded":
+            chosen = min(candidates, key=lambda ms: (ms.outstanding(t), ms.index))
+        else:  # first-fit
+            chosen = min(candidates, key=lambda ms: ms.index)
+        return Decision.accept(machine=chosen.index, start=chosen.append_start(job, t))
+
+    def describe(self) -> dict:
+        return {"name": self.name, "placement": self.placement}

@@ -1,0 +1,286 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``bound``    print the bound c(eps, m), the phase index and the f ladder
+``fig1``     render the Fig. 1 curves as ASCII (optionally export CSV)
+``duel``     play the Theorem-1 adversary against an algorithm
+``tree``     enumerate the Fig. 2 decision tree
+``compare``  run the algorithm registry on a generated workload
+
+All output is plain text; commands are deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_bound(args: argparse.Namespace) -> int:
+    from repro.core.params import corner_values, threshold_parameters
+
+    params = threshold_parameters(args.eps, args.m)
+    print(f"c(eps={args.eps}, m={args.m}) = {params.c:.6f}")
+    corners = [round(float(c), 6) for c in corner_values(args.m)]
+    print(f"phase k = {params.k} (corners: {corners})")
+    ladder = ", ".join(f"f_{params.k + i}={v:.4f}" for i, v in enumerate(params.f))
+    print(f"multipliers: {ladder}")
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.analysis.phase import fig1_series, log_grid
+    from repro.analysis.plotting import ascii_plot, series_to_csv
+
+    machines = tuple(int(x) for x in args.machines.split(","))
+    grid = log_grid(args.eps_min, 1.0, args.points)
+    series = fig1_series(machines, epsilons=grid)
+    print(
+        ascii_plot(
+            {f"m={s.m}": (s.epsilons, np.minimum(s.values, args.clip)) for s in series},
+            logx=True,
+            markers={f"m={s.m}": s.transitions for s in series},
+            title=f"c(eps, m) for m in {machines} (clipped at {args.clip})",
+        )
+    )
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(
+                series_to_csv(
+                    {f"m={s.m}": (s.epsilons, s.values) for s in series},
+                    x_name="epsilon",
+                )
+            )
+        print(f"wrote {args.csv}")
+    if args.svg:
+        from repro.analysis.svg import fig1_svg
+
+        with open(args.svg, "w") as fh:
+            fh.write(fig1_svg(machine_counts=machines, clip=args.clip))
+        print(f"wrote {args.svg}")
+    return 0
+
+
+def _cmd_duel(args: argparse.Namespace) -> int:
+    from repro.adversary.base import duel
+    from repro.baselines.registry import ALGORITHMS, make_algorithm
+    from repro.core.params import c_bound
+
+    spec = ALGORITHMS.get(args.algorithm)
+    if spec is None or spec.model != "nonpreemptive":
+        print(
+            f"error: duels need a non-preemptive registry algorithm, got "
+            f"{args.algorithm!r}",
+            file=sys.stderr,
+        )
+        return 2
+    result = duel(make_algorithm(args.algorithm), m=args.m, epsilon=args.eps)
+    print(f"algorithm      : {result.policy_name}")
+    print(f"forced ratio   : {result.forced_ratio:.6f}")
+    print(f"c(eps, m)      : {c_bound(args.eps, args.m):.6f}")
+    print(f"algorithm load : {result.algorithm_load:.6f}")
+    print(f"adversary OPT  : {result.constructive_opt:.6f}")
+    print(f"game           : u={result.summary['u']}, h={result.summary['final_h']}")
+    if args.trace:
+        print()
+        print(result.schedule.meta["trace"].render())
+    return 0
+
+
+def _cmd_tree(args: argparse.Namespace) -> int:
+    from repro.adversary.analysis import enumerate_decision_tree, render_decision_tree
+
+    outcomes = enumerate_decision_tree(args.m, args.eps)
+    print(render_decision_tree(outcomes))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.ratio import compare_algorithms
+    from repro.analysis.tables import render_rows
+    from repro.workloads import alternating_instance, cloud_instance, random_instance
+
+    if args.workload == "random":
+        inst = random_instance(args.n, args.m, args.eps, seed=args.seed)
+    elif args.workload == "cloud":
+        inst = cloud_instance(args.n, args.m, args.eps, seed=args.seed)
+    else:
+        inst = alternating_instance(max(1, args.n // (2 * args.m)), args.m, args.eps)
+    algorithms = args.algorithms.split(",")
+    reports = compare_algorithms(algorithms, inst)
+    print(
+        render_rows(
+            [r.as_dict() for r in reports],
+            columns=["algorithm", "load", "ratio_lower", "ratio_upper", "guarantee", "within"],
+            title=f"{inst.name}: n={len(inst)}, m={args.m}, eps={args.eps}",
+        )
+    )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.analysis.capacity import machines_for_target, slack_for_target
+    from repro.core.guarantees import theorem2_bound
+
+    if (args.eps is None) == (args.m is None):
+        print("error: pass exactly one of --eps or --m", file=sys.stderr)
+        return 2
+    if args.eps is not None:
+        m = machines_for_target(args.eps, args.target)
+        if m is None:
+            print(
+                f"unachievable: with eps={args.eps} the guarantee never reaches "
+                f"{args.target} (floor ~ 2 + ln(1/eps))"
+            )
+            return 1
+        print(
+            f"fleet size m = {m} suffices: guarantee = "
+            f"{theorem2_bound(args.eps, m):.4f} <= {args.target}"
+        )
+    else:
+        eps = slack_for_target(args.m, args.target)
+        if eps is None:
+            print(
+                f"unachievable: with m={args.m} the guarantee never reaches "
+                f"{args.target} even at eps = 1 (floor {theorem2_bound(1.0, args.m):.4f})"
+            )
+            return 1
+        print(
+            f"slack eps = {eps:.6f} suffices: guarantee = "
+            f"{theorem2_bound(eps, args.m):.4f} <= {args.target}"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from functools import partial
+
+    from repro.analysis.tables import render_rows
+    from repro.workloads.cloud import cloud_instance
+    from repro.workloads.random_instances import random_instance
+    from repro.workloads.sweep import SweepSpec, aggregate_rows, rows_to_csv, run_sweep
+
+    factory = random_instance if args.workload == "random" else cloud_instance
+    spec = SweepSpec(
+        epsilons=[float(e) for e in args.epsilons.split(",")],
+        machine_counts=[int(m) for m in args.machines.split(",")],
+        algorithms=args.algorithms.split(","),
+        workload=partial(factory, args.n),
+        repetitions=args.repetitions,
+        base_seed=args.seed,
+        label=f"cli-{args.workload}",
+    )
+    if args.parallel > 0:
+        from repro.workloads.parallel import run_sweep_parallel
+
+        rows = run_sweep_parallel(spec, max_workers=args.parallel)
+    else:
+        rows = run_sweep(spec)
+    print(render_rows(aggregate_rows(rows), title=f"sweep[{args.workload}]"))
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(rows_to_csv(rows))
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import generate_report
+
+    sections = args.sections.split(",") if args.sections else None
+    text = generate_report(sections)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Commitment and Slack for Online Load Maximization — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("bound", help="print c(eps, m) and the parameter ladder")
+    p.add_argument("--m", type=int, required=True)
+    p.add_argument("--eps", type=float, required=True)
+    p.set_defaults(fn=_cmd_bound)
+
+    p = sub.add_parser("fig1", help="render the Fig. 1 curves")
+    p.add_argument("--machines", default="1,2,3,4")
+    p.add_argument("--points", type=int, default=200)
+    p.add_argument("--eps-min", type=float, default=0.02)
+    p.add_argument("--clip", type=float, default=25.0)
+    p.add_argument("--csv")
+    p.add_argument("--svg", help="also render a publication-grade SVG figure")
+    p.set_defaults(fn=_cmd_fig1)
+
+    p = sub.add_parser("duel", help="play the Theorem-1 adversary")
+    p.add_argument("--m", type=int, required=True)
+    p.add_argument("--eps", type=float, required=True)
+    p.add_argument("--algorithm", default="threshold")
+    p.add_argument("--trace", action="store_true", help="print the decision trace")
+    p.set_defaults(fn=_cmd_duel)
+
+    p = sub.add_parser("tree", help="enumerate the Fig. 2 decision tree")
+    p.add_argument("--m", type=int, required=True)
+    p.add_argument("--eps", type=float, required=True)
+    p.set_defaults(fn=_cmd_tree)
+
+    p = sub.add_parser("plan", help="capacity planning: invert the bound function")
+    p.add_argument("--target", type=float, required=True, help="target worst-case ratio")
+    p.add_argument("--eps", type=float, help="slack: solve for the fleet size")
+    p.add_argument("--m", type=int, help="fleet size: solve for the slack")
+    p.set_defaults(fn=_cmd_plan)
+
+    p = sub.add_parser("sweep", help="run a sweep grid and export CSV")
+    p.add_argument("--epsilons", default="0.1,0.3")
+    p.add_argument("--machines", default="2,3")
+    p.add_argument(
+        "--algorithms", default="threshold,greedy"
+    )
+    p.add_argument("--workload", choices=["random", "cloud"], default="random")
+    p.add_argument("--n", type=int, default=15)
+    p.add_argument("--repetitions", type=int, default=3)
+    p.add_argument("--seed", type=int, default=2020)
+    p.add_argument("--parallel", type=int, default=0, help="worker count (0 = serial)")
+    p.add_argument("--csv", help="write the raw rows to this CSV file")
+    p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("report", help="generate the condensed reproduction report")
+    p.add_argument("--sections", help="comma-separated subset (default: all)")
+    p.add_argument("--out", help="write markdown to this file instead of stdout")
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("compare", help="compare algorithms on a workload")
+    p.add_argument("--workload", choices=["random", "cloud", "bait-and-whale"], default="random")
+    p.add_argument("--m", type=int, default=3)
+    p.add_argument("--eps", type=float, default=0.2)
+    p.add_argument("--n", type=int, default=60)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--algorithms",
+        default="threshold,greedy,lee-style,dasgupta-palis,migration-greedy",
+    )
+    p.set_defaults(fn=_cmd_compare)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

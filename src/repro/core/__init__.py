@@ -1,0 +1,50 @@
+"""Core contribution of the paper: the bound function and Algorithm 1.
+
+* :mod:`repro.core.params` — the recursion defining :math:`f_q(\\varepsilon, m)`,
+  the tight bound :math:`c(\\varepsilon, m)`, phase corner values, closed
+  forms and asymptotics (Section 2 / Proposition 1 / Eq. (1)).
+* :mod:`repro.core.threshold` — the deterministic online *Threshold*
+  algorithm with immediate commitment (Algorithm 1 / Theorem 2).
+* :mod:`repro.core.randomized` — the randomized single-machine
+  classify-and-select algorithm (Corollary 1).
+* :mod:`repro.core.guarantees` — published competitive-ratio guarantees of
+  every algorithm implemented in this library, as callables.
+"""
+
+from repro.core.params import (
+    BoundFunction,
+    ThresholdParameters,
+    c_bound,
+    corner_values,
+    phase_index,
+    threshold_parameters,
+    asymptotic_bound,
+    closed_form_last_phase,
+    closed_form_second_last_phase,
+    closed_form_m2,
+    forward_f_chain,
+)
+from repro.core.threshold import ThresholdPolicy, AllocationRule
+from repro.core.randomized import ClassifyAndSelect, expected_load_classify_select
+from repro.core.guarantees import GUARANTEES, guarantee_for, theorem2_bound
+
+__all__ = [
+    "BoundFunction",
+    "ThresholdParameters",
+    "c_bound",
+    "corner_values",
+    "phase_index",
+    "threshold_parameters",
+    "asymptotic_bound",
+    "closed_form_last_phase",
+    "closed_form_second_last_phase",
+    "closed_form_m2",
+    "forward_f_chain",
+    "ThresholdPolicy",
+    "AllocationRule",
+    "ClassifyAndSelect",
+    "expected_load_classify_select",
+    "GUARANTEES",
+    "guarantee_for",
+    "theorem2_bound",
+]

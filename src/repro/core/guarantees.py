@@ -1,0 +1,143 @@
+"""Published competitive-ratio guarantees, as callables.
+
+The benchmark harness prints *theory vs. measurement* tables; this module
+is the single source of truth for the theory column.  Each entry maps an
+algorithm name (matching ``policy.name`` / the baseline registry) to a
+function ``(epsilon, m) -> bound``.
+
+Sources:
+
+* ``threshold`` — Theorem 2 of the reproduced paper: the tight
+  :math:`(m f_k + 1)/k` for phases :math:`k \\le 3`, plus the additive
+  :math:`(3 - e)/(e - 1) \\approx 0.164` loss for later phases (Lemma 11).
+* ``greedy`` — Goldwasser/Kim–Chwa: greedy acceptance with list scheduling
+  is :math:`2 + 1/\\varepsilon` competitive on identical machines (Fig. 1
+  caption).
+* ``goldwasser-kerbikov`` — optimal deterministic single machine with
+  immediate commitment: :math:`2 + 1/\\varepsilon`.
+* ``lee-style`` — Lee (2003), commitment on admission:
+  :math:`1 + m + m \\varepsilon^{-1/m}`.
+* ``dasgupta-palis`` — preemption without migration:
+  :math:`1 + 1/\\varepsilon`.
+* ``migration-greedy`` — Schwiegelshohn² (2016), preemption + migration,
+  large :math:`m`: :math:`(1+\\varepsilon)\\log((1+\\varepsilon)/\\varepsilon)`
+  (their algorithm differs; our greedy reconstruction is compared against
+  this published figure as a reference line, see DESIGN.md).
+* ``classify-select`` — Corollary 1: :math:`O(\\log 1/\\varepsilon)`; the
+  concrete callable returns
+  :math:`m^* \\cdot c(\\varepsilon, m^*)` / ... — we expose the
+  *certified* form ``m* * c(eps, m*) / m*`` = ``c(eps, m*)`` scaled by the
+  thinning factor, i.e. ``m* * c(eps, m*)`` is an upper bound on the
+  expected ratio for any instance-independent selection; benchmarks report
+  the measured expectation next to it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.core.params import c_bound, phase_index, threshold_parameters
+from repro.core.randomized import default_virtual_machines
+
+#: Additive loss of Theorem 2 for phases beyond ``k = 3`` (Lemma 11).
+DELAYED_EXECUTION_LOSS: float = (3.0 - math.e) / (math.e - 1.0)
+
+
+def lower_bound(epsilon: float, m: int) -> float:
+    """Theorem 1: no deterministic algorithm beats :math:`c(\\varepsilon, m)`."""
+    return c_bound(epsilon, m)
+
+
+def theorem2_bound(epsilon: float, m: int) -> float:
+    """Theorem 2's guarantee for the Threshold algorithm.
+
+    Exactly :math:`c(\\varepsilon, m)` while the phase index satisfies
+    ``k <= 3`` (Lemma 10); otherwise the delayed-execution loss of at most
+    :math:`(3-e)/(e-1)` is added (Lemma 11).
+    """
+    c = c_bound(epsilon, m)
+    if phase_index(epsilon, m) <= 3:
+        return c
+    return c + DELAYED_EXECUTION_LOSS
+
+
+def greedy_bound(epsilon: float, m: int) -> float:
+    """Greedy list scheduling: :math:`2 + 1/\\varepsilon` (any ``m``)."""
+    return 2.0 + 1.0 / epsilon
+
+
+def goldwasser_kerbikov_bound(epsilon: float, m: int = 1) -> float:
+    """Optimal deterministic single machine: :math:`2 + 1/\\varepsilon`."""
+    return 2.0 + 1.0 / epsilon
+
+
+def lee_bound(epsilon: float, m: int) -> float:
+    """Lee (2003): :math:`1 + m + m\\varepsilon^{-1/m}` (commitment on admission)."""
+    return 1.0 + m + m * epsilon ** (-1.0 / m)
+
+
+def dasgupta_palis_bound(epsilon: float, m: int) -> float:
+    """DasGupta–Palis (2001): :math:`1 + 1/\\varepsilon` with preemption."""
+    return 1.0 + 1.0 / epsilon
+
+
+def migration_bound(epsilon: float, m: int) -> float:
+    """Schwiegelshohn² (2016) large-``m`` bound with preemption + migration."""
+    return (1.0 + epsilon) * math.log((1.0 + epsilon) / epsilon)
+
+
+def classify_select_bound(epsilon: float, m: int = 1) -> float:
+    """Corollary 1's expected-ratio bound for our implementation.
+
+    With ``m*`` virtual machines, the expected load is the virtual total
+    divided by ``m*``, and the virtual total is within
+    ``theorem2_bound(eps, m*)`` of the virtual optimum, which dominates the
+    single-machine optimum — hence the certified expected ratio is at most
+    ``m* * theorem2_bound(eps, m*)``.  With
+    ``m* ≈ ln(1/ε)`` this is :math:`O(\\log^2 1/\\varepsilon)` in the
+    crude form; the paper's sharper classification argument removes one
+    log factor, and our benchmarks measure expectations far below this
+    certified line (see EXPERIMENTS.md, E8).
+    """
+    m_star = default_virtual_machines(epsilon)
+    return m_star * theorem2_bound(min(epsilon, 1.0), m_star)
+
+
+#: Registry used by the reporting layer.
+GUARANTEES: dict[str, Callable[[float, int], float]] = {
+    "threshold": theorem2_bound,
+    "greedy": greedy_bound,
+    "greedy[first-fit]": greedy_bound,
+    "greedy[best-fit]": greedy_bound,
+    "goldwasser-kerbikov": goldwasser_kerbikov_bound,
+    "lee-style": lee_bound,
+    "dasgupta-palis": dasgupta_palis_bound,
+    "migration-greedy": migration_bound,
+    "classify-select": classify_select_bound,
+    "lower-bound": lower_bound,
+}
+
+
+def guarantee_for(name: str, epsilon: float, m: int) -> float | None:
+    """Look up the published guarantee for algorithm *name*.
+
+    Returns ``None`` for unknown names (e.g. ablation variants without a
+    published bound) — callers render those cells as '—'.
+    """
+    base = name.split("[")[0] if name not in GUARANTEES else name
+    fn = GUARANTEES.get(name) or GUARANTEES.get(base)
+    return None if fn is None else fn(epsilon, m)
+
+
+def parameters_summary(epsilon: float, m: int) -> dict:
+    """One-line summary of the Algorithm-1 parameter set (for reports)."""
+    p = threshold_parameters(min(epsilon, 1.0), m)
+    return {
+        "epsilon": p.epsilon,
+        "m": p.m,
+        "k": p.k,
+        "c": p.c,
+        "f_k": float(p.f[0]),
+        "f_m": float(p.f[-1]),
+    }

@@ -1,0 +1,151 @@
+"""Corollary 1: randomized single-machine algorithm via classify-and-select.
+
+The paper obtains a randomized :math:`O(\\log 1/\\varepsilon)`-competitive
+single-machine algorithm with the *static-classification-and-select*
+technique: simulate the deterministic Threshold algorithm on :math:`m`
+virtual parallel machines, pick one virtual machine uniformly at random
+*up front*, and execute (only) the jobs the virtual run assigns to that
+machine, at their virtual start times.
+
+Because one virtual machine's timeline is feasible in isolation, the real
+single machine reproduces it verbatim — so the expected accepted load is
+exactly :math:`L_m / m`, where :math:`L_m` is the total load of the virtual
+:math:`m`-machine Threshold schedule.  Choosing
+:math:`m \\approx \\ln(1/\\varepsilon)` balances
+:math:`c(\\varepsilon, m) = \\Theta(\\log 1/\\varepsilon)` against the
+:math:`1/m` thinning and yields the corollary's bound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.threshold import ThresholdPolicy
+from repro.engine.policy import Decision, OnlinePolicy
+from repro.engine.simulator import simulate
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.model.machine import MachineState
+from repro.utils.rng import rng_from_any
+
+
+def default_virtual_machines(epsilon: float) -> int:
+    """The paper's balancing choice :math:`m \\approx \\ln(1/\\varepsilon)`.
+
+    Clamped below at 1; for large slack one virtual machine (i.e. the plain
+    deterministic algorithm) is already constant-competitive.
+    """
+    if epsilon <= 0:
+        raise ValueError(f"slack must be positive, got {epsilon}")
+    return max(1, round(math.log(1.0 / min(epsilon, 1.0))))
+
+
+class ClassifyAndSelect(OnlinePolicy):
+    """Randomized single-machine policy (Corollary 1).
+
+    Parameters
+    ----------
+    virtual_machines:
+        Number of virtual machines ``m`` to simulate; ``None`` selects
+        :func:`default_virtual_machines` at :meth:`reset` time.
+    rng:
+        Seed or generator for the uniform machine selection.
+    selected:
+        Fix the selected virtual machine (used to enumerate the whole
+        sample space when computing exact expectations).
+    """
+
+    immediate_commitment = True
+
+    def __init__(
+        self,
+        virtual_machines: int | None = None,
+        rng: int | np.random.Generator | None = None,
+        selected: int | None = None,
+    ) -> None:
+        self._requested_m = virtual_machines
+        self._rng = rng_from_any(rng)
+        self._fixed_selection = selected
+        self.name = "classify-select"
+        self.virtual_m: int | None = None
+        self.selected: int | None = None
+        self._virtual_policy: ThresholdPolicy | None = None
+        self._virtual_machines: list[MachineState] | None = None
+
+    # ------------------------------------------------------------------
+    def reset(self, machines: int, epsilon: float) -> None:
+        if machines != 1:
+            raise ValueError(
+                f"classify-and-select is a single-machine algorithm; got m={machines}"
+            )
+        self.virtual_m = (
+            self._requested_m
+            if self._requested_m is not None
+            else default_virtual_machines(epsilon)
+        )
+        if self._fixed_selection is not None:
+            if not 0 <= self._fixed_selection < self.virtual_m:
+                raise ValueError(
+                    f"selected machine {self._fixed_selection} out of range "
+                    f"[0, {self.virtual_m})"
+                )
+            self.selected = self._fixed_selection
+        else:
+            self.selected = int(self._rng.integers(self.virtual_m))
+        self._virtual_policy = ThresholdPolicy()
+        self._virtual_policy.reset(self.virtual_m, epsilon)
+        self._virtual_machines = [MachineState(i) for i in range(self.virtual_m)]
+
+    # ------------------------------------------------------------------
+    def on_submission(
+        self, job: Job, t: float, machines: Sequence[MachineState]
+    ) -> Decision:
+        assert self._virtual_policy is not None and self._virtual_machines is not None
+        virtual = self._virtual_policy.on_submission(job, t, self._virtual_machines)
+        if virtual.accepted:
+            # Keep the virtual world in sync regardless of the selection.
+            self._virtual_machines[virtual.machine].commit(job, virtual.start)
+        if virtual.accepted and virtual.machine == self.selected:
+            return Decision.accept(
+                machine=0,
+                start=virtual.start,
+                virtual_machine=virtual.machine,
+                d_lim=virtual.info.get("d_lim"),
+            )
+        return Decision.reject(
+            virtual_accepted=virtual.accepted,
+            virtual_machine=virtual.machine,
+            d_lim=virtual.info.get("d_lim"),
+        )
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "virtual_machines": self.virtual_m,
+            "selected": self.selected,
+        }
+
+
+def expected_load_classify_select(
+    instance: Instance, virtual_machines: int | None = None
+) -> tuple[float, np.ndarray]:
+    """Exact expected accepted load of classify-and-select on *instance*.
+
+    Runs the deterministic virtual simulation once and averages over the
+    uniform machine selection (the only randomness):
+    returns ``(expected_load, per_virtual_machine_loads)``.
+    """
+    if instance.machines != 1:
+        raise ValueError("expected-load analysis applies to single-machine instances")
+    m = (
+        virtual_machines
+        if virtual_machines is not None
+        else default_virtual_machines(instance.epsilon)
+    )
+    virtual_instance = instance.with_machines(m)
+    schedule = simulate(ThresholdPolicy(), virtual_instance)
+    loads = np.array(schedule.machine_loads())
+    return float(loads.mean()), loads

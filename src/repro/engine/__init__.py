@@ -1,0 +1,74 @@
+"""Online simulation engine.
+
+The engine owns the ground-truth machine timelines, feeds jobs to an
+:class:`~repro.engine.policy.OnlinePolicy` in submission order, enforces
+immediate commitment (decisions are applied instantly and can never be
+revised), and produces an audited :class:`~repro.model.schedule.Schedule`.
+
+Two execution models are provided:
+
+* :mod:`repro.engine.simulator` — the paper's non-preemptive model;
+* :mod:`repro.engine.preemptive` — a per-machine preemptive EDF executor
+  used by the preemptive baselines of Section 1.2.
+"""
+
+from repro.engine.policy import Decision, OnlinePolicy, JobSource, SequenceSource
+from repro.engine.simulator import simulate, simulate_source, SimulationError
+from repro.engine.recorder import DecisionRecord, TraceRecorder
+from repro.engine.preemptive import (
+    PreemptiveMachine,
+    edf_feasible,
+    simulate_preemptive,
+    PreemptivePolicy,
+)
+from repro.engine.audit import audit_run, CommitmentAuditError
+from repro.engine.delayed import (
+    DelayedPolicy,
+    DelayedGreedyPolicy,
+    PendingJob,
+    simulate_delayed,
+)
+from repro.engine.admission import (
+    AdmissionPolicy,
+    AdmissionGreedyPolicy,
+    AdmissionEddPolicy,
+    AdmissionLazyPolicy,
+    simulate_admission,
+)
+from repro.engine.penalties import (
+    PenaltyPolicy,
+    RevocableGreedyPolicy,
+    PenaltyOutcome,
+    simulate_with_penalties,
+)
+
+__all__ = [
+    "Decision",
+    "OnlinePolicy",
+    "JobSource",
+    "SequenceSource",
+    "simulate",
+    "simulate_source",
+    "SimulationError",
+    "DecisionRecord",
+    "TraceRecorder",
+    "PreemptiveMachine",
+    "edf_feasible",
+    "simulate_preemptive",
+    "PreemptivePolicy",
+    "audit_run",
+    "CommitmentAuditError",
+    "DelayedPolicy",
+    "DelayedGreedyPolicy",
+    "PendingJob",
+    "simulate_delayed",
+    "PenaltyPolicy",
+    "RevocableGreedyPolicy",
+    "PenaltyOutcome",
+    "simulate_with_penalties",
+    "AdmissionPolicy",
+    "AdmissionGreedyPolicy",
+    "AdmissionEddPolicy",
+    "AdmissionLazyPolicy",
+    "simulate_admission",
+]

@@ -1,0 +1,183 @@
+"""Commitment on admission: decide only when starting a job (§1).
+
+The weakest commitment variant in the paper's taxonomy (used by the early
+online admission-control literature [18, 26, 27]): the scheduler keeps
+submitted jobs *pending* and commits to a job only at the moment it
+starts executing.  A pending job is implicitly rejected once it can no
+longer start anywhere in time.
+
+Mechanics
+---------
+
+* events are job releases, machine-free times and pending expiries;
+* at each event, pending jobs that can no longer meet their deadline even
+  on the *earliest-free* machine become rejections (decisive expiry — a
+  busy fleet kills a pending job the moment waiting would be fatal);
+* the policy ranks the live pending jobs; the engine starts the chosen
+  job on an idle machine immediately (starting *now* is the commitment —
+  reservations into the future would be immediate commitment in disguise
+  and are not part of this model);
+* between events machines run their started jobs to completion
+  (non-preemptive).
+
+The bundled :class:`AdmissionGreedyPolicy` starts the largest startable
+pending job whenever a machine is idle — on the bait-and-whale streams it
+simply waits out the baits and starts the whales, which is exactly why
+the literature found this model so much easier than immediate commitment
+(benchmark E12 quantifies the gap).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.model.schedule import Assignment, Schedule
+from repro.utils.tolerances import TIME_EPS, fge
+
+
+class AdmissionPolicy(ABC):
+    """Ranking policy for the commitment-on-admission engine."""
+
+    name: str = "admission-policy"
+    immediate_commitment = False
+
+    def reset(self, machines: int, epsilon: float) -> None:
+        """Prepare for a fresh run."""
+
+    @abstractmethod
+    def choose(self, t: float, pending: Sequence[Job]) -> Job | None:
+        """Pick the pending job to start *now* on an idle machine.
+
+        ``pending`` contains only jobs that can still start at *t*
+        (``latest_start >= t``).  Return ``None`` to leave the machine
+        idle until the next event.
+        """
+
+
+class AdmissionGreedyPolicy(AdmissionPolicy):
+    """Start the most valuable (largest) startable pending job."""
+
+    name = "admission-greedy"
+
+    def choose(self, t: float, pending: Sequence[Job]) -> Job | None:
+        if not pending:
+            return None
+        return max(pending, key=lambda j: (j.processing, -j.job_id))
+
+
+class AdmissionEddPolicy(AdmissionPolicy):
+    """Start the most urgent (earliest-deadline) startable pending job."""
+
+    name = "admission-edd"
+
+    def choose(self, t: float, pending: Sequence[Job]) -> Job | None:
+        if not pending:
+            return None
+        return min(pending, key=lambda j: (j.deadline, j.job_id))
+
+
+class AdmissionLazyPolicy(AdmissionPolicy):
+    """Wait until some pending job is about to expire, then start the best.
+
+    The model's entire power over immediate commitment is the option to
+    *wait*: starting as late as possible keeps the machine free for
+    whatever bigger job may still arrive.  Only when some startable job
+    reaches its latest start time does the policy commit — and then it
+    starts the *largest* startable job, which need not be the one whose
+    deadline forced the decision (on bait-and-whale streams the expiring
+    bait triggers the start of a whale).
+    """
+
+    name = "admission-lazy"
+
+    def __init__(self, slack_margin: float = 10 * TIME_EPS) -> None:
+        self.slack_margin = slack_margin
+
+    def choose(self, t: float, pending: Sequence[Job]) -> Job | None:
+        if not pending:
+            return None
+        edge = min(j.latest_start for j in pending)
+        if edge > t + self.slack_margin:
+            return None  # nothing is forced yet: keep waiting
+        return max(pending, key=lambda j: (j.processing, -j.job_id))
+
+
+def simulate_admission(policy: AdmissionPolicy, instance: Instance) -> Schedule:
+    """Run *policy* in the commitment-on-admission model; audited schedule.
+
+    Jobs that can no longer start in time on any machine are recorded as
+    rejected.  ``schedule.meta['model']`` records the model name so
+    reports can distinguish it from immediate-commitment runs.
+    """
+    policy.reset(instance.machines, instance.epsilon)
+    schedule = Schedule(instance=instance, algorithm=policy.name)
+    schedule.meta["model"] = "commitment-on-admission"
+
+    machine_free = [0.0] * instance.machines
+    pending: dict[int, Job] = {}
+    job_iter = iter(instance.jobs)
+    next_job = next(job_iter, None)
+    now = 0.0
+
+    while next_job is not None or pending:
+        # 1) absorb all releases at or before `now`.
+        while next_job is not None and next_job.release <= now + TIME_EPS:
+            pending[next_job.job_id] = next_job
+            next_job = next(job_iter, None)
+
+        # 2) decisive expiry: a pending job whose latest start precedes the
+        #    earliest time any machine frees can never run.
+        earliest_free = min(machine_free)
+        for jid in [
+            j
+            for j, job in pending.items()
+            if job.latest_start < max(now, earliest_free) - TIME_EPS
+        ]:
+            schedule.rejected.add(jid)
+            del pending[jid]
+
+        # 3) start jobs on idle machines at the current instant.
+        while pending:
+            idle = [i for i, f in enumerate(machine_free) if f <= now + TIME_EPS]
+            if not idle:
+                break
+            startable = [j for j in pending.values() if fge(j.latest_start, now)]
+            if not startable:
+                break
+            choice = policy.choose(now, startable)
+            if choice is None:
+                break
+            if choice.job_id not in pending or not fge(choice.latest_start, now):
+                raise ValueError(
+                    f"policy chose job {choice.job_id} that is not startable at {now}"
+                )
+            machine = idle[0]
+            start = max(now, choice.release)
+            schedule.assignments[choice.job_id] = Assignment(choice.job_id, machine, start)
+            machine_free[machine] = start + choice.processing
+            del pending[choice.job_id]
+
+        # 4) advance to the next strictly-future event.
+        candidates = []
+        if next_job is not None:
+            candidates.append(next_job.release)
+        candidates.extend(f for f in machine_free if f > now + TIME_EPS)
+        candidates.extend(
+            j.latest_start for j in pending.values() if j.latest_start > now + TIME_EPS
+        )
+        future = [c for c in candidates if c > now + TIME_EPS]
+        if future:
+            now = min(future)
+        elif pending:
+            # Nothing will ever change: the remaining pending jobs are
+            # un-startable (policy declined or machines busy forever in
+            # the past-tense sense) — reject them and finish.
+            for jid in list(pending):
+                schedule.rejected.add(jid)
+                del pending[jid]
+
+    schedule.audit()
+    return schedule

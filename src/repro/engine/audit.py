@@ -1,0 +1,82 @@
+"""Commitment audit: cross-checks a schedule against its decision trace.
+
+:meth:`Schedule.audit` already proves machine-level feasibility (Claim 1 as
+an invariant).  This module adds the *commitment* checks that need the
+trace:
+
+* every decision in the trace corresponds to exactly one job of the
+  instance, in submission order;
+* accepted decisions match the schedule's assignments bit-for-bit — i.e.
+  nothing was revised after the fact;
+* decisions were made at the job's release date (immediate commitment, not
+  delayed commitment);
+* accepted start times never precede the decision time (no retroactive
+  scheduling).
+"""
+
+from __future__ import annotations
+
+from repro.engine.recorder import TraceRecorder
+from repro.model.schedule import Schedule
+from repro.utils.tolerances import TIME_EPS, feq, fge
+
+
+class CommitmentAuditError(AssertionError):
+    """The trace and schedule disagree, or a commitment rule was broken."""
+
+
+def audit_run(schedule: Schedule, trace: TraceRecorder | None = None) -> None:
+    """Full audit of a simulation run (schedule + commitment discipline).
+
+    When *trace* is ``None`` the schedule's own ``meta['trace']`` is used;
+    runs produced by :func:`repro.engine.simulator.simulate` always carry
+    one.
+    """
+    schedule.audit()
+    if trace is None:
+        trace = schedule.meta.get("trace")
+    if trace is None:
+        raise CommitmentAuditError("no decision trace available for commitment audit")
+
+    instance = schedule.instance
+    if len(trace) != len(instance):
+        raise CommitmentAuditError(
+            f"trace has {len(trace)} decisions for {len(instance)} jobs"
+        )
+    for expected_seq, record in enumerate(trace):
+        if record.seq != expected_seq:
+            raise CommitmentAuditError(
+                f"trace out of order: seq {record.seq} at position {expected_seq}"
+            )
+        job = instance[record.job.job_id]
+        if not feq(record.time, job.release):
+            raise CommitmentAuditError(
+                f"job {job.job_id}: decision at t={record.time}, release is "
+                f"{job.release} — immediate commitment requires deciding on arrival"
+            )
+        if record.accepted:
+            assignment = schedule.assignments.get(job.job_id)
+            if assignment is None:
+                raise CommitmentAuditError(
+                    f"job {job.job_id}: trace says accepted, schedule says rejected "
+                    "— the decision was revised"
+                )
+            if assignment.machine != record.decision.machine or not feq(
+                assignment.start, record.decision.start
+            ):
+                raise CommitmentAuditError(
+                    f"job {job.job_id}: committed (m{record.decision.machine}, "
+                    f"{record.decision.start}) but scheduled (m{assignment.machine}, "
+                    f"{assignment.start}) — allocation was revised"
+                )
+            if not fge(assignment.start, record.time - TIME_EPS):
+                raise CommitmentAuditError(
+                    f"job {job.job_id}: start {assignment.start} precedes decision "
+                    f"time {record.time}"
+                )
+        else:
+            if job.job_id in schedule.assignments:
+                raise CommitmentAuditError(
+                    f"job {job.job_id}: trace says rejected, schedule says accepted "
+                    "— the decision was revised"
+                )

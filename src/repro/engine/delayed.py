@@ -1,0 +1,219 @@
+"""Delayed commitment: the δ-deferral model of the paper's Section 1.
+
+The paper's taxonomy (§1) contrasts *immediate commitment* with
+*δ-delayed commitment*: an algorithm may postpone the accept/reject
+decision on job :math:`J_j` until time :math:`r_j + \\delta \\cdot p_j`
+(with :math:`\\delta \\le \\varepsilon`), e.g. the framework of Chen et
+al. [8] and Azar et al. [2].  This module implements that machine model so
+the benchmarks can measure the *price of immediacy* — how much objective
+value the immediate-commitment requirement costs relative to a deferred
+decider on the same streams.
+
+Mechanics
+---------
+
+* Each submitted job enters a *pending* set with decision deadline
+  :math:`t_{dec} = r_j + \\delta p_j` (clipped so that an accepted job can
+  still start in time: :math:`t_{dec} \\le d_j - p_j`).
+* The engine advances through events (releases and decision deadlines).
+  At each event the policy sees the full pending set and may decide any
+  subset of it early; jobs whose deadline fires *must* be decided.
+* Acceptance fixes machine and start time (``start >= decision time``) —
+  commitment is still binding once made, it is only *later*.
+
+The bundled :class:`DelayedGreedyPolicy` defers every decision as long as
+allowed and then accepts iff feasible, preferring long jobs among pending
+conflicts — enough look-ahead to dodge the bait-and-whale trap that costs
+immediate greedy a :math:`\\Theta(1/\\varepsilon)` factor.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.engine.policy import Decision
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.model.machine import MachineState
+from repro.model.schedule import Assignment, Schedule
+from repro.utils.tolerances import TIME_EPS
+
+
+@dataclass(frozen=True, slots=True)
+class PendingJob:
+    """A job awaiting its (possibly deferred) decision."""
+
+    job: Job
+    decision_deadline: float
+
+
+class DelayedPolicy(ABC):
+    """Admission policy in the δ-delayed-commitment model."""
+
+    name: str = "delayed-policy"
+    immediate_commitment = False
+
+    def reset(self, machines: int, epsilon: float, delta: float) -> None:
+        """Prepare for a fresh run."""
+
+    @abstractmethod
+    def decide(
+        self,
+        t: float,
+        due: Sequence[PendingJob],
+        pending: Sequence[PendingJob],
+        machines: Sequence[MachineState],
+    ) -> dict[int, Decision]:
+        """Decide at event time *t*.
+
+        ``due`` are pending jobs whose decision deadline fires at *t* —
+        each MUST receive a decision.  ``pending`` is the full pending set
+        (including ``due``); the policy may decide others early by
+        including them in the returned mapping (job id -> decision).
+        """
+
+
+def decision_deadline(job: Job, delta: float) -> float:
+    """Latest legal decision time for *job* under δ-deferral.
+
+    ``r + delta * p``, clipped to the job's latest feasible start (a later
+    decision could never be honoured).
+    """
+    return min(job.release + delta * job.processing, job.latest_start)
+
+
+def simulate_delayed(
+    policy: DelayedPolicy,
+    instance: Instance,
+    delta: float,
+) -> Schedule:
+    """Run *policy* on *instance* in the δ-delayed-commitment model.
+
+    Returns an audited schedule.  ``delta`` must lie in
+    ``[0, instance.epsilon]`` (the model's own constraint δ <= ε);
+    ``delta = 0`` reduces to immediate commitment.
+    """
+    if not 0.0 <= delta <= instance.epsilon + TIME_EPS:
+        raise ValueError(
+            f"delta must lie in [0, epsilon={instance.epsilon}], got {delta}"
+        )
+    machines = [MachineState(i) for i in range(instance.machines)]
+    policy.reset(instance.machines, instance.epsilon, delta)
+    schedule = Schedule(instance=instance, algorithm=policy.name)
+    schedule.meta["delta"] = delta
+
+    pending: dict[int, PendingJob] = {}
+    job_iter = iter(instance.jobs)
+    next_job = next(job_iter, None)
+
+    def apply(decisions: dict[int, Decision], t: float) -> None:
+        for jid, decision in decisions.items():
+            item = pending.pop(jid, None)
+            if item is None:
+                raise ValueError(f"policy decided unknown/decided job {jid}")
+            if decision.accepted:
+                if decision.start is None or decision.start < t - TIME_EPS:
+                    raise ValueError(
+                        f"job {jid}: committed start {decision.start} precedes "
+                        f"decision time {t}"
+                    )
+                machines[decision.machine].commit(item.job, decision.start)
+                schedule.assignments[jid] = Assignment(jid, decision.machine, decision.start)
+            else:
+                schedule.rejected.add(jid)
+
+    while next_job is not None or pending:
+        # Next event: the earlier of the next release and the earliest
+        # pending decision deadline.
+        candidates: list[float] = []
+        if next_job is not None:
+            candidates.append(next_job.release)
+        if pending:
+            candidates.append(min(p.decision_deadline for p in pending.values()))
+        t = min(candidates)
+
+        # Admit all releases at time t into the pending set first.
+        while next_job is not None and next_job.release <= t + TIME_EPS:
+            pending[next_job.job_id] = PendingJob(
+                next_job, decision_deadline(next_job, delta)
+            )
+            next_job = next(job_iter, None)
+
+        due = [p for p in pending.values() if p.decision_deadline <= t + TIME_EPS]
+        if not due:
+            continue
+        decisions = policy.decide(
+            t, due, list(pending.values()), machines
+        )
+        missing = {p.job.job_id for p in due} - set(decisions)
+        if missing:
+            raise ValueError(f"policy left due jobs undecided: {sorted(missing)}")
+        apply(decisions, t)
+
+    schedule.audit()
+    return schedule
+
+
+class DelayedGreedyPolicy(DelayedPolicy):
+    """Defer maximally, then admit by value with pending look-ahead.
+
+    At each event, jobs are decided in order of decreasing processing time
+    among those due; each is accepted onto the machine that can finish it
+    earliest if feasible.  Before accepting a *due* job, the policy checks
+    whether a strictly more valuable pending (not yet due) job would lose
+    its only feasible machine slot — if so the due job is rejected in its
+    favour.  This simple one-step look-ahead is what deferral buys.
+    """
+
+    name = "delayed-greedy"
+
+    def __init__(self, lookahead: bool = True) -> None:
+        self.lookahead = lookahead
+        if not lookahead:
+            self.name = "delayed-greedy[no-lookahead]"
+
+    def _fits_anywhere(self, job: Job, t: float, machines: Sequence[MachineState]) -> bool:
+        return any(ms.fits(job, t) for ms in machines)
+
+    def decide(self, t, due, pending, machines):
+        decisions: dict[int, Decision] = {}
+        # Plan on clones: the engine owns the real timelines and applies
+        # the returned decisions itself.
+        planning = [ms.clone() for ms in machines]
+        due_sorted = sorted(due, key=lambda p: -p.job.processing)
+        others = [
+            p for p in pending if p.job.job_id not in {d.job.job_id for d in due}
+        ]
+        for item in due_sorted:
+            job = item.job
+            candidates = [ms for ms in planning if ms.fits(job, t)]
+            if not candidates:
+                decisions[job.job_id] = Decision.reject(reason="no fit")
+                continue
+            chosen = max(candidates, key=lambda ms: (ms.outstanding(t), -ms.index))
+            if self.lookahead and others:
+                # Would accepting this job starve a strictly bigger pending
+                # job of its last feasible machine?
+                trial_machine = chosen.clone()
+                trial_machine.commit(job, trial_machine.append_start(job, t))
+                trial = [
+                    trial_machine if ms is chosen else ms for ms in planning
+                ]
+                starved = [
+                    o
+                    for o in others
+                    if o.job.processing > job.processing
+                    and self._fits_anywhere(o.job, t, planning)
+                    and not self._fits_anywhere(o.job, t, trial)
+                ]
+                if starved:
+                    decisions[job.job_id] = Decision.reject(
+                        reason="yielding to pending", yielded_to=starved[0].job.job_id
+                    )
+                    continue
+            start = chosen.append_start(job, t)
+            decisions[job.job_id] = Decision.accept(machine=chosen.index, start=start)
+            chosen.commit(job, start)  # keep the plan current for this event
+        return decisions

@@ -1,0 +1,259 @@
+"""Commitment with penalties: revocable admission at a price (§1).
+
+The paper's taxonomy lists *commitment with penalties* (Fung [15],
+Thibault–Laforest [31]): the algorithm must answer immediately, but may
+later revoke an accepted-but-not-yet-started job, losing a penalty
+proportional to the revoked job's value.  The objective becomes
+
+.. math:: \\sum_{\\text{completed}} p_j \\;-\\; \\phi \\sum_{\\text{revoked}} p_j
+
+for a penalty factor :math:`\\phi \\ge 0`.
+
+Mechanics
+---------
+
+* admission works exactly as in the immediate-commitment engine, except
+  commitments are held in a *tentative* plan;
+* a planned job may be revoked at any time strictly before its planned
+  start; once execution begins the commitment is final;
+* at the end of the run, every non-revoked planned job must have met its
+  deadline (audited).
+
+The bundled :class:`RevocableGreedyPolicy` admits greedily and revokes a
+planned job whenever a newly arrived job is worth more than the displaced
+plan segment plus the penalty — the canonical profitable-swap rule.  At
+:math:`\\phi = 0` it approaches the power of delayed commitment; as
+:math:`\\phi \\to \\infty` it degenerates to plain greedy (benchmarked as
+E13).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.utils.tolerances import TIME_EPS, fge
+
+
+@dataclass
+class PlannedJob:
+    """A tentatively committed job (machine + start), revocable pre-start."""
+
+    job: Job
+    machine: int
+    start: float
+
+    @property
+    def end(self) -> float:
+        """Planned completion time."""
+        return self.start + self.job.processing
+
+    def started(self, t: float) -> bool:
+        """Whether execution has begun by time *t* (then irrevocable)."""
+        return t >= self.start - TIME_EPS
+
+
+@dataclass
+class PenaltyOutcome:
+    """Result of a penalties-model run."""
+
+    instance: Instance
+    algorithm: str
+    phi: float
+    completed: dict[int, PlannedJob] = field(default_factory=dict)
+    revoked: set[int] = field(default_factory=set)
+    rejected: set[int] = field(default_factory=set)
+
+    @property
+    def completed_load(self) -> float:
+        """Load of jobs actually executed to completion."""
+        return float(sum(p.job.processing for p in self.completed.values()))
+
+    @property
+    def penalty_paid(self) -> float:
+        """Total penalty :math:`\\phi \\sum_{revoked} p_j`."""
+        return float(
+            self.phi * sum(self.instance[j].processing for j in self.revoked)
+        )
+
+    @property
+    def net_value(self) -> float:
+        """The model's objective: completed load minus penalties."""
+        return self.completed_load - self.penalty_paid
+
+    def audit(self) -> None:
+        """Verify coverage, feasibility and non-overlap of completed jobs."""
+        ids = {j.job_id for j in self.instance}
+        decided = set(self.completed) | self.revoked | self.rejected
+        if decided != ids:
+            raise AssertionError(
+                f"coverage broken: missing={sorted(ids - decided)} "
+                f"extra={sorted(decided - ids)}"
+            )
+        per_machine: dict[int, list[tuple[float, float, int]]] = {}
+        for jid, plan in self.completed.items():
+            job = plan.job
+            if not fge(plan.start, job.release):
+                raise AssertionError(f"job {jid} starts before release")
+            if not fge(job.deadline, plan.end):
+                raise AssertionError(f"job {jid} misses its deadline")
+            per_machine.setdefault(plan.machine, []).append((plan.start, plan.end, jid))
+        for spans in per_machine.values():
+            spans.sort()
+            for (s1, e1, j1), (s2, e2, j2) in zip(spans, spans[1:]):
+                if s2 < e1 - TIME_EPS:
+                    raise AssertionError(f"jobs {j1} and {j2} overlap")
+
+
+class PenaltyPolicy(ABC):
+    """Policy interface for the penalties model."""
+
+    name: str = "penalty-policy"
+
+    def reset(self, machines: int, epsilon: float, phi: float) -> None:
+        """Prepare for a fresh run."""
+
+    @abstractmethod
+    def on_submission(
+        self, job: Job, t: float, plans: Sequence[PlannedJob]
+    ) -> tuple[PlannedJob | None, list[int]]:
+        """Decide *job* at time *t* given the current revocable *plans*.
+
+        Returns ``(plan_or_None, revoked_ids)``: a tentative plan for the
+        new job (or ``None`` to reject) plus ids of existing plans to
+        revoke.  Revoked plans must not have started; the new plan must
+        not overlap surviving plans on its machine.  The engine validates.
+        """
+
+
+def simulate_with_penalties(
+    policy: PenaltyPolicy, instance: Instance, phi: float
+) -> PenaltyOutcome:
+    """Run *policy* on *instance* with penalty factor *phi* and audit."""
+    if phi < 0:
+        raise ValueError(f"penalty factor must be non-negative, got {phi}")
+    policy.reset(instance.machines, instance.epsilon, phi)
+    outcome = PenaltyOutcome(instance=instance, algorithm=policy.name, phi=phi)
+    plans: dict[int, PlannedJob] = {}
+
+    for job in instance:
+        t = job.release
+        plan, revoked_ids = policy.on_submission(job, t, list(plans.values()))
+        for rid in revoked_ids:
+            victim = plans.get(rid)
+            if victim is None:
+                raise ValueError(f"policy revoked unknown plan {rid}")
+            if victim.started(t):
+                raise ValueError(
+                    f"plan {rid} already started at {victim.start} <= {t}: "
+                    "post-start revocation is forbidden"
+                )
+            del plans[rid]
+            outcome.revoked.add(rid)
+        if plan is None:
+            outcome.rejected.add(job.job_id)
+            continue
+        if plan.job.job_id != job.job_id:
+            raise ValueError("returned plan must be for the submitted job")
+        if not 0 <= plan.machine < instance.machines:
+            raise ValueError(f"machine {plan.machine} out of range")
+        if not fge(plan.start, t):
+            raise ValueError(f"plan start {plan.start} precedes decision time {t}")
+        if not plan.job.feasible_start(plan.start):
+            raise ValueError(f"plan for job {job.job_id} infeasible")
+        for other in plans.values():
+            if other.machine == plan.machine and (
+                plan.start < other.end - TIME_EPS and other.start < plan.end - TIME_EPS
+            ):
+                raise ValueError(
+                    f"plan for job {job.job_id} overlaps surviving plan "
+                    f"{other.job.job_id}"
+                )
+        plans[job.job_id] = plan
+
+    outcome.completed = dict(plans)
+    outcome.audit()
+    return outcome
+
+
+class RevocableGreedyPolicy(PenaltyPolicy):
+    """Greedy with as-late-as-possible placement and profitable swaps.
+
+    Placement is *latest-feasible-start*: a plan stays revocable until its
+    start, so deferring starts maximises the option value of revocation
+    (a plan that starts immediately can never be taken back).  When a new
+    job fits nowhere, the policy considers dropping all not-yet-started
+    plans of one machine: the swap executes iff the newcomer's value
+    exceeds the victims' value plus the penalty,
+    :math:`p_{new} > (1 + \\phi) \\sum p_{victims}`.
+    """
+
+    name = "revocable-greedy"
+
+    def __init__(self) -> None:
+        self._m = 0
+        self._phi = 0.0
+
+    def reset(self, machines: int, epsilon: float, phi: float) -> None:
+        self._m = machines
+        self._phi = phi
+
+    # -- helpers --------------------------------------------------------
+    def _machine_plans(self, plans: Sequence[PlannedJob], machine: int) -> list[PlannedJob]:
+        return sorted(
+            (p for p in plans if p.machine == machine), key=lambda p: p.start
+        )
+
+    def _latest_start(
+        self, job: Job, t: float, busy: list[PlannedJob]
+    ) -> float | None:
+        """Latest feasible start on a machine with the given plan set."""
+        earliest = max(t, job.release)
+        # Gaps between consecutive plans, scanned from the back.
+        edges = [earliest] + [p.end for p in busy]
+        uppers = [p.start for p in busy] + [float("inf")]
+        best = None
+        for lo, hi in zip(edges, uppers):
+            lo = max(lo, earliest)
+            start = min(job.deadline, hi) - job.processing
+            if start >= lo - TIME_EPS and fge(job.deadline, start + job.processing):
+                if best is None or start > best:
+                    best = max(start, lo)
+        return best
+
+    def on_submission(self, job, t, plans):
+        # 1) plain placement: pick the machine offering the latest start.
+        best: tuple[float, int] | None = None
+        for machine in range(self._m):
+            busy = self._machine_plans(plans, machine)
+            start = self._latest_start(job, t, busy)
+            if start is not None and (best is None or start > best[0]):
+                best = (start, machine)
+        if best is not None:
+            return PlannedJob(job, best[1], best[0]), []
+
+        # 2) profitable swap: drop all not-yet-started plans on the machine
+        #    with the cheapest removable load, if the newcomer pays for it.
+        options = []
+        for machine in range(self._m):
+            busy = self._machine_plans(plans, machine)
+            removable = [p for p in busy if not p.started(t)]
+            if not removable:
+                continue
+            keep = [p for p in busy if p.started(t)]
+            start = self._latest_start(job, t, keep)
+            if start is None:
+                continue
+            cost = sum(p.job.processing for p in removable)
+            options.append((cost, machine, start, removable))
+        if options:
+            cost, machine, start, removable = min(options, key=lambda o: o[0])
+            if job.processing > (1.0 + self._phi) * cost + TIME_EPS:
+                return (
+                    PlannedJob(job, machine, start),
+                    [p.job.job_id for p in removable],
+                )
+        return None, []

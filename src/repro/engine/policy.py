@@ -1,0 +1,173 @@
+"""Online policy and job-source interfaces.
+
+The *immediate commitment* contract of the paper is encoded in the shape of
+the interface: a policy sees one job at a time, must answer with a final
+:class:`Decision` (reject, or accept with machine *and* start time), and is
+never consulted about that job again.  The engine — not the policy — owns
+the authoritative machine timelines; policies receive a read-only view and
+may keep whatever private state they like.
+
+Adaptive adversaries are modelled by the :class:`JobSource` interface: the
+engine pulls the next job only after delivering the previous decision, so a
+source can construct worst-case continuations exactly like the adversary of
+Section 3.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.model.machine import MachineState
+
+
+@dataclass(frozen=True, slots=True)
+class Decision:
+    """A final, irrevocable admission decision for one job.
+
+    Attributes
+    ----------
+    accepted:
+        Whether the job is admitted.
+    machine:
+        Target machine index (required when accepted).
+    start:
+        Committed start time (required when accepted).  The engine verifies
+        ``start >= release`` and on-time completion.
+    info:
+        Free-form diagnostics (e.g. the threshold value ``d_lim`` that the
+        decision compared against); recorded in traces, ignored by the
+        engine.
+    """
+
+    accepted: bool
+    machine: int | None = None
+    start: float | None = None
+    info: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    @classmethod
+    def reject(cls, **info: Any) -> "Decision":
+        """A rejection decision."""
+        return cls(accepted=False, info=info)
+
+    @classmethod
+    def accept(cls, machine: int, start: float, **info: Any) -> "Decision":
+        """An acceptance decision committing *machine* and *start*."""
+        return cls(accepted=True, machine=machine, start=start, info=info)
+
+    def __post_init__(self) -> None:
+        if self.accepted and (self.machine is None or self.start is None):
+            raise ValueError("accepted decisions must fix machine and start")
+
+
+class OnlinePolicy(ABC):
+    """Base class for deterministic online admission policies.
+
+    Lifecycle: the engine calls :meth:`reset` once per run, then
+    :meth:`on_submission` once per job in submission order.  The engine
+    commits accepted jobs onto its machine states *immediately after* the
+    call returns, so the ``machines`` view passed to the next submission
+    already reflects the decision.
+    """
+
+    #: Human-readable identifier used in reports and registries.
+    name: str = "policy"
+
+    #: Whether the policy supports immediate commitment (all policies in
+    #: this module do; preemptive baselines advertise ``False`` and run on
+    #: the preemptive engine instead).
+    immediate_commitment: bool = True
+
+    def reset(self, machines: int, epsilon: float) -> None:
+        """Prepare for a fresh run on ``machines`` machines with slack ``epsilon``."""
+
+    @abstractmethod
+    def on_submission(
+        self, job: Job, t: float, machines: Sequence[MachineState]
+    ) -> Decision:
+        """Decide the fate of *job* submitted at time ``t`` (= ``job.release``).
+
+        ``machines`` is the engine's authoritative, read-only machine view
+        (index ``i`` is physical machine ``i``; policies that need the
+        paper's load-sorted indexing sort a projection themselves).
+        """
+
+    def describe(self) -> dict[str, Any]:
+        """Parameter dictionary for reports."""
+        return {"name": self.name}
+
+
+class JobSource(ABC):
+    """A pull-based, possibly adaptive stream of jobs.
+
+    The engine alternates ``next_job() -> decision delivery -> observe()``
+    so that adversarial sources can adapt each submission to the full
+    decision history, matching the adaptive-adversary model of the lower
+    bound.
+    """
+
+    @property
+    @abstractmethod
+    def machines(self) -> int:
+        """Machine count of the generated instance."""
+
+    @property
+    @abstractmethod
+    def epsilon(self) -> float:
+        """Declared slack of the generated instance."""
+
+    @abstractmethod
+    def next_job(self) -> Job | None:
+        """Produce the next job, or ``None`` when the stream ends."""
+
+    @abstractmethod
+    def observe(self, job: Job, decision: Decision) -> None:
+        """Receive the policy's decision on the previously produced *job*."""
+
+    def finalize(self) -> None:
+        """Hook called once after the stream ends (optional)."""
+
+
+class SequenceSource(JobSource):
+    """A non-adaptive :class:`JobSource` wrapping a fixed instance."""
+
+    def __init__(self, instance: Instance) -> None:
+        self._instance = instance
+        self._iter = iter(instance.jobs)
+
+    @property
+    def machines(self) -> int:
+        return self._instance.machines
+
+    @property
+    def epsilon(self) -> float:
+        return self._instance.epsilon
+
+    @property
+    def instance(self) -> Instance:
+        """The wrapped instance."""
+        return self._instance
+
+    def next_job(self) -> Job | None:
+        return next(self._iter, None)
+
+    def observe(self, job: Job, decision: Decision) -> None:
+        pass
+
+
+def as_source(stream: Instance | JobSource | Iterable[Job], machines: int | None = None,
+              epsilon: float | None = None) -> JobSource:
+    """Normalise *stream* into a :class:`JobSource`.
+
+    Iterables of jobs need explicit ``machines`` and ``epsilon``.
+    """
+    if isinstance(stream, JobSource):
+        return stream
+    if isinstance(stream, Instance):
+        return SequenceSource(stream)
+    if machines is None or epsilon is None:
+        raise ValueError("raw job iterables need explicit machines and epsilon")
+    return SequenceSource(Instance(list(stream), machines=machines, epsilon=epsilon))

@@ -1,0 +1,193 @@
+"""Preemptive per-machine execution (EDF) for the preemptive baselines.
+
+The paper's own model is non-preemptive, but its related-work comparators
+(DasGupta–Palis ``1 + 1/ε``; Schwiegelshohn² with migration) live in
+preemptive machine models.  This module provides the substrate those
+baselines run on:
+
+* :class:`PreemptiveMachine` — one machine executing its accepted jobs in
+  *earliest-deadline-first* order, preemptively.  Because admission happens
+  at release time, every accepted-but-unfinished job on a machine is
+  already released, so EDF feasibility reduces to a prefix-sum test and
+  EDF execution to processing remainders in deadline order.
+* :func:`edf_feasible` — the single-machine feasibility test
+  (EDF is optimal for ``1 | r_j, pmtn | deadline`` feasibility).
+* :func:`simulate_preemptive` — the online loop for
+  :class:`PreemptivePolicy` implementations (accept/reject plus machine
+  choice; no start-time commitment — the machine may preempt at will, i.e.
+  this is the *immediate notification* model).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.utils.tolerances import TIME_EPS, fge, snap
+
+
+@dataclass
+class ActiveJob:
+    """An accepted job with its remaining processing requirement."""
+
+    job: Job
+    remaining: float
+
+    @property
+    def deadline(self) -> float:
+        """Absolute deadline of the underlying job."""
+        return self.job.deadline
+
+
+def edf_feasible(now: float, items: Sequence[ActiveJob], extra: Job | None = None) -> bool:
+    """Single-machine EDF feasibility of already-released work at time *now*.
+
+    ``items`` are active (released) jobs with remainders; *extra* optionally
+    adds a candidate job (full processing time).  Feasible iff processing
+    the remainders in non-decreasing deadline order meets every deadline:
+
+    .. math:: now + \\sum_{i \\le j} rem_i \\le d_j \\quad \\forall j .
+    """
+    entries = [(a.deadline, a.remaining) for a in items if a.remaining > TIME_EPS]
+    if extra is not None:
+        entries.append((extra.deadline, extra.processing))
+    entries.sort()
+    clock = now
+    for deadline, remaining in entries:
+        clock += remaining
+        if not fge(deadline, clock):
+            return False
+    return True
+
+
+class PreemptiveMachine:
+    """One preemptive machine running EDF over its accepted jobs."""
+
+    __slots__ = ("index", "now", "active", "completed_load", "completions")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.now = 0.0
+        self.active: list[ActiveJob] = []
+        self.completed_load = 0.0
+        self.completions: dict[int, float] = {}
+
+    def advance(self, t: float) -> None:
+        """Execute EDF from the machine's local clock up to time *t*."""
+        if t < self.now - TIME_EPS:
+            raise ValueError(f"machine {self.index}: time moved backwards {self.now} -> {t}")
+        budget = t - self.now
+        self.active.sort(key=lambda a: a.deadline)
+        clock = self.now
+        still_active: list[ActiveJob] = []
+        for item in self.active:
+            if budget <= TIME_EPS:
+                still_active.append(item)
+                continue
+            work = min(item.remaining, budget)
+            item.remaining = snap(item.remaining - work)
+            budget -= work
+            clock += work
+            if item.remaining <= TIME_EPS:
+                self.completed_load += item.job.processing
+                self.completions[item.job.job_id] = clock
+            else:
+                still_active.append(item)
+        self.active = still_active
+        self.now = t
+
+    def outstanding(self) -> float:
+        """Total remaining work of active jobs at the local clock."""
+        return sum(a.remaining for a in self.active)
+
+    def feasible_with(self, job: Job) -> bool:
+        """Whether accepting *job* now keeps this machine EDF-feasible."""
+        return edf_feasible(self.now, self.active, extra=job)
+
+    def accept(self, job: Job) -> None:
+        """Admit *job* (caller is responsible for the feasibility check)."""
+        self.active.append(ActiveJob(job, job.processing))
+
+    def drain(self) -> None:
+        """Run the machine to completion of all active work."""
+        horizon = self.now + self.outstanding()
+        self.advance(horizon)
+
+
+class PreemptivePolicy(ABC):
+    """Admission policy in the preemptive immediate-notification model.
+
+    The policy answers accept/reject plus a machine choice; it does *not*
+    commit a start time (machines preempt freely).  Jobs never migrate
+    between machines (the DasGupta–Palis model); the migration model is
+    handled by :mod:`repro.baselines.migration` with its own feasibility
+    oracle.
+    """
+
+    name: str = "preemptive-policy"
+    immediate_commitment: bool = False
+
+    def reset(self, machines: int, epsilon: float) -> None:
+        """Prepare for a fresh run."""
+
+    @abstractmethod
+    def on_submission(
+        self, job: Job, t: float, machines: Sequence[PreemptiveMachine]
+    ) -> int | None:
+        """Return the chosen machine index, or ``None`` to reject."""
+
+
+@dataclass
+class PreemptiveOutcome:
+    """Result of a preemptive simulation run."""
+
+    instance: Instance
+    algorithm: str
+    accepted_ids: set[int] = field(default_factory=set)
+    completions: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def accepted_load(self) -> float:
+        """Objective value :math:`\\sum p_j (1 - U_j)`."""
+        return float(sum(self.instance[j].processing for j in self.accepted_ids))
+
+    def audit(self) -> None:
+        """Verify every accepted job completed by its deadline."""
+        for jid in self.accepted_ids:
+            job = self.instance[jid]
+            done = self.completions.get(jid)
+            if done is None:
+                raise AssertionError(f"accepted job {jid} never completed")
+            if not fge(job.deadline, done):
+                raise AssertionError(
+                    f"job {jid} completed at {done} after deadline {job.deadline}"
+                )
+
+
+def simulate_preemptive(policy: PreemptivePolicy, instance: Instance) -> PreemptiveOutcome:
+    """Run a :class:`PreemptivePolicy` over *instance* and audit the result."""
+    machines = [PreemptiveMachine(i) for i in range(instance.machines)]
+    policy.reset(instance.machines, instance.epsilon)
+    outcome = PreemptiveOutcome(instance=instance, algorithm=policy.name)
+    for job in instance:
+        t = job.release
+        for machine in machines:
+            machine.advance(t)
+        choice = policy.on_submission(job, t, machines)
+        if choice is not None:
+            if not 0 <= choice < len(machines):
+                raise ValueError(f"policy chose machine {choice} out of range")
+            if not machines[choice].feasible_with(job):
+                raise ValueError(
+                    f"policy accepted job {job.job_id} onto infeasible machine {choice}"
+                )
+            machines[choice].accept(job)
+            outcome.accepted_ids.add(job.job_id)
+    for machine in machines:
+        machine.drain()
+        outcome.completions.update(machine.completions)
+    outcome.audit()
+    return outcome

@@ -1,0 +1,95 @@
+"""Decision traces.
+
+Every simulation records one :class:`DecisionRecord` per submission: the
+job, the decision, and a snapshot of the per-machine outstanding loads at
+decision time.  Traces power the audit layer (irrevocability and Claim 1
+checks), the Fig. 2 decision-tree reproduction, and debugging output in the
+examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+from repro.engine.policy import Decision
+from repro.model.job import Job
+
+
+@dataclass(frozen=True, slots=True)
+class DecisionRecord:
+    """One submission and its immediate, irrevocable outcome."""
+
+    seq: int
+    time: float
+    job: Job
+    decision: Decision
+    loads_before: tuple[float, ...]
+
+    @property
+    def accepted(self) -> bool:
+        """Whether the job was admitted."""
+        return self.decision.accepted
+
+    def summary(self) -> str:
+        """Single-line rendering for logs and the examples."""
+        verdict = (
+            f"accept -> m{self.decision.machine} @ {self.decision.start:g}"
+            if self.decision.accepted
+            else "reject"
+        )
+        extra = ""
+        if "d_lim" in self.decision.info:
+            extra = f" (d_lim={self.decision.info['d_lim']:g})"
+        return (
+            f"[{self.seq:4d}] t={self.time:g} job {self.job.job_id} "
+            f"(p={self.job.processing:g}, d={self.job.deadline:g}): {verdict}{extra}"
+        )
+
+
+@dataclass
+class TraceRecorder:
+    """Append-only container of decision records for one run."""
+
+    records: list[DecisionRecord] = field(default_factory=list)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def record(
+        self,
+        time: float,
+        job: Job,
+        decision: Decision,
+        loads_before: Sequence[float],
+    ) -> DecisionRecord:
+        """Append a record and return it."""
+        rec = DecisionRecord(
+            seq=len(self.records),
+            time=time,
+            job=job,
+            decision=decision,
+            loads_before=tuple(loads_before),
+        )
+        self.records.append(rec)
+        return rec
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[DecisionRecord]:
+        return iter(self.records)
+
+    def accepted(self) -> list[DecisionRecord]:
+        """Records of accepted jobs."""
+        return [r for r in self.records if r.accepted]
+
+    def rejected(self) -> list[DecisionRecord]:
+        """Records of rejected jobs."""
+        return [r for r in self.records if not r.accepted]
+
+    def acceptance_by_job(self) -> dict[int, bool]:
+        """Map from job id to acceptance verdict."""
+        return {r.job.job_id: r.accepted for r in self.records}
+
+    def render(self) -> str:
+        """Multi-line rendering of the whole trace."""
+        return "\n".join(r.summary() for r in self.records)

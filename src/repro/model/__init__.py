@@ -1,0 +1,24 @@
+"""Problem model: jobs, instances, machine state, and schedules.
+
+The model layer is deliberately independent of any particular algorithm:
+it defines *what* a valid input and a valid committed schedule are, and it
+can audit any schedule against the non-preemptive machine semantics and the
+slack condition of the paper.
+"""
+
+from repro.model.job import Job, slack_of, tight_deadline
+from repro.model.instance import Instance, instance_from_arrays
+from repro.model.machine import MachineState
+from repro.model.schedule import Assignment, Schedule, ScheduleViolation
+
+__all__ = [
+    "Job",
+    "slack_of",
+    "tight_deadline",
+    "Instance",
+    "instance_from_arrays",
+    "MachineState",
+    "Assignment",
+    "Schedule",
+    "ScheduleViolation",
+]

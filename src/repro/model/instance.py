@@ -1,0 +1,266 @@
+"""Problem instances: ordered collections of jobs plus system parameters.
+
+An :class:`Instance` is the offline view of a job sequence: the jobs in
+*submission order* (the order the online algorithm sees them — ties in the
+release date are broken by position in the sequence), the number of
+machines, and the declared slack.  The class validates the slack condition,
+computes summary statistics, and round-trips to plain-dict / JSON form so
+benchmark artefacts can be archived.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.model.job import Job
+from repro.utils.tolerances import TIME_EPS
+
+
+@dataclass(frozen=True)
+class Instance:
+    """An ordered job sequence for ``m`` machines with declared slack ``epsilon``.
+
+    Parameters
+    ----------
+    jobs:
+        Jobs in submission order.  Release dates must be non-decreasing
+        (the online model reveals jobs in this order).  Job ids are
+        rewritten to the position in the sequence unless already consistent.
+    machines:
+        Number of identical non-preemptive machines ``m >= 1``.
+    epsilon:
+        Declared slack in ``(0, 1]`` (values above 1 are legal inputs to the
+        greedy baselines but outside the paper's analysed range; the
+        constructor allows any ``epsilon > 0`` and leaves range policy to
+        the algorithms).
+    name:
+        Optional human-readable label (generator provenance).
+    meta:
+        Free-form metadata dictionary.
+    """
+
+    jobs: tuple[Job, ...]
+    machines: int
+    epsilon: float
+    name: str = ""
+    meta: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __init__(
+        self,
+        jobs: Iterable[Job],
+        machines: int,
+        epsilon: float,
+        name: str = "",
+        meta: dict[str, Any] | None = None,
+        validate: bool = True,
+    ) -> None:
+        jobs = tuple(jobs)
+        relabelled = []
+        for idx, job in enumerate(jobs):
+            relabelled.append(job if job.job_id == idx else job.with_id(idx))
+        object.__setattr__(self, "jobs", tuple(relabelled))
+        object.__setattr__(self, "machines", int(machines))
+        object.__setattr__(self, "epsilon", float(epsilon))
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "meta", dict(meta or {}))
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ``ValueError`` on malformed instances.
+
+        Checks: positive machine count, positive slack, non-decreasing
+        release dates, and the slack condition for every job.
+        """
+        if self.machines < 1:
+            raise ValueError(f"machines must be >= 1, got {self.machines}")
+        if self.epsilon <= 0.0:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+        prev_release = 0.0
+        for job in self.jobs:
+            if job.release < prev_release - TIME_EPS:
+                raise ValueError(
+                    f"job {job.job_id} released at {job.release} before "
+                    f"predecessor at {prev_release}: submission order must "
+                    "follow release order"
+                )
+            prev_release = max(prev_release, job.release)
+            if not job.satisfies_slack(self.epsilon):
+                raise ValueError(
+                    f"job {job.job_id} violates the slack condition for "
+                    f"epsilon={self.epsilon}: d={job.deadline} < "
+                    f"(1+eps)*p+r={(1 + self.epsilon) * job.processing + job.release}"
+                )
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    def __getitem__(self, idx: int) -> Job:
+        return self.jobs[idx]
+
+    # ------------------------------------------------------------------
+    # Summary statistics
+    # ------------------------------------------------------------------
+    @property
+    def total_load(self) -> float:
+        """Sum of all processing times (the offline value ceiling)."""
+        return float(sum(j.processing for j in self.jobs))
+
+    @property
+    def horizon(self) -> float:
+        """Largest deadline in the instance (0 for the empty instance)."""
+        return max((j.deadline for j in self.jobs), default=0.0)
+
+    @property
+    def min_slack(self) -> float:
+        """Smallest individual job slack (``inf`` for the empty instance)."""
+        return min((j.slack() for j in self.jobs), default=float("inf"))
+
+    def releases(self) -> np.ndarray:
+        """Release dates as a float array (submission order)."""
+        return np.array([j.release for j in self.jobs], dtype=float)
+
+    def processings(self) -> np.ndarray:
+        """Processing times as a float array (submission order)."""
+        return np.array([j.processing for j in self.jobs], dtype=float)
+
+    def deadlines(self) -> np.ndarray:
+        """Deadlines as a float array (submission order)."""
+        return np.array([j.deadline for j in self.jobs], dtype=float)
+
+    def describe(self) -> dict[str, Any]:
+        """Summary statistics used by benchmark reports."""
+        p = self.processings()
+        return {
+            "name": self.name,
+            "jobs": len(self.jobs),
+            "machines": self.machines,
+            "epsilon": self.epsilon,
+            "total_load": self.total_load,
+            "horizon": self.horizon,
+            "min_slack": self.min_slack,
+            "p_min": float(p.min()) if len(p) else 0.0,
+            "p_max": float(p.max()) if len(p) else 0.0,
+            "p_mean": float(p.mean()) if len(p) else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # Derived instances
+    # ------------------------------------------------------------------
+    def with_machines(self, machines: int) -> "Instance":
+        """Same job sequence on a different machine count."""
+        return Instance(self.jobs, machines, self.epsilon, self.name, dict(self.meta))
+
+    def restricted_to(self, job_ids: Iterable[int]) -> "Instance":
+        """Sub-instance containing only *job_ids* (submission order kept).
+
+        Job ids are re-assigned positionally in the sub-instance; the
+        original id is preserved in the ``origin_id`` tag.
+        """
+        wanted = set(job_ids)
+        kept = [j.with_tags(origin_id=j.job_id) for j in self.jobs if j.job_id in wanted]
+        return Instance(kept, self.machines, self.epsilon, self.name + "/restricted", dict(self.meta))
+
+    def sorted_by_release(self) -> "Instance":
+        """Stable re-sort by release date (normalises generator output)."""
+        ordered = sorted(self.jobs, key=lambda j: j.release)
+        return Instance(ordered, self.machines, self.epsilon, self.name, dict(self.meta))
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-safe)."""
+        return {
+            "name": self.name,
+            "machines": self.machines,
+            "epsilon": self.epsilon,
+            "meta": self.meta,
+            "jobs": [
+                {
+                    "r": j.release,
+                    "p": j.processing,
+                    "d": j.deadline,
+                    "id": j.job_id,
+                    **({"w": j.weight} if j.weight is not None else {}),
+                }
+                for j in self.jobs
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Instance":
+        """Inverse of :meth:`to_dict`."""
+        jobs = [
+            Job(
+                release=j["r"],
+                processing=j["p"],
+                deadline=j["d"],
+                job_id=j.get("id", i),
+                weight=j.get("w"),
+            )
+            for i, j in enumerate(data["jobs"])
+        ]
+        return cls(
+            jobs,
+            machines=data["machines"],
+            epsilon=data["epsilon"],
+            name=data.get("name", ""),
+            meta=data.get("meta"),
+        )
+
+    def to_json(self) -> str:
+        """JSON text form."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Instance":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+
+def instance_from_arrays(
+    releases: Sequence[float],
+    processings: Sequence[float],
+    deadlines: Sequence[float],
+    machines: int,
+    epsilon: float | None = None,
+    name: str = "",
+) -> Instance:
+    """Build an :class:`Instance` from parallel arrays.
+
+    When *epsilon* is ``None`` the declared slack is inferred as the minimum
+    individual slack over the jobs (clipped to at most 1, matching the
+    paper's analysed range ``(0, 1]`` whenever possible).
+    """
+    releases = np.asarray(releases, dtype=float)
+    processings = np.asarray(processings, dtype=float)
+    deadlines = np.asarray(deadlines, dtype=float)
+    if not (len(releases) == len(processings) == len(deadlines)):
+        raise ValueError("releases, processings and deadlines must have equal length")
+    jobs = [
+        Job(release=float(r), processing=float(p), deadline=float(d), job_id=i)
+        for i, (r, p, d) in enumerate(zip(releases, processings, deadlines))
+    ]
+    if epsilon is None:
+        if not jobs:
+            raise ValueError("cannot infer epsilon from an empty instance")
+        epsilon = min(min(j.slack() for j in jobs), 1.0)
+        if epsilon <= 0:
+            raise ValueError("cannot infer a positive epsilon: some job has no slack")
+    order = np.argsort(releases, kind="stable")
+    jobs = [jobs[i] for i in order]
+    return Instance(jobs, machines=machines, epsilon=float(epsilon), name=name)

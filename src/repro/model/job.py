@@ -1,0 +1,160 @@
+"""The job model.
+
+A job :math:`J_j` is the triple :math:`(r_j, p_j, d_j)` of release date,
+processing time and deadline (Section 2 of the paper).  The deadline has to
+satisfy the *slack condition*
+
+.. math::    d_j \\ge (1 + \\varepsilon) \\cdot p_j + r_j
+
+for the system-wide slack parameter :math:`\\varepsilon`.  When the
+condition holds with equality the job has *tight slack*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.utils.tolerances import TIME_EPS, fge
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """An immutable job ``(release, processing, deadline)``.
+
+    Attributes
+    ----------
+    release:
+        Release date :math:`r_j \\ge 0`; the job becomes known to the online
+        algorithm exactly at this time (online-over-time model).
+    processing:
+        Processing time :math:`p_j > 0`; also the job's value under the load
+        objective :math:`\\sum p_j (1 - U_j)`.
+    deadline:
+        Absolute deadline :math:`d_j`; a non-preemptive execution interval
+        ``[s, s + p)`` is feasible iff ``s >= release`` and
+        ``s + processing <= deadline``.
+    job_id:
+        Stable identifier assigned by the enclosing instance (submission
+        order index unless stated otherwise).
+    weight:
+        Optional value :math:`w_j` for the *general* objective
+        :math:`\\sum w_j (1 - U_j)` of Lucier et al. [28] — the paper's
+        §1 notes that this objective admits **no** bounded competitive
+        ratio under immediate commitment (reproduced as experiment E15).
+        ``None`` (the default) means the load objective
+        :math:`w_j = p_j`; the paper's algorithms never read this field.
+    tags:
+        Free-form metadata (service level, generator provenance, adversary
+        phase, ...) that algorithms must ignore.
+    """
+
+    release: float
+    processing: float
+    deadline: float
+    job_id: int = -1
+    weight: float | None = None
+    tags: tuple[tuple[str, Any], ...] = field(default=(), compare=False)
+
+    def __post_init__(self) -> None:
+        for name in ("release", "processing", "deadline"):
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise ValueError(f"job {self.job_id}: {name} must be finite, got {value}")
+        if self.weight is not None and not math.isfinite(self.weight):
+            raise ValueError(f"job {self.job_id}: weight must be finite, got {self.weight}")
+        if self.processing <= 0.0:
+            raise ValueError(f"job {self.job_id}: processing must be positive, got {self.processing}")
+        if self.release < 0.0:
+            raise ValueError(f"job {self.job_id}: release must be non-negative, got {self.release}")
+        if self.deadline < self.release + self.processing - TIME_EPS:
+            raise ValueError(
+                f"job {self.job_id}: window [{self.release}, {self.deadline}) "
+                f"cannot fit processing time {self.processing}"
+            )
+        if self.weight is not None and self.weight < 0.0:
+            raise ValueError(f"job {self.job_id}: weight must be non-negative, got {self.weight}")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> float:
+        """The job's objective contribution: ``weight`` if set, else ``processing``."""
+        return self.processing if self.weight is None else self.weight
+
+    @property
+    def latest_start(self) -> float:
+        """Latest feasible start time ``d - p``."""
+        return self.deadline - self.processing
+
+    @property
+    def window(self) -> float:
+        """Length of the feasibility window ``d - r``."""
+        return self.deadline - self.release
+
+    @property
+    def laxity(self) -> float:
+        """Scheduling laxity ``d - r - p`` (how long the job can wait)."""
+        return self.deadline - self.release - self.processing
+
+    def slack(self) -> float:
+        """The job's individual slack :math:`(d - r)/p - 1`.
+
+        The instance-wide slack :math:`\\varepsilon` is the minimum of this
+        quantity over all jobs.
+        """
+        return (self.deadline - self.release) / self.processing - 1.0
+
+    def satisfies_slack(self, epsilon: float, eps: float = TIME_EPS) -> bool:
+        """Check the slack condition ``d >= (1 + epsilon) * p + r``."""
+        return fge(self.deadline, (1.0 + epsilon) * self.processing + self.release, eps)
+
+    def has_tight_slack(self, epsilon: float, eps: float = TIME_EPS) -> bool:
+        """Whether the slack condition holds with equality (tight slack)."""
+        return abs(self.deadline - ((1.0 + epsilon) * self.processing + self.release)) <= eps
+
+    def feasible_start(self, start: float, eps: float = TIME_EPS) -> bool:
+        """Whether starting at *start* respects release and deadline."""
+        return fge(start, self.release, eps) and fge(self.deadline, start + self.processing, eps)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def with_id(self, job_id: int) -> "Job":
+        """Return a copy of this job carrying identifier *job_id*."""
+        return replace(self, job_id=job_id)
+
+    def with_tags(self, **tags: Any) -> "Job":
+        """Return a copy with *tags* merged into the metadata."""
+        merged = dict(self.tags)
+        merged.update(tags)
+        return replace(self, tags=tuple(sorted(merged.items())))
+
+    def tag(self, key: str, default: Any = None) -> Any:
+        """Look up a metadata tag by *key*."""
+        return dict(self.tags).get(key, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Job(id={self.job_id}, r={self.release:g}, p={self.processing:g}, "
+            f"d={self.deadline:g})"
+        )
+
+
+def slack_of(job: Job) -> float:
+    """Module-level alias for :meth:`Job.slack` (useful as a sort key)."""
+    return job.slack()
+
+
+def tight_deadline(release: float, processing: float, epsilon: float) -> float:
+    """Deadline making ``(release, processing)`` a tight-slack job.
+
+    Returns ``release + (1 + epsilon) * processing`` — the smallest deadline
+    admitted by the slack condition.  Adversarial constructions use this
+    constantly (the paper's phase-3 jobs have tight slack).
+    """
+    if processing <= 0:
+        raise ValueError(f"processing must be positive, got {processing}")
+    return release + (1.0 + epsilon) * processing

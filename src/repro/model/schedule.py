@@ -1,0 +1,276 @@
+"""Committed schedules and their audit.
+
+A :class:`Schedule` is the *output* of running an online (or offline)
+algorithm on an instance: for every job either a rejection or an
+:class:`Assignment` (machine, start time).  The class knows how to verify
+itself against the non-preemptive semantics — Claim 1 of the paper
+("Algorithm 1 completes any accepted job on time") becomes the executable
+:meth:`Schedule.audit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.utils.intervals import Interval
+from repro.utils.tolerances import TIME_EPS, fge
+
+
+class ScheduleViolation(AssertionError):
+    """Raised by :meth:`Schedule.audit` when a schedule is invalid."""
+
+
+@dataclass(frozen=True, slots=True)
+class Assignment:
+    """An accepted job's irrevocable allocation."""
+
+    job_id: int
+    machine: int
+    start: float
+
+    def interval(self, job: Job) -> Interval:
+        """Execution interval of *job* under this assignment."""
+        return Interval(self.start, self.start + job.processing)
+
+
+@dataclass
+class Schedule:
+    """The result of scheduling *instance*: assignments and rejections.
+
+    Attributes
+    ----------
+    instance:
+        The scheduled instance.
+    assignments:
+        Mapping from job id to :class:`Assignment` for accepted jobs.
+    rejected:
+        Ids of rejected jobs.
+    algorithm:
+        Label of the producing algorithm (reporting only).
+    meta:
+        Free-form metadata (decision traces, thresholds, ...).
+    """
+
+    instance: Instance
+    assignments: dict[int, Assignment] = field(default_factory=dict)
+    rejected: set[int] = field(default_factory=set)
+    algorithm: str = ""
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Objective
+    # ------------------------------------------------------------------
+    @property
+    def accepted_load(self) -> float:
+        """The objective value :math:`\\sum p_j (1 - U_j)`."""
+        return float(
+            sum(self.instance[jid].processing for jid in self.assignments)
+        )
+
+    @property
+    def accepted_value(self) -> float:
+        """The general objective :math:`\\sum w_j (1 - U_j)`.
+
+        Coincides with :attr:`accepted_load` on unweighted instances
+        (``weight is None`` means :math:`w_j = p_j`).
+        """
+        return float(sum(self.instance[jid].value for jid in self.assignments))
+
+    @property
+    def accepted_count(self) -> int:
+        """Number of accepted jobs."""
+        return len(self.assignments)
+
+    @property
+    def rejected_load(self) -> float:
+        """Total processing time of rejected jobs."""
+        return float(sum(self.instance[jid].processing for jid in self.rejected))
+
+    def acceptance_rate(self) -> float:
+        """Fraction of jobs accepted (1.0 on the empty instance)."""
+        n = len(self.instance)
+        return 1.0 if n == 0 else len(self.assignments) / n
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def machine_timeline(self, machine: int) -> list[tuple[Job, Interval]]:
+        """Jobs on *machine*, sorted by start time, with their intervals."""
+        rows = [
+            (self.instance[jid], a.interval(self.instance[jid]))
+            for jid, a in self.assignments.items()
+            if a.machine == machine
+        ]
+        rows.sort(key=lambda row: row[1].start)
+        return rows
+
+    def machine_loads(self) -> list[float]:
+        """Total accepted processing time per machine."""
+        loads = [0.0] * self.instance.machines
+        for jid, a in self.assignments.items():
+            loads[a.machine] += self.instance[jid].processing
+        return loads
+
+    def makespan(self) -> float:
+        """Latest completion time over all accepted jobs (0 if none)."""
+        return max(
+            (a.start + self.instance[jid].processing for jid, a in self.assignments.items()),
+            default=0.0,
+        )
+
+    def is_accepted(self, job_id: int) -> bool:
+        """Whether *job_id* was accepted."""
+        return job_id in self.assignments
+
+    # ------------------------------------------------------------------
+    # Audit (Claim 1 as an executable invariant)
+    # ------------------------------------------------------------------
+    def audit(self) -> None:
+        """Verify the schedule; raise :class:`ScheduleViolation` otherwise.
+
+        Checks, for every job of the instance:
+
+        1. the job is *either* accepted or rejected, exactly once;
+        2. accepted jobs start no earlier than their release;
+        3. accepted jobs complete no later than their deadline (Claim 1);
+        4. the machine index is valid;
+        5. no two jobs on the same machine overlap in time.
+        """
+        ids = {j.job_id for j in self.instance}
+        decided = set(self.assignments) | self.rejected
+        if decided != ids:
+            missing = ids - decided
+            extra = decided - ids
+            raise ScheduleViolation(
+                f"decision coverage broken: missing={sorted(missing)} extra={sorted(extra)}"
+            )
+        if self.assignments.keys() & self.rejected:
+            both = sorted(self.assignments.keys() & self.rejected)
+            raise ScheduleViolation(f"jobs both accepted and rejected: {both}")
+
+        per_machine: dict[int, list[tuple[float, float, int]]] = {}
+        for jid, a in self.assignments.items():
+            job = self.instance[jid]
+            if not (0 <= a.machine < self.instance.machines):
+                raise ScheduleViolation(
+                    f"job {jid}: machine index {a.machine} out of range "
+                    f"[0, {self.instance.machines})"
+                )
+            if not fge(a.start, job.release):
+                raise ScheduleViolation(
+                    f"job {jid}: starts at {a.start} before release {job.release}"
+                )
+            if not fge(job.deadline, a.start + job.processing):
+                raise ScheduleViolation(
+                    f"job {jid}: completes at {a.start + job.processing} after "
+                    f"deadline {job.deadline}"
+                )
+            per_machine.setdefault(a.machine, []).append(
+                (a.start, a.start + job.processing, jid)
+            )
+        for machine, spans in per_machine.items():
+            spans.sort()
+            for (s1, e1, j1), (s2, e2, j2) in zip(spans, spans[1:]):
+                if s2 < e1 - TIME_EPS:
+                    raise ScheduleViolation(
+                        f"machine {machine}: job {j1} [{s1},{e1}) overlaps "
+                        f"job {j2} [{s2},{e2})"
+                    )
+
+    def is_valid(self) -> bool:
+        """Boolean form of :meth:`audit`."""
+        try:
+            self.audit()
+        except ScheduleViolation:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_decisions(
+        cls,
+        instance: Instance,
+        decisions: Iterable[tuple[int, Assignment | None]],
+        algorithm: str = "",
+        meta: Mapping[str, Any] | None = None,
+    ) -> "Schedule":
+        """Build a schedule from ``(job_id, assignment-or-None)`` pairs."""
+        sched = cls(instance=instance, algorithm=algorithm, meta=dict(meta or {}))
+        for jid, assignment in decisions:
+            if assignment is None:
+                sched.rejected.add(jid)
+            else:
+                sched.assignments[jid] = assignment
+        return sched
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form (instance embedded; traces/meta dropped).
+
+        Only plain decision data round-trips — decision traces hold live
+        objects and are deliberately not serialised.
+        """
+        return {
+            "instance": self.instance.to_dict(),
+            "algorithm": self.algorithm,
+            "assignments": [
+                {"job": a.job_id, "machine": a.machine, "start": a.start}
+                for a in sorted(self.assignments.values(), key=lambda a: a.job_id)
+            ],
+            "rejected": sorted(self.rejected),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Schedule":
+        """Inverse of :meth:`to_dict`; the result is re-audited."""
+        instance = Instance.from_dict(data["instance"])
+        schedule = cls(instance=instance, algorithm=data.get("algorithm", ""))
+        for entry in data["assignments"]:
+            schedule.assignments[entry["job"]] = Assignment(
+                entry["job"], entry["machine"], entry["start"]
+            )
+        schedule.rejected = set(data["rejected"])
+        schedule.audit()
+        return schedule
+
+    def to_json(self) -> str:
+        """JSON text form of :meth:`to_dict`."""
+        import json
+
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Schedule":
+        """Inverse of :meth:`to_json`."""
+        import json
+
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def gantt_ascii(self, width: int = 72) -> str:
+        """Crude ASCII Gantt chart — one row per machine.
+
+        Used by the Fig. 3 reproduction and the examples; each accepted job
+        is drawn as a run of its ``job_id mod 10`` digit.
+        """
+        horizon = max(self.makespan(), self.instance.horizon, TIME_EPS)
+        scale = (width - 1) / horizon
+        rows = []
+        for machine in range(self.instance.machines):
+            row = ["."] * width
+            for job, iv in self.machine_timeline(machine):
+                lo = int(round(iv.start * scale))
+                hi = max(lo + 1, int(round(iv.end * scale)))
+                for x in range(lo, min(hi, width)):
+                    row[x] = str(job.job_id % 10)
+            rows.append(f"m{machine}: " + "".join(row))
+        return "\n".join(rows)

@@ -1,0 +1,73 @@
+"""Certified upper bounds on the offline optimum.
+
+The key bound is the *preemption + migration + fractional acceptance*
+relaxation: any non-preemptive schedule of accepted jobs induces a flow in
+Horn's interval network, so the maximum flow is an upper bound on the
+achievable load.  The network:
+
+* event times = all releases and deadlines; consecutive events bound the
+  intervals :math:`I_\\ell`;
+* ``source -> job_j`` with capacity :math:`p_j` (fractional acceptance);
+* ``job_j -> I_ell`` with capacity :math:`|I_\\ell|` whenever
+  :math:`I_\\ell \\subseteq [r_j, d_j]` (no self-parallelism);
+* ``I_ell -> sink`` with capacity :math:`m \\cdot |I_\\ell|`.
+
+The value is exact for the preemptive-migration machine model (it equals
+that model's optimum when acceptance is all-or-nothing relaxed), which the
+migration baseline's tests exploit.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.model.instance import Instance
+from repro.utils.tolerances import TIME_EPS, fge
+
+
+def flow_upper_bound(instance: Instance) -> float:
+    """Horn-relaxation upper bound on the offline optimal load."""
+    if len(instance) == 0:
+        return 0.0
+    events = sorted(
+        {float(j.release) for j in instance} | {float(j.deadline) for j in instance}
+    )
+    intervals = [
+        (lo, hi) for lo, hi in zip(events, events[1:]) if hi - lo > TIME_EPS
+    ]
+    graph = nx.DiGraph()
+    for idx, (lo, hi) in enumerate(intervals):
+        graph.add_edge(f"I{idx}", "sink", capacity=instance.machines * (hi - lo))
+    for job in instance:
+        graph.add_edge("src", f"J{job.job_id}", capacity=job.processing)
+        for idx, (lo, hi) in enumerate(intervals):
+            if fge(lo, job.release) and fge(job.deadline, hi):
+                graph.add_edge(f"J{job.job_id}", f"I{idx}", capacity=hi - lo)
+    value, _ = nx.maximum_flow(graph, "src", "sink")
+    return float(value)
+
+
+def machine_window_upper_bound(instance: Instance) -> float:
+    """A cheap coarse bound: ``m * (max deadline - min release)``.
+
+    Useful as a quick sanity cap and in tests of the flow bound itself.
+    """
+    if len(instance) == 0:
+        return 0.0
+    releases = instance.releases()
+    deadlines = instance.deadlines()
+    return float(instance.machines * (deadlines.max() - releases.min()))
+
+
+def opt_upper_bound(instance: Instance) -> float:
+    """Best certified upper bound: min of flow, total load, and window."""
+    return float(
+        np.min(
+            [
+                flow_upper_bound(instance),
+                instance.total_load,
+                machine_window_upper_bound(instance),
+            ]
+        )
+    )

@@ -1,0 +1,85 @@
+"""Exact DP for the common-release single-machine case.
+
+When all jobs share one release date, an optimal single-machine schedule
+can process its accepted set in EDD order (the classical exchange argument
+goes through because no job has to wait for a release).  Selecting a
+maximum-load subset then becomes a prefix-constrained knapsack: process
+jobs in EDD order and keep the set of achievable *used-time* values — the
+objective equals the used time, because every accepted job contributes its
+full processing time.
+
+The state set is pruned to unique values, so the DP is pseudo-polynomial
+for integer data and exact for arbitrary floats (at worst :math:`2^n`
+states, which the adversarial instances it is used on never approach).
+
+This solver cross-checks the constructive optima claimed by the
+lower-bound adversary (whose jobs, apart from :math:`J_1`, share the
+release date :math:`t`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.model.job import Job
+from repro.utils.tolerances import TIME_EPS, fge
+
+
+def single_machine_common_release_opt(jobs: Sequence[Job] | Iterable[Job]) -> float:
+    """Maximum schedulable load of *jobs* on one machine, common release.
+
+    Raises ``ValueError`` if the jobs do not share a release date.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return 0.0
+    release = jobs[0].release
+    if any(abs(j.release - release) > TIME_EPS for j in jobs):
+        raise ValueError("common-release DP requires identical release dates")
+
+    ordered = sorted(jobs, key=lambda j: (j.deadline, j.processing))
+    # Achievable completion offsets (work performed since `release`).
+    achievable: set[float] = {0.0}
+    for job in ordered:
+        budget = job.deadline - release
+        additions = set()
+        for used in achievable:
+            finish = used + job.processing
+            if fge(budget, finish):
+                additions.add(round(finish, 9))
+        achievable |= additions
+    return max(achievable)
+
+
+def single_machine_common_release_opt_subset(
+    jobs: Sequence[Job],
+) -> tuple[float, list[int]]:
+    """Like :func:`single_machine_common_release_opt`, also returning one
+    optimal accepted subset (job ids, in EDD processing order)."""
+    jobs = list(jobs)
+    if not jobs:
+        return 0.0, []
+    release = jobs[0].release
+    if any(abs(j.release - release) > TIME_EPS for j in jobs):
+        raise ValueError("common-release DP requires identical release dates")
+
+    ordered = sorted(jobs, key=lambda j: (j.deadline, j.processing))
+    # parent[used_after] = (used_before, job_id) for backtracking.
+    parents: dict[float, tuple[float, int] | None] = {0.0: None}
+    for job in ordered:
+        budget = job.deadline - release
+        new_states: dict[float, tuple[float, int]] = {}
+        for used in list(parents):
+            finish = round(used + job.processing, 9)
+            if fge(budget, finish) and finish not in parents:
+                new_states[finish] = (used, job.job_id)
+        parents.update(new_states)
+    best = max(parents)
+    chain: list[int] = []
+    cursor = best
+    while parents[cursor] is not None:
+        prev, jid = parents[cursor]  # type: ignore[misc]
+        chain.append(jid)
+        cursor = prev
+    chain.reverse()
+    return best, chain

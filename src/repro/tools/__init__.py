@@ -1,0 +1,1 @@
+"""Developer tooling (API reference generation)."""

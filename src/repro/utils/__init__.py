@@ -1,0 +1,50 @@
+"""Shared low-level utilities: tolerances, RNG helpers, interval arithmetic.
+
+These helpers concentrate all floating-point comparison policy and random
+number handling in one place so that the rest of the library can stay
+deterministic and auditable.
+"""
+
+from repro.utils.tolerances import (
+    TIME_EPS,
+    RATIO_EPS,
+    feq,
+    fge,
+    fgt,
+    fle,
+    flt,
+    is_close,
+    snap,
+)
+from repro.utils.rng import make_rng, spawn_rngs, rng_from_any
+from repro.utils.intervals import (
+    Interval,
+    intersect,
+    overlap_length,
+    merge_intervals,
+    total_length,
+    subtract_intervals,
+    covering_gaps,
+)
+
+__all__ = [
+    "TIME_EPS",
+    "RATIO_EPS",
+    "feq",
+    "fge",
+    "fgt",
+    "fle",
+    "flt",
+    "is_close",
+    "snap",
+    "make_rng",
+    "spawn_rngs",
+    "rng_from_any",
+    "Interval",
+    "intersect",
+    "overlap_length",
+    "merge_intervals",
+    "total_length",
+    "subtract_intervals",
+    "covering_gaps",
+]

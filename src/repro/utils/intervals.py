@@ -1,0 +1,103 @@
+"""Half-open interval arithmetic on the simulated time axis.
+
+Machine busy periods, covered intervals (Definition 1/2 of the paper) and
+adversarial overlap windows (Lemma 1) are all half-open intervals
+``[start, end)``.  This module provides the small set of exact operations
+the rest of the library needs; everything returns plain tuples / lists so
+call sites stay allocation-light.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Sequence
+
+from repro.utils.tolerances import TIME_EPS
+
+
+class Interval(NamedTuple):
+    """A half-open interval ``[start, end)`` on the time axis."""
+
+    start: float
+    end: float
+
+    @property
+    def length(self) -> float:
+        """Non-negative length of the interval (0 for empty/degenerate)."""
+        return max(0.0, self.end - self.start)
+
+    @property
+    def midpoint(self) -> float:
+        """Arithmetic midpoint of the interval."""
+        return 0.5 * (self.start + self.end)
+
+    def contains(self, t: float, eps: float = TIME_EPS) -> bool:
+        """Whether time *t* lies in ``[start, end)`` up to tolerance."""
+        return self.start - eps <= t < self.end + eps
+
+    def is_empty(self, eps: float = TIME_EPS) -> bool:
+        """Whether the interval has (numerically) no interior."""
+        return self.end - self.start <= eps
+
+
+def intersect(a: Interval, b: Interval) -> Interval:
+    """Intersection of two intervals (possibly empty, never negative)."""
+    lo = max(a.start, b.start)
+    hi = min(a.end, b.end)
+    return Interval(lo, max(lo, hi))
+
+
+def overlap_length(a: Interval, b: Interval) -> float:
+    """Length of the intersection of *a* and *b*."""
+    return intersect(a, b).length
+
+
+def merge_intervals(intervals: Sequence[Interval], eps: float = TIME_EPS) -> list[Interval]:
+    """Merge overlapping or eps-adjacent intervals into a sorted disjoint list."""
+    nonempty = [iv for iv in intervals if iv.length > eps]
+    if not nonempty:
+        return []
+    nonempty.sort(key=lambda iv: (iv.start, iv.end))
+    merged = [nonempty[0]]
+    for iv in nonempty[1:]:
+        last = merged[-1]
+        if iv.start <= last.end + eps:
+            if iv.end > last.end:
+                merged[-1] = Interval(last.start, iv.end)
+        else:
+            merged.append(iv)
+    return merged
+
+
+def total_length(intervals: Sequence[Interval], eps: float = TIME_EPS) -> float:
+    """Total length of the union of *intervals*."""
+    return sum(iv.length for iv in merge_intervals(intervals, eps))
+
+
+def subtract_intervals(
+    base: Interval, holes: Sequence[Interval], eps: float = TIME_EPS
+) -> list[Interval]:
+    """Return ``base`` minus the union of *holes*, as a disjoint sorted list."""
+    remaining: list[Interval] = []
+    cursor = base.start
+    for hole in merge_intervals(holes, eps):
+        clipped = intersect(base, hole)
+        if clipped.is_empty(eps):
+            continue
+        if clipped.start > cursor + eps:
+            remaining.append(Interval(cursor, clipped.start))
+        cursor = max(cursor, clipped.end)
+    if base.end > cursor + eps:
+        remaining.append(Interval(cursor, base.end))
+    return remaining
+
+
+def covering_gaps(
+    span: Interval, busy: Sequence[Interval], eps: float = TIME_EPS
+) -> list[Interval]:
+    """Gaps of *span* not covered by *busy* — alias of :func:`subtract_intervals`.
+
+    Named separately because call sites in the covered-interval analysis of
+    the paper read better with this vocabulary (Definition 1: an interval is
+    *uncovered* when it intersects no rejected job's ``[r, d)`` window).
+    """
+    return subtract_intervals(span, busy, eps)

@@ -1,0 +1,70 @@
+"""Floating-point comparison policy for the scheduling simulator.
+
+All simulated quantities (release dates, processing times, deadlines,
+machine loads) are non-negative floats.  Competitive-analysis constructions
+frequently place a job's deadline *exactly* on an admission threshold, so
+the comparison direction at equality matters.  Every module in this library
+routes time comparisons through the helpers below so the policy lives in a
+single place:
+
+* ``TIME_EPS`` — absolute tolerance for time-valued comparisons.  Simulated
+  horizons in this library stay far below 1e9, so an absolute tolerance of
+  1e-9 keeps at least six significant digits of head-room for adversarial
+  constructions that separate events by ``beta``-sized gaps.
+* ``RATIO_EPS`` — tolerance used when comparing measured competitive ratios
+  against theoretical bounds (looser, since the ratios stack several
+  divisions).
+
+The predicate names follow Fortran-style two-letter mnemonics: ``feq``
+(equal), ``fle`` (less-or-equal), ``flt`` (strictly less), ``fge``, ``fgt``.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Absolute tolerance for comparisons between simulated time values.
+TIME_EPS: float = 1e-9
+
+#: Absolute tolerance for comparisons between competitive ratios.
+RATIO_EPS: float = 1e-6
+
+
+def feq(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """Return ``True`` when *a* and *b* are equal up to tolerance *eps*."""
+    return abs(a - b) <= eps
+
+
+def fle(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """Return ``True`` when ``a <= b`` holds up to tolerance *eps*."""
+    return a <= b + eps
+
+
+def flt(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """Return ``True`` when ``a < b`` holds by more than tolerance *eps*."""
+    return a < b - eps
+
+
+def fge(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """Return ``True`` when ``a >= b`` holds up to tolerance *eps*."""
+    return a >= b - eps
+
+
+def fgt(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """Return ``True`` when ``a > b`` holds by more than tolerance *eps*."""
+    return a > b + eps
+
+
+def is_close(a: float, b: float, rel: float = 1e-9, abs_: float = TIME_EPS) -> bool:
+    """Relative-or-absolute closeness, mirroring :func:`math.isclose`."""
+    return math.isclose(a, b, rel_tol=rel, abs_tol=abs_)
+
+
+def snap(x: float, eps: float = TIME_EPS) -> float:
+    """Snap *x* to zero when it is within *eps* of zero.
+
+    Machine loads are repeatedly decremented as simulated time advances;
+    snapping prevents ``-1e-17`` style residues from flipping
+    ``load > 0`` tests.
+    """
+    return 0.0 if abs(x) <= eps else x

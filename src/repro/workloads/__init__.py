@@ -1,0 +1,55 @@
+"""Workload generation: random, cloud-style, and structured instances.
+
+All generators take explicit seeds/Generators (reproducible by default) and
+return validated :class:`~repro.model.instance.Instance` objects whose jobs
+respect the declared slack.
+"""
+
+from repro.workloads.random_instances import (
+    ProcessingDistribution,
+    random_instance,
+    tight_slack_instance,
+    poisson_instance,
+)
+from repro.workloads.cloud import cloud_instance, ServiceClass, DEFAULT_SERVICE_MIX
+from repro.workloads.structured import (
+    burst_instance,
+    staircase_instance,
+    alternating_instance,
+    overload_instance,
+    adversarial_like_instance,
+)
+from repro.workloads.sweep import SweepSpec, run_sweep, SweepRow
+from repro.workloads.arrivals import batch_arrival_instance, mmpp_instance
+from repro.workloads.parallel import run_sweep_parallel
+from repro.workloads.traces import (
+    instance_from_csv,
+    instance_to_csv,
+    load_trace,
+    save_trace,
+)
+
+__all__ = [
+    "ProcessingDistribution",
+    "random_instance",
+    "tight_slack_instance",
+    "poisson_instance",
+    "cloud_instance",
+    "ServiceClass",
+    "DEFAULT_SERVICE_MIX",
+    "burst_instance",
+    "staircase_instance",
+    "alternating_instance",
+    "overload_instance",
+    "adversarial_like_instance",
+    "SweepSpec",
+    "run_sweep",
+    "run_sweep_parallel",
+    "SweepRow",
+    "instance_from_csv",
+    "instance_to_csv",
+    "load_trace",
+    "save_trace",
+    "mmpp_instance",
+    "batch_arrival_instance",
+]

@@ -1,0 +1,116 @@
+"""Richer arrival processes: MMPP bursts and batch arrivals.
+
+The plain Poisson stream of :mod:`repro.workloads.random_instances`
+under-represents two phenomena real admission systems face:
+
+* **regime switching** — traffic alternates between calm and storm
+  (Markov-modulated Poisson process, MMPP-2);
+* **batch arrivals** — many jobs land in one submission event (array
+  jobs, workflow fan-outs).
+
+Both stress admission control harder than a homogeneous stream at the
+same mean rate: storms and batches force many commitments against the
+same capacity window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.utils.rng import rng_from_any
+from repro.workloads.random_instances import ProcessingDistribution, _sample_processing
+
+
+def mmpp_instance(
+    n: int,
+    machines: int,
+    epsilon: float,
+    seed: int | np.random.Generator | None = None,
+    calm_rate: float | None = None,
+    storm_rate_factor: float = 8.0,
+    mean_phase_length: float = 10.0,
+    distribution: ProcessingDistribution | str = ProcessingDistribution.UNIFORM,
+    p_mean: float = 1.0,
+    tight_fraction: float = 0.7,
+) -> Instance:
+    """Two-state Markov-modulated Poisson arrivals (calm/storm).
+
+    Parameters
+    ----------
+    calm_rate:
+        Arrival rate in the calm state; defaults to half the capacity
+        (``0.5 * machines / p_mean``), so storms at ``storm_rate_factor``
+        times that overload the fleet.
+    storm_rate_factor:
+        Rate multiplier of the storm state (> 1).
+    mean_phase_length:
+        Expected sojourn time in each state (exponential).
+    """
+    if storm_rate_factor <= 1.0:
+        raise ValueError(f"storm_rate_factor must exceed 1, got {storm_rate_factor}")
+    rng = rng_from_any(seed)
+    distribution = ProcessingDistribution(distribution)
+    if calm_rate is None:
+        calm_rate = 0.5 * machines / p_mean
+    rates = (calm_rate, calm_rate * storm_rate_factor)
+
+    releases: list[float] = []
+    state = 0
+    t = 0.0
+    phase_end = float(rng.exponential(mean_phase_length))
+    while len(releases) < n:
+        gap = float(rng.exponential(1.0 / rates[state]))
+        if t + gap >= phase_end:
+            # Jump to the phase boundary and switch state.
+            t = phase_end
+            state = 1 - state
+            phase_end = t + float(rng.exponential(mean_phase_length))
+            continue
+        t += gap
+        releases.append(t)
+
+    processings = _sample_processing(rng, n, distribution, p_mean)
+    extra = rng.exponential(1.0, size=n) * processings
+    tight = rng.random(n) < tight_fraction
+    slacks = np.where(tight, epsilon, epsilon + extra)
+    jobs = [
+        Job(float(r), float(p), float(r + (1.0 + s) * p))
+        for r, p, s in zip(releases, processings, slacks)
+    ]
+    return Instance(
+        jobs, machines=machines, epsilon=epsilon,
+        name=f"mmpp[x{storm_rate_factor:g}]",
+    )
+
+
+def batch_arrival_instance(
+    batches: int,
+    machines: int,
+    epsilon: float,
+    seed: int | np.random.Generator | None = None,
+    mean_batch_size: float = 6.0,
+    batch_rate: float = 0.2,
+    distribution: ProcessingDistribution | str = ProcessingDistribution.UNIFORM,
+    p_mean: float = 1.0,
+) -> Instance:
+    """Poisson batch arrivals: geometric batch sizes at Poisson instants.
+
+    All jobs of a batch share one release date (and tight slack), forcing
+    the online algorithm to make several commitments against the same
+    state — the regime where allocation rules matter most.
+    """
+    rng = rng_from_any(seed)
+    distribution = ProcessingDistribution(distribution)
+    jobs: list[Job] = []
+    t = 0.0
+    for b in range(batches):
+        t += float(rng.exponential(1.0 / batch_rate))
+        size = 1 + int(rng.geometric(1.0 / mean_batch_size))
+        processings = _sample_processing(rng, size, distribution, p_mean)
+        for p in processings:
+            jobs.append(
+                Job(t, float(p), t + (1.0 + epsilon) * float(p)).with_tags(batch=b)
+            )
+    return Instance(jobs, machines=machines, epsilon=epsilon, name="batch-arrivals")

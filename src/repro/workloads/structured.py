@@ -1,0 +1,162 @@
+"""Deterministic structured instance families.
+
+These exercise specific regimes of the algorithms:
+
+* :func:`burst_instance` — batches of simultaneous releases (the adversary
+  releases everything at one instant; bursts are the benign cousin);
+* :func:`staircase_instance` — geometrically growing jobs mirroring the
+  :math:`f_q` ladder of the lower bound;
+* :func:`alternating_instance` — long/short alternation, the classic trap
+  for greedy admission (a long accepted job blocks many short ones);
+* :func:`overload_instance` — far more offered work than capacity;
+* :func:`adversarial_like_instance` — a *static* (non-adaptive) replay of
+  the three-phase construction's job sequence, usable with any algorithm
+  and the offline solvers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import threshold_parameters
+from repro.model.instance import Instance
+from repro.model.job import Job, tight_deadline
+from repro.utils.rng import rng_from_any
+
+
+def burst_instance(
+    bursts: int,
+    jobs_per_burst: int,
+    machines: int,
+    epsilon: float,
+    burst_gap: float = 5.0,
+    p_range: tuple[float, float] = (0.5, 2.0),
+    seed: int | np.random.Generator | None = None,
+) -> Instance:
+    """Batches of simultaneously released tight-slack jobs."""
+    rng = rng_from_any(seed)
+    jobs: list[Job] = []
+    for b in range(bursts):
+        r = b * burst_gap
+        for _ in range(jobs_per_burst):
+            p = float(rng.uniform(*p_range))
+            jobs.append(Job(r, p, tight_deadline(r, p, epsilon)).with_tags(burst=b))
+    return Instance(jobs, machines=machines, epsilon=epsilon, name="burst")
+
+
+def staircase_instance(
+    machines: int,
+    epsilon: float,
+    steps: int | None = None,
+    copies_per_step: int | None = None,
+) -> Instance:
+    """Geometric job ladder mirroring the lower bound's ``f_q`` growth.
+
+    Step ``q`` releases ``copies_per_step`` jobs of processing time
+    :math:`f_q - 1` (using the paper's parameters for the given slack) at
+    time 0, all with tight slack.  The resulting size spread is exactly
+    the spread the threshold algorithm is tuned for.
+    """
+    params = threshold_parameters(epsilon, machines)
+    if steps is None:
+        steps = len(params.f)
+    if copies_per_step is None:
+        copies_per_step = machines
+    jobs: list[Job] = []
+    for q in range(min(steps, len(params.f))):
+        p = max(float(params.f[q] - 1.0), 1e-3)
+        for _ in range(copies_per_step):
+            jobs.append(Job(0.0, p, tight_deadline(0.0, p, epsilon)).with_tags(step=q))
+    return Instance(jobs, machines=machines, epsilon=epsilon, name="staircase")
+
+
+def alternating_instance(
+    pairs: int,
+    machines: int,
+    epsilon: float,
+    delta: float = 0.01,
+) -> Instance:
+    """Bait-and-whale rounds: greedy's classic failure mode.
+
+    Each round releases ``m`` unit *bait* jobs with tight slack, then —
+    ``delta`` later — ``m`` *whale* jobs of size
+    :math:`W = (1 - 2\\delta)/\\varepsilon` with tight slack.  A whale's
+    latest start (:math:`t + \\delta + \\varepsilon W < t + 1`) precedes
+    every bait's completion, so a machine that took a bait loses its whale.
+    Greedy grabs all baits; the threshold algorithm stops accepting baits
+    once its admission threshold rises, keeping machines free for whales
+    (benchmark E9 quantifies the gap).  Rounds are spaced so they do not
+    interact.
+    """
+    if not 0 < delta < 0.25:
+        raise ValueError(f"delta must lie in (0, 0.25), got {delta}")
+    eps = min(epsilon, 1.0)
+    whale_p = (1.0 - 2.0 * delta) / eps
+    jobs: list[Job] = []
+    t = 0.0
+    for _ in range(pairs):
+        for _ in range(machines):
+            jobs.append(Job(t, 1.0, tight_deadline(t, 1.0, eps)).with_tags(kind="bait"))
+        t_whale = t + delta
+        for _ in range(machines):
+            jobs.append(
+                Job(t_whale, whale_p, tight_deadline(t_whale, whale_p, eps)).with_tags(
+                    kind="whale"
+                )
+            )
+        t = t_whale + (1.0 + eps) * whale_p + 1.0
+    return Instance(jobs, machines=machines, epsilon=epsilon, name="bait-and-whale")
+
+
+def overload_instance(
+    n: int,
+    machines: int,
+    epsilon: float,
+    overload_factor: float = 5.0,
+    seed: int | np.random.Generator | None = None,
+) -> Instance:
+    """Offered load ``overload_factor`` times the available capacity."""
+    rng = rng_from_any(seed)
+    horizon = 10.0
+    p_mean = overload_factor * machines * horizon / n
+    releases = np.sort(rng.uniform(0.0, horizon, size=n))
+    processings = np.maximum(rng.exponential(p_mean, size=n), 1e-6)
+    jobs = [
+        Job(float(r), float(p), tight_deadline(float(r), float(p), epsilon))
+        for r, p in zip(releases, processings)
+    ]
+    return Instance(jobs, machines=machines, epsilon=epsilon, name="overload")
+
+
+def adversarial_like_instance(
+    machines: int,
+    epsilon: float,
+    t: float = 1.0,
+    beta: float = 1e-3,
+) -> Instance:
+    """Static replay of the three-phase adversary's *full* job sequence.
+
+    Non-adaptive: phase 1's unit job, ``2m`` phase-2 jobs per subphase at
+    the Lemma-1 midpoints of a nested interval (as if no job were ever
+    accepted), and ``m`` phase-3 jobs per subphase ``k..m``.  Useful as a
+    hard fixed benchmark instance where the offline optimum is large but
+    online algorithms must commit blind.
+    """
+    params = threshold_parameters(epsilon, machines)
+    jobs: list[Job] = [Job(0.0, 1.0, 8.0 + 4.0 / epsilon).with_tags(adversary_phase=1)]
+    lo, hi = t + 1.0 - beta, t + 1.0
+    p2 = 0.0
+    for sub in range(1, machines + 1):
+        p2 = 0.5 * (lo + hi) - t
+        for _ in range(2 * machines):
+            jobs.append(
+                Job(t, p2, t + 2.0 * p2).with_tags(adversary_phase=2, subphase=sub)
+            )
+        hi = t + p2  # nest as if the job ran at the interval's lower half
+    for rank in range(params.k, machines + 1):
+        p3 = (params.factor_for_rank(rank) - 1.0) * p2
+        for _ in range(machines):
+            jobs.append(
+                Job(t, p3, t + p2 + p3).with_tags(adversary_phase=3, subphase=rank)
+            )
+    return Instance(jobs, machines=machines, epsilon=epsilon, name="adversarial-like")

@@ -1,0 +1,196 @@
+"""Parameter sweeps: the benchmark harness's workhorse.
+
+A :class:`SweepSpec` is a declarative grid — slack values, machine counts,
+repetitions, a workload factory and a list of algorithm names — and
+:func:`run_sweep` executes it with per-cell deterministic seeds (derived
+via ``SeedSequence``-style folding so results are independent of execution
+order) and returns flat rows ready for the table/plot layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.baselines.registry import run_algorithm
+from repro.core.guarantees import guarantee_for
+from repro.model.instance import Instance
+from repro.offline.bracket import OptBracket, opt_bracket
+from repro.utils.rng import interleave_seeds
+
+#: Signature of a workload factory: (machines, epsilon, seed) -> Instance.
+WorkloadFactory = Callable[[int, float, int], Instance]
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One (epsilon, m, repetition, algorithm) measurement."""
+
+    epsilon: float
+    machines: int
+    repetition: int
+    algorithm: str
+    accepted_load: float
+    accepted_count: int
+    n_jobs: int
+    opt_lower: float
+    opt_upper: float
+    opt_exact: bool
+    guarantee: float | None
+
+    @property
+    def ratio_upper(self) -> float:
+        """Conservative empirical ratio estimate ``opt_upper / load``.
+
+        This *over*-estimates the true competitive ratio, so staying below
+        a theoretical guarantee with this number is a certified check.
+        """
+        return float("inf") if self.accepted_load <= 0 else self.opt_upper / self.accepted_load
+
+    @property
+    def ratio_lower(self) -> float:
+        """Optimistic ratio estimate ``opt_lower / load`` (``<=`` truth)."""
+        return float("inf") if self.accepted_load <= 0 else self.opt_lower / self.accepted_load
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat dict form (CSV/JSON-friendly)."""
+        return {
+            "epsilon": self.epsilon,
+            "machines": self.machines,
+            "repetition": self.repetition,
+            "algorithm": self.algorithm,
+            "accepted_load": self.accepted_load,
+            "accepted_count": self.accepted_count,
+            "n_jobs": self.n_jobs,
+            "opt_lower": self.opt_lower,
+            "opt_upper": self.opt_upper,
+            "opt_exact": self.opt_exact,
+            "ratio_upper": self.ratio_upper,
+            "ratio_lower": self.ratio_lower,
+            "guarantee": self.guarantee,
+        }
+
+
+@dataclass
+class SweepSpec:
+    """Declarative sweep grid."""
+
+    epsilons: Sequence[float]
+    machine_counts: Sequence[int]
+    algorithms: Sequence[str]
+    workload: WorkloadFactory
+    repetitions: int = 3
+    base_seed: int = 2020
+    force_bounds: bool = False
+    exact_limit: int | None = None
+    label: str = "sweep"
+
+    def cells(self) -> Iterable[tuple[float, int, int]]:
+        """Iterate the grid: (epsilon, machines, repetition)."""
+        for eps in self.epsilons:
+            for m in self.machine_counts:
+                for rep in range(self.repetitions):
+                    yield eps, m, rep
+
+    def cell_seed(self, eps: float, m: int, rep: int) -> int:
+        """Deterministic per-cell seed, independent of iteration order."""
+        return interleave_seeds(
+            [self.base_seed, hash(round(eps, 12)) & 0xFFFFFFFF, m, rep]
+        )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    algorithm_kwargs: dict[str, dict[str, Any]] | None = None,
+) -> list[SweepRow]:
+    """Execute *spec*; returns one row per (cell, algorithm).
+
+    The offline bracket is computed once per cell and shared across
+    algorithms (it dominates the cost).
+    """
+    algorithm_kwargs = algorithm_kwargs or {}
+    rows: list[SweepRow] = []
+    for eps, m, rep in spec.cells():
+        seed = spec.cell_seed(eps, m, rep)
+        instance = spec.workload(m, eps, seed)
+        bracket: OptBracket = opt_bracket(
+            instance,
+            force_bounds=spec.force_bounds,
+            **(
+                {"exact_limit": spec.exact_limit}
+                if spec.exact_limit is not None
+                else {}
+            ),
+        )
+        for name in spec.algorithms:
+            result = run_algorithm(name, instance, **algorithm_kwargs.get(name, {}))
+            rows.append(
+                SweepRow(
+                    epsilon=eps,
+                    machines=m,
+                    repetition=rep,
+                    algorithm=name,
+                    accepted_load=result.accepted_load,
+                    accepted_count=result.accepted_count,
+                    n_jobs=len(instance),
+                    opt_lower=bracket.lower,
+                    opt_upper=bracket.upper,
+                    opt_exact=bracket.exact,
+                    guarantee=guarantee_for(name, eps, m),
+                )
+            )
+    return rows
+
+
+def rows_to_csv(rows: Iterable[SweepRow]) -> str:
+    """Serialise sweep rows to CSV text (archival / external plotting)."""
+    rows = list(rows)
+    columns = [
+        "epsilon",
+        "machines",
+        "repetition",
+        "algorithm",
+        "accepted_load",
+        "accepted_count",
+        "n_jobs",
+        "opt_lower",
+        "opt_upper",
+        "opt_exact",
+        "ratio_upper",
+        "ratio_lower",
+        "guarantee",
+    ]
+    lines = [",".join(columns)]
+    for row in rows:
+        data = row.as_dict()
+        lines.append(
+            ",".join(
+                "" if data[col] is None else f"{data[col]!r}".strip("'")
+                for col in columns
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def aggregate_rows(rows: Iterable[SweepRow]) -> list[dict[str, Any]]:
+    """Average repetitions: one summary dict per (epsilon, m, algorithm)."""
+    groups: dict[tuple[float, int, str], list[SweepRow]] = {}
+    for row in rows:
+        groups.setdefault((row.epsilon, row.machines, row.algorithm), []).append(row)
+    out = []
+    for (eps, m, name), grp in sorted(groups.items()):
+        loads = [r.accepted_load for r in grp]
+        ratios = [r.ratio_upper for r in grp if r.accepted_load > 0]
+        out.append(
+            {
+                "epsilon": eps,
+                "machines": m,
+                "algorithm": name,
+                "mean_load": sum(loads) / len(loads),
+                "mean_ratio_upper": sum(ratios) / len(ratios) if ratios else float("inf"),
+                "max_ratio_upper": max(ratios) if ratios else float("inf"),
+                "guarantee": grp[0].guarantee,
+                "repetitions": len(grp),
+            }
+        )
+    return out

@@ -1,0 +1,94 @@
+"""Trace I/O: persist instances as CSV job traces.
+
+A production admission-control study replays recorded traces; this module
+defines the on-disk format (one job per row: ``release,processing,
+deadline[,tag=value;...]``) and round-trips :class:`Instance` objects so
+benchmark inputs can be archived, diffed, and shared.
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+from typing import Any
+
+from repro.model.instance import Instance
+from repro.model.job import Job
+
+HEADER = "release,processing,deadline,tags"
+
+
+def _encode_tags(job: Job) -> str:
+    return ";".join(f"{k}={v}" for k, v in job.tags)
+
+
+def _decode_tags(cell: str) -> dict[str, Any]:
+    tags: dict[str, Any] = {}
+    if not cell:
+        return tags
+    for part in cell.split(";"):
+        key, _, raw = part.partition("=")
+        value: Any = raw
+        for caster in (int, float):
+            try:
+                value = caster(raw)
+                break
+            except ValueError:
+                continue
+        tags[key] = value
+    return tags
+
+
+def instance_to_csv(instance: Instance) -> str:
+    """Serialise *instance*'s jobs to CSV text (metadata in the header).
+
+    The first line is a comment carrying machines/epsilon/name so the file
+    is self-contained.
+    """
+    buf = io.StringIO()
+    buf.write(
+        f"# machines={instance.machines} epsilon={instance.epsilon!r} "
+        f"name={instance.name}\n"
+    )
+    buf.write(HEADER + "\n")
+    for job in instance:
+        buf.write(
+            f"{job.release!r},{job.processing!r},{job.deadline!r},{_encode_tags(job)}\n"
+        )
+    return buf.getvalue()
+
+
+def instance_from_csv(text: str) -> Instance:
+    """Parse CSV text produced by :func:`instance_to_csv`."""
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines or not lines[0].startswith("#"):
+        raise ValueError("trace is missing the '# machines=... epsilon=...' header")
+    meta_parts = dict(
+        part.split("=", 1) for part in lines[0].lstrip("# ").split(" ") if "=" in part
+    )
+    machines = int(meta_parts["machines"])
+    epsilon = float(meta_parts["epsilon"])
+    name = meta_parts.get("name", "")
+    if lines[1] != HEADER:
+        raise ValueError(f"unexpected column header: {lines[1]!r}")
+    jobs = []
+    for ln in lines[2:]:
+        release, processing, deadline, tags_cell = ln.split(",", 3)
+        job = Job(float(release), float(processing), float(deadline))
+        tags = _decode_tags(tags_cell)
+        if tags:
+            job = job.with_tags(**tags)
+        jobs.append(job)
+    return Instance(jobs, machines=machines, epsilon=epsilon, name=name)
+
+
+def save_trace(instance: Instance, path: str | pathlib.Path) -> pathlib.Path:
+    """Write *instance* to *path* as a CSV trace."""
+    path = pathlib.Path(path)
+    path.write_text(instance_to_csv(instance))
+    return path
+
+
+def load_trace(path: str | pathlib.Path) -> Instance:
+    """Read an instance back from a CSV trace file."""
+    return instance_from_csv(pathlib.Path(path).read_text())

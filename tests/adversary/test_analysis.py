@@ -1,0 +1,66 @@
+"""Tests for the Fig. 2 decision-tree enumeration and Fig. 3 schedules."""
+
+import pytest
+
+from repro.adversary.analysis import (
+    enumerate_decision_tree,
+    red_path_schedules,
+    render_decision_tree,
+)
+from repro.core.params import c_bound, corner_values, threshold_parameters
+
+
+class TestEnumeration:
+    def test_leaf_count_m3_phase2(self):
+        # m = 3, k = 2: plans are u=1 (stop, u<k), u=2 with h in {2,3},
+        # u=3 with h = 3 -> 4 leaves.
+        outs = enumerate_decision_tree(3, 0.2)
+        assert threshold_parameters(0.2, 3).k == 2
+        assert len(outs) == 4
+        assert {(o.u, o.h) for o in outs} == {(1, None), (2, 2), (2, 3), (3, 3)}
+
+    def test_every_leaf_forces_at_least_c(self):
+        eps, m = 0.2, 3
+        target = c_bound(eps, m)
+        for o in enumerate_decision_tree(m, eps):
+            assert o.forced_ratio >= target * (1.0 - 5e-3), (o.u, o.h)
+
+    def test_u_equals_k_leaves_are_tight(self):
+        # Eq. (5): for u = k every phase-3 stopping point gives exactly c.
+        eps, m = 0.2, 3
+        target = c_bound(eps, m)
+        k = threshold_parameters(eps, m).k
+        tight = [o for o in enumerate_decision_tree(m, eps) if o.u == k]
+        assert tight
+        for o in tight:
+            assert o.forced_ratio == pytest.approx(target, rel=5e-3)
+
+    def test_m2_both_phases(self):
+        for eps in [0.1, 0.5]:
+            outs = enumerate_decision_tree(2, eps)
+            target = c_bound(eps, 2)
+            assert min(o.forced_ratio for o in outs) >= target * (1 - 5e-3)
+
+    def test_render_mentions_all_leaves(self):
+        outs = enumerate_decision_tree(3, 0.2)
+        art = render_decision_tree(outs)
+        assert art.count("ratio=") == len(outs)
+        assert "phase 2 stops" in art
+
+
+class TestRedPath:
+    def test_red_path_runs_and_renders(self):
+        # Fig. 2/3 setting: m = 3, eps in [eps_{1,3}, eps_{2,3}).
+        corners = corner_values(3)
+        eps = 0.2
+        assert corners[1] <= eps < corners[2]
+        result, gantt = red_path_schedules(m=3, epsilon=eps)
+        assert result.summary["u"] == 2
+        assert result.summary["final_h"] == 3
+        assert gantt.count("\n") == 2  # three machine rows
+        # J1 started at t >= 1 as in Fig. 3.
+        assert result.summary["t"] >= 1.0
+
+    def test_red_path_ratio_matches_c(self):
+        result, _ = red_path_schedules(m=3, epsilon=0.2)
+        assert result.forced_ratio == pytest.approx(c_bound(0.2, 3), rel=5e-3)

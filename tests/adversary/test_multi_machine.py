@@ -1,0 +1,126 @@
+"""Tests for the Theorem-1 adversary: protocol validity and forced ratios."""
+
+import math
+
+import pytest
+
+from repro.adversary.base import duel
+from repro.adversary.multi_machine import ThreePhaseAdversary
+from repro.baselines.greedy import GreedyPolicy
+from repro.baselines.lee import LeeStylePolicy
+from repro.core.params import c_bound
+from repro.core.threshold import ThresholdPolicy
+from repro.engine.policy import Decision, OnlinePolicy
+
+
+class RejectAll(OnlinePolicy):
+    name = "reject-all"
+
+    def on_submission(self, job, t, machines):
+        return Decision.reject()
+
+
+class TestProtocolValidity:
+    @pytest.mark.parametrize("m,eps", [(1, 0.1), (2, 0.3), (3, 0.2), (4, 0.05)])
+    def test_emitted_jobs_satisfy_slack(self, m, eps):
+        result = duel(ThresholdPolicy(), m=m, epsilon=eps)
+        for job in result.schedule.instance:
+            assert job.satisfies_slack(eps), job
+
+    def test_rejecting_j1_gives_unbounded_ratio(self):
+        result = duel(RejectAll(), m=2, epsilon=0.3)
+        assert result.unbounded
+        assert math.isinf(result.forced_ratio)
+        assert len(result.schedule.instance) == 1
+
+    def test_schedule_is_audited(self):
+        result = duel(ThresholdPolicy(), m=3, epsilon=0.2)
+        result.schedule.audit()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ThreePhaseAdversary(m=0, epsilon=0.5)
+        with pytest.raises(ValueError):
+            ThreePhaseAdversary(m=2, epsilon=0.5, beta=2.0)
+
+    def test_summary_fields(self):
+        result = duel(ThresholdPolicy(), m=2, epsilon=0.3)
+        s = result.summary
+        assert s["m"] == 2 and s["j1_accepted"] is True
+        assert s["u"] is not None
+
+
+class TestConstructiveOptimumCertified:
+    @pytest.mark.parametrize(
+        "m,eps", [(1, 0.1), (1, 0.5), (2, 0.1), (2, 0.5), (3, 0.2), (3, 0.05)]
+    )
+    def test_exact_opt_matches_constructive(self, m, eps):
+        result = duel(ThresholdPolicy(), m=m, epsilon=eps, verify_opt=True)
+        if result.exact_opt is not None:
+            # The constructive optimum never exceeds the true optimum, and
+            # for these games it is tight.
+            assert result.constructive_opt <= result.exact_opt + 1e-6
+            assert result.constructive_opt == pytest.approx(result.exact_opt, rel=1e-6)
+
+    def test_flow_bound_dominates_constructive(self):
+        result = duel(GreedyPolicy(), m=2, epsilon=0.2, verify_opt=True)
+        assert result.flow_opt_bound >= result.constructive_opt - 1e-6
+
+
+class TestForcedRatios:
+    @pytest.mark.parametrize(
+        "m,eps",
+        [(1, 0.05), (1, 0.3), (2, 0.1), (2, 0.5), (3, 0.05), (3, 0.2), (3, 0.8), (4, 0.1)],
+    )
+    def test_threshold_forced_to_approximately_c(self, m, eps):
+        result = duel(ThresholdPolicy(), m=m, epsilon=eps)
+        target = c_bound(eps, m)
+        # beta-discretisation keeps the measured ratio within a whisker of
+        # the tight value; Theorem 2 caps it from above (+0.164 for k >= 4).
+        assert result.forced_ratio >= target * (1.0 - 5e-3)
+        assert result.forced_ratio <= target + 0.165 + 1e-6
+
+    @pytest.mark.parametrize("m,eps", [(2, 0.1), (3, 0.2), (4, 0.1)])
+    def test_baselines_forced_at_least_c(self, m, eps):
+        target = c_bound(eps, m)
+        for policy in [GreedyPolicy(), LeeStylePolicy()]:
+            result = duel(policy, m=m, epsilon=eps)
+            assert result.forced_ratio >= target * (1.0 - 5e-3), policy.name
+
+    def test_greedy_forced_to_roughly_its_own_bound(self):
+        # Greedy's guarantee is 2 + 1/eps; the adversary should come close
+        # on small slack where greedy over-commits.
+        eps, m = 0.1, 2
+        result = duel(GreedyPolicy(), m=m, epsilon=eps)
+        assert result.forced_ratio >= 0.9 * (2.0 + 1.0 / eps)
+
+    def test_smaller_beta_tightens_ratio(self):
+        eps, m = 0.2, 3
+        loose = duel(ThresholdPolicy(), m=m, epsilon=eps, beta=1e-2)
+        tight = duel(ThresholdPolicy(), m=m, epsilon=eps, beta=1e-5)
+        target = c_bound(eps, m)
+        assert abs(tight.forced_ratio - target) <= abs(loose.forced_ratio - target) + 1e-9
+
+    def test_ratio_vs_target_close_to_one_for_threshold(self):
+        result = duel(ThresholdPolicy(), m=3, epsilon=0.2)
+        assert result.ratio_vs_target() == pytest.approx(1.0, abs=0.05)
+
+
+class TestGamePhases:
+    def test_threshold_m1_small_eps_ends_immediately(self):
+        # k = 1 and the threshold rejects all phase-2 jobs: u = 1.
+        result = duel(ThresholdPolicy(), m=1, epsilon=0.1)
+        assert result.summary["u"] == 1
+        assert result.summary["final_h"] == 1
+
+    def test_phase3_subphases_progress_with_k(self):
+        # For m = 3, eps in phase k = 2 the threshold accepts one unit job
+        # before phase 2 stops.
+        result = duel(ThresholdPolicy(), m=3, epsilon=0.2)
+        assert result.summary["u"] == 2
+        assert len(result.summary["accepted_p2"]) == 1
+
+    def test_all_p2_processing_near_one(self):
+        result = duel(GreedyPolicy(), m=3, epsilon=0.2)
+        for p in result.summary["accepted_p2"]:
+            assert 0.99 < p < 1.0

@@ -1,0 +1,57 @@
+"""Tests for the falsification search harness."""
+
+import pytest
+
+from repro.adversary.search import SearchResult, falsify
+from repro.core.guarantees import greedy_bound, theorem2_bound
+
+
+class TestFalsify:
+    def test_returns_valid_instance_and_ratio(self):
+        r = falsify("greedy", machines=2, epsilon=0.3, budget=20, seed=0)
+        assert isinstance(r, SearchResult)
+        r.best_instance.validate()
+        assert r.best_ratio >= 1.0 - 1e-9
+        assert r.evaluations <= 20
+
+    def test_deterministic_given_seed(self):
+        a = falsify("greedy", machines=1, epsilon=0.2, budget=25, seed=3)
+        b = falsify("greedy", machines=1, epsilon=0.2, budget=25, seed=3)
+        assert a.best_ratio == b.best_ratio
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            falsify("greedy", machines=1, epsilon=0.2, budget=0)
+
+    def test_more_budget_never_worse(self):
+        small = falsify("greedy", machines=1, epsilon=0.1, budget=10, seed=5)
+        # Same seed stream prefix: the incumbent can only improve.
+        large = falsify("greedy", machines=1, epsilon=0.1, budget=60, seed=5)
+        assert large.best_ratio >= small.best_ratio - 1e-9
+
+    def test_mutations_preserve_slack(self):
+        r = falsify("threshold", machines=2, epsilon=0.25, budget=40, seed=7)
+        for job in r.best_instance:
+            assert job.satisfies_slack(0.25)
+
+    def test_search_finds_nontrivial_hardness(self):
+        # Against the single-machine 2 + 1/eps world the blind search should
+        # find well above trivial (>= 2x) hardness with a modest budget.
+        r = falsify("greedy", machines=1, epsilon=0.1, budget=200, n_jobs=6, seed=1)
+        assert r.best_ratio > 2.0
+
+
+class TestNeverExceedsGuarantees:
+    """The falsifier is the empirical side of the theorems: it must fail."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_threshold_never_beyond_theorem2(self, seed):
+        m, eps = 2, 0.2
+        r = falsify("threshold", machines=m, epsilon=eps, budget=80, seed=seed)
+        assert r.best_ratio <= theorem2_bound(eps, m) + 1e-6
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_greedy_never_beyond_its_bound(self, seed):
+        m, eps = 1, 0.25
+        r = falsify("greedy", machines=m, epsilon=eps, budget=80, seed=seed)
+        assert r.best_ratio <= greedy_bound(eps, m) + 1e-6

@@ -1,0 +1,64 @@
+"""Tests for the Goldwasser two-job warm-up adversary."""
+
+import math
+
+import pytest
+
+from repro.adversary.single_machine import GoldwasserTwoJobAdversary
+from repro.baselines.greedy import GreedyPolicy
+from repro.core.threshold import ThresholdPolicy
+from repro.engine.policy import Decision, OnlinePolicy
+from repro.engine.simulator import simulate_source
+
+
+class RejectAll(OnlinePolicy):
+    name = "reject-all"
+
+    def on_submission(self, job, t, machines):
+        return Decision.reject()
+
+
+class TestConstruction:
+    def test_killer_size(self):
+        adv = GoldwasserTwoJobAdversary(epsilon=0.1, gap=1e-6)
+        assert adv.killer_p == pytest.approx(10.0, abs=1e-5)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            GoldwasserTwoJobAdversary(epsilon=0.0)
+        with pytest.raises(ValueError):
+            GoldwasserTwoJobAdversary(epsilon=1.5)
+
+    def test_invalid_gap(self):
+        with pytest.raises(ValueError):
+            GoldwasserTwoJobAdversary(epsilon=0.5, gap=0.0)
+
+
+class TestGame:
+    def test_greedy_forced_to_1_plus_inv_eps(self):
+        eps = 0.1
+        adv = GoldwasserTwoJobAdversary(epsilon=eps)
+        schedule = simulate_source(GreedyPolicy(), adv)
+        assert adv.j1_accepted is True
+        assert adv.killer_accepted is False
+        assert adv.forced_ratio() == pytest.approx(1.0 + 1.0 / eps, rel=1e-4)
+        assert len(schedule.instance) == 2
+
+    def test_threshold_also_forced(self):
+        eps = 0.25
+        adv = GoldwasserTwoJobAdversary(epsilon=eps)
+        simulate_source(ThresholdPolicy(), adv)
+        assert adv.forced_ratio() >= 1.0 + 1.0 / eps - 1e-3
+
+    def test_reject_all_unbounded(self):
+        adv = GoldwasserTwoJobAdversary(epsilon=0.5)
+        schedule = simulate_source(RejectAll(), adv)
+        assert math.isinf(adv.forced_ratio())
+        assert len(schedule.instance) == 1  # no killer needed
+
+    def test_jobs_have_tight_slack(self):
+        eps = 0.3
+        adv = GoldwasserTwoJobAdversary(epsilon=eps)
+        schedule = simulate_source(GreedyPolicy(), adv)
+        for job in schedule.instance:
+            assert job.has_tight_slack(eps)

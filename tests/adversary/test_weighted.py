@@ -1,0 +1,101 @@
+"""Tests for the weighted-objective escalation adversary."""
+
+import math
+
+import pytest
+
+from repro.adversary.weighted import (
+    WeightedEscalationAdversary,
+    weighted_duel,
+)
+from repro.baselines.greedy import GreedyPolicy
+from repro.core.threshold import ThresholdPolicy
+from repro.engine.policy import Decision, OnlinePolicy
+from repro.engine.simulator import simulate_source
+
+
+class RejectAll(OnlinePolicy):
+    name = "reject-all"
+
+    def on_submission(self, job, t, machines):
+        return Decision.reject()
+
+
+class AcceptWhateverFits(OnlinePolicy):
+    name = "accept-fits"
+
+    def on_submission(self, job, t, machines):
+        for ms in machines:
+            if ms.fits(job, t):
+                return Decision.accept(machine=ms.index, start=ms.append_start(job, t))
+        return Decision.reject()
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightedEscalationAdversary(0, 0.5)
+        with pytest.raises(ValueError):
+            WeightedEscalationAdversary(2, 1.5)
+        with pytest.raises(ValueError):
+            WeightedEscalationAdversary(2, 0.5, escalation=1.0)
+
+    def test_jobs_have_tight_slack_and_weights(self):
+        adv = WeightedEscalationAdversary(2, 0.3, escalation=7.0)
+        schedule = simulate_source(AcceptWhateverFits(), adv)
+        for job in schedule.instance:
+            assert job.has_tight_slack(0.3)
+            assert job.weight == pytest.approx(7.0 ** job.tag("level"))
+
+    def test_one_job_per_machine_enforced(self):
+        adv = WeightedEscalationAdversary(3, 0.2)
+        schedule = simulate_source(AcceptWhateverFits(), adv)
+        machines_used = {a.machine for a in schedule.assignments.values()}
+        assert len(machines_used) == schedule.accepted_count
+
+
+class TestForcedRatios:
+    def test_reject_all_unbounded(self):
+        result = weighted_duel(RejectAll(), m=2, epsilon=0.5)
+        assert math.isinf(result.forced_ratio)
+
+    @pytest.mark.parametrize("m,eps", [(1, 0.5), (2, 0.2), (3, 1.0)])
+    @pytest.mark.parametrize("escalation", [10.0, 100.0])
+    def test_every_policy_forced_to_R(self, m, eps, escalation):
+        for policy in (ThresholdPolicy(), GreedyPolicy(), AcceptWhateverFits()):
+            result = weighted_duel(policy, m=m, epsilon=eps, escalation=escalation)
+            assert result.forced_ratio >= 0.99 * escalation, policy.name
+
+    def test_full_acceptance_gives_exactly_R(self):
+        # Greedy accepts levels 0..m-1; OPT takes levels 1..m: ratio = R.
+        m, R = 3, 10.0
+        result = weighted_duel(GreedyPolicy(), m=m, epsilon=0.2, escalation=R)
+        assert result.levels_accepted == m
+        assert result.forced_ratio == pytest.approx(R)
+
+    def test_unbounded_in_escalation(self):
+        ratios = [
+            weighted_duel(GreedyPolicy(), m=2, epsilon=0.5, escalation=R).forced_ratio
+            for R in (10.0, 100.0, 1000.0)
+        ]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_slack_does_not_help(self):
+        # Even maximal slack eps = 1 cannot bound the weighted ratio.
+        r_tight = weighted_duel(GreedyPolicy(), m=2, epsilon=0.1, escalation=50.0)
+        r_loose = weighted_duel(GreedyPolicy(), m=2, epsilon=1.0, escalation=50.0)
+        assert r_loose.forced_ratio >= 0.99 * 50.0
+        assert r_tight.forced_ratio >= 0.99 * 50.0
+
+
+class TestOptimumAccounting:
+    def test_constructive_optimum_is_top_m(self):
+        adv = WeightedEscalationAdversary(2, 0.5, escalation=10.0)
+        simulate_source(AcceptWhateverFits(), adv)
+        weights = sorted(adv.all_weights, reverse=True)
+        assert adv.constructive_optimum() == pytest.approx(sum(weights[:2]))
+
+    def test_algorithm_value_matches_schedule(self):
+        adv = WeightedEscalationAdversary(2, 0.5, escalation=10.0)
+        schedule = simulate_source(AcceptWhateverFits(), adv)
+        assert adv.algorithm_value() == pytest.approx(schedule.accepted_value)

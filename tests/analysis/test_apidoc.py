@@ -1,0 +1,47 @@
+"""Tests for the API reference generator."""
+
+import pytest
+
+from repro.tools.apidoc import (
+    PUBLIC_MODULES,
+    document_module,
+    generate_api_markdown,
+    main,
+)
+
+
+class TestApidoc:
+    def test_all_public_modules_importable_and_documented(self):
+        for name in PUBLIC_MODULES:
+            section = document_module(name)
+            assert section.startswith(f"## `{name}`")
+
+    def test_full_document_structure(self):
+        text = generate_api_markdown()
+        assert text.startswith("# API reference")
+        for name in PUBLIC_MODULES:
+            assert f"## `{name}`" in text
+
+    def test_core_symbols_present(self):
+        text = generate_api_markdown(("repro.core",))
+        for symbol in ("ThresholdPolicy", "c_bound", "corner_values"):
+            assert symbol in text
+
+    def test_signatures_rendered(self):
+        text = generate_api_markdown(("repro.core",))
+        assert "c_bound(epsilon" in text
+
+    def test_main_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "api.md"
+        assert main(["--out", str(out)]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_no_dangling_exports(self):
+        """Every __all__ name must resolve (guards against typo'd exports)."""
+        import importlib
+
+        for name in PUBLIC_MODULES:
+            module = importlib.import_module(name)
+            for symbol in getattr(module, "__all__", []):
+                assert getattr(module, symbol, None) is not None, (name, symbol)

@@ -1,0 +1,142 @@
+"""Tests for the capacity planner and latency analytics."""
+
+import math
+
+import pytest
+
+from repro.analysis.capacity import (
+    machines_for_target,
+    machines_for_target_exact,
+    marginal_machine_value,
+    planning_table,
+    slack_for_target,
+)
+from repro.analysis.latency import compare_latency, latency_stats, slack_headroom
+from repro.core.guarantees import theorem2_bound
+from repro.core.threshold import ThresholdPolicy
+from repro.baselines.greedy import GreedyPolicy
+from repro.engine.simulator import simulate
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.model.schedule import Assignment, Schedule
+from repro.workloads import random_instance
+
+
+class TestMachinesForTarget:
+    def test_exact_minimum_meets_target(self):
+        eps, target = 0.1, 7.0
+        m = machines_for_target_exact(eps, target)
+        assert m is not None
+        assert theorem2_bound(eps, m) <= target
+        if m > 1:
+            assert theorem2_bound(eps, m - 1) > target
+
+    def test_generous_target_needs_one_machine(self):
+        assert machines_for_target_exact(0.5, 100.0) == 1
+
+    def test_impossible_target(self):
+        # Fixed-eps floor is ~ 2 + ln(1/eps) = 6.6 at eps = 0.01.
+        assert machines_for_target(0.01, 3.0) is None
+
+    def test_nonsense_target(self):
+        assert machines_for_target(0.5, 0.9) is None
+
+
+class TestSlackForTarget:
+    def test_threshold_property(self):
+        m, target = 3, 5.0
+        eps = slack_for_target(m, target)
+        assert eps is not None
+        assert theorem2_bound(eps, m) <= target + 1e-6
+        # Slightly less slack misses the target (minimality).
+        assert theorem2_bound(eps * 0.99, m) > target
+
+    def test_unachievable_on_fleet(self):
+        # Floor at eps=1 is 2 + 1/m; target below that is impossible.
+        assert slack_for_target(2, 2.4) is None
+
+    def test_trivial_target(self):
+        eps = slack_for_target(2, 1000.0)
+        assert eps is not None
+        assert theorem2_bound(eps, 2) <= 1000.0 + 1e-6
+        assert eps < 1e-4  # huge target -> tiny required slack
+
+
+class TestTables:
+    def test_planning_table_shape(self):
+        rows = planning_table(epsilons=(0.1, 0.5), machine_counts=(1, 2))
+        assert len(rows) == 4
+        for row in rows:
+            assert row["guarantee"] >= row["c"] - 1e-12
+
+    def test_marginal_value_of_tight_bound_nonnegative(self):
+        rows = marginal_machine_value(0.1, up_to=8)
+        c_improvements = [r["c_improvement"] for r in rows[1:]]
+        assert all(i >= -1e-9 for i in c_improvements)
+        assert c_improvements[0] > c_improvements[-1]
+
+    def test_guarantee_nonmonotone_at_phase_four(self):
+        # Documented quirk: Lemma 11's additive loss makes the Theorem-2
+        # *guarantee* dip when k reaches 4 (c itself stays monotone).
+        rows = marginal_machine_value(0.1, up_to=8)
+        by_m = {r["machines"]: r for r in rows}
+        assert by_m[8]["guarantee"] > by_m[7]["guarantee"]
+        assert by_m[8]["c"] < by_m[7]["c"]
+
+    def test_planner_sound_despite_nonmonotonicity(self):
+        # Target between theorem2(0.1, 7) and theorem2(0.1, 8): the scan
+        # must return 7, not overshoot to a larger power of two.
+        target = (theorem2_bound(0.1, 7) + theorem2_bound(0.1, 8)) / 2
+        m = machines_for_target_exact(0.1, target)
+        assert m == 7
+
+
+class TestLatency:
+    def _schedule(self):
+        jobs = [Job(0.0, 1.0, 10.0), Job(0.0, 2.0, 10.0), Job(1.0, 1.0, 10.0)]
+        inst = Instance(jobs, machines=1, epsilon=1.0)
+        s = Schedule(instance=inst)
+        s.assignments[0] = Assignment(0, 0, 0.0)   # wait 0
+        s.assignments[1] = Assignment(1, 0, 1.0)   # wait 1
+        s.assignments[2] = Assignment(2, 0, 3.0)   # wait 2
+        return s
+
+    def test_known_values(self):
+        stats = latency_stats(self._schedule())
+        assert stats.count == 3
+        assert stats.mean_wait == pytest.approx(1.0)
+        assert stats.max_wait == pytest.approx(2.0)
+        # flows: 1, 3, 3 -> mean 7/3; stretches: 1, 1.5, 3.
+        assert stats.mean_flow == pytest.approx(7 / 3)
+        assert stats.mean_stretch == pytest.approx((1 + 1.5 + 3) / 3)
+
+    def test_empty_schedule(self):
+        inst = Instance([], machines=1, epsilon=0.5)
+        stats = latency_stats(Schedule(instance=inst))
+        assert stats.count == 0 and stats.mean_wait == 0.0
+
+    def test_compare_rows(self):
+        inst = random_instance(40, 2, 0.3, seed=3)
+        rows = compare_latency(
+            {
+                "threshold": simulate(ThresholdPolicy(), inst),
+                "greedy": simulate(GreedyPolicy(), inst),
+            }
+        )
+        assert {r["algorithm"] for r in rows} == {"threshold", "greedy"}
+        for r in rows:
+            assert r["p95_wait"] >= r["median_wait"] - 1e-12
+
+    def test_slack_headroom_bounds(self):
+        inst = random_instance(40, 2, 0.3, seed=4)
+        s = simulate(ThresholdPolicy(), inst)
+        h = slack_headroom(s)
+        # Headroom is at least 0 (deadlines met) for every accepted job.
+        assert h >= 0.0
+
+    def test_headroom_exact_case(self):
+        jobs = [Job(0.0, 2.0, 4.0)]
+        inst = Instance(jobs, machines=1, epsilon=1.0)
+        s = Schedule(instance=inst)
+        s.assignments[0] = Assignment(0, 0, 0.0)  # completes 2, d 4
+        assert slack_headroom(s) == pytest.approx(1.0)

@@ -1,0 +1,174 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for cmd in ["bound", "fig1", "duel", "tree", "compare"]:
+            args = {
+                "bound": ["bound", "--m", "2", "--eps", "0.5"],
+                "fig1": ["fig1"],
+                "duel": ["duel", "--m", "2", "--eps", "0.5"],
+                "tree": ["tree", "--m", "2", "--eps", "0.5"],
+                "compare": ["compare"],
+            }[cmd]
+            ns = parser.parse_args(args)
+            assert ns.command == cmd
+
+
+class TestCommands:
+    def test_bound(self, capsys):
+        assert main(["bound", "--m", "2", "--eps", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "3.5" in out and "phase k = 2" in out
+
+    def test_fig1_with_csv(self, capsys, tmp_path):
+        csv = tmp_path / "fig1.csv"
+        code = main(
+            ["fig1", "--machines", "1,2", "--points", "40", "--csv", str(csv)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "m=1" in out and "m=2" in out
+        assert csv.read_text().startswith("epsilon,m=1,m=2")
+
+    def test_duel(self, capsys):
+        assert main(["duel", "--m", "2", "--eps", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "forced ratio" in out and "c(eps, m)" in out
+
+    def test_duel_with_trace(self, capsys):
+        assert main(["duel", "--m", "1", "--eps", "0.5", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "job 0" in out
+
+    def test_duel_rejects_preemptive(self, capsys):
+        code = main(["duel", "--m", "2", "--eps", "0.2", "--algorithm", "dasgupta-palis"])
+        assert code == 2
+        assert "non-preemptive" in capsys.readouterr().err
+
+    def test_tree(self, capsys):
+        assert main(["tree", "--m", "2", "--eps", "0.2"]) == 0
+        assert "phase 2 stops" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("workload", ["random", "cloud", "bait-and-whale"])
+    def test_compare(self, capsys, workload):
+        code = main(
+            [
+                "compare",
+                "--workload", workload,
+                "--m", "2",
+                "--eps", "0.2",
+                "--n", "20",
+                "--algorithms", "threshold,greedy",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "threshold" in out and "greedy" in out
+
+
+class TestSweepCommand:
+    def test_sweep_serial_with_csv(self, capsys, tmp_path):
+        from repro.cli import main
+
+        csv = tmp_path / "rows.csv"
+        code = main(
+            [
+                "sweep",
+                "--epsilons", "0.3",
+                "--machines", "2",
+                "--n", "8",
+                "--repetitions", "1",
+                "--csv", str(csv),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean_ratio_upper" in out
+        header = csv.read_text().splitlines()[0]
+        assert header.startswith("epsilon,machines,repetition,algorithm")
+
+    def test_sweep_cloud_workload(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            [
+                "sweep",
+                "--workload", "cloud",
+                "--epsilons", "0.2",
+                "--machines", "2",
+                "--n", "10",
+                "--repetitions", "1",
+            ]
+        ) == 0
+        assert "cloud" in capsys.readouterr().out
+
+
+class TestRowsToCsv:
+    def test_roundtrip_columns(self):
+        from functools import partial
+
+        from repro.workloads.random_instances import random_instance
+        from repro.workloads.sweep import SweepSpec, rows_to_csv, run_sweep
+
+        spec = SweepSpec(
+            epsilons=[0.3],
+            machine_counts=[1],
+            algorithms=["greedy"],
+            workload=partial(random_instance, 6),
+            repetitions=1,
+        )
+        text = rows_to_csv(run_sweep(spec))
+        lines = text.strip().splitlines()
+        assert len(lines) == 2
+        assert len(lines[0].split(",")) == len(lines[1].split(","))
+
+
+class TestPlanCommand:
+    def test_solve_for_machines(self, capsys):
+        from repro.cli import main
+
+        assert main(["plan", "--target", "5.0", "--eps", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet size m = 12" in out
+
+    def test_solve_for_slack(self, capsys):
+        from repro.cli import main
+
+        assert main(["plan", "--target", "5.0", "--m", "3"]) == 0
+        assert "slack eps" in capsys.readouterr().out
+
+    def test_unachievable(self, capsys):
+        from repro.cli import main
+
+        assert main(["plan", "--target", "3.0", "--eps", "0.01"]) == 1
+        assert "unachievable" in capsys.readouterr().out
+
+    def test_requires_exactly_one_dimension(self, capsys):
+        from repro.cli import main
+
+        assert main(["plan", "--target", "5.0"]) == 2
+        assert main(["plan", "--target", "5.0", "--eps", "0.1", "--m", "2"]) == 2
+
+
+class TestFig1Svg:
+    def test_fig1_svg_output(self, capsys, tmp_path):
+        from repro.cli import main
+
+        svg = tmp_path / "fig1.svg"
+        code = main(
+            ["fig1", "--machines", "1,2", "--points", "30", "--svg", str(svg)]
+        )
+        assert code == 0
+        text = svg.read_text()
+        assert text.startswith("<svg") and text.endswith("</svg>")
+        assert "m = 2" in text

@@ -1,0 +1,71 @@
+"""Tests for phase detection and the Fig. 1 series."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.phase import (
+    Fig1Series,
+    detect_transitions,
+    fig1_series,
+    log_grid,
+    phase_profile,
+)
+from repro.core.params import c_bound, corner_values
+
+
+class TestFig1Series:
+    def test_default_curves(self):
+        series = fig1_series((1, 2, 3, 4))
+        assert [s.m for s in series] == [1, 2, 3, 4]
+
+    def test_values_match_c_bound(self):
+        s = fig1_series((2,), epsilons=np.array([0.1, 0.5]))[0]
+        assert s.values[0] == pytest.approx(c_bound(0.1, 2))
+        assert s.values[1] == pytest.approx(c_bound(0.5, 2))
+
+    def test_transitions_count(self):
+        series = fig1_series((1, 2, 3, 4))
+        assert [len(s.transitions) for s in series] == [0, 1, 2, 3]
+
+    def test_as_dict(self):
+        s = fig1_series((2,), epsilons=np.array([0.1]))[0]
+        d = s.as_dict()
+        assert d["m"] == 2 and len(d["values"]) == 1
+
+    def test_log_grid_range(self):
+        grid = log_grid(0.01, 1.0, 50)
+        assert grid[0] == pytest.approx(0.01)
+        assert grid[-1] == pytest.approx(1.0)
+        assert len(grid) == 50
+
+
+class TestDetectTransitions:
+    @pytest.mark.parametrize("m", [2, 3])
+    def test_finds_analytic_corners(self, m):
+        grid = log_grid(0.02, 1.0, 400)
+        s = fig1_series((m,), epsilons=grid)[0]
+        detected = detect_transitions(s.epsilons, s.values)
+        analytic = [c for c in corner_values(m)[1:-1] if c > 0.02]
+        assert len(detected) >= len(analytic)
+        for corner in analytic:
+            assert min(abs(d - corner) / corner for d in detected) < 0.08
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            detect_transitions(np.array([0.1, 0.2]), np.array([1.0, 2.0]))
+
+    def test_smooth_curve_has_no_transitions(self):
+        eps = log_grid(0.05, 1.0, 120)
+        smooth = 2.0 + 1.0 / eps  # m=1 curve: single phase
+        assert detect_transitions(eps, smooth, threshold=50.0) == []
+
+
+class TestPhaseProfile:
+    def test_k_nondecreasing_in_eps(self):
+        rows = phase_profile(3)
+        ks = [r["k"] for r in rows]
+        assert ks == sorted(ks)
+
+    def test_columns(self):
+        rows = phase_profile(2, epsilons=np.array([0.1, 0.9]))
+        assert rows[0]["k"] == 1 and rows[1]["k"] == 2

@@ -1,0 +1,63 @@
+"""Tests for ASCII plotting and CSV export."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plotting import ascii_plot, series_to_csv
+
+
+class TestAsciiPlot:
+    def test_renders_series_glyphs(self):
+        out = ascii_plot({"s1": ([1, 2, 3], [1, 2, 3])}, width=30, height=8)
+        assert "o = s1" in out
+        canvas = out.splitlines()[:-2]
+        assert sum(line.count("o") for line in canvas) == 3
+
+    def test_two_series_distinct_glyphs(self):
+        out = ascii_plot(
+            {"a": ([1, 2], [1, 2]), "b": ([1, 2], [2, 1])}, width=20, height=6
+        )
+        assert "o = a" in out and "x = b" in out
+
+    def test_logx_labelled(self):
+        out = ascii_plot({"s": ([0.01, 0.1, 1.0], [3, 2, 1])}, logx=True)
+        assert "log10(x)" in out
+
+    def test_markers_drawn(self):
+        out = ascii_plot(
+            {"s": ([0.0, 1.0], [0.0, 1.0])},
+            markers={"s": [(0.5, 0.5)]},
+            width=21,
+            height=7,
+        )
+        assert "O" in out
+
+    def test_title(self):
+        out = ascii_plot({"s": ([0, 1], [0, 1])}, title="Fig")
+        assert out.splitlines()[0] == "Fig"
+
+    def test_empty(self):
+        assert ascii_plot({"s": ([], [])}) == "(empty plot)"
+
+    def test_nonfinite_filtered(self):
+        out = ascii_plot({"s": ([1, 2, 3], [1.0, float("inf"), 2.0])})
+        assert "y: [1, 2]" in out
+
+
+class TestCsv:
+    def test_roundtrip_structure(self):
+        text = series_to_csv({"a": ([1, 2], [3, 4]), "b": ([1, 2], [5, 6])}, x_name="eps")
+        lines = text.strip().splitlines()
+        assert lines[0] == "eps,a,b"
+        assert lines[1].split(",") == ["1", "3", "5"]
+
+    def test_mismatched_grid_raises(self):
+        with pytest.raises(ValueError, match="shared x-grid"):
+            series_to_csv({"a": ([1, 2], [3, 4]), "b": ([1, 3], [5, 6])})
+
+    def test_empty(self):
+        assert series_to_csv({}) == "x\n"
+
+    def test_float_precision(self):
+        text = series_to_csv({"a": (np.array([0.123456789012]), np.array([1.0]))})
+        assert "0.123456789" in text

@@ -1,0 +1,95 @@
+"""Tests for acceptance profiles."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.profile import acceptance_profile, compare_profiles
+from repro.core.threshold import ThresholdPolicy
+from repro.baselines.greedy import GreedyPolicy
+from repro.engine.simulator import simulate
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.model.schedule import Assignment, Schedule
+from repro.workloads import random_instance
+
+
+def _schedule_with(accept_ids, jobs, machines=1):
+    inst = Instance(jobs, machines=machines, epsilon=0.1, validate=False)
+    s = Schedule(instance=inst, algorithm="manual")
+    t_by_machine = {}
+    for jid in accept_ids:
+        job = inst[jid]
+        start = max(job.release, t_by_machine.get(0, 0.0))
+        s.assignments[jid] = Assignment(jid, 0, start)
+        t_by_machine[0] = start + job.processing
+    s.rejected = {j.job_id for j in inst} - set(accept_ids)
+    return s
+
+
+class TestAcceptanceProfile:
+    def test_counts_partition(self):
+        jobs = [Job(0, p, 100.0) for p in (1.0, 2.0, 3.0, 4.0)]
+        s = _schedule_with([0, 1], jobs)
+        prof = acceptance_profile(s, buckets=2)
+        assert prof.offered_count.sum() == 4
+        assert prof.accepted_count.sum() == 2
+        assert prof.offered_load.sum() == pytest.approx(10.0)
+
+    def test_small_jobs_accepted_profile(self):
+        jobs = [Job(0, p, 100.0) for p in (1.0, 1.1, 5.0, 5.1)]
+        s = _schedule_with([0, 1], jobs)
+        prof = acceptance_profile(s, buckets=2)
+        assert prof.count_rates[0] == pytest.approx(1.0)
+        assert prof.count_rates[1] == pytest.approx(0.0)
+
+    def test_laxity_and_slack_dimensions(self):
+        inst = random_instance(40, 2, 0.2, seed=1)
+        s = simulate(GreedyPolicy(), inst)
+        for dim in ("laxity", "slack"):
+            prof = acceptance_profile(s, dimension=dim, buckets=4)
+            assert prof.offered_count.sum() == len(inst)
+
+    def test_unknown_dimension(self):
+        inst = random_instance(5, 1, 0.2, seed=0)
+        s = simulate(GreedyPolicy(), inst)
+        with pytest.raises(ValueError, match="dimension"):
+            acceptance_profile(s, dimension="color")
+
+    def test_bucket_validation(self):
+        inst = random_instance(5, 1, 0.2, seed=0)
+        s = simulate(GreedyPolicy(), inst)
+        with pytest.raises(ValueError, match="buckets"):
+            acceptance_profile(s, buckets=0)
+
+    def test_empty_instance(self):
+        inst = Instance([], machines=1, epsilon=0.5)
+        prof = acceptance_profile(Schedule(instance=inst), buckets=3)
+        assert prof.offered_count.sum() == 0
+
+    def test_constant_dimension_does_not_crash(self):
+        jobs = [Job(0, 1.0, 100.0) for _ in range(6)]
+        s = _schedule_with([0, 1, 2], jobs)
+        prof = acceptance_profile(s, buckets=3)
+        assert prof.offered_count.sum() == 6
+
+    def test_rows_shape(self):
+        inst = random_instance(30, 2, 0.2, seed=2)
+        s = simulate(GreedyPolicy(), inst)
+        rows = acceptance_profile(s, buckets=5).rows()
+        assert len(rows) == 5
+        assert {"offered", "accepted", "count_rate", "load_rate"} <= set(rows[0])
+
+
+class TestCompareProfiles:
+    def test_side_by_side(self):
+        inst = random_instance(60, 2, 0.1, seed=3)
+        schedules = {
+            "threshold": simulate(ThresholdPolicy(), inst),
+            "greedy": simulate(GreedyPolicy(), inst),
+        }
+        rows = compare_profiles(schedules, buckets=4)
+        assert len(rows) == 4
+        assert all("threshold" in r and "greedy" in r for r in rows)
+
+    def test_empty_input(self):
+        assert compare_profiles({}) == []

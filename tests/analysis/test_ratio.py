@@ -1,0 +1,57 @@
+"""Tests for empirical ratio measurement."""
+
+import pytest
+
+from repro.analysis.ratio import compare_algorithms, empirical_ratio
+from repro.offline.bracket import opt_bracket
+from repro.workloads import random_instance
+
+
+@pytest.fixture
+def inst():
+    return random_instance(12, 2, 0.25, seed=13)
+
+
+class TestEmpiricalRatio:
+    def test_basic_fields(self, inst):
+        rep = empirical_ratio("threshold", inst)
+        assert rep.algorithm == "threshold"
+        assert rep.accepted_load > 0
+        assert rep.ratio_lower <= rep.ratio_upper + 1e-12
+
+    def test_exact_bracket_collapses_ratio(self, inst):
+        rep = empirical_ratio("threshold", inst)
+        assert rep.opt.exact
+        assert rep.ratio_lower == pytest.approx(rep.ratio_upper)
+
+    def test_within_guarantee_certified(self, inst):
+        rep = empirical_ratio("threshold", inst)
+        assert rep.within_guarantee is True
+
+    def test_unknown_algorithm_guarantee_none(self, inst):
+        rep = empirical_ratio("threshold", inst)
+        object.__setattr__(rep, "guarantee", None)
+        assert rep.within_guarantee is None
+
+    def test_bracket_reuse(self, inst):
+        bracket = opt_bracket(inst)
+        rep = empirical_ratio("greedy", inst, bracket=bracket)
+        assert rep.opt is bracket
+
+    def test_as_dict_keys(self, inst):
+        d = empirical_ratio("greedy", inst).as_dict()
+        assert {"algorithm", "load", "ratio_upper", "within"} <= set(d)
+
+
+class TestCompare:
+    def test_all_algorithms_within_guarantees(self, inst):
+        reports = compare_algorithms(
+            ["threshold", "greedy", "lee-style", "dasgupta-palis", "migration-greedy"],
+            inst,
+        )
+        for rep in reports:
+            assert rep.within_guarantee is True, rep.algorithm
+
+    def test_shared_bracket(self, inst):
+        reports = compare_algorithms(["threshold", "greedy"], inst)
+        assert reports[0].opt is reports[1].opt

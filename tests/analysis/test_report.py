@@ -1,0 +1,60 @@
+"""Tests for the condensed reproduction report."""
+
+import pytest
+
+from repro.analysis.report import SECTIONS, generate_report
+
+
+class TestGenerateReport:
+    def test_all_sections_render(self):
+        text = generate_report()
+        assert text.startswith("# Reproduction report")
+        for heading in [
+            "## Bound function",
+            "## Adversary duels",
+            "## Random workload comparison",
+            "## Commitment-model taxonomy",
+            "## Randomized single machine",
+            "## Weighted impossibility",
+            "## Dominant-phase growth rate",
+        ]:
+            assert heading in text, heading
+
+    def test_subset(self):
+        text = generate_report(["bounds"])
+        assert "## Bound function" in text
+        assert "## Adversary duels" not in text
+
+    def test_unknown_section(self):
+        with pytest.raises(ValueError, match="unknown report sections"):
+            generate_report(["nope"])
+
+    def test_sections_registry_complete(self):
+        assert set(SECTIONS) == {
+            "bounds",
+            "duels",
+            "workloads",
+            "commitment-models",
+            "randomized",
+            "impossibility",
+            "growth",
+            "planning",
+        }
+
+    def test_planning_section(self):
+        text = generate_report(["planning"])
+        assert "Capacity planning" in text
+        assert "machines needed" in text
+
+    def test_report_contains_key_numbers(self):
+        text = generate_report(["bounds", "duels"])
+        # Eq. (1) agreement at machine precision and the 2/7 corner.
+        assert "e-1" in text  # scientific-notation error
+        assert "0.2857" in text
+
+    def test_cli_report_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        assert main(["report", "--sections", "bounds", "--out", str(out)]) == 0
+        assert out.read_text().startswith("# Reproduction report")

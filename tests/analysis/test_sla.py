@@ -1,0 +1,71 @@
+"""Tests for service-level analytics."""
+
+import pytest
+
+from repro.analysis.sla import service_stats, service_table
+from repro.baselines.greedy import GreedyPolicy
+from repro.core.threshold import ThresholdPolicy
+from repro.engine.simulator import simulate
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.model.schedule import Assignment, Schedule
+from repro.workloads.cloud import cloud_instance
+
+
+def _tagged_schedule():
+    jobs = [
+        Job(0.0, 1.0, 10.0).with_tags(service="a"),
+        Job(0.0, 2.0, 10.0).with_tags(service="a"),
+        Job(1.0, 3.0, 10.0).with_tags(service="b"),
+    ]
+    inst = Instance(jobs, machines=2, epsilon=1.0)
+    s = Schedule(instance=inst)
+    s.assignments[0] = Assignment(0, 0, 0.5)  # a, wait 0.5
+    s.assignments[2] = Assignment(2, 1, 1.0)  # b, wait 0
+    s.rejected = {1}
+    return s
+
+
+class TestServiceStats:
+    def test_per_class_accounting(self):
+        stats = {c.service: c for c in service_stats(_tagged_schedule())}
+        a, b = stats["a"], stats["b"]
+        assert (a.offered_jobs, a.accepted_jobs) == (2, 1)
+        assert a.offered_load == pytest.approx(3.0)
+        assert a.accepted_load == pytest.approx(1.0)
+        assert a.job_acceptance_rate == pytest.approx(0.5)
+        assert a.load_acceptance_rate == pytest.approx(1 / 3)
+        assert a.mean_wait == pytest.approx(0.5)
+        assert b.load_acceptance_rate == pytest.approx(1.0)
+        assert b.mean_wait == pytest.approx(0.0)
+
+    def test_untagged_jobs_bucketed(self):
+        jobs = [Job(0.0, 1.0, 5.0)]
+        inst = Instance(jobs, machines=1, epsilon=1.0)
+        s = Schedule(instance=inst)
+        s.rejected = {0}
+        stats = service_stats(s)
+        assert stats[0].service == "untagged"
+        assert stats[0].accepted_jobs == 0
+
+    def test_rates_sum_against_totals(self):
+        inst = cloud_instance(80, 3, 0.1, seed=2)
+        s = simulate(GreedyPolicy(), inst)
+        stats = service_stats(s)
+        assert sum(c.accepted_load for c in stats) == pytest.approx(s.accepted_load)
+        assert sum(c.offered_load for c in stats) == pytest.approx(inst.total_load)
+
+
+class TestServiceTable:
+    def test_columns_per_algorithm(self):
+        inst = cloud_instance(80, 3, 0.1, seed=2)
+        rows = service_table(
+            {
+                "threshold": simulate(ThresholdPolicy(), inst),
+                "greedy": simulate(GreedyPolicy(), inst),
+            }
+        )
+        assert {r["service"] for r in rows} == {"interactive", "analytics", "batch"}
+        for row in rows:
+            assert 0.0 <= row["threshold"] <= 1.0
+            assert 0.0 <= row["greedy"] <= 1.0

@@ -1,0 +1,95 @@
+"""Tests for bootstrap intervals and power-law fitting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    bootstrap_mean,
+    fit_power_law,
+    growth_exponent_per_phase,
+)
+from repro.core.params import BoundFunction, corner_values
+
+
+class TestBootstrap:
+    def test_mean_and_coverage(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(5.0, 1.0, size=200)
+        ci = bootstrap_mean(samples, seed=1)
+        assert ci.mean == pytest.approx(samples.mean())
+        assert ci.contains(5.0)
+        assert ci.lower < ci.mean < ci.upper
+
+    def test_deterministic_given_seed(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        a = bootstrap_mean(samples, seed=7)
+        b = bootstrap_mean(samples, seed=7)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_degenerate_samples(self):
+        ci = bootstrap_mean([2.0] * 10)
+        assert ci.lower == ci.upper == 2.0
+        assert ci.halfwidth == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean([])
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0], confidence=1.5)
+
+
+class TestPowerLaw:
+    def test_exact_power_law_recovered(self):
+        x = np.array([1.0, 2.0, 4.0, 8.0])
+        y = 3.0 * x**-0.5
+        fit = fit_power_law(x, y)
+        assert fit.slope == pytest.approx(-0.5)
+        assert np.exp(fit.intercept) == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_power_law([1, 2, 4], [2, 4, 8])
+        assert fit.predict(np.array([8.0]))[0] == pytest.approx(16.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, -2.0], [1.0, 2.0])
+
+
+class TestGrowthExponents:
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_dominant_phase_slope_is_minus_inv_m(self, m):
+        # Deep inside phase k = 1 the paper predicts c ~ eps^{-1/m}.
+        bf = BoundFunction(m)
+        eps = np.geomspace(1e-8, 1e-5, 30)  # far below eps_{1,m}
+        fit = fit_power_law(eps, bf.series(eps))
+        assert fit.slope == pytest.approx(-1.0 / m, abs=0.02)
+        assert fit.r_squared > 0.999
+
+    def test_last_phase_is_inverse_epsilon_after_shift(self):
+        # Phase k = m: c = 1 + 1/m + 1/eps, so c - (1 + 1/m) ~ eps^{-1}.
+        m = 3
+        corners = corner_values(m)
+        eps = np.geomspace(corners[m - 1] * 1.05, 0.99, 40)
+        vals = BoundFunction(m).series(eps) - (1.0 + 1.0 / m)
+        fit = fit_power_law(eps, vals)
+        assert fit.slope == pytest.approx(-1.0, abs=1e-6)
+
+    def test_per_phase_bucketing(self):
+        m = 3
+        corners = corner_values(m)
+        eps = np.geomspace(1e-6, 0.99, 300)
+        vals = BoundFunction(m).series(eps)
+        fits = growth_exponent_per_phase(eps, vals, corners)
+        assert [k for k, _ in fits] == [1, 2, 3]
+        slopes = {k: fit.slope for k, fit in fits}
+        # Chain depth m - k + 1 governs the exponent; phase 1 sampled deep
+        # enough to be near -1/3, later phases transitional but ordered.
+        assert slopes[1] == pytest.approx(-1.0 / m, abs=0.02)
+        assert slopes[1] > slopes[2] > slopes[3]
+
+    def test_requires_enough_samples_per_phase(self):
+        fits = growth_exponent_per_phase([0.5], [3.0], (0.0, 0.3, 1.0))
+        assert fits == []

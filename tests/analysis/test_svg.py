@@ -1,0 +1,128 @@
+"""Tests for the dependency-free SVG chart renderer."""
+
+import pytest
+
+from repro.analysis.svg import PALETTE, SvgChart, fig1_svg
+
+
+class TestSvgChart:
+    def test_minimal_chart_renders(self):
+        svg = SvgChart().add_series("s", [1, 2, 3], [1, 4, 9]).render()
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "polyline" in svg
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            SvgChart().render()
+
+    def test_series_validation(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            SvgChart().add_series("s", [1, 2], [1])
+        with pytest.raises(ValueError, match="two points"):
+            SvgChart().add_series("s", [1], [1])
+
+    def test_legend_and_colors(self):
+        svg = (
+            SvgChart()
+            .add_series("alpha", [1, 2], [1, 2])
+            .add_series("beta", [1, 2], [2, 1])
+            .render()
+        )
+        assert "alpha" in svg and "beta" in svg
+        assert PALETTE[0] in svg and PALETTE[1] in svg
+
+    def test_markers_rendered_as_circles(self):
+        svg = (
+            SvgChart()
+            .add_series("s", [0, 1], [0, 1])
+            .add_marker(0.5, 0.5)
+            .render()
+        )
+        assert "<circle" in svg
+
+    def test_logx_projection_monotone(self):
+        chart = SvgChart(logx=True).add_series("s", [0.01, 0.1, 1.0], [1, 2, 3])
+        bounds = chart._bounds()
+        px1, _ = chart._project(0.01, 1, bounds)
+        px2, _ = chart._project(0.1, 2, bounds)
+        px3, _ = chart._project(1.0, 3, bounds)
+        # Log spacing: equal pixel gaps between decades.
+        assert px2 - px1 == pytest.approx(px3 - px2, abs=1e-6)
+
+    def test_dashed_series(self):
+        svg = SvgChart().add_series("s", [1, 2], [1, 2], dashed=True).render()
+        assert "stroke-dasharray" in svg
+
+    def test_labels(self):
+        svg = (
+            SvgChart(title="T", x_label="X", y_label="Y")
+            .add_series("s", [1, 2], [1, 2])
+            .render()
+        )
+        assert ">T<" in svg and ">X<" in svg and ">Y<" in svg
+
+    def test_nonfinite_points_skipped(self):
+        svg = SvgChart().add_series("s", [1, 2, 3], [1.0, float("inf"), 2.0]).render()
+        # Two finite points survive in the polyline.
+        poly = [ln for ln in svg.splitlines() if "polyline" in ln][0]
+        assert poly.count(",") >= 2
+
+
+class TestFig1Svg:
+    def test_full_figure(self):
+        svg = fig1_svg(machine_counts=(1, 2, 3))
+        assert "m = 1" in svg and "m = 3" in svg
+        # m=2 has 1 transition circle, m=3 has 2 (within clip) -> >= 3 circles.
+        assert svg.count("<circle") >= 3
+        # The m = 1 reference is dashed, per the paper's figure.
+        assert "stroke-dasharray" in svg
+
+    def test_writes_valid_xml(self, tmp_path):
+        import xml.etree.ElementTree as ET
+
+        svg = fig1_svg(machine_counts=(1, 2))
+        path = tmp_path / "fig1.svg"
+        path.write_text(svg)
+        tree = ET.parse(path)  # raises on malformed XML
+        assert tree.getroot().tag.endswith("svg")
+
+
+class TestGanttSvg:
+    def _schedule(self):
+        from repro.core.threshold import ThresholdPolicy
+        from repro.engine.simulator import simulate
+        from repro.workloads import random_instance
+
+        inst = random_instance(12, 2, 0.25, seed=3)
+        return simulate(ThresholdPolicy(), inst)
+
+    def test_structure(self):
+        from repro.analysis.svg import gantt_svg
+
+        s = self._schedule()
+        svg = gantt_svg(s, title="t")
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        # One filled rect per accepted job (plus the background rect).
+        assert svg.count("fill-opacity") == s.accepted_count
+        # One dashed outline per rejected job.
+        assert svg.count("stroke-dasharray") == len(s.rejected)
+        assert ">m0<" in svg and ">m1<" in svg
+
+    def test_valid_xml(self, tmp_path):
+        import xml.etree.ElementTree as ET
+
+        from repro.analysis.svg import gantt_svg
+
+        path = tmp_path / "gantt.svg"
+        path.write_text(gantt_svg(self._schedule()))
+        assert ET.parse(path).getroot().tag.endswith("svg")
+
+    def test_empty_schedule(self):
+        from repro.analysis.svg import gantt_svg
+        from repro.model.instance import Instance
+        from repro.model.schedule import Schedule
+
+        inst = Instance([], machines=1, epsilon=0.5)
+        svg = gantt_svg(Schedule(instance=inst))
+        assert "<svg" in svg

@@ -1,0 +1,57 @@
+"""Tests for table rendering."""
+
+from repro.analysis.tables import format_markdown, format_table, render_rows
+
+
+ROWS = [
+    {"name": "a", "value": 1.23456, "flag": True, "miss": None},
+    {"name": "bb", "value": float("inf"), "flag": False, "miss": 2},
+]
+
+
+class TestFormatTable:
+    def test_contains_all_cells(self):
+        out = format_table(ROWS)
+        assert "1.2346" in out and "inf" in out and "yes" in out and "—" in out
+
+    def test_column_subset_and_order(self):
+        out = format_table(ROWS, columns=["value", "name"])
+        header = out.splitlines()[0]
+        assert header.index("value") < header.index("name")
+        assert "flag" not in header
+
+    def test_title(self):
+        out = format_table(ROWS, title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+
+    def test_precision(self):
+        out = format_table(ROWS, precision=1)
+        assert "1.2" in out and "1.2346" not in out
+
+    def test_nan_rendering(self):
+        out = format_table([{"x": float("nan")}])
+        assert "nan" in out
+
+
+class TestMarkdown:
+    def test_structure(self):
+        out = format_markdown(ROWS)
+        lines = out.splitlines()
+        assert lines[0].startswith("| name")
+        assert set(lines[1]) <= {"|", "-"}
+        assert len(lines) == 2 + len(ROWS)
+
+    def test_empty(self):
+        assert format_markdown([]) == "(no rows)"
+
+
+class TestRenderRows:
+    def test_dispatch_plain(self):
+        assert "---" in render_rows(ROWS)
+
+    def test_dispatch_markdown_with_title(self):
+        out = render_rows(ROWS, markdown=True, title="X")
+        assert out.startswith("**X**")

@@ -1,0 +1,89 @@
+"""Tests for utilization timelines."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeline import (
+    busy_intervals,
+    render_heat_strip,
+    render_heatmap,
+    utilization,
+)
+from repro.core.threshold import ThresholdPolicy
+from repro.engine.simulator import simulate
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.model.schedule import Assignment, Schedule
+from repro.workloads import random_instance
+
+
+def _manual_schedule():
+    jobs = [Job(0.0, 2.0, 10.0), Job(0.0, 4.0, 10.0)]
+    inst = Instance(jobs, machines=2, epsilon=1.0)
+    s = Schedule(instance=inst, algorithm="manual")
+    s.assignments[0] = Assignment(0, 0, 0.0)  # m0 busy [0, 2)
+    s.assignments[1] = Assignment(1, 1, 2.0)  # m1 busy [2, 6)
+    return s
+
+
+class TestUtilization:
+    def test_known_fractions(self):
+        s = _manual_schedule()
+        series = utilization(s, windows=10, horizon=10.0)
+        # m0 busy in [0,2): windows 0-1 fully busy, rest idle.
+        assert np.allclose(series.per_machine[0][:2], 1.0)
+        assert np.allclose(series.per_machine[0][2:], 0.0)
+        # m1 busy in [2,6): windows 2..5.
+        assert np.allclose(series.per_machine[1][2:6], 1.0)
+        assert series.mean_utilization() == pytest.approx((2 + 4) / (2 * 10))
+
+    def test_partial_window_overlap(self):
+        s = _manual_schedule()
+        series = utilization(s, windows=5, horizon=10.0)  # 2.0-wide windows
+        # m1 busy [2,6): windows 1 and 2 fully.
+        assert series.per_machine[1][1] == pytest.approx(1.0)
+        assert series.per_machine[1][2] == pytest.approx(1.0)
+        assert series.per_machine[1][3] == pytest.approx(0.0)
+
+    def test_empty_schedule(self):
+        inst = Instance([], machines=2, epsilon=0.5)
+        s = Schedule(instance=inst)
+        series = utilization(s, windows=4)
+        assert series.peak == 0.0
+        assert series.mean_utilization() == 0.0
+
+    def test_windows_validation(self):
+        with pytest.raises(ValueError):
+            utilization(_manual_schedule(), windows=0)
+
+    def test_values_in_unit_range(self):
+        inst = random_instance(60, 3, 0.2, seed=6)
+        s = simulate(ThresholdPolicy(), inst)
+        series = utilization(s, windows=40)
+        assert np.all(series.per_machine >= -1e-9)
+        assert np.all(series.per_machine <= 1.0 + 1e-9)
+
+    def test_peak_at_least_mean(self):
+        inst = random_instance(60, 3, 0.2, seed=6)
+        s = simulate(ThresholdPolicy(), inst)
+        series = utilization(s)
+        assert series.peak >= series.mean_utilization() - 1e-12
+
+
+class TestRendering:
+    def test_heat_strip_shape(self):
+        series = utilization(_manual_schedule(), windows=12, horizon=10.0)
+        strip = render_heat_strip(series, label="x")
+        assert strip.count("|") == 2
+        assert "mean=" in strip and "peak=" in strip
+
+    def test_heatmap_rows(self):
+        series = utilization(_manual_schedule(), windows=12, horizon=10.0)
+        art = render_heatmap(series)
+        assert art.count("\n") == 2  # two machines + fleet strip
+
+    def test_busy_intervals_merged(self):
+        s = _manual_schedule()
+        ivs = busy_intervals(s, 0)
+        assert len(ivs) == 1
+        assert (ivs[0].start, ivs[0].end) == (0.0, 2.0)

@@ -1,0 +1,64 @@
+"""Unit tests for the DasGupta–Palis preemptive baseline."""
+
+import pytest
+
+from repro.baselines.dasgupta_palis import DasGuptaPalisPolicy
+from repro.engine.preemptive import simulate_preemptive
+from repro.model.instance import Instance
+from repro.model.job import Job, tight_deadline
+from repro.workloads import random_instance
+
+
+class TestAdmission:
+    def test_accepts_feasible(self):
+        inst = Instance([Job(0, 1, 3), Job(0, 1, 3)], machines=1, epsilon=1.0)
+        out = simulate_preemptive(DasGuptaPalisPolicy(), inst)
+        assert len(out.accepted_ids) == 2
+
+    def test_rejects_infeasible(self):
+        jobs = [Job(0, 1, 1.2), Job(0, 1, 1.2), Job(0, 1, 1.2)]
+        inst = Instance(jobs, machines=2, epsilon=0.2)
+        out = simulate_preemptive(DasGuptaPalisPolicy(), inst)
+        assert len(out.accepted_ids) == 2
+
+    def test_preemption_beats_nonpreemptive_greedy(self):
+        # A long job then an urgent short one: preemptive accepts both on a
+        # single machine (preempt, run short, resume); non-preemptive can't.
+        eps = 1.0
+        jobs = [
+            Job(0.0, 4.0, 8.0),
+            Job(1.0, 1.0, 2.0 + 1.0),  # needs [1, 3); preempting fits it
+        ]
+        inst = Instance(jobs, machines=1, epsilon=eps)
+        out = simulate_preemptive(DasGuptaPalisPolicy(), inst)
+        assert out.accepted_ids == {0, 1}
+        out.audit()
+
+    def test_never_misses_deadlines_random(self):
+        inst = random_instance(80, 2, 0.1, seed=21)
+        out = simulate_preemptive(DasGuptaPalisPolicy(), inst)
+        out.audit()
+
+
+class TestPlacement:
+    def test_best_fit_default(self):
+        policy = DasGuptaPalisPolicy()
+        assert policy.placement == "best-fit"
+        assert policy.name == "dasgupta-palis"
+
+    def test_least_loaded_variant_name(self):
+        assert "least-loaded" in DasGuptaPalisPolicy(placement="least-loaded").name
+
+    def test_invalid_placement(self):
+        with pytest.raises(ValueError):
+            DasGuptaPalisPolicy(placement="nope")  # type: ignore[arg-type]
+
+    def test_best_fit_prefers_loaded_feasible_machine(self):
+        jobs = [
+            Job(0.0, 2.0, tight_deadline(0.0, 2.0, 5.0)),  # machine A
+            Job(0.0, 6.0, 30.0),  # both feasible; best-fit -> machine with load
+        ]
+        inst = Instance(jobs, machines=2, epsilon=1.0)
+        policy = DasGuptaPalisPolicy()
+        out = simulate_preemptive(policy, inst)
+        assert len(out.accepted_ids) == 2

@@ -1,0 +1,37 @@
+"""Unit tests for the Goldwasser–Kerbikov baseline.
+
+The headline check: the baseline is *identical in behaviour* to the
+paper's Threshold algorithm at m = 1 (Section 1.1 claims the match).
+"""
+
+import pytest
+
+from repro.baselines.goldwasser import GoldwasserKerbikovPolicy
+from repro.core.threshold import ThresholdPolicy
+from repro.engine.simulator import simulate
+from repro.workloads import random_instance
+
+
+class TestIdentityWithThreshold:
+    @pytest.mark.parametrize("eps", [0.05, 0.25, 0.8])
+    def test_same_decisions_as_threshold_m1(self, eps):
+        inst = random_instance(50, 1, eps, seed=4)
+        gk = simulate(GoldwasserKerbikovPolicy(), inst)
+        th = simulate(ThresholdPolicy(), inst)
+        assert set(gk.assignments) == set(th.assignments)
+        assert gk.accepted_load == pytest.approx(th.accepted_load)
+
+    def test_rule_surfaces_in_info(self):
+        inst = random_instance(3, 1, 0.5, seed=1)
+        s = simulate(GoldwasserKerbikovPolicy(), inst)
+        assert s.meta["trace"].records[0].decision.info.get("rule")
+
+
+class TestGuards:
+    def test_rejects_multi_machine(self):
+        policy = GoldwasserKerbikovPolicy()
+        with pytest.raises(ValueError, match="single-machine"):
+            policy.reset(2, 0.5)
+
+    def test_name(self):
+        assert GoldwasserKerbikovPolicy().name == "goldwasser-kerbikov"

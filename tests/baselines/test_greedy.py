@@ -1,0 +1,79 @@
+"""Unit tests for the greedy baseline."""
+
+import pytest
+
+from repro.baselines.greedy import GreedyPolicy
+from repro.engine.simulator import simulate
+from repro.model.instance import Instance
+from repro.model.job import Job, tight_deadline
+
+
+def run(jobs, m=2, eps=0.5, placement="best-fit"):
+    inst = Instance(jobs, machines=m, epsilon=eps)
+    return simulate(GreedyPolicy(placement=placement), inst)
+
+
+class TestAdmission:
+    def test_accepts_whenever_feasible(self):
+        s = run([Job(0, 1, 2), Job(0, 1, 2), Job(0, 1, 2)], m=2, eps=1.0)
+        # Third job cannot fit anywhere (both machines busy [0,1], d=2,
+        # appending would finish at 2 on the loaded machine... machine 1
+        # holds one job ending 1, so start 1 end 2 <= 2 feasible).
+        assert s.accepted_count == 3
+
+    def test_rejects_only_when_no_machine_fits(self):
+        jobs = [Job(0, 2, 3), Job(0, 2, 3), Job(0, 2, 3)]
+        s = run(jobs, m=2, eps=0.5)
+        assert s.accepted_count == 2
+        assert 2 in s.rejected
+
+    def test_never_misses_deadline(self):
+        jobs = []
+        t = 0.0
+        for i in range(30):
+            p = 0.3 + (i % 4) * 0.4
+            jobs.append(Job(t, p, tight_deadline(t, p, 0.2)))
+            t += 0.2
+        s = run(jobs, m=3, eps=0.2)
+        s.audit()
+
+
+class TestPlacement:
+    def _machines_setup(self):
+        # job0 -> machine 0; job1 with best-fit -> also machine 0.
+        return [Job(0, 2, 50), Job(0, 1, 50)]
+
+    def test_best_fit_stacks_on_loaded_machine(self):
+        s = run(self._machines_setup(), m=2, eps=1.0, placement="best-fit")
+        assert s.assignments[1].machine == s.assignments[0].machine
+
+    def test_least_loaded_spreads(self):
+        s = run(self._machines_setup(), m=2, eps=1.0, placement="least-loaded")
+        assert s.assignments[1].machine != s.assignments[0].machine
+
+    def test_first_fit_prefers_low_index(self):
+        s = run(self._machines_setup(), m=2, eps=1.0, placement="first-fit")
+        assert s.assignments[1].machine == 0
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError):
+            GreedyPolicy(placement="random")  # type: ignore[arg-type]
+
+    def test_names(self):
+        assert GreedyPolicy().name == "greedy"
+        assert GreedyPolicy(placement="first-fit").name == "greedy[first-fit]"
+
+
+class TestGreedyTrap:
+    def test_long_job_blocks_shorts(self):
+        # Greedy accepts a long tight job, then must reject short ones —
+        # the (2 + 1/eps) failure mode.
+        eps = 0.2
+        jobs = [Job(0.0, 10.0, tight_deadline(0.0, 10.0, eps))]
+        t = 0.5
+        for _ in range(8):
+            jobs.append(Job(t, 1.0, tight_deadline(t, 1.0, eps)))
+            t += 0.1
+        s = run(jobs, m=1, eps=eps)
+        assert s.is_accepted(0)
+        assert s.accepted_count == 1  # everything else blocked

@@ -1,0 +1,77 @@
+"""Unit tests for the Lee-style classify-by-size reconstruction."""
+
+import pytest
+
+from repro.baselines.lee import LeeStylePolicy
+from repro.engine.simulator import simulate
+from repro.model.instance import Instance
+from repro.model.job import Job, tight_deadline
+from repro.workloads import random_instance
+
+
+class TestClassification:
+    def test_anchor_set_by_first_job(self):
+        policy = LeeStylePolicy()
+        policy.reset(3, 0.1)
+        inst = Instance([Job(0, 2.0, 50.0)], machines=3, epsilon=0.1)
+        simulate(policy, inst)
+        assert policy.describe()["anchor"] == 2.0
+
+    def test_class_width_is_eps_pow_inv_m(self):
+        policy = LeeStylePolicy()
+        policy.reset(4, 0.0625)
+        assert policy.describe()["class_ratio"] == pytest.approx(0.0625 ** (-1 / 4))
+
+    def test_size_class_geometric_boundaries(self):
+        policy = LeeStylePolicy()
+        policy.reset(2, 0.25)  # ratio = 2
+        policy._anchor = 1.0
+        assert policy.size_class(1.0) == 0
+        assert policy.size_class(1.9) == 0
+        assert policy.size_class(2.0) == 1
+        assert policy.size_class(3.9) == 1
+        assert policy.size_class(4.0) == 0  # wraps modulo m
+
+    def test_small_sizes_wrap_negative(self):
+        policy = LeeStylePolicy()
+        policy.reset(2, 0.25)  # ratio 2
+        policy._anchor = 1.0
+        assert policy.size_class(0.6) == 1  # class -1 mod 2
+
+    def test_epsilon_one_degenerates_to_single_class(self):
+        policy = LeeStylePolicy()
+        policy.reset(2, 1.0)
+        policy._anchor = 1.0
+        assert policy.size_class(0.1) == 0
+        assert policy.size_class(10.0) == 0
+
+
+class TestBehaviour:
+    def test_each_class_on_its_machine(self):
+        eps = 0.25  # m=2 -> ratio 2: sizes 1 -> class 0, 2..4 -> class 1
+        jobs = [
+            Job(0.0, 1.0, tight_deadline(0.0, 1.0, 5.0)),
+            Job(0.0, 3.0, tight_deadline(0.0, 3.0, 5.0)),
+            Job(0.0, 1.1, tight_deadline(0.0, 1.1, 5.0)),
+        ]
+        inst = Instance(jobs, machines=2, epsilon=eps)
+        s = simulate(LeeStylePolicy(), inst)
+        assert s.assignments[0].machine == 0
+        assert s.assignments[1].machine == 1
+        assert s.assignments[2].machine == 0
+
+    def test_rejects_when_class_machine_busy(self):
+        eps = 0.1
+        jobs = [
+            Job(0.0, 1.0, tight_deadline(0.0, 1.0, eps)),
+            Job(0.0, 1.0, tight_deadline(0.0, 1.0, eps)),  # same class, no room
+        ]
+        inst = Instance(jobs, machines=2, epsilon=eps)
+        s = simulate(LeeStylePolicy(), inst)
+        assert s.accepted_count == 1
+        assert s.meta["trace"].records[1].decision.info["reason"] == "class machine busy"
+
+    def test_never_misses_deadlines(self):
+        inst = random_instance(60, 3, 0.15, seed=9, distribution="lognormal")
+        s = simulate(LeeStylePolicy(), inst)
+        s.audit()

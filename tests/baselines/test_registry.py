@@ -1,0 +1,102 @@
+"""Unit tests for the algorithm registry and uniform runner."""
+
+import pytest
+
+from repro.baselines.registry import ALGORITHMS, make_algorithm, run_algorithm
+from repro.model.schedule import Schedule
+from repro.workloads import random_instance
+
+
+class TestRegistry:
+    def test_expected_algorithms_registered(self):
+        for name in [
+            "threshold",
+            "greedy",
+            "goldwasser-kerbikov",
+            "lee-style",
+            "dasgupta-palis",
+            "migration-greedy",
+            "classify-select",
+        ]:
+            assert name in ALGORITHMS
+
+    def test_make_algorithm(self):
+        policy = make_algorithm("threshold")
+        assert policy.name == "threshold"
+
+    def test_make_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            make_algorithm("bogus")
+
+    def test_specs_have_descriptions(self):
+        for spec in ALGORITHMS.values():
+            assert spec.description
+
+
+class TestRunner:
+    @pytest.fixture
+    def inst(self):
+        return random_instance(25, 2, 0.2, seed=5)
+
+    def test_nonpreemptive_run(self, inst):
+        r = run_algorithm("threshold", inst)
+        assert isinstance(r.detail, Schedule)
+        assert r.accepted_load == r.detail.accepted_load
+
+    def test_preemptive_run(self, inst):
+        r = run_algorithm("dasgupta-palis", inst)
+        assert r.accepted_load > 0
+        assert r.acceptance_rate <= 1.0
+
+    def test_migration_run(self, inst):
+        r = run_algorithm("migration-greedy", inst)
+        assert r.accepted_load > 0
+
+    def test_single_machine_guard(self, inst):
+        with pytest.raises(ValueError, match="single-machine"):
+            run_algorithm("goldwasser-kerbikov", inst)
+
+    def test_unknown_name(self, inst):
+        with pytest.raises(KeyError):
+            run_algorithm("bogus", inst)
+
+    def test_kwargs_forwarded(self):
+        inst1 = random_instance(20, 1, 0.1, seed=2)
+        r = run_algorithm("classify-select", inst1, virtual_machines=3, selected=0)
+        assert r.accepted_load >= 0.0
+
+    def test_acceptance_rate_empty_instance(self):
+        from repro.model.instance import Instance
+
+        empty = Instance([], machines=1, epsilon=0.5)
+        r = run_algorithm("threshold", empty)
+        assert r.acceptance_rate == 1.0
+
+    def test_every_nonrandom_algorithm_runs(self, inst):
+        for name, spec in ALGORITHMS.items():
+            if spec.single_machine_only:
+                continue
+            r = run_algorithm(name, inst)
+            assert r.accepted_load >= 0.0, name
+
+
+class TestExtendedModels:
+    def test_delayed_model_runs_with_default_delta(self):
+        inst = random_instance(20, 2, 0.25, seed=4)
+        r = run_algorithm("delayed-greedy", inst)
+        assert r.accepted_load > 0
+        assert r.detail.meta["delta"] == pytest.approx(0.25)
+
+    def test_delayed_model_respects_delta_kwarg(self):
+        inst = random_instance(20, 2, 0.25, seed=4)
+        r = run_algorithm("delayed-greedy", inst, delta=0.0)
+        assert r.detail.meta["delta"] == 0.0
+
+    def test_admission_model_runs(self):
+        inst = random_instance(20, 2, 0.25, seed=4)
+        r = run_algorithm("admission-lazy", inst)
+        assert r.detail.meta["model"] == "commitment-on-admission"
+
+    def test_taxonomy_names_registered(self):
+        for name in ("delayed-greedy", "admission-greedy", "admission-lazy"):
+            assert name in ALGORITHMS

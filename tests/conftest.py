@@ -1,0 +1,48 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model import Instance, Job
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for tests needing ad-hoc randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_instance() -> Instance:
+    """Three easy jobs on two machines, slack 0.5."""
+    jobs = [
+        Job(0.0, 1.0, 4.0),
+        Job(0.5, 2.0, 6.0),
+        Job(1.0, 1.0, 5.0),
+    ]
+    return Instance(jobs, machines=2, epsilon=0.5, name="tiny")
+
+
+@pytest.fixture
+def single_machine_instance() -> Instance:
+    """Five jobs on one machine with mixed slack, epsilon 0.25."""
+    jobs = [
+        Job(0.0, 1.0, 1.25),
+        Job(0.2, 0.5, 2.0),
+        Job(1.0, 2.0, 6.0),
+        Job(2.0, 1.0, 3.25),
+        Job(3.0, 0.4, 4.0),
+    ]
+    return Instance(jobs, machines=1, epsilon=0.25, name="single5")
+
+
+def make_tight_jobs(
+    releases: list[float], processings: list[float], epsilon: float
+) -> list[Job]:
+    """Jobs at exactly the slack frontier — helper used across modules."""
+    return [
+        Job(r, p, r + (1.0 + epsilon) * p)
+        for r, p in zip(releases, processings)
+    ]

@@ -1,0 +1,74 @@
+"""Tests for the exact rational corners and the derived closed form.
+
+The closed form eps_{k,m} = (km / (km + 2m + 1))^{m-k} is derived in this
+reproduction (see ``corner_closed_form``'s docstring for the proof); here
+it is validated against exact rational arithmetic for all m <= 12 and
+against the float pipeline.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.params import (
+    corner_closed_form,
+    corner_values,
+    corner_values_exact,
+)
+
+
+class TestExactCorners:
+    def test_known_values(self):
+        assert corner_values_exact(2)[1] == Fraction(2, 7)
+        assert corner_values_exact(3)[1] == Fraction(9, 100)
+        assert corner_values_exact(3)[2] == Fraction(6, 13)
+        assert corner_values_exact(4)[3] == Fraction(4, 7)
+
+    def test_endpoints(self):
+        for m in (1, 3, 6):
+            corners = corner_values_exact(m)
+            assert corners[0] == 0 and corners[-1] == 1
+
+    def test_matches_float_pipeline(self):
+        for m in range(1, 9):
+            for exact, approx in zip(corner_values_exact(m), corner_values(m)):
+                assert float(exact) == pytest.approx(approx, abs=1e-12)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            corner_values_exact(0)
+
+
+class TestClosedForm:
+    @pytest.mark.parametrize("m", range(1, 13))
+    def test_matches_exact_rationals(self, m):
+        exact = corner_values_exact(m)
+        for k in range(1, m):
+            conjectured = Fraction(k * m, k * m + 2 * m + 1) ** (m - k)
+            assert conjectured == exact[k]
+            assert corner_closed_form(k, m) == pytest.approx(float(exact[k]), rel=1e-14)
+
+    def test_k_equals_m_is_one(self):
+        # (km/(km+2m+1))^0 = 1: the right end of the domain.
+        for m in (1, 2, 5):
+            assert corner_closed_form(m, m) == 1.0
+
+    def test_last_interior_corner_formula(self):
+        # k = m-1 specialises to m(m-1)/(m^2+m+1).
+        for m in (2, 3, 4, 7):
+            assert corner_closed_form(m - 1, m) == pytest.approx(
+                m * (m - 1) / (m * m + m + 1)
+            )
+
+    def test_first_corner_formula(self):
+        # k = 1 specialises to (m/(3m+1))^{m-1}.
+        for m in (2, 3, 4, 5):
+            assert corner_closed_form(1, m) == pytest.approx(
+                (m / (3 * m + 1)) ** (m - 1)
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            corner_closed_form(0, 3)
+        with pytest.raises(ValueError):
+            corner_closed_form(4, 3)

@@ -1,0 +1,82 @@
+"""Golden-value regression tests for the bound function.
+
+A frozen table of c(eps, m) values computed by this implementation (and
+double-checked against the closed forms where available).  Any future
+change to the solver that shifts these numbers by more than 1e-9 fails
+loudly — protecting every downstream benchmark's reference column.
+"""
+
+import pytest
+
+from repro.core.params import c_bound, threshold_parameters
+
+#: (epsilon, m) -> c(epsilon, m), frozen.
+GOLDEN_C = {
+    (0.01, 1): 102.0,
+    (0.10, 1): 12.0,
+    (0.50, 1): 4.0,
+    (1.00, 1): 3.0,
+    (0.01, 2): 20.655644370746373,
+    (0.05, 2): 9.787087810503355,
+    (0.10, 2): 7.300735254367721,
+    (2.0 / 7.0, 2): 5.0,
+    (0.50, 2): 3.5,
+    (1.00, 2): 2.5,
+    (0.01, 3): 13.691314461247497,
+    (0.05, 3): 8.25948284072276,
+    (0.09, 3): 7.0,
+    (0.20, 3): 4.861902647381825,
+    (6.0 / 13.0, 3): 3.5,
+    (0.80, 3): 2.5833333333333335,
+    (0.05, 4): 7.413204105623378,
+    (0.10, 4): 5.8190374166771095,
+    (0.30, 4): 3.9132502180427244,
+    (1.00, 4): 2.25,
+}
+
+#: (epsilon, m) -> phase index k, frozen.
+GOLDEN_K = {
+    (0.01, 2): 1,
+    (0.50, 2): 2,
+    (0.05, 3): 1,
+    (0.20, 3): 2,
+    (0.80, 3): 3,
+    (0.05, 4): 2,
+    (0.10, 4): 2,
+    (0.30, 4): 3,
+    (1.00, 4): 4,
+}
+
+
+class TestGoldenBoundValues:
+    @pytest.mark.parametrize("key", sorted(GOLDEN_C, key=repr))
+    def test_c_bound_frozen(self, key):
+        eps, m = key
+        assert c_bound(eps, m) == pytest.approx(GOLDEN_C[key], abs=1e-9)
+
+    @pytest.mark.parametrize("key", sorted(GOLDEN_K, key=repr))
+    def test_phase_index_frozen(self, key):
+        eps, m = key
+        assert threshold_parameters(eps, m).k == GOLDEN_K[key]
+
+    def test_golden_set_is_consistent_with_closed_forms(self):
+        # Spot-check frozen entries against the paper's closed forms.
+        assert GOLDEN_C[(0.10, 1)] == pytest.approx(2 + 1 / 0.1)
+        assert GOLDEN_C[(0.50, 2)] == pytest.approx(1.5 + 1 / 0.5)
+        assert GOLDEN_C[(2.0 / 7.0, 2)] == pytest.approx(5.0)
+        assert GOLDEN_C[(0.09, 3)] == pytest.approx(7.0)
+
+
+class TestGoldenThresholdLadders:
+    def test_m3_eps02_ladder(self):
+        p = threshold_parameters(0.2, 3)
+        assert p.k == 2
+        assert p.f[0] == pytest.approx(2.9079351, abs=1e-6)
+        assert p.f[1] == pytest.approx(6.0)
+
+    def test_m4_eps005_ladder(self):
+        p = threshold_parameters(0.05, 4)
+        assert p.k == 2
+        assert list(p.f) == pytest.approx(
+            [3.456602052811689, 8.009425158758297, 21.0], abs=1e-9
+        )

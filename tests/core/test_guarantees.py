@@ -1,0 +1,105 @@
+"""Unit tests for the published-guarantee registry."""
+
+import math
+
+import pytest
+
+from repro.core.guarantees import (
+    DELAYED_EXECUTION_LOSS,
+    GUARANTEES,
+    classify_select_bound,
+    dasgupta_palis_bound,
+    goldwasser_kerbikov_bound,
+    greedy_bound,
+    guarantee_for,
+    lee_bound,
+    lower_bound,
+    migration_bound,
+    parameters_summary,
+    theorem2_bound,
+)
+from repro.core.params import c_bound, phase_index
+
+
+class TestTheorem2Bound:
+    def test_exact_for_small_phase(self):
+        # eps = 0.2, m = 3 -> k = 2 <= 3: bound equals c exactly.
+        assert phase_index(0.2, 3) == 2
+        assert theorem2_bound(0.2, 3) == pytest.approx(c_bound(0.2, 3))
+
+    def test_adds_loss_for_large_phase(self):
+        # Find a (eps, m) with k >= 4: last phase of m = 5 at eps = 0.9.
+        assert phase_index(0.9, 5) == 5
+        assert theorem2_bound(0.9, 5) == pytest.approx(
+            c_bound(0.9, 5) + DELAYED_EXECUTION_LOSS
+        )
+
+    def test_loss_constant_value(self):
+        assert DELAYED_EXECUTION_LOSS == pytest.approx((3 - math.e) / (math.e - 1))
+        assert DELAYED_EXECUTION_LOSS == pytest.approx(0.1639534137, abs=1e-9)
+
+    def test_dominates_lower_bound(self):
+        for eps in [0.05, 0.2, 0.5, 1.0]:
+            for m in [1, 2, 3, 4, 6]:
+                assert theorem2_bound(eps, m) >= lower_bound(eps, m) - 1e-12
+
+
+class TestClassicBounds:
+    def test_greedy_bound(self):
+        assert greedy_bound(0.25, 4) == pytest.approx(6.0)
+
+    def test_goldwasser_matches_c_m1(self):
+        for eps in [0.1, 0.5, 1.0]:
+            assert goldwasser_kerbikov_bound(eps) == pytest.approx(c_bound(eps, 1))
+
+    def test_lee_bound_shape(self):
+        # 1 + m + m eps^{-1/m}; decreasing in m for small eps.
+        assert lee_bound(0.01, 1) == pytest.approx(2 + 100)
+        assert lee_bound(0.01, 4) < lee_bound(0.01, 1)
+
+    def test_lee_dominates_threshold_bound(self):
+        # The paper improves on Lee: c(eps, m) <= 1 + m + m eps^{-1/m}.
+        for eps in [0.01, 0.1, 0.5]:
+            for m in [1, 2, 3, 4]:
+                assert theorem2_bound(eps, m) <= lee_bound(eps, m) + 1e-9
+
+    def test_dasgupta_palis(self):
+        assert dasgupta_palis_bound(0.5, 3) == pytest.approx(3.0)
+
+    def test_migration_bound(self):
+        assert migration_bound(1.0, 8) == pytest.approx(2 * math.log(2))
+
+    def test_preemptive_helps_on_single_machine(self):
+        # On one machine preemption strictly helps: 1 + 1/eps < 2 + 1/eps.
+        assert dasgupta_palis_bound(0.05, 1) < c_bound(0.05, 1)
+
+    def test_parallelism_beats_per_machine_preemption(self):
+        # For m >= 2 the paper's non-preemptive bound already undercuts the
+        # per-machine preemptive 1 + 1/eps in the small-slack regime.
+        assert c_bound(0.05, 2) < dasgupta_palis_bound(0.05, 2)
+
+
+class TestRegistry:
+    def test_known_names_resolve(self):
+        for name in ["threshold", "greedy", "lee-style", "dasgupta-palis"]:
+            assert guarantee_for(name, 0.2, 2) is not None
+
+    def test_variant_names_fall_back_to_base(self):
+        base = guarantee_for("greedy", 0.2, 2)
+        assert guarantee_for("greedy[least-loaded]", 0.2, 2) == base
+
+    def test_unknown_name_returns_none(self):
+        assert guarantee_for("nonsense", 0.2, 2) is None
+
+    def test_all_registry_entries_callable(self):
+        for name, fn in GUARANTEES.items():
+            value = fn(0.3, 2)
+            assert value > 0, name
+
+    def test_classify_select_bound_positive(self):
+        assert classify_select_bound(0.01) > 0
+
+    def test_parameters_summary_keys(self):
+        d = parameters_summary(0.2, 3)
+        assert d["k"] == 2 and d["m"] == 3
+        assert d["f_m"] == pytest.approx(6.0)

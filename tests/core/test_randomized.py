@@ -1,0 +1,115 @@
+"""Unit tests for the classify-and-select randomized algorithm (Corollary 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.randomized import (
+    ClassifyAndSelect,
+    default_virtual_machines,
+    expected_load_classify_select,
+)
+from repro.core.threshold import ThresholdPolicy
+from repro.engine.simulator import simulate
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.workloads import random_instance
+
+
+@pytest.fixture
+def instance() -> Instance:
+    return random_instance(40, 1, 0.05, seed=11)
+
+
+class TestDefaults:
+    def test_default_virtual_machines_scaling(self):
+        assert default_virtual_machines(1.0) == 1
+        assert default_virtual_machines(0.01) == round(np.log(100))
+        assert default_virtual_machines(1e-6) == round(np.log(1e6))
+
+    def test_default_clamps_at_one(self):
+        assert default_virtual_machines(0.9) >= 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            default_virtual_machines(0.0)
+
+
+class TestPolicyMechanics:
+    def test_requires_single_machine(self):
+        policy = ClassifyAndSelect()
+        with pytest.raises(ValueError, match="single-machine"):
+            policy.reset(2, 0.1)
+
+    def test_fixed_selection_validated(self):
+        policy = ClassifyAndSelect(virtual_machines=3, selected=5)
+        with pytest.raises(ValueError, match="out of range"):
+            policy.reset(1, 0.1)
+
+    def test_runs_and_audits(self, instance):
+        s = simulate(ClassifyAndSelect(rng=0), instance)
+        s.audit()
+
+    def test_deterministic_given_seed(self, instance):
+        s1 = simulate(ClassifyAndSelect(rng=5), instance)
+        s2 = simulate(ClassifyAndSelect(rng=5), instance)
+        assert s1.accepted_load == s2.accepted_load
+
+    def test_selection_changes_outcome_possible(self, instance):
+        loads = {
+            simulate(
+                ClassifyAndSelect(virtual_machines=4, selected=i), instance
+            ).accepted_load
+            for i in range(4)
+        }
+        # Different virtual machines carry different jobs in general.
+        assert len(loads) >= 2
+
+    def test_describe(self, instance):
+        policy = ClassifyAndSelect(virtual_machines=3, selected=1)
+        simulate(policy, instance)
+        d = policy.describe()
+        assert d["virtual_machines"] == 3 and d["selected"] == 1
+
+
+class TestExpectationIdentity:
+    def test_realizations_match_virtual_machine_loads(self, instance):
+        # Running with selected=i must accept exactly the virtual machine
+        # i's jobs, so the average over i equals the virtual mean load.
+        m_virtual = 4
+        expected, loads = expected_load_classify_select(instance, m_virtual)
+        realised = [
+            simulate(
+                ClassifyAndSelect(virtual_machines=m_virtual, selected=i), instance
+            ).accepted_load
+            for i in range(m_virtual)
+        ]
+        assert sorted(realised) == pytest.approx(sorted(loads.tolist()))
+        assert expected == pytest.approx(float(np.mean(realised)))
+
+    def test_expected_load_equals_virtual_total_over_m(self, instance):
+        m_virtual = 5
+        expected, loads = expected_load_classify_select(instance, m_virtual)
+        virtual = simulate(ThresholdPolicy(), instance.with_machines(m_virtual))
+        assert expected == pytest.approx(virtual.accepted_load / m_virtual)
+        assert float(loads.sum()) == pytest.approx(virtual.accepted_load)
+
+    def test_requires_single_machine_instance(self):
+        inst = random_instance(10, 2, 0.1, seed=0)
+        with pytest.raises(ValueError):
+            expected_load_classify_select(inst)
+
+
+class TestCommitmentSemantics:
+    def test_accepted_jobs_keep_virtual_start_times(self):
+        jobs = [Job(0.0, 1.0, 10.0), Job(0.0, 1.0, 10.0), Job(0.0, 1.0, 10.0)]
+        inst = Instance(jobs, machines=1, epsilon=1.0)
+        m_virtual = 2
+        virtual = simulate(ThresholdPolicy(), inst.with_machines(m_virtual))
+        for selected in range(m_virtual):
+            s = simulate(
+                ClassifyAndSelect(virtual_machines=m_virtual, selected=selected), inst
+            )
+            for jid, a in s.assignments.items():
+                v = virtual.assignments[jid]
+                assert v.machine == selected
+                assert a.start == pytest.approx(v.start)

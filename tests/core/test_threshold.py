@@ -1,0 +1,176 @@
+"""Unit tests for Algorithm 1 (ThresholdPolicy)."""
+
+import pytest
+
+from repro.core.params import threshold_parameters
+from repro.core.threshold import AllocationRule, ThresholdPolicy
+from repro.engine.simulator import simulate
+from repro.model.instance import Instance
+from repro.model.job import Job, tight_deadline
+from repro.model.machine import MachineState
+
+
+def run(jobs, machines, epsilon, **policy_kwargs):
+    inst = Instance(jobs, machines=machines, epsilon=epsilon)
+    return simulate(ThresholdPolicy(**policy_kwargs), inst)
+
+
+class TestAcceptanceRule:
+    def test_accepts_on_empty_system(self):
+        s = run([Job(0.0, 1.0, 2.0)], machines=2, epsilon=0.5)
+        assert s.accepted_count == 1
+
+    def test_single_machine_matches_goldwasser_rule(self):
+        # m = 1: accept iff d >= t + l * (1+eps)/eps.
+        eps = 0.5
+        jobs = [
+            Job(0.0, 1.0, 10.0),  # accepted, load becomes 1
+            # at t=0? no: release 0.5, outstanding 0.5, threshold 0.5+0.5*3=2.0
+            Job(0.5, 0.9, 1.9),  # d < 2.0 -> reject
+            Job(0.5, 1.0, 2.1),  # d >= 2.0 -> accept
+        ]
+        s = run(jobs, machines=1, epsilon=eps)
+        assert not s.is_accepted(1)
+        assert s.is_accepted(2)
+
+    def test_threshold_uses_least_loaded_machines_only(self):
+        # m = 3, eps = 0.2 -> k = 2: the most loaded machine is ignored.
+        eps = 0.2
+        params = threshold_parameters(eps, 3)
+        assert params.k == 2
+        jobs = [
+            Job(0.0, 5.0, 100.0),  # big job onto one machine
+            Job(0.0, 1.0, 6.0),  # would be rejected if rank-1 load counted
+        ]
+        s = run(jobs, machines=3, epsilon=eps)
+        # rank-1 load is 5 -> ignoring it, ranks 2..3 have load 0 ->
+        # threshold = t -> accept.
+        assert s.accepted_count == 2
+
+    def test_rejects_below_threshold(self):
+        eps = 0.2  # m=2 -> k=1, f = [f_1, f_2] with f_2 = 6
+        params = threshold_parameters(eps, 2)
+        assert params.f[-1] == pytest.approx(6.0)
+        policy = ThresholdPolicy()
+        policy.reset(2, eps)
+        m0, m1 = MachineState(0), MachineState(1)
+        m0.commit(Job(0.0, 1.0, 100.0, job_id=90), 0.0)
+        m1.commit(Job(0.0, 1.0, 100.0, job_id=91), 0.0)
+        # Both loads are 1 -> d_lim = max(f_1, f_2) = 6 at t = 0.
+        reject = policy.on_submission(Job(0.0, 1.0, 5.9, job_id=1), 0.0, [m0, m1])
+        accept = policy.on_submission(Job(0.0, 1.0, 6.0, job_id=2), 0.0, [m0, m1])
+        assert not reject.accepted
+        assert accept.accepted
+        assert reject.info["d_lim"] == pytest.approx(6.0)
+
+    def test_decision_info_carries_threshold(self):
+        s = run([Job(0.0, 1.0, 3.0)], machines=1, epsilon=0.5)
+        trace = s.meta["trace"]
+        assert "d_lim" in trace.records[0].decision.info
+
+
+class TestAllocation:
+    def _loaded_machines(self, t=0.0):
+        m0, m1, m2 = MachineState(0), MachineState(1), MachineState(2)
+        m0.commit(Job(0.0, 3.0, 100.0, job_id=90), 0.0)
+        m1.commit(Job(0.0, 1.0, 100.0, job_id=91), 0.0)
+        return [m0, m1, m2]
+
+    def test_best_fit_picks_most_loaded_candidate(self):
+        policy = ThresholdPolicy()
+        policy.reset(3, 0.2)
+        machines = self._loaded_machines()
+        job = Job(0.0, 1.0, 100.0, job_id=1)
+        decision = policy.on_submission(job, 0.0, machines)
+        assert decision.accepted and decision.machine == 0
+        assert decision.start == pytest.approx(3.0)
+
+    def test_best_fit_skips_non_candidates(self):
+        policy = ThresholdPolicy()
+        policy.reset(3, 0.2)
+        machines = self._loaded_machines()
+        # Deadline 3.5 rules out machine 0 (start 3.0 + p 1.0 = 4.0 > 3.5).
+        job = Job(0.0, 1.0, 3.5, job_id=1)
+        decision = policy.on_submission(job, 0.0, machines)
+        assert decision.accepted and decision.machine == 1
+
+    def test_worst_fit_picks_least_loaded(self):
+        policy = ThresholdPolicy(allocation=AllocationRule.WORST_FIT)
+        policy.reset(3, 0.2)
+        decision = policy.on_submission(
+            Job(0.0, 1.0, 100.0, job_id=1), 0.0, self._loaded_machines()
+        )
+        assert decision.machine == 2
+
+    def test_first_fit_picks_lowest_index(self):
+        policy = ThresholdPolicy(allocation=AllocationRule.FIRST_FIT)
+        policy.reset(3, 0.2)
+        decision = policy.on_submission(
+            Job(0.0, 1.0, 3.5, job_id=1), 0.0, self._loaded_machines()
+        )
+        assert decision.machine == 1  # machine 0 not a candidate
+
+    def test_start_immediately_after_outstanding_load(self):
+        s = run(
+            [Job(0.0, 1.0, 50.0), Job(0.0, 1.0, 50.0), Job(0.0, 2.0, 50.0)],
+            machines=1,
+            epsilon=1.0,
+        )
+        starts = sorted(a.start for a in s.assignments.values())
+        assert starts == [0.0, 1.0, 2.0]
+
+
+class TestClaim1Invariant:
+    @pytest.mark.parametrize("eps", [0.05, 0.2, 0.5, 1.0])
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_tight_jobs_never_miss(self, eps, m):
+        # A stream of tight jobs at increasing releases; the audit inside
+        # simulate() would raise on any deadline miss (Claim 1).
+        jobs = []
+        t = 0.0
+        for i in range(25):
+            p = 0.5 + (i % 5) * 0.5
+            jobs.append(Job(t, p, tight_deadline(t, p, eps)))
+            t += 0.3
+        s = run(jobs, machines=m, epsilon=eps)
+        s.audit()
+
+    def test_accepted_job_always_has_candidate(self):
+        # Stress with simultaneous arrivals; the policy asserts internally
+        # if the Claim-1 candidate guarantee ever breaks.
+        jobs = [Job(0.0, 1.0, 8.0) for _ in range(10)]
+        s = run(jobs, machines=2, epsilon=0.3)
+        s.audit()
+
+
+class TestConfiguration:
+    def test_epsilon_above_one_clamped(self):
+        s = run([Job(0.0, 1.0, 10.0)], machines=2, epsilon=3.0)
+        assert s.accepted_count == 1
+
+    def test_explicit_parameters_must_match_m(self):
+        params = threshold_parameters(0.2, 3)
+        policy = ThresholdPolicy(parameters=params)
+        with pytest.raises(ValueError, match="m="):
+            policy.reset(2, 0.2)
+
+    def test_factor_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ThresholdPolicy(factor_scale=0.0)
+
+    def test_name_reflects_variant(self):
+        assert ThresholdPolicy().name == "threshold"
+        assert "worst-fit" in ThresholdPolicy(allocation=AllocationRule.WORST_FIT).name
+        assert "fx2" in ThresholdPolicy(factor_scale=2.0).name
+
+    def test_describe_after_reset(self):
+        policy = ThresholdPolicy()
+        policy.reset(3, 0.2)
+        d = policy.describe()
+        assert d["m"] == 3 and d["k"] == 2 and d["c"] > 1
+
+    def test_threshold_at_exposed(self):
+        policy = ThresholdPolicy()
+        policy.reset(2, 0.2)
+        d_lim = policy.threshold_at(1.0, [1.0, 1.0])
+        assert d_lim == pytest.approx(1.0 + 6.0)  # f_2 = (1+.2)/.2 = 6

@@ -1,0 +1,115 @@
+"""Decision-table tests: the Threshold frontier, phase by phase.
+
+For hand-crafted machine loads in every phase k = 1..4, these tests pin
+the exact acceptance frontier d_lim = t + max_{h in k..m} l(m_h) f_h
+against independently computed values — the finest-grained check that
+Eqs. (9)/(10) are implemented verbatim (rank ordering, which ranks
+participate, and the multiplier each rank receives).
+"""
+
+import pytest
+
+from repro.core.params import threshold_parameters
+from repro.core.threshold import ThresholdPolicy
+
+
+def frontier(m: int, eps: float, loads: list[float], t: float = 0.0) -> float:
+    policy = ThresholdPolicy()
+    policy.reset(m, eps)
+    return policy.threshold_at(t, loads)
+
+
+class TestPhaseK1:
+    """m=2, eps=0.1 -> k=1: every machine participates."""
+
+    M, EPS = 2, 0.1
+
+    def test_parameters(self):
+        p = threshold_parameters(self.EPS, self.M)
+        assert p.k == 1
+        assert p.f[-1] == pytest.approx(11.0)  # (1+0.1)/0.1
+
+    def test_empty_system_frontier_is_now(self):
+        assert frontier(self.M, self.EPS, [0.0, 0.0], t=3.0) == pytest.approx(3.0)
+
+    def test_single_loaded_machine_uses_f1(self):
+        p = threshold_parameters(self.EPS, self.M)
+        # loads sorted desc: [5, 0]; rank 1 -> f_1, rank 2 -> f_2 * 0.
+        assert frontier(self.M, self.EPS, [5.0, 0.0]) == pytest.approx(5.0 * p.f[0])
+
+    def test_max_over_ranks(self):
+        p = threshold_parameters(self.EPS, self.M)
+        # loads [5, 1]: max(5 f_1, 1 f_2); f_1 ~ 3.15, f_2 = 11 -> 15.76 vs 11.
+        expected = max(5.0 * p.f[0], 1.0 * p.f[1])
+        assert frontier(self.M, self.EPS, [5.0, 1.0]) == pytest.approx(expected)
+
+    def test_smaller_load_can_dominate_via_bigger_factor(self):
+        p = threshold_parameters(self.EPS, self.M)
+        # loads [2, 1]: 2 f_1 ~ 6.3 < 1 * f_2 = 11 -> the rank-2 term wins.
+        assert frontier(self.M, self.EPS, [2.0, 1.0]) == pytest.approx(1.0 * p.f[1])
+        assert 1.0 * p.f[1] > 2.0 * p.f[0]
+
+    def test_physical_order_irrelevant(self):
+        assert frontier(self.M, self.EPS, [1.0, 5.0]) == frontier(
+            self.M, self.EPS, [5.0, 1.0]
+        )
+
+
+class TestPhaseK2:
+    """m=3, eps=0.2 -> k=2: the most loaded machine is exempt."""
+
+    M, EPS = 3, 0.2
+
+    def test_parameters(self):
+        p = threshold_parameters(self.EPS, self.M)
+        assert p.k == 2
+        assert p.f[0] == pytest.approx(2.9079351, abs=1e-6)
+        assert p.f[1] == pytest.approx(6.0)
+
+    def test_rank1_load_ignored(self):
+        # Huge load on one machine, zeros elsewhere: frontier stays at t.
+        assert frontier(self.M, self.EPS, [100.0, 0.0, 0.0]) == pytest.approx(0.0)
+
+    def test_rank2_and_rank3_participate(self):
+        p = threshold_parameters(self.EPS, self.M)
+        # loads desc [9, 4, 1]: max(4 f_2, 1 f_3) = max(11.63, 6) = 4 f_2.
+        expected = max(4.0 * p.f[0], 1.0 * p.f[1])
+        assert frontier(self.M, self.EPS, [9.0, 4.0, 1.0]) == pytest.approx(expected)
+
+    def test_time_offset_added(self):
+        base = frontier(self.M, self.EPS, [9.0, 4.0, 1.0], t=0.0)
+        assert frontier(self.M, self.EPS, [9.0, 4.0, 1.0], t=2.5) == pytest.approx(
+            base + 2.5
+        )
+
+
+class TestPhaseK3AndK4:
+    def test_k3_two_exempt_machines(self):
+        # m=3, eps=0.8 -> k=3: only the least loaded machine gates.
+        p = threshold_parameters(0.8, 3)
+        assert p.k == 3
+        assert frontier(3, 0.8, [50.0, 40.0, 2.0]) == pytest.approx(2.0 * p.f[0])
+
+    def test_k4_in_larger_system(self):
+        # m=5, eps=0.9 -> last phase k=5: only rank-5 participates.
+        p = threshold_parameters(0.9, 5)
+        assert p.k == 5
+        loads = [9.0, 7.0, 5.0, 3.0, 1.0]
+        assert frontier(5, 0.9, loads) == pytest.approx(1.0 * p.f[0])
+
+    def test_acceptance_decision_matches_frontier(self):
+        # End-to-end: a job just below/above the computed frontier.
+        from repro.model.job import Job
+        from repro.model.machine import MachineState
+
+        m, eps = 3, 0.2
+        policy = ThresholdPolicy()
+        policy.reset(m, eps)
+        machines = [MachineState(i) for i in range(m)]
+        machines[0].commit(Job(0.0, 4.0, 100.0, job_id=90), 0.0)
+        machines[1].commit(Job(0.0, 1.0, 100.0, job_id=91), 0.0)
+        d_lim = policy.threshold_at(0.0, [4.0, 1.0, 0.0])
+        below = Job(0.0, 1.0, d_lim - 0.01, job_id=1)
+        above = Job(0.0, 1.0, d_lim + 0.01, job_id=2)
+        assert not policy.on_submission(below, 0.0, machines).accepted
+        assert policy.on_submission(above, 0.0, machines).accepted

@@ -1,0 +1,122 @@
+"""Tests for the commitment-with-penalties engine and policy."""
+
+import pytest
+
+from repro.engine.penalties import (
+    PenaltyPolicy,
+    PlannedJob,
+    RevocableGreedyPolicy,
+    simulate_with_penalties,
+)
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.workloads import alternating_instance, random_instance
+
+
+class TestPlannedJob:
+    def test_end_and_started(self):
+        p = PlannedJob(Job(0, 2, 10, job_id=0), machine=0, start=3.0)
+        assert p.end == 5.0
+        assert not p.started(2.0)
+        assert p.started(3.0)
+
+
+class TestEngineValidation:
+    def test_negative_phi_rejected(self):
+        inst = random_instance(3, 1, 0.2, seed=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            simulate_with_penalties(RevocableGreedyPolicy(), inst, -1.0)
+
+    def test_post_start_revocation_forbidden(self):
+        class Cheater(PenaltyPolicy):
+            name = "cheater"
+
+            def on_submission(self, job, t, plans):
+                if plans:
+                    # Try to revoke a started plan.
+                    return None, [plans[0].job.job_id]
+                return PlannedJob(job, 0, t), []
+
+        jobs = [Job(0.0, 1.0, 3.0), Job(0.5, 1.0, 3.5)]
+        inst = Instance(jobs, machines=1, epsilon=1.0)
+        with pytest.raises(ValueError, match="post-start"):
+            simulate_with_penalties(Cheater(), inst, 0.0)
+
+    def test_overlapping_plan_rejected(self):
+        class Overlapper(PenaltyPolicy):
+            name = "overlapper"
+
+            def on_submission(self, job, t, plans):
+                return PlannedJob(job, 0, job.latest_start), []
+
+        jobs = [Job(0.0, 2.0, 2.5), Job(0.0, 2.0, 2.5)]
+        inst = Instance(jobs, machines=1, epsilon=0.25)
+        with pytest.raises(ValueError, match="overlaps"):
+            simulate_with_penalties(Overlapper(), inst, 0.0)
+
+    def test_unknown_revocation(self):
+        class Ghost(PenaltyPolicy):
+            name = "ghost"
+
+            def on_submission(self, job, t, plans):
+                return None, [12345]
+
+        inst = random_instance(2, 1, 0.2, seed=0)
+        with pytest.raises(ValueError, match="unknown"):
+            simulate_with_penalties(Ghost(), inst, 0.0)
+
+
+class TestOutcomeAccounting:
+    def test_net_value(self):
+        eps = 0.1
+        inst = alternating_instance(2, machines=2, epsilon=eps)
+        out = simulate_with_penalties(RevocableGreedyPolicy(), inst, 0.5)
+        assert out.net_value == pytest.approx(
+            out.completed_load - 0.5 * sum(inst[j].processing for j in out.revoked)
+        )
+
+    def test_audit_covers_all_jobs(self):
+        inst = random_instance(40, 2, 0.2, seed=5)
+        out = simulate_with_penalties(RevocableGreedyPolicy(), inst, 1.0)
+        assert len(out.completed) + len(out.revoked) + len(out.rejected) == len(inst)
+        out.audit()
+
+
+class TestRevocableGreedy:
+    def test_revokes_bait_for_whale(self):
+        eps = 0.1
+        inst = alternating_instance(2, machines=2, epsilon=eps)
+        out = simulate_with_penalties(RevocableGreedyPolicy(), inst, 0.0)
+        assert len(out.revoked) > 0
+        whales = {j.job_id for j in inst if j.tag("kind") == "whale"}
+        assert whales <= set(out.completed), "all whales should be kept"
+
+    def test_high_penalty_stops_revocation(self):
+        eps = 0.1
+        inst = alternating_instance(2, machines=2, epsilon=eps)
+        out = simulate_with_penalties(RevocableGreedyPolicy(), inst, 1e6)
+        assert len(out.revoked) == 0
+
+    def test_net_value_monotone_in_phi(self):
+        eps = 0.1
+        inst = alternating_instance(3, machines=2, epsilon=eps)
+        values = [
+            simulate_with_penalties(RevocableGreedyPolicy(), inst, phi).net_value
+            for phi in (0.0, 0.5, 2.0, 1e6)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_swap_rule_respects_penalty_threshold(self):
+        # Whale worth 9.8; bait worth 1.  Swap profitable iff 9.8 > (1+phi).
+        eps = 0.1
+        inst = alternating_instance(1, machines=1, epsilon=eps)
+        profitable = simulate_with_penalties(RevocableGreedyPolicy(), inst, 5.0)
+        unprofitable = simulate_with_penalties(RevocableGreedyPolicy(), inst, 20.0)
+        assert len(profitable.revoked) == 1
+        assert len(unprofitable.revoked) == 0
+
+    def test_random_runs_audited(self):
+        for seed in range(4):
+            inst = random_instance(50, 3, 0.25, seed=seed)
+            out = simulate_with_penalties(RevocableGreedyPolicy(), inst, 0.5)
+            out.audit()

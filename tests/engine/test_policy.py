@@ -1,0 +1,65 @@
+"""Unit tests for the policy/decision/job-source interfaces."""
+
+import pytest
+
+from repro.engine.policy import Decision, SequenceSource, as_source
+from repro.model.instance import Instance
+from repro.model.job import Job
+
+
+class TestDecision:
+    def test_reject_factory(self):
+        d = Decision.reject(reason="busy")
+        assert not d.accepted
+        assert d.info["reason"] == "busy"
+
+    def test_accept_factory(self):
+        d = Decision.accept(machine=1, start=2.5, d_lim=3.0)
+        assert d.accepted and d.machine == 1 and d.start == 2.5
+        assert d.info["d_lim"] == 3.0
+
+    def test_accept_requires_allocation(self):
+        with pytest.raises(ValueError, match="machine and start"):
+            Decision(accepted=True)
+
+    def test_info_excluded_from_equality(self):
+        assert Decision.reject(a=1) == Decision.reject(a=2)
+
+
+class TestSequenceSource:
+    def test_yields_jobs_in_order(self):
+        inst = Instance([Job(0, 1, 5), Job(1, 1, 5)], machines=1, epsilon=1.0)
+        src = SequenceSource(inst)
+        assert src.next_job().job_id == 0
+        assert src.next_job().job_id == 1
+        assert src.next_job() is None
+
+    def test_exposes_instance_params(self):
+        inst = Instance([Job(0, 1, 5)], machines=3, epsilon=0.4)
+        src = SequenceSource(inst)
+        assert src.machines == 3 and src.epsilon == 0.4
+
+    def test_observe_is_noop(self):
+        inst = Instance([Job(0, 1, 5)], machines=1, epsilon=1.0)
+        src = SequenceSource(inst)
+        job = src.next_job()
+        src.observe(job, Decision.reject())  # must not raise
+
+
+class TestAsSource:
+    def test_passes_source_through(self):
+        inst = Instance([Job(0, 1, 5)], machines=1, epsilon=1.0)
+        src = SequenceSource(inst)
+        assert as_source(src) is src
+
+    def test_wraps_instance(self):
+        inst = Instance([Job(0, 1, 5)], machines=1, epsilon=1.0)
+        assert isinstance(as_source(inst), SequenceSource)
+
+    def test_wraps_job_iterable_with_params(self):
+        src = as_source([Job(0, 1, 5)], machines=2, epsilon=0.5)
+        assert src.machines == 2
+
+    def test_iterable_without_params_raises(self):
+        with pytest.raises(ValueError):
+            as_source([Job(0, 1, 5)])

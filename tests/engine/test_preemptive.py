@@ -1,0 +1,133 @@
+"""Unit tests for the preemptive EDF machine and simulation loop."""
+
+import pytest
+
+from repro.engine.preemptive import (
+    ActiveJob,
+    PreemptiveMachine,
+    PreemptivePolicy,
+    edf_feasible,
+    simulate_preemptive,
+)
+from repro.model.instance import Instance
+from repro.model.job import Job
+
+
+class TestEdfFeasible:
+    def test_empty_is_feasible(self):
+        assert edf_feasible(0.0, [])
+
+    def test_single_job(self):
+        assert edf_feasible(0.0, [ActiveJob(Job(0, 2, 3, job_id=0), 2.0)])
+        assert not edf_feasible(2.0, [ActiveJob(Job(0, 2, 3, job_id=0), 2.0)])
+
+    def test_prefix_sum_violation(self):
+        items = [
+            ActiveJob(Job(0, 1, 1.5, job_id=0), 1.0),
+            ActiveJob(Job(0, 1, 1.8, job_id=1), 1.0),
+        ]
+        assert not edf_feasible(0.0, items)  # second completes at 2 > 1.8
+
+    def test_extra_job_considered(self):
+        items = [ActiveJob(Job(0, 1, 2, job_id=0), 1.0)]
+        assert edf_feasible(0.0, items, extra=Job(0, 1, 3, job_id=1))
+        assert not edf_feasible(0.0, items, extra=Job(0, 2, 2.5, job_id=1))
+
+    def test_finished_remainders_ignored(self):
+        items = [ActiveJob(Job(0, 1, 1.0, job_id=0), 0.0)]
+        assert edf_feasible(5.0, items)
+
+
+class TestPreemptiveMachine:
+    def test_advance_executes_edf_order(self):
+        m = PreemptiveMachine(0)
+        m.accept(Job(0, 2, 10, job_id=0))
+        m.accept(Job(0, 1, 2, job_id=1))  # earlier deadline -> runs first
+        m.advance(1.0)
+        assert m.completions == {1: 1.0}
+        assert m.outstanding() == pytest.approx(2.0)
+
+    def test_preemption_on_later_arrival(self):
+        m = PreemptiveMachine(0)
+        m.accept(Job(0, 4, 20, job_id=0))
+        m.advance(1.0)
+        m.accept(Job(1, 1, 2.5, job_id=1))  # urgent: preempts
+        m.advance(2.0)
+        assert m.completions[1] == pytest.approx(2.0)
+        assert m.outstanding() == pytest.approx(3.0)
+
+    def test_drain_completes_everything(self):
+        m = PreemptiveMachine(0)
+        m.accept(Job(0, 2, 10, job_id=0))
+        m.accept(Job(0, 3, 10, job_id=1))
+        m.drain()
+        assert m.outstanding() == 0.0
+        assert set(m.completions) == {0, 1}
+
+    def test_time_backwards_raises(self):
+        m = PreemptiveMachine(0)
+        m.advance(2.0)
+        with pytest.raises(ValueError):
+            m.advance(1.0)
+
+    def test_feasible_with(self):
+        m = PreemptiveMachine(0)
+        m.accept(Job(0, 2, 2.2, job_id=0))
+        assert not m.feasible_with(Job(0, 1, 2.0, job_id=1))
+        assert m.feasible_with(Job(0, 1, 4.0, job_id=1))
+
+
+class GreedyFirstFeasible(PreemptivePolicy):
+    name = "greedy-preemptive"
+
+    def on_submission(self, job, t, machines):
+        for m in machines:
+            if m.feasible_with(job):
+                return m.index
+        return None
+
+
+class TestSimulatePreemptive:
+    def test_accepts_feasible_stream(self):
+        jobs = [Job(0, 1, 3), Job(0, 1, 3), Job(0.5, 1, 4)]
+        inst = Instance(jobs, machines=2, epsilon=1.0)
+        out = simulate_preemptive(GreedyFirstFeasible(), inst)
+        assert out.accepted_load == pytest.approx(3.0)
+        out.audit()
+
+    def test_rejects_overload(self):
+        jobs = [Job(0, 1, 1.5), Job(0, 1, 1.5)]
+        inst = Instance(jobs, machines=1, epsilon=0.5)
+        out = simulate_preemptive(GreedyFirstFeasible(), inst)
+        assert len(out.accepted_ids) == 1
+
+    def test_invalid_machine_choice_raises(self):
+        class Bad(PreemptivePolicy):
+            name = "bad"
+
+            def on_submission(self, job, t, machines):
+                return 99
+
+        inst = Instance([Job(0, 1, 3)], machines=1, epsilon=1.0)
+        with pytest.raises(ValueError, match="out of range"):
+            simulate_preemptive(Bad(), inst)
+
+    def test_infeasible_acceptance_raises(self):
+        class Reckless(PreemptivePolicy):
+            name = "reckless"
+
+            def on_submission(self, job, t, machines):
+                return 0
+
+        jobs = [Job(0, 1, 1.5), Job(0, 1, 1.5)]
+        inst = Instance(jobs, machines=1, epsilon=0.5)
+        with pytest.raises(ValueError, match="infeasible"):
+            simulate_preemptive(Reckless(), inst)
+
+    def test_audit_catches_missing_completion(self):
+        jobs = [Job(0, 1, 3)]
+        inst = Instance(jobs, machines=1, epsilon=1.0)
+        out = simulate_preemptive(GreedyFirstFeasible(), inst)
+        out.completions.clear()
+        with pytest.raises(AssertionError, match="never completed"):
+            out.audit()

@@ -1,0 +1,93 @@
+"""Unit tests for trace recording and the commitment audit."""
+
+import pytest
+
+from repro.engine.audit import CommitmentAuditError, audit_run
+from repro.engine.policy import Decision
+from repro.engine.recorder import TraceRecorder
+from repro.engine.simulator import simulate
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.model.schedule import Assignment
+from repro.core.threshold import ThresholdPolicy
+
+
+def _run():
+    jobs = [Job(0.0, 1.0, 5.0), Job(0.5, 1.0, 6.0), Job(1.0, 3.0, 4.2)]
+    inst = Instance(jobs, machines=2, epsilon=0.05)
+    return simulate(ThresholdPolicy(), inst)
+
+
+class TestRecorder:
+    def test_records_every_submission(self):
+        s = _run()
+        assert len(s.meta["trace"]) == 3
+
+    def test_accepted_rejected_partition(self):
+        trace = _run().meta["trace"]
+        assert len(trace.accepted()) + len(trace.rejected()) == len(trace)
+
+    def test_acceptance_by_job(self):
+        s = _run()
+        mapping = s.meta["trace"].acceptance_by_job()
+        for jid in s.assignments:
+            assert mapping[jid] is True
+        for jid in s.rejected:
+            assert mapping[jid] is False
+
+    def test_summary_lines_render(self):
+        trace = _run().meta["trace"]
+        text = trace.render()
+        assert "accept" in text or "reject" in text
+        assert text.count("\n") == len(trace) - 1
+
+    def test_manual_record(self):
+        rec = TraceRecorder()
+        job = Job(0.0, 1.0, 5.0, job_id=0)
+        r = rec.record(0.0, job, Decision.reject(), [0.0])
+        assert r.seq == 0 and not r.accepted
+
+
+class TestCommitmentAudit:
+    def test_clean_run_passes(self):
+        audit_run(_run())
+
+    def test_missing_trace_fails(self):
+        s = _run()
+        del s.meta["trace"]
+        with pytest.raises(CommitmentAuditError, match="no decision trace"):
+            audit_run(s)
+
+    def test_revised_rejection_detected(self):
+        s = _run()
+        # Pretend the algorithm later "un-rejected" a job.
+        rejected = next(iter(s.rejected))
+        job = s.instance[rejected]
+        s.rejected.discard(rejected)
+        s.assignments[rejected] = Assignment(rejected, 1, job.latest_start)
+        with pytest.raises(CommitmentAuditError, match="revised"):
+            audit_run(s)
+
+    def test_revised_allocation_detected(self):
+        s = _run()
+        jid = next(iter(s.assignments))
+        a = s.assignments[jid]
+        other = 1 - a.machine
+        # Move to the other machine post hoc (keep schedule feasible).
+        s.assignments[jid] = Assignment(jid, other, a.start)
+        with pytest.raises(CommitmentAuditError, match="revised"):
+            audit_run(s)
+
+    def test_revised_acceptance_detected(self):
+        s = _run()
+        jid = next(iter(s.assignments))
+        del s.assignments[jid]
+        s.rejected.add(jid)
+        with pytest.raises(CommitmentAuditError, match="revised"):
+            audit_run(s)
+
+    def test_trace_length_mismatch(self):
+        s = _run()
+        s.meta["trace"].records.pop()
+        with pytest.raises(CommitmentAuditError, match="decisions for"):
+            audit_run(s)

@@ -1,0 +1,70 @@
+"""Cross-model power ordering on structured instance families.
+
+The §1 taxonomy implies a power ordering that should be visible on the
+right instances.  These tests pin the orderings that hold *by
+construction* on the bait-and-whale family (where waiting/revoking is
+decisive), plus universal sanity relations on arbitrary instances.
+"""
+
+import pytest
+
+from repro.baselines.registry import run_algorithm
+from repro.engine.admission import AdmissionLazyPolicy, simulate_admission
+from repro.engine.delayed import DelayedGreedyPolicy, simulate_delayed
+from repro.engine.penalties import RevocableGreedyPolicy, simulate_with_penalties
+from repro.offline.bracket import opt_bracket
+from repro.workloads import alternating_instance, random_instance
+
+
+class TestTrapOrdering:
+    @pytest.mark.parametrize("eps", [0.1, 0.05])
+    @pytest.mark.parametrize("m", [2, 3])
+    def test_taxonomy_ordering_on_bait_and_whale(self, eps, m):
+        inst = alternating_instance(3, machines=m, epsilon=eps)
+        immediate_greedy = run_algorithm("greedy", inst).accepted_load
+        threshold = run_algorithm("threshold", inst).accepted_load
+        delayed = simulate_delayed(DelayedGreedyPolicy(), inst, eps).accepted_load
+        admission = simulate_admission(AdmissionLazyPolicy(), inst).accepted_load
+        free_revocation = simulate_with_penalties(
+            RevocableGreedyPolicy(), inst, 0.0
+        ).net_value
+        opt_ub = opt_bracket(inst, force_bounds=True).upper
+
+        # The §1 hierarchy, as measured on this family.
+        assert immediate_greedy < threshold
+        assert threshold <= delayed + 1e-9
+        assert delayed < admission
+        assert admission <= free_revocation + 1e-9
+        assert free_revocation <= opt_ub + 1e-9
+
+    @pytest.mark.parametrize("eps", [0.1, 0.05])
+    def test_threshold_fraction_of_delayed(self, eps):
+        # The paper's selling point: immediate commitment loses little to
+        # delayed commitment once the threshold rule is used.
+        inst = alternating_instance(3, machines=3, epsilon=eps)
+        threshold = run_algorithm("threshold", inst).accepted_load
+        delayed = simulate_delayed(DelayedGreedyPolicy(), inst, eps).accepted_load
+        assert threshold >= 0.8 * delayed
+
+
+class TestUniversalSanity:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_no_model_beats_certified_opt(self, seed):
+        inst = random_instance(25, 2, 0.25, seed=seed)
+        opt_ub = opt_bracket(inst, force_bounds=True).upper
+        values = [
+            run_algorithm("greedy", inst).accepted_load,
+            run_algorithm("threshold", inst).accepted_load,
+            simulate_delayed(DelayedGreedyPolicy(), inst, 0.25).accepted_load,
+            simulate_admission(AdmissionLazyPolicy(), inst).accepted_load,
+            simulate_with_penalties(RevocableGreedyPolicy(), inst, 0.0).completed_load,
+        ]
+        for v in values:
+            assert v <= opt_ub + 1e-6
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_free_revocation_dominates_infinite_penalty(self, seed):
+        inst = random_instance(30, 2, 0.25, seed=10 + seed)
+        free = simulate_with_penalties(RevocableGreedyPolicy(), inst, 0.0).net_value
+        frozen = simulate_with_penalties(RevocableGreedyPolicy(), inst, 1e12).net_value
+        assert free >= frozen - 1e-9

@@ -1,0 +1,124 @@
+"""Integration tests: the full pipeline the benchmarks rely on.
+
+Each test exercises several subsystems together — generator, engine,
+algorithms, offline solvers, adversary, analysis — the way the benchmark
+harness composes them.
+"""
+
+import math
+
+import pytest
+
+from repro import (
+    ThresholdPolicy,
+    c_bound,
+    compare_algorithms,
+    duel,
+    run_algorithm,
+    simulate,
+    theorem2_bound,
+)
+from repro.adversary.analysis import enumerate_decision_tree
+from repro.core.guarantees import guarantee_for
+from repro.core.randomized import expected_load_classify_select
+from repro.offline.bracket import opt_bracket
+from repro.workloads import (
+    adversarial_like_instance,
+    alternating_instance,
+    cloud_instance,
+    random_instance,
+)
+from repro.workloads.sweep import SweepSpec, aggregate_rows, run_sweep
+
+
+class TestGuaranteesHoldEmpirically:
+    """Theorem 2 as a certified empirical statement (small instances)."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("eps,m", [(0.1, 2), (0.3, 2), (0.2, 3)])
+    def test_threshold_within_theorem2(self, seed, eps, m):
+        inst = random_instance(12, m, eps, seed=seed)
+        bracket = opt_bracket(inst)
+        s = simulate(ThresholdPolicy(), inst)
+        if s.accepted_load > 0:
+            ratio = bracket.upper / s.accepted_load
+            assert ratio <= theorem2_bound(eps, m) + 1e-6
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_all_algorithms_within_their_guarantees(self, seed):
+        inst = random_instance(12, 2, 0.25, seed=100 + seed)
+        reports = compare_algorithms(
+            ["threshold", "greedy", "lee-style", "dasgupta-palis", "migration-greedy"],
+            inst,
+        )
+        for rep in reports:
+            assert rep.within_guarantee, rep.algorithm
+
+
+class TestAdversaryClosesTheLoop:
+    """Theorem 1 + Theorem 2 together: the forced ratio brackets c."""
+
+    @pytest.mark.parametrize("m,eps", [(1, 0.2), (2, 0.2), (3, 0.2), (4, 0.3)])
+    def test_threshold_sandwiched(self, m, eps):
+        result = duel(ThresholdPolicy(), m=m, epsilon=eps)
+        c = c_bound(eps, m)
+        assert c * 0.995 <= result.forced_ratio <= theorem2_bound(eps, m) + 0.01
+
+    def test_decision_tree_minimum_is_c(self):
+        outs = enumerate_decision_tree(2, 0.15)
+        best_for_adversary = min(o.forced_ratio for o in outs)
+        assert best_for_adversary == pytest.approx(c_bound(0.15, 2), rel=5e-3)
+
+
+class TestAdversarialWorkloads:
+    def test_threshold_beats_greedy_on_alternating(self):
+        inst = alternating_instance(4, machines=2, epsilon=0.1)
+        th = run_algorithm("threshold", inst).accepted_load
+        gr = run_algorithm("greedy", inst).accepted_load
+        assert th > gr
+
+    def test_static_adversarial_instance_hard_for_greedy(self):
+        inst = adversarial_like_instance(machines=3, epsilon=0.2)
+        bracket = opt_bracket(inst, exact_limit=0)
+        gr = run_algorithm("greedy", inst)
+        assert bracket.upper / gr.accepted_load > 1.5
+
+
+class TestCloudScenario:
+    def test_end_to_end_cloud_run(self):
+        inst = cloud_instance(120, 4, 0.1, seed=3)
+        reports = compare_algorithms(["threshold", "greedy", "lee-style"], inst)
+        for rep in reports:
+            assert rep.accepted_load > 0
+            assert math.isfinite(rep.ratio_upper)
+
+    def test_acceptance_rate_sane_under_overload(self):
+        inst = cloud_instance(150, 2, 0.1, seed=5, utilization=3.0)
+        r = run_algorithm("greedy", inst)
+        assert 0.05 < r.acceptance_rate < 0.95
+
+
+class TestRandomizedAlgorithm:
+    def test_expected_ratio_below_certified_bound(self):
+        eps = 0.05
+        inst = random_instance(40, 1, eps, seed=17)
+        bracket = opt_bracket(inst, force_bounds=True)
+        expected, _ = expected_load_classify_select(inst)
+        if expected > 0:
+            ratio = bracket.upper / expected
+            assert ratio <= guarantee_for("classify-select", eps, 1) + 1e-6
+
+
+class TestSweepPipeline:
+    def test_sweep_to_aggregation(self):
+        spec = SweepSpec(
+            epsilons=[0.2],
+            machine_counts=[2],
+            algorithms=["threshold", "greedy"],
+            workload=lambda m, e, s: random_instance(10, m, e, seed=s),
+            repetitions=2,
+        )
+        agg = aggregate_rows(run_sweep(spec))
+        assert len(agg) == 2
+        for entry in agg:
+            assert entry["mean_ratio_upper"] >= 1.0 - 1e-9

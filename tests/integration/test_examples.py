@@ -1,0 +1,86 @@
+"""Smoke tests: every example script runs clean and prints its headline.
+
+Examples are part of the public deliverable; these tests keep them green
+by importing each script's ``main()`` (no subprocesses, so failures carry
+real tracebacks).
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run_example(name: str, capsys, argv: list[str] | None = None) -> str:
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    old_argv = sys.argv
+    sys.argv = [str(path)] + (argv or [])
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run_example("quickstart.py", capsys)
+        assert "within the paper's guarantee" in out
+        assert "Decision trace" in out
+
+    def test_cloud_admission(self, capsys):
+        out = _run_example("cloud_admission.py", capsys)
+        assert "per-service acceptance" in out
+        assert "threshold" in out and "greedy" in out
+        assert "fleet utilization" in out
+
+    def test_adversary_duel(self, capsys):
+        out = _run_example("adversary_duel.py", capsys)
+        assert "forced_ratio" in out
+        assert "phase 2 stops" in out
+
+    def test_phase_transitions(self, capsys, tmp_path):
+        csv = tmp_path / "fig1.csv"
+        out = _run_example("phase_transitions.py", capsys, argv=["--csv", str(csv)])
+        assert "Eq. (1) closed form" in out
+        assert csv.exists()
+        assert csv.read_text().startswith("epsilon,")
+
+    def test_randomized_single_machine(self, capsys):
+        out = _run_example("randomized_single_machine.py", capsys)
+        assert "Corollary 1" in out
+        assert "ln(1/eps)" in out
+
+    def test_commitment_models(self, capsys):
+        out = _run_example("commitment_models.py", capsys)
+        assert "THRESHOLD" in out
+        assert "offline optimum" in out
+
+    def test_acceptance_profiles(self, capsys):
+        out = _run_example("acceptance_profiles.py", capsys)
+        assert "size quintile" in out
+        assert "parallel sweep" in out
+
+    def test_falsification_hunt(self, capsys):
+        out = _run_example("falsification_hunt.py", capsys)
+        assert "blind search" in out
+        assert "covered-interval diagnostics" in out
+        assert "ratio_bound" in out
+
+    def test_paper_tour(self, capsys):
+        out = _run_example("paper_tour.py", capsys)
+        assert "Theorem 1" in out
+        assert "commitment taxonomy" in out
+        assert "no escape below c" in out
+
+    def test_capacity_planning(self, capsys):
+        out = _run_example("capacity_planning.py", capsys)
+        assert "trade-off surface" in out
+        assert "marginal value" in out
+        assert "validation" in out

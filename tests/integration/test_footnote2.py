@@ -1,0 +1,49 @@
+"""Footnote 2 of the paper: greedy is constant-competitive for eps > 1.
+
+"For example, a greedy algorithm that allocates the jobs in a non-delay
+fashion always achieves a competitive ratio less than 3 for eps > 1."
+
+We verify the claim with exact offline optima across machine counts,
+seeds and slack values above 1, and also check the falsification search
+cannot push greedy past 3 in that regime.  This is also the regime where
+the library clamps Threshold's parameters to eps = 1 — the clamped
+algorithm must stay within the eps = 1 guarantee there.
+"""
+
+import pytest
+
+from repro.adversary.search import falsify
+from repro.analysis.ratio import empirical_ratio
+from repro.core.guarantees import theorem2_bound
+from repro.workloads import random_instance, tight_slack_instance
+
+
+class TestGreedyConstantForLargeSlack:
+    @pytest.mark.parametrize("eps", [1.2, 2.0, 4.0])
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_ratio_below_three_exact_opt(self, eps, m):
+        for seed in range(3):
+            inst = tight_slack_instance(11, m, eps, seed=seed)
+            rep = empirical_ratio("greedy", inst)
+            assert rep.opt.exact
+            assert rep.ratio_upper < 3.0, (eps, m, seed, rep.ratio_upper)
+
+    def test_search_cannot_break_three(self):
+        r = falsify("greedy", machines=1, epsilon=1.5, budget=150, n_jobs=6, seed=0)
+        assert r.best_ratio < 3.0
+
+    def test_mixed_slack_above_one(self):
+        inst = random_instance(12, 2, 1.5, seed=9, tight_fraction=0.5)
+        rep = empirical_ratio("greedy", inst)
+        assert rep.ratio_upper < 3.0
+
+
+class TestThresholdClampRegime:
+    @pytest.mark.parametrize("eps", [1.5, 3.0])
+    def test_clamped_threshold_within_eps1_guarantee(self, eps):
+        m = 2
+        bound = theorem2_bound(1.0, m)  # the clamp target
+        for seed in range(3):
+            inst = tight_slack_instance(10, m, eps, seed=seed)
+            rep = empirical_ratio("threshold", inst)
+            assert rep.ratio_upper <= bound + 1e-9

@@ -1,0 +1,128 @@
+"""Unit tests for instances: validation, stats, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.model.instance import Instance, instance_from_arrays
+from repro.model.job import Job
+
+
+def _jobs():
+    return [Job(0.0, 1.0, 3.0), Job(1.0, 2.0, 7.0), Job(2.0, 0.5, 4.0)]
+
+
+class TestValidation:
+    def test_valid_instance(self):
+        inst = Instance(_jobs(), machines=2, epsilon=0.5)
+        assert len(inst) == 3
+
+    def test_ids_assigned_positionally(self):
+        inst = Instance(_jobs(), machines=2, epsilon=0.5)
+        assert [j.job_id for j in inst] == [0, 1, 2]
+
+    def test_rejects_zero_machines(self):
+        with pytest.raises(ValueError):
+            Instance(_jobs(), machines=0, epsilon=0.5)
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(ValueError):
+            Instance(_jobs(), machines=1, epsilon=0.0)
+
+    def test_rejects_out_of_order_releases(self):
+        jobs = [Job(5.0, 1.0, 10.0), Job(1.0, 1.0, 10.0)]
+        with pytest.raises(ValueError, match="submission order"):
+            Instance(jobs, machines=1, epsilon=0.5)
+
+    def test_rejects_slack_violation(self):
+        jobs = [Job(0.0, 2.0, 2.2)]  # slack 0.1 < declared 0.5
+        with pytest.raises(ValueError, match="slack"):
+            Instance(jobs, machines=1, epsilon=0.5)
+
+    def test_validate_false_skips_checks(self):
+        jobs = [Job(0.0, 2.0, 2.2)]
+        inst = Instance(jobs, machines=1, epsilon=0.5, validate=False)
+        assert len(inst) == 1
+
+
+class TestStats:
+    def test_total_load(self):
+        assert Instance(_jobs(), 2, 0.5).total_load == pytest.approx(3.5)
+
+    def test_horizon(self):
+        assert Instance(_jobs(), 2, 0.5).horizon == 7.0
+
+    def test_min_slack(self):
+        inst = Instance(_jobs(), 2, 0.5)
+        assert inst.min_slack == pytest.approx(min(j.slack() for j in _jobs()))
+
+    def test_empty_instance_stats(self):
+        inst = Instance([], machines=1, epsilon=0.5)
+        assert inst.total_load == 0.0
+        assert inst.horizon == 0.0
+        assert inst.min_slack == float("inf")
+
+    def test_arrays(self):
+        inst = Instance(_jobs(), 2, 0.5)
+        assert np.allclose(inst.releases(), [0.0, 1.0, 2.0])
+        assert np.allclose(inst.processings(), [1.0, 2.0, 0.5])
+        assert np.allclose(inst.deadlines(), [3.0, 7.0, 4.0])
+
+    def test_describe_keys(self):
+        d = Instance(_jobs(), 2, 0.5, name="x").describe()
+        assert d["name"] == "x" and d["jobs"] == 3 and d["machines"] == 2
+
+
+class TestDerivedInstances:
+    def test_with_machines(self):
+        inst = Instance(_jobs(), 2, 0.5).with_machines(4)
+        assert inst.machines == 4 and len(inst) == 3
+
+    def test_restricted_to(self):
+        inst = Instance(_jobs(), 2, 0.5)
+        sub = inst.restricted_to([0, 2])
+        assert len(sub) == 2
+        assert [j.tag("origin_id") for j in sub] == [0, 2]
+
+    def test_sorted_by_release_stable(self):
+        inst = Instance(_jobs(), 2, 0.5).sorted_by_release()
+        assert list(inst.releases()) == sorted(inst.releases())
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        inst = Instance(_jobs(), 2, 0.5, name="rt", meta={"k": 1})
+        back = Instance.from_dict(inst.to_dict())
+        assert back.machines == 2 and back.epsilon == 0.5 and back.name == "rt"
+        assert [j.processing for j in back] == [j.processing for j in inst]
+
+    def test_json_roundtrip(self):
+        inst = Instance(_jobs(), 3, 0.25)
+        back = Instance.from_json(inst.to_json())
+        assert len(back) == len(inst)
+        assert back.machines == 3
+
+
+class TestFromArrays:
+    def test_basic(self):
+        inst = instance_from_arrays([0, 1], [1, 1], [2, 3], machines=2, epsilon=0.5)
+        assert len(inst) == 2
+
+    def test_epsilon_inferred(self):
+        inst = instance_from_arrays([0.0], [1.0], [1.8], machines=1)
+        assert inst.epsilon == pytest.approx(0.8)
+
+    def test_epsilon_inferred_clipped_to_one(self):
+        inst = instance_from_arrays([0.0], [1.0], [5.0], machines=1)
+        assert inst.epsilon == 1.0
+
+    def test_sorts_by_release(self):
+        inst = instance_from_arrays([3, 0], [1, 1], [10, 9], machines=1, epsilon=0.5)
+        assert list(inst.releases()) == [0.0, 3.0]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            instance_from_arrays([0], [1, 2], [3], machines=1, epsilon=0.5)
+
+    def test_empty_needs_epsilon(self):
+        with pytest.raises(ValueError):
+            instance_from_arrays([], [], [], machines=1)

@@ -1,0 +1,135 @@
+"""Unit tests for the job model and slack condition."""
+
+import pytest
+
+from repro.model.job import Job, slack_of, tight_deadline
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        j = Job(1.0, 2.0, 6.0, job_id=3)
+        assert (j.release, j.processing, j.deadline, j.job_id) == (1.0, 2.0, 6.0, 3)
+
+    def test_rejects_nonpositive_processing(self):
+        with pytest.raises(ValueError):
+            Job(0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Job(0.0, -1.0, 1.0)
+
+    def test_rejects_negative_release(self):
+        with pytest.raises(ValueError):
+            Job(-0.1, 1.0, 2.0)
+
+    def test_rejects_window_too_small(self):
+        with pytest.raises(ValueError):
+            Job(0.0, 2.0, 1.5)
+
+    def test_immutable(self):
+        j = Job(0.0, 1.0, 2.0)
+        with pytest.raises(AttributeError):
+            j.processing = 5.0  # type: ignore[misc]
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_rejects_nonfinite_fields(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            Job(bad, 1.0, 2.0)
+        with pytest.raises(ValueError, match="finite"):
+            Job(0.0, bad, 2.0)
+        with pytest.raises(ValueError, match="finite"):
+            Job(0.0, 1.0, bad)
+
+    def test_rejects_nonfinite_weight(self):
+        with pytest.raises(ValueError, match="finite"):
+            Job(0.0, 1.0, 2.0, weight=float("nan"))
+
+
+class TestDerived:
+    def test_value_equals_processing(self):
+        assert Job(0.0, 2.5, 10.0).value == 2.5
+
+    def test_latest_start(self):
+        assert Job(1.0, 2.0, 6.0).latest_start == 4.0
+
+    def test_window_and_laxity(self):
+        j = Job(1.0, 2.0, 6.0)
+        assert j.window == 5.0
+        assert j.laxity == 3.0
+
+    def test_slack_definition(self):
+        # d - r = 5, p = 2 -> slack = 5/2 - 1 = 1.5
+        assert Job(1.0, 2.0, 6.0).slack() == pytest.approx(1.5)
+
+    def test_slack_of_alias(self):
+        j = Job(0.0, 1.0, 3.0)
+        assert slack_of(j) == j.slack()
+
+
+class TestSlackCondition:
+    def test_satisfies_loose(self):
+        assert Job(0.0, 1.0, 3.0).satisfies_slack(0.5)
+
+    def test_satisfies_exactly(self):
+        j = Job(0.0, 2.0, 3.0)  # d = (1+0.5)*2
+        assert j.satisfies_slack(0.5)
+        assert j.has_tight_slack(0.5)
+
+    def test_violates(self):
+        assert not Job(0.0, 2.0, 2.5).satisfies_slack(0.5)
+
+    def test_tight_deadline_roundtrip(self):
+        d = tight_deadline(2.0, 3.0, 0.25)
+        assert d == pytest.approx(2.0 + 1.25 * 3.0)
+        assert Job(2.0, 3.0, d).has_tight_slack(0.25)
+
+    def test_tight_deadline_rejects_bad_processing(self):
+        with pytest.raises(ValueError):
+            tight_deadline(0.0, 0.0, 0.5)
+
+
+class TestFeasibleStart:
+    def test_at_release(self):
+        assert Job(1.0, 2.0, 6.0).feasible_start(1.0)
+
+    def test_before_release(self):
+        assert not Job(1.0, 2.0, 6.0).feasible_start(0.5)
+
+    def test_at_latest_start(self):
+        assert Job(1.0, 2.0, 6.0).feasible_start(4.0)
+
+    def test_after_latest_start(self):
+        assert not Job(1.0, 2.0, 6.0).feasible_start(4.5)
+
+
+class TestWeights:
+    def test_default_value_is_processing(self):
+        assert Job(0.0, 2.5, 10.0).value == 2.5
+
+    def test_explicit_weight_overrides_value(self):
+        assert Job(0.0, 2.5, 10.0, weight=7.0).value == 7.0
+
+    def test_zero_weight_allowed(self):
+        assert Job(0.0, 1.0, 2.0, weight=0.0).value == 0.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="weight"):
+            Job(0.0, 1.0, 2.0, weight=-1.0)
+
+    def test_weight_survives_with_id(self):
+        assert Job(0.0, 1.0, 2.0, weight=3.0).with_id(5).weight == 3.0
+
+
+class TestTagsAndIds:
+    def test_with_id_copies(self):
+        j = Job(0.0, 1.0, 2.0)
+        j2 = j.with_id(9)
+        assert j2.job_id == 9 and j.job_id == -1
+
+    def test_with_tags_merges(self):
+        j = Job(0.0, 1.0, 2.0).with_tags(a=1).with_tags(b=2)
+        assert j.tag("a") == 1 and j.tag("b") == 2
+
+    def test_tag_default(self):
+        assert Job(0.0, 1.0, 2.0).tag("missing", "x") == "x"
+
+    def test_tags_do_not_affect_equality(self):
+        assert Job(0.0, 1.0, 2.0).with_tags(a=1) == Job(0.0, 1.0, 2.0).with_tags(a=2)

@@ -1,0 +1,128 @@
+"""Unit tests for non-preemptive machine state."""
+
+import pytest
+
+from repro.model.job import Job
+from repro.model.machine import MachineState
+
+
+class TestCommit:
+    def test_commit_and_query(self):
+        ms = MachineState(0)
+        c = ms.commit(Job(0.0, 2.0, 5.0, job_id=1), start=0.0)
+        assert c.end == 2.0
+        assert len(ms) == 1
+
+    def test_rejects_overlap(self):
+        ms = MachineState(0)
+        ms.commit(Job(0.0, 2.0, 5.0, job_id=1), start=0.0)
+        with pytest.raises(ValueError, match="overlaps"):
+            ms.commit(Job(0.0, 2.0, 5.0, job_id=2), start=1.0)
+
+    def test_allows_back_to_back(self):
+        ms = MachineState(0)
+        ms.commit(Job(0.0, 2.0, 5.0, job_id=1), start=0.0)
+        ms.commit(Job(0.0, 2.0, 5.0, job_id=2), start=2.0)
+        assert ms.last_end() == 4.0
+
+    def test_rejects_infeasible_start(self):
+        ms = MachineState(0)
+        with pytest.raises(ValueError, match="infeasible"):
+            ms.commit(Job(1.0, 2.0, 5.0, job_id=1), start=0.5)  # before release
+        with pytest.raises(ValueError, match="infeasible"):
+            ms.commit(Job(1.0, 2.0, 5.0, job_id=1), start=4.0)  # misses deadline
+
+    def test_commitments_sorted_by_start(self):
+        ms = MachineState(0)
+        ms.commit(Job(0.0, 1.0, 20.0, job_id=1), start=5.0)
+        ms.commit(Job(0.0, 1.0, 20.0, job_id=2), start=1.0)
+        starts = [c.start for c in ms.commitments]
+        assert starts == sorted(starts)
+
+
+class TestOutstanding:
+    def test_zero_when_empty(self):
+        assert MachineState(0).outstanding(3.0) == 0.0
+
+    def test_full_before_start(self):
+        ms = MachineState(0)
+        ms.commit(Job(0.0, 2.0, 10.0, job_id=1), start=4.0)
+        assert ms.outstanding(0.0) == 2.0
+
+    def test_partial_mid_execution(self):
+        ms = MachineState(0)
+        ms.commit(Job(0.0, 2.0, 10.0, job_id=1), start=0.0)
+        assert ms.outstanding(0.5) == pytest.approx(1.5)
+
+    def test_zero_after_completion(self):
+        ms = MachineState(0)
+        ms.commit(Job(0.0, 2.0, 10.0, job_id=1), start=0.0)
+        assert ms.outstanding(3.0) == 0.0
+
+    def test_sums_multiple_commitments(self):
+        ms = MachineState(0)
+        ms.commit(Job(0.0, 1.0, 20.0, job_id=1), start=0.0)
+        ms.commit(Job(0.0, 2.0, 20.0, job_id=2), start=5.0)
+        assert ms.outstanding(0.5) == pytest.approx(0.5 + 2.0)
+
+
+class TestFrontierAndFits:
+    def test_completion_frontier_empty(self):
+        assert MachineState(0).completion_frontier(2.0) == 2.0
+
+    def test_completion_frontier_busy(self):
+        ms = MachineState(0)
+        ms.commit(Job(0.0, 3.0, 10.0, job_id=1), start=1.0)
+        assert ms.completion_frontier(0.0) == 4.0
+        assert ms.completion_frontier(5.0) == 5.0
+
+    def test_append_start_respects_release(self):
+        ms = MachineState(0)
+        job = Job(3.0, 1.0, 10.0, job_id=1)
+        assert ms.append_start(job, 1.0) == 3.0
+
+    def test_append_start_respects_frontier(self):
+        ms = MachineState(0)
+        ms.commit(Job(0.0, 4.0, 10.0, job_id=1), start=0.0)
+        job = Job(1.0, 1.0, 10.0, job_id=2)
+        assert ms.append_start(job, 1.0) == 4.0
+
+    def test_fits_true_false(self):
+        ms = MachineState(0)
+        ms.commit(Job(0.0, 4.0, 10.0, job_id=1), start=0.0)
+        assert ms.fits(Job(0.0, 1.0, 6.0, job_id=2), t=0.0)
+        assert not ms.fits(Job(0.0, 3.0, 6.0, job_id=3), t=0.0)
+
+    def test_busy_and_idle(self):
+        ms = MachineState(0)
+        ms.commit(Job(0.0, 2.0, 10.0, job_id=1), start=1.0)
+        assert ms.busy_at(1.5)
+        assert not ms.busy_at(0.5)
+        assert not ms.is_idle_from(0.0)
+        assert ms.is_idle_from(3.5)
+
+
+class TestFreeIntervals:
+    def test_empty_machine_single_gap(self):
+        gaps = MachineState(0).free_intervals(0.0, 10.0)
+        assert len(gaps) == 1 and gaps[0].length == 10.0
+
+    def test_gaps_around_commitments(self):
+        ms = MachineState(0)
+        ms.commit(Job(0.0, 2.0, 20.0, job_id=1), start=2.0)
+        ms.commit(Job(0.0, 2.0, 20.0, job_id=2), start=7.0)
+        gaps = ms.free_intervals(0.0, 10.0)
+        assert [(g.start, g.end) for g in gaps] == [(0.0, 2.0), (4.0, 7.0), (9.0, 10.0)]
+
+    def test_committed_load(self):
+        ms = MachineState(0)
+        ms.commit(Job(0.0, 2.0, 20.0, job_id=1), start=0.0)
+        ms.commit(Job(0.0, 3.0, 20.0, job_id=2), start=2.0)
+        assert ms.committed_load() == 5.0
+
+    def test_clone_independent(self):
+        ms = MachineState(0)
+        ms.commit(Job(0.0, 2.0, 20.0, job_id=1), start=0.0)
+        clone = ms.clone()
+        clone.commit(Job(0.0, 2.0, 20.0, job_id=2), start=2.0)
+        assert len(ms) == 1 and len(clone) == 2

@@ -1,0 +1,179 @@
+"""Unit tests for schedules: objective, audit, rendering."""
+
+import pytest
+
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.model.schedule import Assignment, Schedule, ScheduleViolation
+
+
+@pytest.fixture
+def inst() -> Instance:
+    jobs = [Job(0.0, 1.0, 4.0), Job(0.0, 2.0, 6.0), Job(1.0, 1.0, 5.0)]
+    return Instance(jobs, machines=2, epsilon=0.5)
+
+
+def _schedule(inst, accepted: dict[int, tuple[int, float]]) -> Schedule:
+    s = Schedule(instance=inst, algorithm="test")
+    for jid, (m, start) in accepted.items():
+        s.assignments[jid] = Assignment(jid, m, start)
+    s.rejected = {j.job_id for j in inst} - set(accepted)
+    return s
+
+
+class TestObjective:
+    def test_accepted_load(self, inst):
+        s = _schedule(inst, {0: (0, 0.0), 1: (1, 0.0)})
+        assert s.accepted_load == pytest.approx(3.0)
+
+    def test_rejected_load(self, inst):
+        s = _schedule(inst, {0: (0, 0.0)})
+        assert s.rejected_load == pytest.approx(3.0)
+
+    def test_counts_and_rate(self, inst):
+        s = _schedule(inst, {0: (0, 0.0)})
+        assert s.accepted_count == 1
+        assert s.acceptance_rate() == pytest.approx(1 / 3)
+
+    def test_machine_loads(self, inst):
+        s = _schedule(inst, {0: (0, 0.0), 1: (1, 0.0), 2: (0, 1.0)})
+        assert s.machine_loads() == [2.0, 2.0]
+
+    def test_makespan(self, inst):
+        s = _schedule(inst, {1: (1, 2.0)})
+        assert s.makespan() == 4.0
+
+    def test_accepted_value_defaults_to_load(self, inst):
+        s = _schedule(inst, {0: (0, 0.0), 1: (1, 0.0)})
+        assert s.accepted_value == s.accepted_load
+
+    def test_accepted_value_uses_weights(self):
+        jobs = [Job(0.0, 1.0, 4.0, weight=10.0), Job(0.0, 2.0, 6.0)]
+        winst = Instance(jobs, machines=2, epsilon=0.5)
+        s = _schedule(winst, {0: (0, 0.0), 1: (1, 0.0)})
+        assert s.accepted_value == pytest.approx(12.0)
+        assert s.accepted_load == pytest.approx(3.0)
+
+
+class TestAudit:
+    def test_valid_schedule_passes(self, inst):
+        s = _schedule(inst, {0: (0, 0.0), 1: (1, 0.0), 2: (0, 1.5)})
+        s.audit()
+        assert s.is_valid()
+
+    def test_missing_decision_fails(self, inst):
+        s = _schedule(inst, {0: (0, 0.0)})
+        s.rejected.discard(2)
+        with pytest.raises(ScheduleViolation, match="coverage"):
+            s.audit()
+
+    def test_double_decision_fails(self, inst):
+        s = _schedule(inst, {0: (0, 0.0)})
+        s.rejected.add(0)
+        with pytest.raises(ScheduleViolation, match="both"):
+            s.audit()
+
+    def test_bad_machine_index_fails(self, inst):
+        s = _schedule(inst, {0: (5, 0.0)})
+        with pytest.raises(ScheduleViolation, match="machine index"):
+            s.audit()
+
+    def test_start_before_release_fails(self, inst):
+        s = _schedule(inst, {2: (0, 0.5)})  # release is 1.0
+        with pytest.raises(ScheduleViolation, match="release"):
+            s.audit()
+
+    def test_deadline_miss_fails(self, inst):
+        s = _schedule(inst, {0: (0, 3.5)})  # completes 4.5 > d=4
+        with pytest.raises(ScheduleViolation, match="deadline"):
+            s.audit()
+
+    def test_overlap_fails(self, inst):
+        s = _schedule(inst, {0: (0, 0.0), 1: (0, 0.5)})
+        with pytest.raises(ScheduleViolation, match="overlaps"):
+            s.audit()
+
+    def test_is_valid_false_on_violation(self, inst):
+        s = _schedule(inst, {0: (0, 3.5)})
+        assert not s.is_valid()
+
+
+class TestConstructionAndRendering:
+    def test_from_decisions(self, inst):
+        s = Schedule.from_decisions(
+            inst,
+            [(0, Assignment(0, 0, 0.0)), (1, None), (2, Assignment(2, 1, 1.0))],
+            algorithm="x",
+        )
+        assert s.accepted_count == 2 and 1 in s.rejected
+
+    def test_machine_timeline_sorted(self, inst):
+        s = _schedule(inst, {0: (0, 2.0), 2: (0, 1.0)})
+        timeline = s.machine_timeline(0)
+        assert [j.job_id for j, _ in timeline] == [2, 0]
+
+    def test_gantt_renders_all_machines(self, inst):
+        s = _schedule(inst, {0: (0, 0.0), 1: (1, 0.0)})
+        art = s.gantt_ascii(width=40)
+        lines = art.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("m0:") and lines[1].startswith("m1:")
+        assert "0" in lines[0] and "1" in lines[1]
+
+    def test_is_accepted(self, inst):
+        s = _schedule(inst, {0: (0, 0.0)})
+        assert s.is_accepted(0) and not s.is_accepted(1)
+
+
+class TestSerialization:
+    def _real_schedule(self):
+        from repro.core.threshold import ThresholdPolicy
+        from repro.engine.simulator import simulate
+        from repro.workloads import random_instance
+
+        inst = random_instance(15, 2, 0.25, seed=6)
+        return simulate(ThresholdPolicy(), inst)
+
+    def test_json_roundtrip(self):
+        s = self._real_schedule()
+        back = Schedule.from_json(s.to_json())
+        assert back.accepted_load == pytest.approx(s.accepted_load)
+        assert back.rejected == s.rejected
+        assert set(back.assignments) == set(s.assignments)
+        for jid, a in s.assignments.items():
+            b = back.assignments[jid]
+            assert (b.machine, b.start) == (a.machine, a.start)
+
+    def test_from_dict_reaudits(self):
+        s = self._real_schedule()
+        data = s.to_dict()
+        # Corrupt an assignment: start after the deadline.
+        data["assignments"][0]["start"] = 1e9
+        with pytest.raises(ScheduleViolation):
+            Schedule.from_dict(data)
+
+    def test_weights_survive_roundtrip(self):
+        jobs = [Job(0.0, 1.0, 5.0, weight=4.0), Job(0.0, 2.0, 9.0)]
+        winst = Instance(jobs, machines=1, epsilon=0.5)
+        s = Schedule(instance=winst, algorithm="x")
+        s.assignments[0] = Assignment(0, 0, 0.0)
+        s.assignments[1] = Assignment(1, 0, 1.0)
+        back = Schedule.from_json(s.to_json())
+        assert back.accepted_value == pytest.approx(6.0)
+
+
+class TestDotRendering:
+    def test_fig2_dot_structure(self):
+        from repro.adversary.analysis import (
+            enumerate_decision_tree,
+            render_decision_tree_dot,
+        )
+
+        outcomes = enumerate_decision_tree(3, 0.2)
+        dot = render_decision_tree_dot(outcomes, title="t")
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        # One leaf per outcome, one u-node per distinct u.
+        assert dot.count("shape=ellipse") == len(outcomes)
+        assert dot.count("phase 2 stops") == len({o.u for o in outcomes})
+        assert "ratio=" in dot

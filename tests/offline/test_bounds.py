@@ -1,0 +1,59 @@
+"""Unit tests for the flow upper bound and friends."""
+
+import pytest
+
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.offline.bounds import (
+    flow_upper_bound,
+    machine_window_upper_bound,
+    opt_upper_bound,
+)
+from repro.offline.exact import exact_optimum
+from repro.workloads import random_instance
+
+
+def _inst(jobs, m=1, eps=0.5):
+    return Instance(jobs, machines=m, epsilon=eps, validate=False)
+
+
+class TestFlowUpperBound:
+    def test_empty(self):
+        assert flow_upper_bound(_inst([])) == 0.0
+
+    def test_single_job_full_value(self):
+        assert flow_upper_bound(_inst([Job(0, 2, 4)])) == pytest.approx(2.0)
+
+    def test_caps_at_window_capacity(self):
+        # Two unit jobs, same window [0, 1.2], one machine: bound 1.2 < 2.
+        jobs = [Job(0, 1, 1.2), Job(0, 1, 1.2)]
+        assert flow_upper_bound(_inst(jobs)) == pytest.approx(1.2)
+
+    def test_scales_with_machines(self):
+        jobs = [Job(0, 1, 1.2), Job(0, 1, 1.2)]
+        assert flow_upper_bound(_inst(jobs, m=2)) == pytest.approx(2.0)
+
+    def test_respects_self_parallelism_cap(self):
+        # A job cannot run on two machines at once: three 3-unit jobs with
+        # window 3 on two machines are capped at 2 * 3 = 6, not 9.
+        jobs = [Job(0, 3, 3.0), Job(0, 3, 3.0), Job(0, 3, 3.0)]
+        assert flow_upper_bound(_inst(jobs, m=2)) == pytest.approx(6.0)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_dominates_exact(self, seed):
+        inst = random_instance(9, 2, 0.2, seed=seed)
+        assert flow_upper_bound(inst) >= exact_optimum(inst).value - 1e-7
+
+
+class TestOtherBounds:
+    def test_window_bound(self):
+        jobs = [Job(1, 1, 5), Job(2, 1, 7)]
+        assert machine_window_upper_bound(_inst(jobs, m=3)) == pytest.approx(18.0)
+
+    def test_window_bound_empty(self):
+        assert machine_window_upper_bound(_inst([])) == 0.0
+
+    def test_opt_upper_bound_takes_min(self):
+        jobs = [Job(0, 1, 100.0)]
+        # total load (1) < flow and window bounds.
+        assert opt_upper_bound(_inst(jobs)) == pytest.approx(1.0)

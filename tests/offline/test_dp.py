@@ -1,0 +1,78 @@
+"""Unit tests for the common-release single-machine DP."""
+
+import pytest
+
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.offline.dp import (
+    single_machine_common_release_opt,
+    single_machine_common_release_opt_subset,
+)
+from repro.offline.exact import exact_optimum
+
+
+class TestDP:
+    def test_empty(self):
+        assert single_machine_common_release_opt([]) == 0.0
+
+    def test_single_job(self):
+        assert single_machine_common_release_opt([Job(0, 2, 5)]) == 2.0
+
+    def test_edd_packing(self):
+        jobs = [Job(0, 2, 2), Job(0, 2, 4), Job(0, 2, 6)]
+        assert single_machine_common_release_opt(jobs) == pytest.approx(6.0)
+
+    def test_knapsack_choice(self):
+        # Either the 3-unit job or the two 2-unit jobs fit by deadline 4.
+        jobs = [Job(0, 3, 4), Job(0, 2, 4), Job(0, 2, 4)]
+        assert single_machine_common_release_opt(jobs) == pytest.approx(4.0)
+
+    def test_nonzero_common_release(self):
+        jobs = [Job(5, 1, 7), Job(5, 2, 8)]
+        assert single_machine_common_release_opt(jobs) == pytest.approx(3.0)
+
+    def test_rejects_mixed_releases(self):
+        with pytest.raises(ValueError, match="common-release"):
+            single_machine_common_release_opt([Job(0, 1, 3), Job(1, 1, 3)])
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_exact_solver(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(100 + seed)
+        jobs = []
+        for i in range(7):
+            p = float(rng.uniform(0.3, 2.0))
+            d = float(rng.uniform(1.0, 6.0))
+            if d >= p:
+                jobs.append(Job(0.0, p, d, job_id=i))
+        inst = Instance(jobs, machines=1, epsilon=0.01, validate=False)
+        assert single_machine_common_release_opt(jobs) == pytest.approx(
+            exact_optimum(inst).value, abs=1e-6
+        )
+
+
+class TestSubsetVariant:
+    def test_returns_achieving_subset(self):
+        jobs = [
+            Job(0, 3, 4, job_id=0),
+            Job(0, 2, 4, job_id=1),
+            Job(0, 2, 4, job_id=2),
+        ]
+        value, subset = single_machine_common_release_opt_subset(jobs)
+        assert value == pytest.approx(4.0)
+        chosen = [j for j in jobs if j.job_id in subset]
+        assert sum(j.processing for j in chosen) == pytest.approx(value)
+        # The subset must itself be EDD-feasible.
+        t = 0.0
+        for j in sorted(chosen, key=lambda x: x.deadline):
+            t += j.processing
+            assert t <= j.deadline + 1e-9
+
+    def test_empty(self):
+        value, subset = single_machine_common_release_opt_subset([])
+        assert value == 0.0 and subset == []
+
+    def test_rejects_mixed_releases(self):
+        with pytest.raises(ValueError):
+            single_machine_common_release_opt_subset([Job(0, 1, 3), Job(1, 1, 3)])

@@ -1,0 +1,114 @@
+"""Unit tests for the exact branch-and-bound solver."""
+
+import pytest
+
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.offline.exact import EXACT_JOB_LIMIT, exact_optimum
+
+
+def _inst(jobs, m=1, eps=0.5, validate=False):
+    return Instance(jobs, machines=m, epsilon=eps, validate=validate)
+
+
+class TestSmallCases:
+    def test_empty(self):
+        r = exact_optimum(_inst([]))
+        assert r.value == 0.0
+        r.schedule.audit()
+
+    def test_single_job(self):
+        r = exact_optimum(_inst([Job(0, 2, 4)]))
+        assert r.value == 2.0
+
+    def test_two_conflicting_jobs_takes_bigger(self):
+        jobs = [Job(0, 2, 2.2), Job(0, 3, 3.3)]
+        r = exact_optimum(_inst(jobs))
+        assert r.value == pytest.approx(3.0)
+        assert r.schedule.is_accepted(1)
+
+    def test_both_fit_with_sequencing(self):
+        jobs = [Job(0, 2, 6.0), Job(0, 3, 3.3)]
+        # EDD order: job 1 first [0,3], job 0 [3,5] <= 6.
+        r = exact_optimum(_inst(jobs))
+        assert r.value == pytest.approx(5.0)
+
+    def test_release_inversion_required(self):
+        # Optimal runs the later-released short job first — the dispatch
+        # DFS must consider non-release order.
+        jobs = [Job(0.0, 10.0, 100.0), Job(1.0, 1.0, 2.0)]
+        r = exact_optimum(_inst(jobs))
+        assert r.value == pytest.approx(11.0)
+        assert r.schedule.assignments[1].start == pytest.approx(1.0)
+        assert r.schedule.assignments[0].start >= 2.0
+
+    def test_two_machines_parallel(self):
+        jobs = [Job(0, 2, 2.2), Job(0, 2, 2.2), Job(0, 2, 2.2)]
+        r = exact_optimum(_inst(jobs, m=2))
+        assert r.value == pytest.approx(4.0)
+
+    def test_idle_waiting_beats_greedy(self):
+        # Rejecting an early job to keep the machine free for a bigger one:
+        # the big job must start by 0.6, which the unit job would block.
+        jobs = [Job(0.0, 1.0, 1.1), Job(0.5, 10.0, 10.6)]
+        r = exact_optimum(_inst(jobs))
+        assert r.value == pytest.approx(10.0)
+        assert not r.schedule.is_accepted(0)
+
+
+class TestGuards:
+    def test_job_limit(self):
+        jobs = [Job(float(i), 1.0, float(i) + 5.0) for i in range(EXACT_JOB_LIMIT + 1)]
+        with pytest.raises(ValueError, match="limited"):
+            exact_optimum(_inst(jobs))
+
+    def test_custom_limit(self):
+        jobs = [Job(0.0, 1.0, 5.0), Job(0.0, 1.0, 5.0)]
+        with pytest.raises(ValueError):
+            exact_optimum(_inst(jobs), job_limit=1)
+
+
+class TestAgainstBruteForce:
+    def _brute_force_single_machine(self, jobs):
+        """Exhaustive subset x permutation search (tiny n only)."""
+        import itertools
+
+        best = 0.0
+        n = len(jobs)
+        for mask in range(1 << n):
+            subset = [jobs[i] for i in range(n) if mask >> i & 1]
+            for order in itertools.permutations(subset):
+                t = 0.0
+                ok = True
+                for job in order:
+                    start = max(t, job.release)
+                    if start + job.processing > job.deadline + 1e-9:
+                        ok = False
+                        break
+                    t = start + job.processing
+                if ok:
+                    best = max(best, sum(j.processing for j in subset))
+        return best
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        jobs = []
+        t = 0.0
+        for i in range(6):
+            t += float(rng.exponential(0.6))
+            p = float(rng.uniform(0.2, 2.0))
+            d = t + p * (1.0 + float(rng.exponential(0.8)))
+            jobs.append(Job(t, p, d, job_id=i))
+        inst = _inst(jobs)
+        r = exact_optimum(inst)
+        assert r.value == pytest.approx(self._brute_force_single_machine(jobs), abs=1e-9)
+        r.schedule.audit()
+
+    def test_reconstruction_matches_value(self):
+        jobs = [Job(0, 1, 2), Job(0, 2, 3), Job(0.5, 1, 4), Job(1, 2, 6)]
+        r = exact_optimum(_inst(jobs, m=2))
+        assert r.schedule.accepted_load == pytest.approx(r.value)
+        r.schedule.audit()

@@ -1,0 +1,77 @@
+"""Exhaustive cross-check of the exact solver on two machines.
+
+The dispatch-sequence DFS claims exactness; here it is verified against a
+completely independent brute force (assignment x per-machine permutation
+enumeration) on tiny random instances.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.offline.exact import exact_optimum
+
+
+def _feasible_single_machine(sequence) -> bool:
+    t = 0.0
+    for job in sequence:
+        start = max(t, job.release)
+        if start + job.processing > job.deadline + 1e-9:
+            return False
+        t = start + job.processing
+    return True
+
+
+def _brute_force_two_machines(jobs) -> float:
+    """Max load over all subsets, 2-partitions and orderings."""
+    best = 0.0
+    n = len(jobs)
+    for mask in range(1 << n):
+        subset = [jobs[i] for i in range(n) if mask >> i & 1]
+        load = sum(j.processing for j in subset)
+        if load <= best:
+            continue
+        k = len(subset)
+        for split in range(1 << k):
+            m0 = [subset[i] for i in range(k) if split >> i & 1]
+            m1 = [subset[i] for i in range(k) if not split >> i & 1]
+            ok0 = any(
+                _feasible_single_machine(perm) for perm in itertools.permutations(m0)
+            ) if m0 else True
+            if not ok0:
+                continue
+            ok1 = any(
+                _feasible_single_machine(perm) for perm in itertools.permutations(m1)
+            ) if m1 else True
+            if ok1:
+                best = load
+                break
+    return best
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_exact_matches_brute_force_m2(seed):
+    rng = np.random.default_rng(500 + seed)
+    jobs = []
+    t = 0.0
+    for i in range(5):
+        t += float(rng.exponential(0.5))
+        p = float(rng.uniform(0.3, 2.0))
+        d = t + p * (1.0 + float(rng.exponential(0.6)))
+        jobs.append(Job(t, p, d, job_id=i))
+    inst = Instance(jobs, machines=2, epsilon=0.01, validate=False)
+    result = exact_optimum(inst)
+    assert result.value == pytest.approx(_brute_force_two_machines(jobs), abs=1e-9)
+    result.schedule.audit()
+
+
+def test_exact_uses_second_machine_when_needed():
+    jobs = [Job(0, 2, 2.2, job_id=0), Job(0, 2, 2.2, job_id=1)]
+    inst = Instance(jobs, machines=2, epsilon=0.1)
+    result = exact_optimum(inst)
+    assert result.value == pytest.approx(4.0)
+    machines = {a.machine for a in result.schedule.assignments.values()}
+    assert len(machines) == 2

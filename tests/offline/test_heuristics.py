@@ -1,0 +1,72 @@
+"""Unit tests for the offline packing heuristics."""
+
+import pytest
+
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.model.machine import MachineState
+from repro.offline.exact import exact_optimum
+from repro.offline.heuristics import (
+    ORDERINGS,
+    best_offline_schedule,
+    earliest_feasible_start,
+    opt_lower_bound,
+)
+from repro.workloads import random_instance
+
+
+def _inst(jobs, m=1, eps=0.5):
+    return Instance(jobs, machines=m, epsilon=eps, validate=False)
+
+
+class TestEarliestFeasibleStart:
+    def test_empty_machine(self):
+        assert earliest_feasible_start(MachineState(0), Job(1, 2, 10, job_id=0)) == 1.0
+
+    def test_uses_gap(self):
+        ms = MachineState(0)
+        ms.commit(Job(0, 2, 50, job_id=9), 0.0)
+        ms.commit(Job(0, 2, 50, job_id=8), 5.0)
+        # Gap [2, 5) fits a 2-unit job.
+        assert earliest_feasible_start(ms, Job(0, 2, 10, job_id=0)) == pytest.approx(2.0)
+
+    def test_no_gap_returns_none(self):
+        ms = MachineState(0)
+        ms.commit(Job(0, 3, 50, job_id=9), 0.0)
+        assert earliest_feasible_start(ms, Job(0, 2, 4, job_id=0)) is None
+
+    def test_deadline_blocks_late_gap(self):
+        ms = MachineState(0)
+        ms.commit(Job(0, 5, 50, job_id=9), 0.0)
+        assert earliest_feasible_start(ms, Job(0, 1, 5.5, job_id=0)) is None
+
+
+class TestBestOfflineSchedule:
+    def test_schedules_everything_when_easy(self):
+        jobs = [Job(0, 1, 10), Job(1, 1, 10), Job(2, 1, 10)]
+        s = best_offline_schedule(_inst(jobs, m=2))
+        assert s.accepted_count == 3
+
+    def test_gap_filling_beats_online_greedy(self):
+        # A later-released short job fits before a delayed long one.
+        jobs = [Job(0.0, 10.0, 100.0), Job(1.0, 1.0, 2.0)]
+        s = best_offline_schedule(_inst(jobs))
+        assert s.accepted_count == 2
+
+    def test_audited(self):
+        inst = random_instance(40, 3, 0.2, seed=8)
+        s = best_offline_schedule(inst)
+        s.audit()
+
+    def test_ordering_recorded(self):
+        inst = random_instance(10, 2, 0.3, seed=1)
+        s = best_offline_schedule(inst)
+        assert s.meta["ordering"] in ORDERINGS
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_lower_bounds_exact(self, seed):
+        inst = random_instance(9, 2, 0.2, seed=seed)
+        assert opt_lower_bound(inst) <= exact_optimum(inst).value + 1e-7
+
+    def test_orderings_cover_known_families(self):
+        assert {"edd", "long-first", "release"} <= set(ORDERINGS)

@@ -1,0 +1,114 @@
+"""Property tests for the extension subsystems.
+
+Quantified invariants for the commitment-model engines, the weighted
+adversary, and trace serialization.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.weighted import weighted_duel
+from repro.baselines.greedy import GreedyPolicy
+from repro.engine.delayed import DelayedGreedyPolicy, simulate_delayed
+from repro.engine.penalties import RevocableGreedyPolicy, simulate_with_penalties
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.workloads.traces import instance_from_csv, instance_to_csv
+
+
+@st.composite
+def small_instances(draw):
+    eps = draw(st.floats(min_value=0.05, max_value=1.0))
+    m = draw(st.integers(min_value=1, max_value=3))
+    n = draw(st.integers(min_value=0, max_value=14))
+    jobs = []
+    t = 0.0
+    for _ in range(n):
+        t += draw(st.floats(min_value=0.0, max_value=1.5))
+        p = draw(st.floats(min_value=0.05, max_value=3.0))
+        extra = draw(st.floats(min_value=0.0, max_value=2.0))
+        jobs.append(Job(t, p, t + (1.0 + eps + extra) * p))
+    return Instance(jobs, machines=m, epsilon=eps)
+
+
+class TestDelayedInvariants:
+    @given(inst=small_instances(), frac=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_audited_for_any_delta(self, inst, frac):
+        schedule = simulate_delayed(DelayedGreedyPolicy(), inst, frac * inst.epsilon)
+        schedule.audit()
+        assert len(schedule.assignments) + len(schedule.rejected) == len(inst)
+
+    @given(inst=small_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_no_lookahead_variant_also_sound(self, inst):
+        schedule = simulate_delayed(
+            DelayedGreedyPolicy(lookahead=False), inst, inst.epsilon
+        )
+        schedule.audit()
+
+
+class TestPenaltyInvariants:
+    @given(inst=small_instances(), phi=st.floats(min_value=0.0, max_value=10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_outcome_consistency(self, inst, phi):
+        out = simulate_with_penalties(RevocableGreedyPolicy(), inst, phi)
+        out.audit()
+        assert out.net_value <= out.completed_load + 1e-9
+        assert out.penalty_paid >= 0.0
+        assert len(out.completed) + len(out.revoked) + len(out.rejected) == len(inst)
+
+    @given(inst=small_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_infinite_penalty_means_no_revocations(self, inst):
+        out = simulate_with_penalties(RevocableGreedyPolicy(), inst, 1e12)
+        assert len(out.revoked) == 0
+
+
+class TestWeightedInvariants:
+    @given(
+        m=st.integers(min_value=1, max_value=4),
+        eps=st.floats(min_value=0.05, max_value=1.0),
+        escalation=st.floats(min_value=2.0, max_value=500.0),
+    )
+    @settings(
+        max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_forced_ratio_at_least_escalation_minus_one(self, m, eps, escalation):
+        result = weighted_duel(GreedyPolicy(), m=m, epsilon=eps, escalation=escalation)
+        assert result.forced_ratio >= escalation - 1.0 - 1e-6
+
+
+class TestTraceInvariants:
+    @given(inst=small_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_csv_roundtrip_preserves_everything(self, inst):
+        back = instance_from_csv(instance_to_csv(inst))
+        assert back.machines == inst.machines
+        assert back.epsilon == inst.epsilon
+        assert len(back) == len(inst)
+        for a, b in zip(inst, back):
+            assert (a.release, a.processing, a.deadline) == (
+                b.release,
+                b.processing,
+                b.deadline,
+            )
+
+
+class TestScheduleSerializationInvariants:
+    @given(inst=small_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_threshold_schedule_json_roundtrip(self, inst):
+        from repro.core.threshold import ThresholdPolicy
+        from repro.engine.simulator import simulate
+        from repro.model.schedule import Schedule
+
+        schedule = simulate(ThresholdPolicy(), inst)
+        back = Schedule.from_json(schedule.to_json())
+        assert back.accepted_load == schedule.accepted_load
+        assert back.rejected == schedule.rejected
+        assert {
+            (a.job_id, a.machine, a.start) for a in back.assignments.values()
+        } == {(a.job_id, a.machine, a.start) for a in schedule.assignments.values()}

@@ -1,0 +1,223 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These encode the paper's structural claims as universally-quantified
+properties over random instances:
+
+* Claim 1 — every policy run through the engine completes accepted jobs on
+  time and never revises a decision (checked by the audit layer);
+* the slack condition is preserved by every generator strategy;
+* the bound recursion's defining identities hold for arbitrary (eps, m);
+* offline bound sandwich: heuristic <= exact <= flow relaxation;
+* the migration flow plan saturates exactly the feasible work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.greedy import GreedyPolicy
+from repro.baselines.lee import LeeStylePolicy
+from repro.baselines.migration import flow_schedule, migration_feasible
+from repro.core.params import c_bound, corner_values, threshold_parameters
+from repro.core.threshold import ThresholdPolicy
+from repro.engine.audit import audit_run
+from repro.engine.preemptive import ActiveJob, edf_feasible
+from repro.engine.simulator import simulate
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.offline.bounds import flow_upper_bound
+from repro.offline.exact import exact_optimum
+from repro.offline.heuristics import opt_lower_bound
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+epsilons = st.floats(min_value=0.02, max_value=1.0, allow_nan=False)
+machine_counts = st.integers(min_value=1, max_value=5)
+
+
+@st.composite
+def instances(draw, max_jobs=18, max_machines=3):
+    """Random valid instances with controlled slack."""
+    eps = draw(st.floats(min_value=0.05, max_value=1.0))
+    m = draw(st.integers(min_value=1, max_value=max_machines))
+    n = draw(st.integers(min_value=0, max_value=max_jobs))
+    jobs = []
+    t = 0.0
+    for _ in range(n):
+        t += draw(st.floats(min_value=0.0, max_value=2.0))
+        p = draw(st.floats(min_value=0.05, max_value=4.0))
+        extra = draw(st.floats(min_value=0.0, max_value=3.0))
+        jobs.append(Job(t, p, t + (1.0 + eps + extra) * p))
+    return Instance(jobs, machines=m, epsilon=eps)
+
+
+@st.composite
+def small_instances(draw):
+    """Instances small enough for the exact solver."""
+    inst = draw(instances(max_jobs=8, max_machines=2))
+    return inst
+
+
+# ----------------------------------------------------------------------
+# Engine / Claim 1
+# ----------------------------------------------------------------------
+
+
+class TestEngineInvariants:
+    @given(inst=instances())
+    @settings(max_examples=60, deadline=None)
+    def test_threshold_claim1_and_commitment(self, inst):
+        schedule = simulate(ThresholdPolicy(), inst)
+        audit_run(schedule)  # deadline misses / revisions raise
+
+    @given(inst=instances())
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_and_lee_audits(self, inst):
+        for policy in (GreedyPolicy(), LeeStylePolicy()):
+            audit_run(simulate(policy, inst))
+
+    @given(inst=instances())
+    @settings(max_examples=40, deadline=None)
+    def test_accepted_plus_rejected_partition(self, inst):
+        s = simulate(ThresholdPolicy(), inst)
+        assert len(s.assignments) + len(s.rejected) == len(inst)
+
+    @given(inst=instances())
+    @settings(max_examples=40, deadline=None)
+    def test_accepted_load_bounded_by_total(self, inst):
+        s = simulate(ThresholdPolicy(), inst)
+        assert s.accepted_load <= inst.total_load + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Bound function identities
+# ----------------------------------------------------------------------
+
+
+class TestBoundInvariants:
+    @given(eps=epsilons, m=machine_counts)
+    @settings(max_examples=80, deadline=None)
+    def test_parameter_identities(self, eps, m):
+        params = threshold_parameters(eps, m)
+        params.verify()
+
+    @given(eps=epsilons, m=machine_counts)
+    @settings(max_examples=60, deadline=None)
+    def test_c_floor_at_full_slack(self, eps, m):
+        # c is decreasing in eps, so c(eps, m) >= c(1, m) = 2 + 1/m.
+        assert c_bound(eps, m) >= 2.0 + 1.0 / m - 1e-9
+
+    @given(eps=epsilons, m=st.integers(min_value=2, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_more_machines_never_hurt(self, eps, m):
+        assert c_bound(eps, m) <= c_bound(eps, m - 1) + 1e-9
+
+    @given(m=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_corners_strictly_increasing(self, m):
+        corners = corner_values(m)
+        assert all(a < b for a, b in zip(corners, corners[1:]))
+
+
+# ----------------------------------------------------------------------
+# Offline bound sandwich
+# ----------------------------------------------------------------------
+
+
+class TestOfflineSandwich:
+    @given(inst=small_instances())
+    @settings(
+        max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_heuristic_le_exact_le_flow(self, inst):
+        exact = exact_optimum(inst).value
+        assert opt_lower_bound(inst) <= exact + 1e-6
+        assert exact <= flow_upper_bound(inst) + 1e-6
+
+    @given(inst=small_instances())
+    @settings(
+        max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_online_never_beats_exact(self, inst):
+        s = simulate(ThresholdPolicy(), inst)
+        assert s.accepted_load <= exact_optimum(inst).value + 1e-6
+
+
+# ----------------------------------------------------------------------
+# Preemptive / migration substrate
+# ----------------------------------------------------------------------
+
+
+class TestPreemptiveInvariants:
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=3.0),
+                st.floats(min_value=0.1, max_value=10.0),
+            ),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_edf_matches_prefix_condition(self, data):
+        items = [
+            ActiveJob(Job(0.0, r, max(d, r), job_id=i), r)
+            for i, (r, d) in enumerate(data)
+        ]
+        # EDF feasibility iff prefix sums in EDD order meet deadlines.
+        ordered = sorted(items, key=lambda a: a.deadline)
+        clock, expected = 0.0, True
+        for a in ordered:
+            clock += a.remaining
+            if clock > a.deadline + 1e-9:
+                expected = False
+                break
+        assert edf_feasible(0.0, items) == expected
+
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=3.0),
+                st.floats(min_value=0.2, max_value=10.0),
+            ),
+            min_size=1,
+            max_size=7,
+        ),
+        m=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_flow_plan_consistent_with_feasibility(self, data, m):
+        remainders = [(r, max(d, r)) for r, d in data]
+        total = sum(r for r, _ in remainders)
+        value, plan = flow_schedule(0.0, remainders, m)
+        feasible = migration_feasible(0.0, remainders, m)
+        if feasible:
+            assert value >= total - 1e-6
+        else:
+            assert value < total - 1e-7
+        # Plan always respects capacities.
+        for lo, hi, per_job in plan:
+            assert sum(per_job) <= m * (hi - lo) + 1e-6
+            assert all(w <= (hi - lo) + 1e-9 for w in per_job)
+
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=3.0),
+                st.floats(min_value=0.2, max_value=10.0),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_migration_feasibility_monotone_in_machines(self, data):
+        remainders = [(r, max(d, r)) for r, d in data]
+        feas = [migration_feasible(0.0, remainders, m) for m in (1, 2, 4)]
+        # Once feasible, more machines keep it feasible.
+        for a, b in zip(feas, feas[1:]):
+            assert b or not a

@@ -1,0 +1,138 @@
+"""Model-based test of the optimised MachineState.
+
+The production class keeps sorted arrays + prefix sums for O(log n)
+queries; this test drives it in lock-step with a deliberately naive
+reference implementation (linear scans over a plain commitment list) and
+checks every observable after every operation — the standard guard for
+index/off-by-one bugs in bisect-based rewrites.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.job import Job
+from repro.model.machine import MachineState
+from repro.utils.tolerances import TIME_EPS, fge
+
+
+class NaiveMachine:
+    """Straightforward reference: list of (job, start), linear scans."""
+
+    def __init__(self) -> None:
+        self.commitments: list[tuple[Job, float]] = []
+
+    def can_commit(self, job: Job, start: float) -> bool:
+        if not job.feasible_start(start):
+            return False
+        end = start + job.processing
+        for other, o_start in self.commitments:
+            o_end = o_start + other.processing
+            if start < o_end - TIME_EPS and o_start < end - TIME_EPS:
+                return False
+        return True
+
+    def commit(self, job: Job, start: float) -> None:
+        self.commitments.append((job, start))
+
+    def outstanding(self, t: float) -> float:
+        total = 0.0
+        for job, start in self.commitments:
+            end = start + job.processing
+            if end > t:
+                total += end - max(start, t)
+        return total
+
+    def completion_frontier(self, t: float) -> float:
+        frontier = t
+        for job, start in self.commitments:
+            frontier = max(frontier, start + job.processing)
+        return frontier
+
+    def busy_at(self, t: float) -> bool:
+        return any(
+            start - TIME_EPS <= t < start + job.processing - TIME_EPS
+            for job, start in self.commitments
+        )
+
+    def committed_load(self) -> float:
+        return sum(job.processing for job, _ in self.commitments)
+
+
+@st.composite
+def operation_sequences(draw):
+    """A sequence of (processing, start-offset) commit attempts + probes."""
+    n_ops = draw(st.integers(min_value=1, max_value=25))
+    ops = []
+    for _ in range(n_ops):
+        p = draw(st.floats(min_value=0.1, max_value=3.0))
+        start = draw(st.floats(min_value=0.0, max_value=20.0))
+        ops.append((round(p, 4), round(start, 4)))
+    probes = draw(
+        st.lists(
+            st.floats(min_value=-1.0, max_value=30.0), min_size=3, max_size=10
+        )
+    )
+    return ops, probes
+
+
+class TestMachineStateAgainstModel:
+    @given(data=operation_sequences())
+    @settings(max_examples=150, deadline=None)
+    def test_lockstep_with_naive_reference(self, data):
+        ops, probes = data
+        fast = MachineState(0)
+        slow = NaiveMachine()
+        for i, (p, start) in enumerate(ops):
+            job = Job(0.0, p, start + p + 1.0, job_id=i)
+            if slow.can_commit(job, start):
+                fast.commit(job, start)
+                slow.commit(job, start)
+            else:
+                # The fast structure must refuse exactly the same commits.
+                try:
+                    fast.commit(job, start)
+                except ValueError:
+                    continue
+                raise AssertionError(
+                    f"fast accepted a commit the reference refuses: {job} @ {start}"
+                )
+            for t in probes:
+                t = max(t, 0.0)
+                assert abs(fast.outstanding(t) - slow.outstanding(t)) < 1e-7
+                assert abs(
+                    fast.completion_frontier(t) - slow.completion_frontier(t)
+                ) < 1e-9
+                assert fast.busy_at(t) == slow.busy_at(t), (t, fast.commitments)
+            assert abs(fast.committed_load() - slow.committed_load()) < 1e-9
+            assert len(fast) == len(slow.commitments)
+
+    @given(data=operation_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_clone_is_equivalent(self, data):
+        ops, probes = data
+        fast = MachineState(0)
+        for i, (p, start) in enumerate(ops):
+            job = Job(0.0, p, start + p + 1.0, job_id=i)
+            try:
+                fast.commit(job, start)
+            except ValueError:
+                continue
+        clone = fast.clone()
+        for t in probes:
+            t = max(t, 0.0)
+            assert clone.outstanding(t) == fast.outstanding(t)
+            assert clone.busy_at(t) == fast.busy_at(t)
+
+    @given(
+        p=st.floats(min_value=0.1, max_value=5.0),
+        t=st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fits_consistent_with_append_start(self, p, t):
+        ms = MachineState(0)
+        ms.commit(Job(0.0, 2.0, 100.0, job_id=0), 0.0)
+        job = Job(0.0, p, t + p + 2.0 + TIME_EPS, job_id=1)
+        start = ms.append_start(job, t)
+        assert ms.fits(job, t) == fge(job.deadline, start + job.processing)

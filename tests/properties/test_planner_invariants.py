@@ -1,0 +1,67 @@
+"""Property tests for the capacity planner and latency analytics."""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.capacity import machines_for_target, slack_for_target
+from repro.analysis.latency import latency_stats
+from repro.core.guarantees import theorem2_bound
+from repro.core.threshold import ThresholdPolicy
+from repro.engine.simulator import simulate
+from repro.workloads import random_instance
+
+
+class TestPlannerInvariants:
+    @given(
+        eps=st.floats(min_value=0.05, max_value=1.0),
+        target=st.floats(min_value=2.2, max_value=50.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_machines_answer_meets_target_and_is_minimal(self, eps, target):
+        m = machines_for_target(eps, target)
+        if m is None:
+            return
+        assert theorem2_bound(eps, m) <= target
+        # Minimality: no smaller fleet meets it.
+        for smaller in range(1, m):
+            assert theorem2_bound(eps, smaller) > target
+
+    @given(
+        m=st.integers(min_value=1, max_value=8),
+        target=st.floats(min_value=2.2, max_value=60.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_slack_answer_meets_target(self, m, target):
+        eps = slack_for_target(m, target)
+        if eps is None:
+            assert theorem2_bound(1.0, m) > target
+            return
+        assert theorem2_bound(eps, m) <= target + 1e-6
+
+    @given(
+        eps=st.floats(min_value=0.05, max_value=1.0),
+        t1=st.floats(min_value=2.5, max_value=30.0),
+        t2=st.floats(min_value=2.5, max_value=30.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_machines_monotone_in_target(self, eps, t1, t2):
+        lo, hi = sorted((t1, t2))
+        m_easy = machines_for_target(eps, hi)
+        m_hard = machines_for_target(eps, lo)
+        if m_easy is not None and m_hard is not None:
+            assert m_easy <= m_hard
+
+
+class TestLatencyInvariants:
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_order_statistics_consistent(self, seed):
+        inst = random_instance(25, 2, 0.3, seed=seed)
+        stats = latency_stats(simulate(ThresholdPolicy(), inst))
+        if stats.count == 0:
+            return
+        assert 0.0 <= stats.median_wait <= stats.p95_wait <= stats.max_wait + 1e-12
+        assert stats.mean_flow >= stats.mean_wait
+        assert stats.mean_stretch >= 1.0 - 1e-12

@@ -1,0 +1,57 @@
+"""The Theorem-1/Theorem-2 sandwich as a universally quantified property.
+
+For random (m, eps) the adversary's forced ratio on the Threshold
+algorithm must land in
+
+    [ c(eps, m) * (1 - beta_tolerance),  theorem2_bound(eps, m) + tol ]
+
+— lower end by Theorem 1 (up to the Lemma-1 discretisation), upper end by
+Theorem 2.  This is the strongest single statement the reproduction can
+make, and hypothesis hammers it across the parameter space.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.base import duel
+from repro.core.guarantees import theorem2_bound
+from repro.core.params import c_bound
+from repro.core.threshold import ThresholdPolicy
+
+
+class TestTheoremSandwich:
+    @given(
+        m=st.integers(min_value=1, max_value=5),
+        eps=st.floats(min_value=0.03, max_value=1.0),
+    )
+    @settings(max_examples=35, deadline=None)
+    def test_threshold_forced_ratio_sandwiched(self, m, eps):
+        result = duel(ThresholdPolicy(), m=m, epsilon=eps)
+        lower = c_bound(eps, m)
+        upper = theorem2_bound(eps, m)
+        assert result.forced_ratio >= lower * (1.0 - 6e-3), (m, eps)
+        assert result.forced_ratio <= upper + 0.02, (m, eps)
+
+    @given(
+        m=st.integers(min_value=1, max_value=4),
+        eps=st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_adversary_instance_always_valid(self, m, eps):
+        result = duel(ThresholdPolicy(), m=m, epsilon=eps)
+        instance = result.schedule.instance
+        instance.validate()
+        for job in instance:
+            assert job.satisfies_slack(eps)
+
+    @given(
+        m=st.integers(min_value=2, max_value=4),
+        eps=st.floats(min_value=0.05, max_value=0.9),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_constructive_opt_is_lower_bound_of_flow(self, m, eps):
+        result = duel(ThresholdPolicy(), m=m, epsilon=eps, verify_opt=True)
+        assert result.flow_opt_bound is not None
+        assert result.constructive_opt <= result.flow_opt_bound + 1e-6

@@ -1,0 +1,88 @@
+"""Unit tests for half-open interval arithmetic."""
+
+import pytest
+
+from repro.utils.intervals import (
+    Interval,
+    covering_gaps,
+    intersect,
+    merge_intervals,
+    overlap_length,
+    subtract_intervals,
+    total_length,
+)
+
+
+class TestInterval:
+    def test_length(self):
+        assert Interval(1.0, 3.5).length == 2.5
+
+    def test_length_never_negative(self):
+        assert Interval(3.0, 1.0).length == 0.0
+
+    def test_midpoint(self):
+        assert Interval(2.0, 4.0).midpoint == 3.0
+
+    def test_contains_half_open(self):
+        iv = Interval(1.0, 2.0)
+        assert iv.contains(1.0)
+        assert iv.contains(1.5)
+        assert not iv.contains(2.5)
+
+    def test_is_empty(self):
+        assert Interval(1.0, 1.0).is_empty()
+        assert not Interval(1.0, 1.1).is_empty()
+
+
+class TestIntersect:
+    def test_overlapping(self):
+        assert intersect(Interval(0, 2), Interval(1, 3)) == Interval(1, 2)
+
+    def test_disjoint_gives_empty(self):
+        out = intersect(Interval(0, 1), Interval(2, 3))
+        assert out.length == 0.0
+
+    def test_nested(self):
+        assert intersect(Interval(0, 10), Interval(3, 4)) == Interval(3, 4)
+
+    def test_overlap_length(self):
+        assert overlap_length(Interval(0, 5), Interval(3, 9)) == 2.0
+
+
+class TestMerge:
+    def test_merges_overlapping(self):
+        out = merge_intervals([Interval(0, 2), Interval(1, 3), Interval(5, 6)])
+        assert out == [Interval(0, 3), Interval(5, 6)]
+
+    def test_sorts_input(self):
+        out = merge_intervals([Interval(5, 6), Interval(0, 1)])
+        assert out == [Interval(0, 1), Interval(5, 6)]
+
+    def test_drops_empty(self):
+        assert merge_intervals([Interval(1, 1), Interval(2, 2)]) == []
+
+    def test_total_length_of_union(self):
+        ivs = [Interval(0, 2), Interval(1, 3), Interval(10, 11)]
+        assert total_length(ivs) == pytest.approx(4.0)
+
+
+class TestSubtract:
+    def test_punch_hole(self):
+        out = subtract_intervals(Interval(0, 10), [Interval(3, 4)])
+        assert out == [Interval(0, 3), Interval(4, 10)]
+
+    def test_hole_at_edges(self):
+        out = subtract_intervals(Interval(0, 10), [Interval(0, 2), Interval(9, 10)])
+        assert out == [Interval(2, 9)]
+
+    def test_full_cover_gives_nothing(self):
+        assert subtract_intervals(Interval(0, 5), [Interval(0, 5)]) == []
+
+    def test_holes_outside_base_ignored(self):
+        out = subtract_intervals(Interval(0, 5), [Interval(7, 9)])
+        assert out == [Interval(0, 5)]
+
+    def test_covering_gaps_alias(self):
+        assert covering_gaps(Interval(0, 4), [Interval(1, 2)]) == subtract_intervals(
+            Interval(0, 4), [Interval(1, 2)]
+        )

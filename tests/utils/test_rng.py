@@ -1,0 +1,71 @@
+"""Unit tests for RNG helpers: determinism, independence, normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    DEFAULT_SEED,
+    interleave_seeds,
+    make_rng,
+    rng_from_any,
+    sample_indices,
+    shuffled,
+    spawn_rngs,
+)
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a, b = make_rng(7), make_rng(7)
+        assert np.array_equal(a.random(5), b.random(5))
+
+    def test_none_uses_default_seed(self):
+        assert np.array_equal(make_rng(None).random(3), make_rng(DEFAULT_SEED).random(3))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(make_rng(1).random(5), make_rng(2).random(5))
+
+
+class TestRngFromAny:
+    def test_passes_generator_through(self):
+        g = make_rng(3)
+        assert rng_from_any(g) is g
+
+    def test_wraps_int(self):
+        assert isinstance(rng_from_any(42), np.random.Generator)
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_spawn_deterministic(self):
+        a = [g.random() for g in spawn_rngs(9, 4)]
+        b = [g.random() for g in spawn_rngs(9, 4)]
+        assert a == b
+
+    def test_spawn_children_independent(self):
+        g1, g2 = spawn_rngs(11, 2)
+        assert not np.array_equal(g1.random(8), g2.random(8))
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestHelpers:
+    def test_sample_indices_range(self):
+        idx = sample_indices(make_rng(0), 10, 5)
+        assert len(idx) == 5
+        assert all(0 <= i < 10 for i in idx)
+        assert len(set(int(i) for i in idx)) == 5  # no replacement
+
+    def test_shuffled_is_permutation(self):
+        items = list(range(20))
+        out = shuffled(make_rng(1), items)
+        assert sorted(out) == items
+
+    def test_interleave_deterministic_and_sensitive(self):
+        assert interleave_seeds([1, 2, 3]) == interleave_seeds([1, 2, 3])
+        assert interleave_seeds([1, 2, 3]) != interleave_seeds([3, 2, 1])
+        assert interleave_seeds([1]) != interleave_seeds([2])

@@ -1,0 +1,74 @@
+"""Unit tests for the float-comparison policy."""
+
+import math
+
+from repro.utils.tolerances import (
+    TIME_EPS,
+    feq,
+    fge,
+    fgt,
+    fle,
+    flt,
+    is_close,
+    snap,
+)
+
+
+class TestPredicates:
+    def test_feq_within_eps(self):
+        assert feq(1.0, 1.0 + TIME_EPS / 2)
+
+    def test_feq_outside_eps(self):
+        assert not feq(1.0, 1.0 + 10 * TIME_EPS)
+
+    def test_fle_at_equality(self):
+        assert fle(2.0, 2.0)
+
+    def test_fle_with_noise(self):
+        assert fle(2.0 + TIME_EPS / 2, 2.0)
+
+    def test_fle_strictly_greater_fails(self):
+        assert not fle(2.1, 2.0)
+
+    def test_flt_requires_margin(self):
+        assert flt(1.0, 2.0)
+        assert not flt(2.0 - TIME_EPS / 2, 2.0)
+
+    def test_fge_symmetry_with_fle(self):
+        assert fge(3.0, 2.0)
+        assert fge(2.0, 2.0 + TIME_EPS / 2)
+        assert not fge(1.0, 2.0)
+
+    def test_fgt_requires_margin(self):
+        assert fgt(2.0, 1.0)
+        assert not fgt(2.0 + TIME_EPS / 2, 2.0)
+
+    def test_custom_eps_respected(self):
+        assert feq(1.0, 1.4, eps=0.5)
+        assert not feq(1.0, 1.4, eps=0.1)
+
+
+class TestSnap:
+    def test_snap_tiny_negative_to_zero(self):
+        assert snap(-1e-15) == 0.0
+
+    def test_snap_tiny_positive_to_zero(self):
+        assert snap(1e-12) == 0.0
+
+    def test_snap_keeps_real_values(self):
+        assert snap(0.5) == 0.5
+        assert snap(-0.5) == -0.5
+
+
+class TestIsClose:
+    def test_relative_mode(self):
+        assert is_close(1e9, 1e9 * (1 + 1e-10))
+
+    def test_absolute_mode(self):
+        assert is_close(0.0, TIME_EPS / 2)
+
+    def test_far_apart(self):
+        assert not is_close(1.0, 2.0)
+
+    def test_matches_math_isclose(self):
+        assert is_close(3.14, 3.14) == math.isclose(3.14, 3.14)

@@ -1,0 +1,64 @@
+"""Tests for the MMPP and batch arrival generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.arrivals import batch_arrival_instance, mmpp_instance
+
+
+class TestMmpp:
+    def test_basic_shape(self):
+        inst = mmpp_instance(80, 3, 0.2, seed=1)
+        assert len(inst) == 80
+        assert np.all(np.diff(inst.releases()) >= 0)
+        inst.validate()
+
+    def test_deterministic(self):
+        a = mmpp_instance(30, 2, 0.1, seed=5)
+        b = mmpp_instance(30, 2, 0.1, seed=5)
+        assert a.to_json() == b.to_json()
+
+    def test_storm_factor_validation(self):
+        with pytest.raises(ValueError, match="storm_rate_factor"):
+            mmpp_instance(10, 1, 0.2, storm_rate_factor=1.0)
+
+    def test_burstier_than_poisson(self):
+        # Squared coefficient of variation of inter-arrival gaps: Poisson
+        # has ~1; MMPP with strong storms is markedly above.
+        inst = mmpp_instance(800, 2, 0.2, seed=3, storm_rate_factor=20.0)
+        gaps = np.diff(inst.releases())
+        cv2 = gaps.var() / gaps.mean() ** 2
+        assert cv2 > 1.5
+
+    def test_runs_through_algorithms(self):
+        from repro.baselines.registry import run_algorithm
+
+        inst = mmpp_instance(60, 3, 0.15, seed=2)
+        for name in ("threshold", "greedy"):
+            result = run_algorithm(name, inst)
+            result.detail.audit()
+
+
+class TestBatchArrivals:
+    def test_batches_share_release(self):
+        inst = batch_arrival_instance(5, 2, 0.2, seed=1)
+        by_batch: dict[int, set[float]] = {}
+        for job in inst:
+            by_batch.setdefault(job.tag("batch"), set()).add(job.release)
+        for releases in by_batch.values():
+            assert len(releases) == 1
+
+    def test_tight_slack(self):
+        inst = batch_arrival_instance(4, 2, 0.3, seed=2)
+        for job in inst:
+            assert job.has_tight_slack(0.3)
+
+    def test_deterministic(self):
+        a = batch_arrival_instance(6, 2, 0.2, seed=9)
+        b = batch_arrival_instance(6, 2, 0.2, seed=9)
+        assert a.to_json() == b.to_json()
+
+    def test_mean_batch_size_scales(self):
+        small = batch_arrival_instance(40, 2, 0.2, seed=4, mean_batch_size=2.0)
+        large = batch_arrival_instance(40, 2, 0.2, seed=4, mean_batch_size=12.0)
+        assert len(large) > len(small)

@@ -1,0 +1,70 @@
+"""Tests for the IaaS cloud workload generator."""
+
+import pytest
+
+from repro.workloads.cloud import (
+    DEFAULT_SERVICE_MIX,
+    ServiceClass,
+    cloud_instance,
+    per_service_loads,
+)
+
+
+class TestServiceClass:
+    def test_default_mix_sound(self):
+        assert len(DEFAULT_SERVICE_MIX) == 3
+        names = {c.name for c in DEFAULT_SERVICE_MIX}
+        assert names == {"interactive", "analytics", "batch"}
+
+    def test_tightest_class_at_system_slack(self):
+        assert min(c.slack_multiplier for c in DEFAULT_SERVICE_MIX) == 1.0
+
+    def test_rejects_sub_unit_multiplier(self):
+        with pytest.raises(ValueError, match="slack_multiplier"):
+            ServiceClass("bad", 1.0, 1.0, 0.5, 0.5)
+
+
+class TestCloudInstance:
+    def test_basic_generation(self):
+        inst = cloud_instance(100, 4, 0.1, seed=0)
+        assert len(inst) == 100
+        assert inst.machines == 4
+
+    def test_slack_respected_per_class(self):
+        inst = cloud_instance(150, 4, 0.1, seed=1)
+        for job in inst:
+            assert job.satisfies_slack(0.1)
+
+    def test_jobs_tagged_with_service(self):
+        inst = cloud_instance(80, 2, 0.2, seed=2)
+        services = {job.tag("service") for job in inst}
+        assert services <= {"interactive", "analytics", "batch"}
+        assert "interactive" in services  # weight 0.6 -> essentially certain
+
+    def test_interactive_jobs_tight(self):
+        inst = cloud_instance(120, 2, 0.2, seed=3)
+        for job in inst:
+            if job.tag("service") == "interactive":
+                assert job.has_tight_slack(0.2)
+
+    def test_deterministic(self):
+        a = cloud_instance(30, 2, 0.1, seed=5)
+        b = cloud_instance(30, 2, 0.1, seed=5)
+        assert a.to_json() == b.to_json()
+
+    def test_amplitude_validation(self):
+        with pytest.raises(ValueError):
+            cloud_instance(10, 1, 0.1, diurnal_amplitude=1.5)
+
+    def test_zero_amplitude_allowed(self):
+        inst = cloud_instance(20, 1, 0.1, seed=0, diurnal_amplitude=0.0)
+        assert len(inst) == 20
+
+    def test_per_service_loads_partition_total(self):
+        inst = cloud_instance(60, 2, 0.1, seed=4)
+        loads = per_service_loads(inst)
+        assert sum(loads.values()) == pytest.approx(inst.total_load)
+
+    def test_meta_records_mix(self):
+        inst = cloud_instance(10, 1, 0.1, seed=0)
+        assert set(inst.meta["mix"]) == {"interactive", "analytics", "batch"}

@@ -1,0 +1,51 @@
+"""Tests for the parallel sweep executor."""
+
+from functools import partial
+
+import pytest
+
+from repro.workloads.parallel import run_sweep_parallel
+from repro.workloads.random_instances import random_instance
+from repro.workloads.sweep import SweepSpec, run_sweep
+
+
+def _workload(m: int, eps: float, seed: int, n: int = 10):
+    return random_instance(n, m, eps, seed=seed)
+
+
+def _spec() -> SweepSpec:
+    return SweepSpec(
+        epsilons=[0.2, 0.5],
+        machine_counts=[1, 2],
+        algorithms=["threshold", "greedy"],
+        workload=partial(_workload, n=10),
+        repetitions=2,
+        base_seed=3,
+    )
+
+
+class TestParallelSweep:
+    def test_matches_serial_exactly(self):
+        spec = _spec()
+        serial = run_sweep(spec)
+        parallel = run_sweep_parallel(spec, max_workers=2)
+        assert len(serial) == len(parallel)
+        for a, b in zip(serial, parallel):
+            assert a == b
+
+    def test_worker_count_does_not_change_results(self):
+        spec = _spec()
+        one = run_sweep_parallel(spec, max_workers=1)
+        two = run_sweep_parallel(spec, max_workers=2)
+        assert one == two
+
+    def test_lambda_workload_rejected(self):
+        spec = SweepSpec(
+            epsilons=[0.5],
+            machine_counts=[1],
+            algorithms=["greedy"],
+            workload=lambda m, e, s: random_instance(5, m, e, seed=s),
+            repetitions=1,
+        )
+        with pytest.raises(TypeError, match="picklable"):
+            run_sweep_parallel(spec)

@@ -1,0 +1,78 @@
+"""Tests for random instance generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.random_instances import (
+    ProcessingDistribution,
+    poisson_instance,
+    random_instance,
+    tight_slack_instance,
+)
+
+
+class TestRandomInstance:
+    def test_size_and_params(self):
+        inst = random_instance(50, 3, 0.2, seed=0)
+        assert len(inst) == 50 and inst.machines == 3 and inst.epsilon == 0.2
+
+    def test_validates_slack(self):
+        inst = random_instance(100, 2, 0.3, seed=1)
+        for job in inst:
+            assert job.satisfies_slack(0.3)
+
+    def test_deterministic_by_seed(self):
+        a = random_instance(20, 2, 0.1, seed=7)
+        b = random_instance(20, 2, 0.1, seed=7)
+        assert a.to_json() == b.to_json()
+
+    def test_seeds_differ(self):
+        a = random_instance(20, 2, 0.1, seed=7)
+        b = random_instance(20, 2, 0.1, seed=8)
+        assert a.to_json() != b.to_json()
+
+    def test_releases_nondecreasing(self):
+        inst = random_instance(80, 2, 0.1, seed=3)
+        r = inst.releases()
+        assert np.all(np.diff(r) >= 0)
+
+    def test_tight_fraction_one_pins_all(self):
+        inst = random_instance(40, 2, 0.25, seed=2, tight_fraction=1.0)
+        for job in inst:
+            assert job.has_tight_slack(0.25)
+
+    def test_tight_fraction_zero_leaves_room(self):
+        inst = random_instance(40, 2, 0.25, seed=2, tight_fraction=0.0)
+        slacks = [job.slack() for job in inst]
+        assert max(slacks) > 0.25 + 1e-6
+
+    @pytest.mark.parametrize("dist", list(ProcessingDistribution))
+    def test_all_distributions_produce_positive_times(self, dist):
+        inst = random_instance(60, 2, 0.2, seed=4, distribution=dist)
+        assert np.all(inst.processings() > 0)
+
+    def test_distribution_by_string(self):
+        inst = random_instance(10, 1, 0.5, seed=0, distribution="pareto")
+        assert "pareto" in inst.name
+
+    def test_bimodal_has_two_modes(self):
+        inst = random_instance(300, 2, 0.2, seed=5, distribution="bimodal")
+        p = inst.processings()
+        assert (p < 0.5).any() and (p > 1.5).any()
+
+
+class TestVariants:
+    def test_tight_slack_instance(self):
+        inst = tight_slack_instance(30, 2, 0.15, seed=6)
+        assert all(j.has_tight_slack(0.15) for j in inst)
+        assert inst.name.startswith("tight")
+
+    def test_poisson_utilization_scales_arrivals(self):
+        lo = poisson_instance(300, 2, 0.2, utilization=0.5, seed=9)
+        hi = poisson_instance(300, 2, 0.2, utilization=4.0, seed=9)
+        # Higher utilization = faster arrivals = shorter horizon.
+        assert hi.horizon < lo.horizon
+
+    def test_poisson_name_records_utilization(self):
+        inst = poisson_instance(10, 1, 0.5, utilization=2.0, seed=0)
+        assert "u=2" in inst.name

@@ -1,0 +1,100 @@
+"""Tests for the structured deterministic instance families."""
+
+import pytest
+
+from repro.core.params import threshold_parameters
+from repro.workloads.structured import (
+    adversarial_like_instance,
+    alternating_instance,
+    burst_instance,
+    overload_instance,
+    staircase_instance,
+)
+
+
+class TestBurst:
+    def test_shape(self):
+        inst = burst_instance(3, 4, machines=2, epsilon=0.2, seed=0)
+        assert len(inst) == 12
+        releases = set(inst.releases().tolist())
+        assert len(releases) == 3  # one release time per burst
+
+    def test_all_tight(self):
+        inst = burst_instance(2, 3, machines=2, epsilon=0.3, seed=1)
+        assert all(j.has_tight_slack(0.3) for j in inst)
+
+    def test_burst_tags(self):
+        inst = burst_instance(2, 2, machines=1, epsilon=0.5, seed=0)
+        assert {j.tag("burst") for j in inst} == {0, 1}
+
+
+class TestStaircase:
+    def test_sizes_follow_f_ladder(self):
+        eps, m = 0.2, 3
+        params = threshold_parameters(eps, m)
+        inst = staircase_instance(machines=m, epsilon=eps)
+        sizes = sorted({round(j.processing, 6) for j in inst})
+        expected = sorted({round(float(f - 1), 6) for f in params.f})
+        assert sizes == expected
+
+    def test_copies_per_step_default_is_m(self):
+        inst = staircase_instance(machines=3, epsilon=0.2)
+        params = threshold_parameters(0.2, 3)
+        assert len(inst) == 3 * len(params.f)
+
+
+class TestAlternating:
+    def test_bait_and_whale_kinds(self):
+        inst = alternating_instance(2, machines=2, epsilon=0.2)
+        kinds = {j.tag("kind") for j in inst}
+        assert kinds == {"bait", "whale"}
+        assert len(inst) == 2 * 2 * 2
+
+    def test_all_slack_valid(self):
+        inst = alternating_instance(3, machines=2, epsilon=0.4)
+        for j in inst:
+            assert j.satisfies_slack(0.4)
+
+    def test_whale_cannot_wait_behind_bait(self):
+        inst = alternating_instance(1, machines=2, epsilon=0.1)
+        baits = [j for j in inst if j.tag("kind") == "bait"]
+        whales = [j for j in inst if j.tag("kind") == "whale"]
+        for w in whales:
+            assert w.latest_start < min(b.release + b.processing for b in baits)
+
+    def test_delta_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            alternating_instance(1, machines=1, epsilon=0.5, delta=0.3)
+
+
+class TestOverload:
+    def test_demand_exceeds_capacity(self):
+        inst = overload_instance(60, machines=2, epsilon=0.2, overload_factor=5.0, seed=0)
+        capacity = 2 * inst.horizon
+        assert inst.total_load > 1.5 * capacity
+
+
+class TestAdversarialLike:
+    def test_structure(self):
+        eps, m = 0.2, 3
+        inst = adversarial_like_instance(machines=m, epsilon=eps)
+        params = threshold_parameters(eps, m)
+        phase2 = [j for j in inst if j.tag("adversary_phase") == 2]
+        phase3 = [j for j in inst if j.tag("adversary_phase") == 3]
+        assert len(phase2) == 2 * m * m
+        assert len(phase3) == m * (m - params.k + 1)
+
+    def test_slack_valid(self):
+        inst = adversarial_like_instance(machines=2, epsilon=0.3)
+        for j in inst:
+            assert j.satisfies_slack(0.3), j
+
+    def test_runnable_by_algorithms(self):
+        from repro.baselines.registry import run_algorithm
+
+        inst = adversarial_like_instance(machines=2, epsilon=0.3)
+        r_th = run_algorithm("threshold", inst)
+        r_gr = run_algorithm("greedy", inst)
+        assert r_th.accepted_load > 0 and r_gr.accepted_load > 0

@@ -1,0 +1,88 @@
+"""Tests for the sweep harness."""
+
+import pytest
+
+from repro.workloads.random_instances import random_instance
+from repro.workloads.sweep import SweepSpec, aggregate_rows, run_sweep
+
+
+def _spec(**overrides):
+    defaults = dict(
+        epsilons=[0.2, 0.5],
+        machine_counts=[1, 2],
+        algorithms=["threshold", "greedy"],
+        workload=lambda m, e, s: random_instance(10, m, e, seed=s),
+        repetitions=2,
+        base_seed=1,
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+class TestSpec:
+    def test_cells_cover_grid(self):
+        cells = list(_spec().cells())
+        assert len(cells) == 2 * 2 * 2
+
+    def test_cell_seed_deterministic(self):
+        spec = _spec()
+        assert spec.cell_seed(0.2, 1, 0) == spec.cell_seed(0.2, 1, 0)
+
+    def test_cell_seed_varies(self):
+        spec = _spec()
+        seeds = {
+            spec.cell_seed(e, m, r)
+            for e, m, r in spec.cells()
+        }
+        assert len(seeds) == 8
+
+
+class TestRunSweep:
+    def test_row_count(self):
+        rows = run_sweep(_spec())
+        assert len(rows) == 8 * 2  # cells x algorithms
+
+    def test_rows_carry_bracket(self):
+        rows = run_sweep(_spec())
+        for row in rows:
+            assert row.opt_lower <= row.opt_upper + 1e-9
+            assert row.ratio_lower <= row.ratio_upper + 1e-9
+
+    def test_same_cell_shares_bracket_across_algorithms(self):
+        rows = run_sweep(_spec())
+        by_cell = {}
+        for row in rows:
+            by_cell.setdefault((row.epsilon, row.machines, row.repetition), []).append(row)
+        for group in by_cell.values():
+            uppers = {row.opt_upper for row in group}
+            assert len(uppers) == 1
+
+    def test_guarantee_column(self):
+        rows = run_sweep(_spec())
+        for row in rows:
+            assert row.guarantee is not None and row.guarantee > 1
+
+    def test_as_dict_round(self):
+        row = run_sweep(_spec())[0]
+        d = row.as_dict()
+        assert set(d) >= {"epsilon", "machines", "algorithm", "ratio_upper"}
+
+    def test_deterministic_rerun(self):
+        r1 = run_sweep(_spec())
+        r2 = run_sweep(_spec())
+        assert [r.accepted_load for r in r1] == [r.accepted_load for r in r2]
+
+
+class TestAggregate:
+    def test_aggregation_shape(self):
+        rows = run_sweep(_spec())
+        agg = aggregate_rows(rows)
+        assert len(agg) == 8  # (eps, m, algorithm) combos
+        for entry in agg:
+            assert entry["repetitions"] == 2
+
+    def test_mean_between_min_max(self):
+        rows = run_sweep(_spec())
+        agg = aggregate_rows(rows)
+        for entry in agg:
+            assert entry["mean_ratio_upper"] <= entry["max_ratio_upper"] + 1e-12

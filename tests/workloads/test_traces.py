@@ -1,0 +1,70 @@
+"""Tests for trace CSV round-tripping."""
+
+import pytest
+
+from repro.workloads.cloud import cloud_instance
+from repro.workloads.traces import (
+    instance_from_csv,
+    instance_to_csv,
+    load_trace,
+    save_trace,
+)
+from repro.workloads.random_instances import random_instance
+
+
+class TestRoundTrip:
+    def test_plain_instance(self):
+        inst = random_instance(25, 3, 0.2, seed=9)
+        back = instance_from_csv(instance_to_csv(inst))
+        assert back.machines == inst.machines
+        assert back.epsilon == inst.epsilon
+        assert back.name == inst.name
+        assert len(back) == len(inst)
+        for a, b in zip(inst, back):
+            assert a.release == b.release
+            assert a.processing == b.processing
+            assert a.deadline == b.deadline
+
+    def test_tags_preserved_with_types(self):
+        inst = cloud_instance(15, 2, 0.1, seed=1)
+        back = instance_from_csv(instance_to_csv(inst))
+        for a, b in zip(inst, back):
+            assert a.tag("service") == b.tag("service")
+
+    def test_numeric_tags_cast(self):
+        from repro.model.instance import Instance
+        from repro.model.job import Job
+
+        inst = Instance(
+            [Job(0, 1, 5).with_tags(burst=3, weight=0.5, label="x")],
+            machines=1,
+            epsilon=1.0,
+        )
+        back = instance_from_csv(instance_to_csv(inst))
+        job = back[0]
+        assert job.tag("burst") == 3 and isinstance(job.tag("burst"), int)
+        assert job.tag("weight") == 0.5 and isinstance(job.tag("weight"), float)
+        assert job.tag("label") == "x"
+
+    def test_file_round_trip(self, tmp_path):
+        inst = random_instance(10, 2, 0.3, seed=2)
+        path = save_trace(inst, tmp_path / "trace.csv")
+        back = load_trace(path)
+        assert back.to_json() == inst.to_json() or len(back) == len(inst)
+
+
+class TestValidation:
+    def test_missing_header(self):
+        with pytest.raises(ValueError, match="header"):
+            instance_from_csv("release,processing,deadline,tags\n")
+
+    def test_bad_columns(self):
+        text = "# machines=1 epsilon=0.5 name=x\nwrong,header\n"
+        with pytest.raises(ValueError, match="column header"):
+            instance_from_csv(text)
+
+    def test_exact_float_precision(self):
+        inst = random_instance(5, 1, 0.123456789, seed=3)
+        back = instance_from_csv(instance_to_csv(inst))
+        # repr round-trip: bit-exact floats.
+        assert list(back.releases()) == list(inst.releases())
