@@ -1,14 +1,18 @@
 # Development targets for the reproduction repository.
 
 PYTHON ?= python
+export PYTHONPATH := src
 
-.PHONY: install test bench examples report docs clean all
+.PHONY: install test verify bench examples report docs clean all
 
 install:
 	pip install -e .
 
+# Tier-1 gate: exactly what CI runs.
 test:
-	$(PYTHON) -m pytest tests/
+	$(PYTHON) -m pytest -x -q
+
+verify: test
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -11,9 +11,17 @@ benches track
   linear-scan implementation profiled at 3.5k jobs/s on 8k jobs —
   the regression guard below would catch such a slide);
 * bound-solver throughput (full parameter solve, m = 8).
+
+Run directly (``python benchmarks/bench_engine_throughput.py``) to time
+every commitment-model engine on the shared kernel and write the
+machine-readable snapshot ``BENCH_engine.json`` (jobs/s per model) at the
+repository root — the artefact the throughput regression guard compares
+against.
 """
 
+import json
 import time
+from pathlib import Path
 
 from repro.baselines.greedy import GreedyPolicy
 from repro.core.params import BoundFunction
@@ -73,3 +81,75 @@ def test_bound_solver_throughput(benchmark):
 
     values = benchmark(solve_many)
     assert all(v > 0 for v in values)
+
+
+# ---------------------------------------------------------------------------
+# Direct invocation: per-model kernel throughput snapshot (BENCH_engine.json).
+# ---------------------------------------------------------------------------
+
+
+def _model_runs():
+    """(label, thunk) per commitment model, all on the same 5k-job stream."""
+    from repro.baselines.dasgupta_palis import DasGuptaPalisPolicy
+    from repro.engine.admission import AdmissionLazyPolicy, simulate_admission
+    from repro.engine.delayed import DelayedGreedyPolicy, simulate_delayed
+    from repro.engine.penalties import RevocableGreedyPolicy, simulate_with_penalties
+    from repro.engine.preemptive import simulate_preemptive
+
+    eps = _INSTANCE.epsilon
+    return [
+        ("immediate[threshold]", lambda: simulate(ThresholdPolicy(), _INSTANCE)),
+        ("immediate[greedy]", lambda: simulate(GreedyPolicy(), _INSTANCE)),
+        (
+            "delayed[delayed-greedy]",
+            lambda: simulate_delayed(DelayedGreedyPolicy(), _INSTANCE, eps / 2),
+        ),
+        (
+            "admission[admission-lazy]",
+            lambda: simulate_admission(AdmissionLazyPolicy(), _INSTANCE),
+        ),
+        (
+            "penalties[revocable-greedy]",
+            lambda: simulate_with_penalties(RevocableGreedyPolicy(), _INSTANCE, 0.5),
+        ),
+        (
+            "preemptive[dasgupta-palis]",
+            lambda: simulate_preemptive(DasGuptaPalisPolicy(), _INSTANCE),
+        ),
+    ]
+
+
+def snapshot_throughput(rounds: int = 3) -> dict:
+    """Best-of-*rounds* jobs/s for every engine; pure measurement, no I/O."""
+    results = {}
+    for label, run in _model_runs():
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            run()
+            best = min(best, time.perf_counter() - t0)
+        results[label] = round(N_JOBS / best, 1)
+    return {
+        "n_jobs": N_JOBS,
+        "machines": MACHINES,
+        "epsilon": _INSTANCE.epsilon,
+        "seed": 42,
+        "rounds": rounds,
+        "jobs_per_second": results,
+    }
+
+
+def main() -> int:
+    snapshot = snapshot_throughput()
+    out = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+    out.write_text(json.dumps(snapshot, indent=2) + "\n")
+    for label, rate in snapshot["jobs_per_second"].items():
+        print(f"{label:30s} {rate:>12,.0f} jobs/s")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

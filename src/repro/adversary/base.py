@@ -42,6 +42,11 @@ class DuelResult:
         """Whether the policy was forced into an unbounded ratio."""
         return math.isinf(self.forced_ratio)
 
+    @property
+    def stats(self) -> Any:
+        """Kernel :class:`~repro.engine.kernel.RunStats` of the duel run."""
+        return self.schedule.meta.get("stats")
+
     def ratio_vs_target(self) -> float:
         """Forced ratio normalised by the theoretical target ``c(eps, m)``."""
         return self.forced_ratio / self.target_ratio
@@ -53,16 +58,20 @@ def duel(
     epsilon: float,
     beta: float | None = None,
     verify_opt: bool = False,
+    record_events: bool = False,
 ) -> DuelResult:
     """Play the Theorem-1 adversary against *policy*.
 
-    ``verify_opt=True`` additionally computes the exact offline optimum of
-    the emitted instance (small games only) and the flow upper bound —
-    used by tests to certify the constructive optimum.
+    The game runs on the shared simulation kernel, so the returned
+    schedule carries the same trace/stats instrumentation as any other
+    run (``record_events=True`` additionally captures the kernel event
+    stream).  ``verify_opt=True`` additionally computes the exact offline
+    optimum of the emitted instance (small games only) and the flow upper
+    bound — used by tests to certify the constructive optimum.
     """
     policy_obj = policy() if callable(policy) and not isinstance(policy, OnlinePolicy) else policy
     adversary = ThreePhaseAdversary(m=m, epsilon=epsilon, beta=beta)
-    schedule = simulate_source(policy_obj, adversary)
+    schedule = simulate_source(policy_obj, adversary, record_events=record_events)
 
     alg = adversary.algorithm_load()
     opt = adversary.constructive_optimum()

@@ -187,6 +187,41 @@ def _section_planning() -> str:
     )
 
 
+def _section_engine() -> str:
+    """Kernel observability: per-model decision throughput on one stream."""
+    from repro.engine.admission import AdmissionLazyPolicy, simulate_admission
+    from repro.engine.preemptive import simulate_preemptive
+    from repro.baselines.dasgupta_palis import DasGuptaPalisPolicy
+
+    inst = random_instance(400, 3, 0.2, seed=3)
+    outcomes = [
+        run_algorithm("threshold", inst).detail,
+        run_algorithm("greedy", inst).detail,
+        simulate_delayed(DelayedGreedyPolicy(), inst, 0.1),
+        simulate_admission(AdmissionLazyPolicy(), inst),
+        simulate_with_penalties(RevocableGreedyPolicy(), inst, 0.5),
+        simulate_preemptive(DasGuptaPalisPolicy(), inst),
+    ]
+    rows = []
+    for outcome in outcomes:
+        stats = outcome.meta["stats"]
+        rows.append(
+            {
+                "model": stats.model,
+                "algorithm": stats.algorithm,
+                "decisions": stats.decisions,
+                "accepted": stats.accepted,
+                "kdec/s": stats.decisions_per_second / 1e3,
+            }
+        )
+    return (
+        "## Simulation kernel (per-model throughput, n=400)\n\n"
+        + format_markdown(rows)
+        + "\nEvery model runs on the shared kernel; identical stats are attached\n"
+        + "to every run (`Schedule.meta['stats']`), sweep cell and duel.\n"
+    )
+
+
 def _section_growth() -> str:
     rows = []
     for m in (2, 3):
@@ -208,6 +243,7 @@ SECTIONS: dict[str, Callable[[], str]] = {
     "impossibility": _section_impossibility,
     "growth": _section_growth,
     "planning": _section_planning,
+    "engine": _section_engine,
 }
 
 

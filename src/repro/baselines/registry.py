@@ -53,6 +53,21 @@ class RunResult:
         n = len(self.instance)
         return 1.0 if n == 0 else self.accepted_count / n
 
+    @property
+    def stats(self) -> Any:
+        """Kernel :class:`~repro.engine.kernel.RunStats` of the run.
+
+        ``None`` for engines not yet kernel-backed (the migration model).
+        """
+        meta = getattr(self.detail, "meta", None)
+        return meta.get("stats") if meta is not None else None
+
+    @property
+    def events(self) -> Any:
+        """Kernel :class:`~repro.engine.kernel.EventStream` when recorded."""
+        meta = getattr(self.detail, "meta", None)
+        return meta.get("events") if meta is not None else None
+
 
 def _make_random_admission(**kwargs):
     return RandomAdmissionPolicy(**kwargs)
@@ -179,12 +194,21 @@ def make_algorithm(name: str, **kwargs: Any) -> Any:
     return spec.factory(**kwargs)
 
 
-def run_algorithm(name: str, instance: Instance, **kwargs: Any) -> RunResult:
+def run_algorithm(
+    name: str,
+    instance: Instance,
+    record_events: bool = False,
+    **kwargs: Any,
+) -> RunResult:
     """Run algorithm *name* on *instance* with the right engine.
 
-    Returns a :class:`RunResult`; ``detail`` carries the engine-native
-    object (a :class:`~repro.model.schedule.Schedule`, a
-    ``PreemptiveOutcome`` or a ``MigrationOutcome``) for deeper inspection.
+    Every kernel-backed model (all but migration) goes through
+    :func:`repro.engine.kernel.run_model`, so the result carries identical
+    instrumentation regardless of the commitment model:
+    ``result.stats`` (always) and ``result.events`` (with
+    ``record_events=True``).  ``detail`` carries the engine-native object
+    (a :class:`~repro.model.schedule.Schedule`, a ``PreemptiveOutcome`` or
+    a ``MigrationOutcome``) for deeper inspection.
     """
     spec = ALGORITHMS.get(name)
     if spec is None:
@@ -197,7 +221,7 @@ def run_algorithm(name: str, instance: Instance, **kwargs: Any) -> RunResult:
     delta = kwargs.pop("delta", None) if spec.model == "delayed" else None
     algorithm = spec.factory(**kwargs)
     if spec.model == "nonpreemptive":
-        schedule = simulate(algorithm, instance)
+        schedule = simulate(algorithm, instance, record_events=record_events)
         return RunResult(
             algorithm=name,
             instance=instance,
@@ -206,7 +230,7 @@ def run_algorithm(name: str, instance: Instance, **kwargs: Any) -> RunResult:
             detail=schedule,
         )
     if spec.model == "preemptive":
-        outcome = simulate_preemptive(algorithm, instance)
+        outcome = simulate_preemptive(algorithm, instance, record_events=record_events)
         return RunResult(
             algorithm=name,
             instance=instance,
@@ -226,7 +250,7 @@ def run_algorithm(name: str, instance: Instance, **kwargs: Any) -> RunResult:
     if spec.model == "admission":
         from repro.engine.admission import simulate_admission
 
-        schedule = simulate_admission(algorithm, instance)
+        schedule = simulate_admission(algorithm, instance, record_events=record_events)
         return RunResult(
             algorithm=name,
             instance=instance,
@@ -239,7 +263,9 @@ def run_algorithm(name: str, instance: Instance, **kwargs: Any) -> RunResult:
 
         if delta is None:
             delta = instance.epsilon
-        schedule = simulate_delayed(algorithm, instance, min(delta, instance.epsilon))
+        schedule = simulate_delayed(
+            algorithm, instance, min(delta, instance.epsilon), record_events=record_events
+        )
         return RunResult(
             algorithm=name,
             instance=instance,

@@ -8,6 +8,7 @@ Commands
 ``duel``     play the Theorem-1 adversary against an algorithm
 ``tree``     enumerate the Fig. 2 decision tree
 ``compare``  run the algorithm registry on a generated workload
+``simulate`` run one algorithm through the kernel and print its run stats
 
 All output is plain text; commands are deterministic given ``--seed``.
 """
@@ -119,6 +120,45 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             title=f"{inst.name}: n={len(inst)}, m={args.m}, eps={args.eps}",
         )
     )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.baselines.registry import ALGORITHMS, run_algorithm
+    from repro.workloads import alternating_instance, cloud_instance, random_instance
+
+    if args.algorithm not in ALGORITHMS:
+        print(
+            f"error: unknown algorithm {args.algorithm!r}; known: "
+            f"{', '.join(sorted(ALGORITHMS))}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workload == "random":
+        inst = random_instance(args.n, args.m, args.eps, seed=args.seed)
+    elif args.workload == "cloud":
+        inst = cloud_instance(args.n, args.m, args.eps, seed=args.seed)
+    else:
+        inst = alternating_instance(max(1, args.n // (2 * args.m)), args.m, args.eps)
+    result = run_algorithm(args.algorithm, inst, record_events=args.events)
+    print(f"instance       : {inst.name} (n={len(inst)}, m={args.m}, eps={args.eps})")
+    print(f"accepted load  : {result.accepted_load:.6f}")
+    print(f"accepted jobs  : {result.accepted_count}/{len(inst)}")
+    stats = result.stats
+    if stats is None:
+        print("stats          : unavailable (engine not kernel-backed)")
+    else:
+        print(f"model          : {stats.model}")
+        print(f"decisions      : {stats.decisions} ({stats.rejected} rejected, "
+              f"{stats.revoked} revoked)")
+        print(f"kernel steps   : {stats.steps}")
+        print(f"sim time       : {stats.sim_seconds * 1e3:.2f} ms "
+              f"({stats.decisions_per_second / 1e3:.1f} kdec/s)")
+        print(f"audit time     : {stats.audit_seconds * 1e3:.2f} ms")
+    if args.events:
+        events = result.events
+        print()
+        print(events.render() if events is not None else "no event stream recorded")
     return 0
 
 
@@ -235,6 +275,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--m", type=int, required=True)
     p.add_argument("--eps", type=float, required=True)
     p.set_defaults(fn=_cmd_tree)
+
+    p = sub.add_parser(
+        "simulate", help="run one algorithm through the simulation kernel"
+    )
+    p.add_argument("--algorithm", default="threshold")
+    p.add_argument("--workload", choices=["random", "cloud", "bait-and-whale"], default="random")
+    p.add_argument("--m", type=int, default=3)
+    p.add_argument("--eps", type=float, default=0.2)
+    p.add_argument("--n", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--events", action="store_true", help="record and print the kernel event stream"
+    )
+    p.set_defaults(fn=_cmd_simulate)
 
     p = sub.add_parser("plan", help="capacity planning: invert the bound function")
     p.add_argument("--target", type=float, required=True, help="target worst-case ratio")

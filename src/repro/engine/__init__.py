@@ -1,34 +1,56 @@
 """Online simulation engine.
 
-The engine owns the ground-truth machine timelines, feeds jobs to an
-:class:`~repro.engine.policy.OnlinePolicy` in submission order, enforces
-immediate commitment (decisions are applied instantly and can never be
-revised), and produces an audited :class:`~repro.model.schedule.Schedule`.
+One shared kernel (:mod:`repro.engine.kernel`) owns the event loop,
+decision validation, machine-timeline mutation, audit invocation and a
+model-agnostic observability layer (structured events + per-run stats).
+Each commitment model of the paper's §1 taxonomy plugs into it as a thin
+:class:`~repro.engine.kernel.CommitmentModel` strategy:
 
-Two execution models are provided:
+* :mod:`repro.engine.simulator` — immediate commitment (the paper's model);
+* :mod:`repro.engine.delayed` — δ-delayed commitment;
+* :mod:`repro.engine.admission` — commitment on admission;
+* :mod:`repro.engine.penalties` — commitment with penalties;
+* :mod:`repro.engine.preemptive` — preemptive immediate notification
+  (substrate of the Section 1.2 baselines).
 
-* :mod:`repro.engine.simulator` — the paper's non-preemptive model;
-* :mod:`repro.engine.preemptive` — a per-machine preemptive EDF executor
-  used by the preemptive baselines of Section 1.2.
+Every invalid policy decision, in every model, raises the unified
+:class:`~repro.engine.kernel.SimulationError`; every run surfaces
+``meta["stats"]`` and, on request, ``meta["events"]``.
 """
 
+from repro.engine.kernel import (
+    CommitmentModel,
+    EventStream,
+    JobFeed,
+    KernelContext,
+    RunStats,
+    SimEvent,
+    SimulationError,
+    commit_decision,
+    replay_events,
+    run_model,
+)
 from repro.engine.policy import Decision, OnlinePolicy, JobSource, SequenceSource
-from repro.engine.simulator import simulate, simulate_source, SimulationError
+from repro.engine.simulator import ImmediateCommitmentModel, simulate, simulate_source
 from repro.engine.recorder import DecisionRecord, TraceRecorder
 from repro.engine.preemptive import (
+    PreemptiveCommitmentModel,
     PreemptiveMachine,
+    PreemptiveOutcome,
     edf_feasible,
     simulate_preemptive,
     PreemptivePolicy,
 )
 from repro.engine.audit import audit_run, CommitmentAuditError
 from repro.engine.delayed import (
+    DelayedCommitmentModel,
     DelayedPolicy,
     DelayedGreedyPolicy,
     PendingJob,
     simulate_delayed,
 )
 from repro.engine.admission import (
+    AdmissionCommitmentModel,
     AdmissionPolicy,
     AdmissionGreedyPolicy,
     AdmissionEddPolicy,
@@ -36,6 +58,7 @@ from repro.engine.admission import (
     simulate_admission,
 )
 from repro.engine.penalties import (
+    PenaltiesCommitmentModel,
     PenaltyPolicy,
     RevocableGreedyPolicy,
     PenaltyOutcome,
@@ -43,29 +66,44 @@ from repro.engine.penalties import (
 )
 
 __all__ = [
+    "CommitmentModel",
+    "EventStream",
+    "JobFeed",
+    "KernelContext",
+    "RunStats",
+    "SimEvent",
+    "SimulationError",
+    "commit_decision",
+    "replay_events",
+    "run_model",
     "Decision",
     "OnlinePolicy",
     "JobSource",
     "SequenceSource",
+    "ImmediateCommitmentModel",
     "simulate",
     "simulate_source",
-    "SimulationError",
     "DecisionRecord",
     "TraceRecorder",
+    "PreemptiveCommitmentModel",
     "PreemptiveMachine",
+    "PreemptiveOutcome",
     "edf_feasible",
     "simulate_preemptive",
     "PreemptivePolicy",
     "audit_run",
     "CommitmentAuditError",
+    "DelayedCommitmentModel",
     "DelayedPolicy",
     "DelayedGreedyPolicy",
     "PendingJob",
     "simulate_delayed",
+    "PenaltiesCommitmentModel",
     "PenaltyPolicy",
     "RevocableGreedyPolicy",
     "PenaltyOutcome",
     "simulate_with_penalties",
+    "AdmissionCommitmentModel",
     "AdmissionPolicy",
     "AdmissionGreedyPolicy",
     "AdmissionEddPolicy",

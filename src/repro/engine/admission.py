@@ -20,6 +20,10 @@ Mechanics
 * between events machines run their started jobs to completion
   (non-preemptive).
 
+The event loop, validation and observability run on
+:mod:`repro.engine.kernel` via :class:`AdmissionCommitmentModel`; policy
+bugs raise :class:`~repro.engine.kernel.SimulationError`.
+
 The bundled :class:`AdmissionGreedyPolicy` starts the largest startable
 pending job whenever a machine is idle — on the bait-and-whale streams it
 simply waits out the baits and starts the whales, which is exactly why
@@ -32,6 +36,13 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Sequence
 
+from repro.engine.kernel import (
+    CommitmentModel,
+    JobFeed,
+    KernelContext,
+    exhaust,
+    run_model,
+)
 from repro.model.instance import Instance
 from repro.model.job import Job
 from repro.model.schedule import Assignment, Schedule
@@ -105,79 +116,121 @@ class AdmissionLazyPolicy(AdmissionPolicy):
         return max(pending, key=lambda j: (j.processing, -j.job_id))
 
 
-def simulate_admission(policy: AdmissionPolicy, instance: Instance) -> Schedule:
+class AdmissionCommitmentModel(CommitmentModel):
+    """Kernel strategy for the commitment-on-admission model.
+
+    One kernel step per event time (release, machine-free time or pending
+    expiry); starting jobs while machines are idle is a within-event
+    fixpoint handled by the kernel's :func:`~repro.engine.kernel.exhaust`.
+    """
+
+    model = "commitment-on-admission"
+
+    def __init__(self, policy: AdmissionPolicy, instance: Instance) -> None:
+        self.policy = policy
+        self.instance = instance
+        self.algorithm = policy.name
+        self.machine_free: list[float] = []
+        self.pending: dict[int, Job] = {}
+        self.feed = JobFeed(instance.jobs)
+        self.schedule: Schedule | None = None
+        self.now = 0.0
+
+    def begin(self, ctx: KernelContext) -> None:
+        self.policy.reset(self.instance.machines, self.instance.epsilon)
+        self.machine_free = [0.0] * self.instance.machines
+        self.schedule = Schedule(instance=self.instance, algorithm=self.policy.name)
+        self.schedule.meta["model"] = self.model
+
+    def _start_one(self, ctx: KernelContext) -> bool:
+        """Start at most one pending job on an idle machine; True if started."""
+        if not self.pending:
+            return False
+        now = self.now
+        idle = [i for i, f in enumerate(self.machine_free) if f <= now + TIME_EPS]
+        if not idle:
+            return False
+        startable = [j for j in self.pending.values() if fge(j.latest_start, now)]
+        if not startable:
+            return False
+        choice = self.policy.choose(now, startable)
+        if choice is None:
+            return False
+        if choice.job_id not in self.pending or not fge(choice.latest_start, now):
+            ctx.fail(
+                f"policy chose job {choice.job_id} that is not startable at {now}",
+                job_id=choice.job_id,
+                time=now,
+            )
+        machine = idle[0]
+        start = max(now, choice.release)
+        self.schedule.assignments[choice.job_id] = Assignment(choice.job_id, machine, start)
+        self.machine_free[machine] = start + choice.processing
+        del self.pending[choice.job_id]
+        ctx.decided(now, choice.job_id, True, machine, start)
+        return True
+
+    def step(self, ctx: KernelContext) -> bool:
+        if self.feed.exhausted and not self.pending:
+            return False
+        now = self.now
+
+        # 1) absorb all releases at or before `now`.
+        for job in self.feed.take_released(now):
+            self.pending[job.job_id] = job
+            ctx.submitted(job, now)
+
+        # 2) decisive expiry: a pending job whose latest start precedes the
+        #    earliest time any machine frees can never run.
+        earliest_free = min(self.machine_free)
+        for jid in [
+            j
+            for j, job in self.pending.items()
+            if job.latest_start < max(now, earliest_free) - TIME_EPS
+        ]:
+            self.schedule.rejected.add(jid)
+            del self.pending[jid]
+            ctx.emit("expire", now, job_id=jid)
+            ctx.decided(now, jid, False, reason="expired")
+
+        # 3) start jobs on idle machines at the current instant.
+        exhaust(lambda: self._start_one(ctx))
+
+        # 4) advance to the next strictly-future event.
+        candidates = []
+        head = self.feed.peek()
+        if head is not None:
+            candidates.append(head.release)
+        candidates.extend(f for f in self.machine_free if f > now + TIME_EPS)
+        candidates.extend(
+            j.latest_start for j in self.pending.values() if j.latest_start > now + TIME_EPS
+        )
+        future = [c for c in candidates if c > now + TIME_EPS]
+        if future:
+            self.now = min(future)
+        elif self.pending:
+            # Nothing will ever change: the remaining pending jobs are
+            # un-startable (policy declined or machines busy forever in
+            # the past-tense sense) — reject them and finish.
+            for jid in list(self.pending):
+                self.schedule.rejected.add(jid)
+                del self.pending[jid]
+                ctx.decided(now, jid, False, reason="unstartable")
+        return True
+
+    def build(self, ctx: KernelContext) -> Schedule:
+        return self.schedule
+
+
+def simulate_admission(
+    policy: AdmissionPolicy, instance: Instance, record_events: bool = False
+) -> Schedule:
     """Run *policy* in the commitment-on-admission model; audited schedule.
 
     Jobs that can no longer start in time on any machine are recorded as
     rejected.  ``schedule.meta['model']`` records the model name so
     reports can distinguish it from immediate-commitment runs.
     """
-    policy.reset(instance.machines, instance.epsilon)
-    schedule = Schedule(instance=instance, algorithm=policy.name)
-    schedule.meta["model"] = "commitment-on-admission"
-
-    machine_free = [0.0] * instance.machines
-    pending: dict[int, Job] = {}
-    job_iter = iter(instance.jobs)
-    next_job = next(job_iter, None)
-    now = 0.0
-
-    while next_job is not None or pending:
-        # 1) absorb all releases at or before `now`.
-        while next_job is not None and next_job.release <= now + TIME_EPS:
-            pending[next_job.job_id] = next_job
-            next_job = next(job_iter, None)
-
-        # 2) decisive expiry: a pending job whose latest start precedes the
-        #    earliest time any machine frees can never run.
-        earliest_free = min(machine_free)
-        for jid in [
-            j
-            for j, job in pending.items()
-            if job.latest_start < max(now, earliest_free) - TIME_EPS
-        ]:
-            schedule.rejected.add(jid)
-            del pending[jid]
-
-        # 3) start jobs on idle machines at the current instant.
-        while pending:
-            idle = [i for i, f in enumerate(machine_free) if f <= now + TIME_EPS]
-            if not idle:
-                break
-            startable = [j for j in pending.values() if fge(j.latest_start, now)]
-            if not startable:
-                break
-            choice = policy.choose(now, startable)
-            if choice is None:
-                break
-            if choice.job_id not in pending or not fge(choice.latest_start, now):
-                raise ValueError(
-                    f"policy chose job {choice.job_id} that is not startable at {now}"
-                )
-            machine = idle[0]
-            start = max(now, choice.release)
-            schedule.assignments[choice.job_id] = Assignment(choice.job_id, machine, start)
-            machine_free[machine] = start + choice.processing
-            del pending[choice.job_id]
-
-        # 4) advance to the next strictly-future event.
-        candidates = []
-        if next_job is not None:
-            candidates.append(next_job.release)
-        candidates.extend(f for f in machine_free if f > now + TIME_EPS)
-        candidates.extend(
-            j.latest_start for j in pending.values() if j.latest_start > now + TIME_EPS
-        )
-        future = [c for c in candidates if c > now + TIME_EPS]
-        if future:
-            now = min(future)
-        elif pending:
-            # Nothing will ever change: the remaining pending jobs are
-            # un-startable (policy declined or machines busy forever in
-            # the past-tense sense) — reject them and finish.
-            for jid in list(pending):
-                schedule.rejected.add(jid)
-                del pending[jid]
-
-    schedule.audit()
-    return schedule
+    return run_model(
+        AdmissionCommitmentModel(policy, instance), record_events=record_events
+    )

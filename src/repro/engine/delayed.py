@@ -21,6 +21,10 @@ Mechanics
 * Acceptance fixes machine and start time (``start >= decision time``) —
   commitment is still binding once made, it is only *later*.
 
+The event loop, validation and observability run on
+:mod:`repro.engine.kernel` via :class:`DelayedCommitmentModel`; every
+policy-bug path raises :class:`~repro.engine.kernel.SimulationError`.
+
 The bundled :class:`DelayedGreedyPolicy` defers every decision as long as
 allowed and then accepts iff feasible, preferring long jobs among pending
 conflicts — enough look-ahead to dodge the bait-and-whale trap that costs
@@ -33,6 +37,13 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.engine.kernel import (
+    CommitmentModel,
+    JobFeed,
+    KernelContext,
+    commit_decision,
+    run_model,
+)
 from repro.engine.policy import Decision
 from repro.model.instance import Instance
 from repro.model.job import Job
@@ -84,10 +95,88 @@ def decision_deadline(job: Job, delta: float) -> float:
     return min(job.release + delta * job.processing, job.latest_start)
 
 
+class DelayedCommitmentModel(CommitmentModel):
+    """Kernel strategy for the δ-delayed-commitment model.
+
+    One kernel step per event time (a release or the earliest pending
+    decision deadline); the pending set and the committed machine
+    timelines are the model state.
+    """
+
+    model = "delayed"
+
+    def __init__(self, policy: DelayedPolicy, instance: Instance, delta: float) -> None:
+        self.policy = policy
+        self.instance = instance
+        self.delta = delta
+        self.algorithm = policy.name
+        self.machines: list[MachineState] = []
+        self.pending: dict[int, PendingJob] = {}
+        self.feed = JobFeed(instance.jobs)
+        self.schedule: Schedule | None = None
+
+    def begin(self, ctx: KernelContext) -> None:
+        self.machines = [MachineState(i) for i in range(self.instance.machines)]
+        self.policy.reset(self.instance.machines, self.instance.epsilon, self.delta)
+        self.schedule = Schedule(instance=self.instance, algorithm=self.policy.name)
+        self.schedule.meta["delta"] = self.delta
+
+    def _apply(self, ctx: KernelContext, decisions: dict[int, Decision], t: float) -> None:
+        for jid, decision in decisions.items():
+            item = self.pending.pop(jid, None)
+            if item is None:
+                ctx.fail(f"policy decided unknown/decided job {jid}", job_id=jid, time=t)
+            if decision.accepted:
+                if decision.start is None or decision.start < t - TIME_EPS:
+                    ctx.fail(
+                        f"job {jid}: committed start {decision.start} precedes "
+                        f"decision time {t}",
+                        job_id=jid,
+                        time=t,
+                    )
+                commit_decision(self.machines, item.job, t, decision.machine, decision.start, ctx)
+                self.schedule.assignments[jid] = Assignment(jid, decision.machine, decision.start)
+            else:
+                self.schedule.rejected.add(jid)
+            ctx.decided(t, jid, decision.accepted, decision.machine, decision.start)
+
+    def step(self, ctx: KernelContext) -> bool:
+        if self.feed.exhausted and not self.pending:
+            return False
+        # Next event: the earlier of the next release and the earliest
+        # pending decision deadline.
+        candidates: list[float] = []
+        head = self.feed.peek()
+        if head is not None:
+            candidates.append(head.release)
+        if self.pending:
+            candidates.append(min(p.decision_deadline for p in self.pending.values()))
+        t = min(candidates)
+
+        # Admit all releases at time t into the pending set first.
+        for job in self.feed.take_released(t):
+            self.pending[job.job_id] = PendingJob(job, decision_deadline(job, self.delta))
+            ctx.submitted(job, t)
+
+        due = [p for p in self.pending.values() if p.decision_deadline <= t + TIME_EPS]
+        if not due:
+            return True
+        decisions = self.policy.decide(t, due, list(self.pending.values()), self.machines)
+        missing = {p.job.job_id for p in due} - set(decisions)
+        if missing:
+            ctx.fail(f"policy left due jobs undecided: {sorted(missing)}", time=t)
+        self._apply(ctx, decisions, t)
+        return True
+
+    def build(self, ctx: KernelContext) -> Schedule:
+        return self.schedule
+
+
 def simulate_delayed(
     policy: DelayedPolicy,
     instance: Instance,
     delta: float,
+    record_events: bool = False,
 ) -> Schedule:
     """Run *policy* on *instance* in the δ-delayed-commitment model.
 
@@ -99,61 +188,9 @@ def simulate_delayed(
         raise ValueError(
             f"delta must lie in [0, epsilon={instance.epsilon}], got {delta}"
         )
-    machines = [MachineState(i) for i in range(instance.machines)]
-    policy.reset(instance.machines, instance.epsilon, delta)
-    schedule = Schedule(instance=instance, algorithm=policy.name)
-    schedule.meta["delta"] = delta
-
-    pending: dict[int, PendingJob] = {}
-    job_iter = iter(instance.jobs)
-    next_job = next(job_iter, None)
-
-    def apply(decisions: dict[int, Decision], t: float) -> None:
-        for jid, decision in decisions.items():
-            item = pending.pop(jid, None)
-            if item is None:
-                raise ValueError(f"policy decided unknown/decided job {jid}")
-            if decision.accepted:
-                if decision.start is None or decision.start < t - TIME_EPS:
-                    raise ValueError(
-                        f"job {jid}: committed start {decision.start} precedes "
-                        f"decision time {t}"
-                    )
-                machines[decision.machine].commit(item.job, decision.start)
-                schedule.assignments[jid] = Assignment(jid, decision.machine, decision.start)
-            else:
-                schedule.rejected.add(jid)
-
-    while next_job is not None or pending:
-        # Next event: the earlier of the next release and the earliest
-        # pending decision deadline.
-        candidates: list[float] = []
-        if next_job is not None:
-            candidates.append(next_job.release)
-        if pending:
-            candidates.append(min(p.decision_deadline for p in pending.values()))
-        t = min(candidates)
-
-        # Admit all releases at time t into the pending set first.
-        while next_job is not None and next_job.release <= t + TIME_EPS:
-            pending[next_job.job_id] = PendingJob(
-                next_job, decision_deadline(next_job, delta)
-            )
-            next_job = next(job_iter, None)
-
-        due = [p for p in pending.values() if p.decision_deadline <= t + TIME_EPS]
-        if not due:
-            continue
-        decisions = policy.decide(
-            t, due, list(pending.values()), machines
-        )
-        missing = {p.job.job_id for p in due} - set(decisions)
-        if missing:
-            raise ValueError(f"policy left due jobs undecided: {sorted(missing)}")
-        apply(decisions, t)
-
-    schedule.audit()
-    return schedule
+    return run_model(
+        DelayedCommitmentModel(policy, instance, delta), record_events=record_events
+    )
 
 
 class DelayedGreedyPolicy(DelayedPolicy):

@@ -19,6 +19,10 @@ Mechanics
 * at the end of the run, every non-revoked planned job must have met its
   deadline (audited).
 
+The event loop, validation and observability run on
+:mod:`repro.engine.kernel` via :class:`PenaltiesCommitmentModel`; policy
+bugs raise :class:`~repro.engine.kernel.SimulationError`.
+
 The bundled :class:`RevocableGreedyPolicy` admits greedily and revokes a
 planned job whenever a newly arrived job is worth more than the displaced
 plan segment plus the penalty — the canonical profitable-swap rule.  At
@@ -31,8 +35,9 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Sequence
 
+from repro.engine.kernel import CommitmentModel, JobFeed, KernelContext, run_model
 from repro.model.instance import Instance
 from repro.model.job import Job
 from repro.utils.tolerances import TIME_EPS, fge
@@ -66,6 +71,7 @@ class PenaltyOutcome:
     completed: dict[int, PlannedJob] = field(default_factory=dict)
     revoked: set[int] = field(default_factory=set)
     rejected: set[int] = field(default_factory=set)
+    meta: dict[str, Any] = field(default_factory=dict)
 
     @property
     def completed_load(self) -> float:
@@ -129,54 +135,104 @@ class PenaltyPolicy(ABC):
         """
 
 
+class PenaltiesCommitmentModel(CommitmentModel):
+    """Kernel strategy for the commitment-with-penalties model.
+
+    One kernel step per submission; the revocable plan set is the model
+    state and every mutation (revocation, new plan) is validated here
+    before it lands.
+    """
+
+    model = "commitment-with-penalties"
+
+    def __init__(self, policy: PenaltyPolicy, instance: Instance, phi: float) -> None:
+        self.policy = policy
+        self.instance = instance
+        self.phi = phi
+        self.algorithm = policy.name
+        self.feed = JobFeed(instance.jobs)
+        self.plans: dict[int, PlannedJob] = {}
+        self.outcome: PenaltyOutcome | None = None
+
+    def begin(self, ctx: KernelContext) -> None:
+        self.policy.reset(self.instance.machines, self.instance.epsilon, self.phi)
+        self.outcome = PenaltyOutcome(
+            instance=self.instance, algorithm=self.policy.name, phi=self.phi
+        )
+
+    def _revoke(self, ctx: KernelContext, rid: int, t: float) -> None:
+        victim = self.plans.get(rid)
+        if victim is None:
+            ctx.fail(f"policy revoked unknown plan {rid}", job_id=rid, time=t)
+        if victim.started(t):
+            ctx.fail(
+                f"plan {rid} already started at {victim.start} <= {t}: "
+                "post-start revocation is forbidden",
+                job_id=rid,
+                time=t,
+            )
+        del self.plans[rid]
+        self.outcome.revoked.add(rid)
+        ctx.revoked(t, rid, machine=victim.machine, start=victim.start)
+
+    def _validate_plan(self, ctx: KernelContext, plan: PlannedJob, job: Job, t: float) -> None:
+        if plan.job.job_id != job.job_id:
+            ctx.fail("returned plan must be for the submitted job", job_id=job.job_id, time=t)
+        if not 0 <= plan.machine < self.instance.machines:
+            ctx.fail(f"machine {plan.machine} out of range", job_id=job.job_id, time=t)
+        if not fge(plan.start, t):
+            ctx.fail(
+                f"plan start {plan.start} precedes decision time {t}",
+                job_id=job.job_id,
+                time=t,
+            )
+        if not plan.job.feasible_start(plan.start):
+            ctx.fail(f"plan for job {job.job_id} infeasible", job_id=job.job_id, time=t)
+        for other in self.plans.values():
+            if other.machine == plan.machine and (
+                plan.start < other.end - TIME_EPS and other.start < plan.end - TIME_EPS
+            ):
+                ctx.fail(
+                    f"plan for job {job.job_id} overlaps surviving plan "
+                    f"{other.job.job_id}",
+                    job_id=job.job_id,
+                    time=t,
+                )
+
+    def step(self, ctx: KernelContext) -> bool:
+        job = self.feed.pop()
+        if job is None:
+            return False
+        t = job.release
+        ctx.submitted(job, t)
+        plan, revoked_ids = self.policy.on_submission(job, t, list(self.plans.values()))
+        for rid in revoked_ids:
+            self._revoke(ctx, rid, t)
+        if plan is None:
+            self.outcome.rejected.add(job.job_id)
+            ctx.decided(t, job.job_id, False)
+            return True
+        self._validate_plan(ctx, plan, job, t)
+        self.plans[job.job_id] = plan
+        ctx.decided(t, job.job_id, True, plan.machine, plan.start)
+        return True
+
+    def finish(self, ctx: KernelContext) -> None:
+        self.outcome.completed = dict(self.plans)
+
+    def build(self, ctx: KernelContext) -> PenaltyOutcome:
+        return self.outcome
+
+
 def simulate_with_penalties(
-    policy: PenaltyPolicy, instance: Instance, phi: float
+    policy: PenaltyPolicy, instance: Instance, phi: float, record_events: bool = False
 ) -> PenaltyOutcome:
     """Run *policy* on *instance* with penalty factor *phi* and audit."""
     if phi < 0:
         raise ValueError(f"penalty factor must be non-negative, got {phi}")
-    policy.reset(instance.machines, instance.epsilon, phi)
-    outcome = PenaltyOutcome(instance=instance, algorithm=policy.name, phi=phi)
-    plans: dict[int, PlannedJob] = {}
-
-    for job in instance:
-        t = job.release
-        plan, revoked_ids = policy.on_submission(job, t, list(plans.values()))
-        for rid in revoked_ids:
-            victim = plans.get(rid)
-            if victim is None:
-                raise ValueError(f"policy revoked unknown plan {rid}")
-            if victim.started(t):
-                raise ValueError(
-                    f"plan {rid} already started at {victim.start} <= {t}: "
-                    "post-start revocation is forbidden"
-                )
-            del plans[rid]
-            outcome.revoked.add(rid)
-        if plan is None:
-            outcome.rejected.add(job.job_id)
-            continue
-        if plan.job.job_id != job.job_id:
-            raise ValueError("returned plan must be for the submitted job")
-        if not 0 <= plan.machine < instance.machines:
-            raise ValueError(f"machine {plan.machine} out of range")
-        if not fge(plan.start, t):
-            raise ValueError(f"plan start {plan.start} precedes decision time {t}")
-        if not plan.job.feasible_start(plan.start):
-            raise ValueError(f"plan for job {job.job_id} infeasible")
-        for other in plans.values():
-            if other.machine == plan.machine and (
-                plan.start < other.end - TIME_EPS and other.start < plan.end - TIME_EPS
-            ):
-                raise ValueError(
-                    f"plan for job {job.job_id} overlaps surviving plan "
-                    f"{other.job.job_id}"
-                )
-        plans[job.job_id] = plan
-
-    outcome.completed = dict(plans)
-    outcome.audit()
-    return outcome
+    return run_model(
+        PenaltiesCommitmentModel(policy, instance, phi), record_events=record_events
+    )
 
 
 class RevocableGreedyPolicy(PenaltyPolicy):

@@ -12,18 +12,23 @@ baselines run on:
   EDF execution to processing remainders in deadline order.
 * :func:`edf_feasible` — the single-machine feasibility test
   (EDF is optimal for ``1 | r_j, pmtn | deadline`` feasibility).
-* :func:`simulate_preemptive` — the online loop for
+* :func:`simulate_preemptive` — the kernel-backed entry point for
   :class:`PreemptivePolicy` implementations (accept/reject plus machine
   choice; no start-time commitment — the machine may preempt at will, i.e.
   this is the *immediate notification* model).
+
+The event loop, validation and observability run on
+:mod:`repro.engine.kernel` via :class:`PreemptiveCommitmentModel`; policy
+bugs raise :class:`~repro.engine.kernel.SimulationError`.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Sequence
 
+from repro.engine.kernel import CommitmentModel, JobFeed, KernelContext, run_model
 from repro.model.instance import Instance
 from repro.model.job import Job
 from repro.utils.tolerances import TIME_EPS, fge, snap
@@ -148,6 +153,7 @@ class PreemptiveOutcome:
     algorithm: str
     accepted_ids: set[int] = field(default_factory=set)
     completions: dict[int, float] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
 
     @property
     def accepted_load(self) -> float:
@@ -167,27 +173,73 @@ class PreemptiveOutcome:
                 )
 
 
-def simulate_preemptive(policy: PreemptivePolicy, instance: Instance) -> PreemptiveOutcome:
-    """Run a :class:`PreemptivePolicy` over *instance* and audit the result."""
-    machines = [PreemptiveMachine(i) for i in range(instance.machines)]
-    policy.reset(instance.machines, instance.epsilon)
-    outcome = PreemptiveOutcome(instance=instance, algorithm=policy.name)
-    for job in instance:
+class PreemptiveCommitmentModel(CommitmentModel):
+    """Kernel strategy for the preemptive immediate-notification model.
+
+    One kernel step per submission: all machines advance their EDF
+    execution to the release time, the policy picks a machine (or
+    rejects), and acceptance is validated against the machine's EDF
+    feasibility oracle.
+    """
+
+    model = "preemptive"
+
+    def __init__(self, policy: PreemptivePolicy, instance: Instance) -> None:
+        self.policy = policy
+        self.instance = instance
+        self.algorithm = policy.name
+        self.feed = JobFeed(instance.jobs)
+        self.machines: list[PreemptiveMachine] = []
+        self.outcome: PreemptiveOutcome | None = None
+
+    def begin(self, ctx: KernelContext) -> None:
+        self.machines = [PreemptiveMachine(i) for i in range(self.instance.machines)]
+        self.policy.reset(self.instance.machines, self.instance.epsilon)
+        self.outcome = PreemptiveOutcome(instance=self.instance, algorithm=self.policy.name)
+
+    def step(self, ctx: KernelContext) -> bool:
+        job = self.feed.pop()
+        if job is None:
+            return False
         t = job.release
-        for machine in machines:
+        ctx.submitted(job, t)
+        for machine in self.machines:
             machine.advance(t)
-        choice = policy.on_submission(job, t, machines)
-        if choice is not None:
-            if not 0 <= choice < len(machines):
-                raise ValueError(f"policy chose machine {choice} out of range")
-            if not machines[choice].feasible_with(job):
-                raise ValueError(
-                    f"policy accepted job {job.job_id} onto infeasible machine {choice}"
-                )
-            machines[choice].accept(job)
-            outcome.accepted_ids.add(job.job_id)
-    for machine in machines:
-        machine.drain()
-        outcome.completions.update(machine.completions)
-    outcome.audit()
-    return outcome
+        choice = self.policy.on_submission(job, t, self.machines)
+        if choice is None:
+            ctx.decided(t, job.job_id, False)
+            return True
+        if not 0 <= choice < len(self.machines):
+            ctx.fail(
+                f"policy chose machine {choice} out of range", job_id=job.job_id, time=t
+            )
+        if not self.machines[choice].feasible_with(job):
+            ctx.fail(
+                f"policy accepted job {job.job_id} onto infeasible machine {choice}",
+                job_id=job.job_id,
+                time=t,
+            )
+        self.machines[choice].accept(job)
+        self.outcome.accepted_ids.add(job.job_id)
+        ctx.decided(t, job.job_id, True, machine=choice)
+        return True
+
+    def finish(self, ctx: KernelContext) -> None:
+        for machine in self.machines:
+            machine.drain()
+            self.outcome.completions.update(machine.completions)
+            if ctx.events is not None:
+                for jid, done in sorted(machine.completions.items()):
+                    ctx.emit("complete", done, job_id=jid, machine=machine.index)
+
+    def build(self, ctx: KernelContext) -> PreemptiveOutcome:
+        return self.outcome
+
+
+def simulate_preemptive(
+    policy: PreemptivePolicy, instance: Instance, record_events: bool = False
+) -> PreemptiveOutcome:
+    """Run a :class:`PreemptivePolicy` over *instance* on the shared kernel."""
+    return run_model(
+        PreemptiveCommitmentModel(policy, instance), record_events=record_events
+    )

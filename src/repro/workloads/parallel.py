@@ -5,7 +5,9 @@ instance from a deterministic per-cell seed, so results are independent
 of scheduling order.  :func:`run_sweep_parallel` fans cells out over a
 :class:`concurrent.futures.ProcessPoolExecutor` and returns rows in the
 same canonical order as :func:`repro.workloads.sweep.run_sweep` — the
-test-suite asserts bit-identical results between the two paths.
+test-suite asserts bit-identical results between the two paths.  Workers
+run cells through the same shared simulation kernel as the serial path,
+so validation and instrumentation are identical in both.
 
 Notes for HPC-style use (per the project guides):
 
@@ -47,7 +49,12 @@ def _run_cell(
     )
     rows = []
     for name in spec.algorithms:
-        result = run_algorithm(name, instance, **algorithm_kwargs.get(name, {}))
+        result = run_algorithm(
+            name,
+            instance,
+            record_events=spec.record_events,
+            **algorithm_kwargs.get(name, {}),
+        )
         rows.append(
             SweepRow(
                 epsilon=eps,

@@ -5,6 +5,12 @@ repetitions, a workload factory and a list of algorithm names — and
 :func:`run_sweep` executes it with per-cell deterministic seeds (derived
 via ``SeedSequence``-style folding so results are independent of execution
 order) and returns flat rows ready for the table/plot layer.
+
+Every run goes through :func:`repro.baselines.registry.run_algorithm` and
+therefore through the shared simulation kernel: sweep cells carry exactly
+the same validation and instrumentation as single runs (set
+``SweepSpec.record_events`` to capture per-decision event streams in each
+run's ``detail.meta``).
 """
 
 from __future__ import annotations
@@ -84,6 +90,8 @@ class SweepSpec:
     force_bounds: bool = False
     exact_limit: int | None = None
     label: str = "sweep"
+    #: Capture kernel event streams for every run (identical serial/parallel).
+    record_events: bool = False
 
     def cells(self) -> Iterable[tuple[float, int, int]]:
         """Iterate the grid: (epsilon, machines, repetition)."""
@@ -123,7 +131,12 @@ def run_sweep(
             ),
         )
         for name in spec.algorithms:
-            result = run_algorithm(name, instance, **algorithm_kwargs.get(name, {}))
+            result = run_algorithm(
+                name,
+                instance,
+                record_events=spec.record_events,
+                **algorithm_kwargs.get(name, {}),
+            )
             rows.append(
                 SweepRow(
                     epsilon=eps,

@@ -76,6 +76,33 @@ class TestCommands:
         assert "threshold" in out and "greedy" in out
 
 
+class TestSimulateCommand:
+    def test_kernel_stats_printed(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "greedy", "--n", "30", "--m", "2", "--seed", "7"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "model          : immediate" in out
+        assert "decisions" in out and "kdec/s" in out
+
+    def test_events_dump(self, capsys):
+        code = main(["simulate", "--algorithm", "delayed-greedy", "--n", "10", "--events"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "model          : delayed" in out
+        assert "decision" in out and "job 0" in out
+
+    def test_migration_has_no_kernel_stats(self, capsys):
+        code = main(["simulate", "--algorithm", "migration-greedy", "--n", "12"])
+        assert code == 0
+        assert "not kernel-backed" in capsys.readouterr().out
+
+    def test_unknown_algorithm(self, capsys):
+        assert main(["simulate", "--algorithm", "nope"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+
 class TestSweepCommand:
     def test_sweep_serial_with_csv(self, capsys, tmp_path):
         from repro.cli import main

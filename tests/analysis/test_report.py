@@ -17,6 +17,7 @@ class TestGenerateReport:
             "## Randomized single machine",
             "## Weighted impossibility",
             "## Dominant-phase growth rate",
+            "## Simulation kernel",
         ]:
             assert heading in text, heading
 
@@ -39,6 +40,7 @@ class TestGenerateReport:
             "impossibility",
             "growth",
             "planning",
+            "engine",
         }
 
     def test_planning_section(self):

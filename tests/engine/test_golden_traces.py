@@ -1,0 +1,105 @@
+"""Golden-trace regression tests for the kernel-backed engines.
+
+``tests/golden/golden_traces.json`` snapshots one representative schedule
+per commitment model, produced by the *seed* (pre-kernel) engines.  The
+kernel refactor must reproduce them bit-for-bit — accepted set, machine
+indices and start times — so these tests pin the semantics of all five
+``simulate_*`` entry points.  Regenerating the file is a deliberate,
+reviewed act, never a test-run side effect.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.baselines.dasgupta_palis import DasGuptaPalisPolicy
+from repro.baselines.greedy import GreedyPolicy
+from repro.core.threshold import ThresholdPolicy
+from repro.engine import (
+    AdmissionGreedyPolicy,
+    AdmissionLazyPolicy,
+    DelayedGreedyPolicy,
+    RevocableGreedyPolicy,
+    simulate,
+    simulate_admission,
+    simulate_delayed,
+    simulate_preemptive,
+    simulate_with_penalties,
+)
+from repro.workloads import random_instance
+
+GOLDEN_PATH = Path(__file__).parent.parent / "golden" / "golden_traces.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def instance(golden):
+    spec = golden["instance"]
+    return random_instance(spec["n"], spec["m"], spec["eps"], seed=spec["seed"])
+
+
+def _schedule_snapshot(schedule):
+    return {
+        "assignments": [
+            {"job": a.job_id, "machine": a.machine, "start": a.start}
+            for a in sorted(schedule.assignments.values(), key=lambda a: a.job_id)
+        ],
+        "rejected": sorted(schedule.rejected),
+        "accepted_load": schedule.accepted_load,
+    }
+
+
+SCHEDULE_CASES = {
+    "immediate[threshold]": lambda inst: simulate(ThresholdPolicy(), inst),
+    "immediate[greedy]": lambda inst: simulate(GreedyPolicy(), inst),
+    "delayed[delayed-greedy,delta=0.125]": lambda inst: simulate_delayed(
+        DelayedGreedyPolicy(), inst, 0.125
+    ),
+    "admission[admission-lazy]": lambda inst: simulate_admission(
+        AdmissionLazyPolicy(), inst
+    ),
+    "admission[admission-greedy]": lambda inst: simulate_admission(
+        AdmissionGreedyPolicy(), inst
+    ),
+}
+
+
+@pytest.mark.parametrize("case", sorted(SCHEDULE_CASES))
+def test_schedule_models_match_seed_exactly(case, golden, instance):
+    schedule = SCHEDULE_CASES[case](instance)
+    assert _schedule_snapshot(schedule) == golden["models"][case]
+
+
+def test_penalties_model_matches_seed_exactly(golden, instance):
+    out = simulate_with_penalties(RevocableGreedyPolicy(), instance, 0.5)
+    snapshot = {
+        "completed": [
+            {"job": jid, "machine": p.machine, "start": p.start}
+            for jid, p in sorted(out.completed.items())
+        ],
+        "revoked": sorted(out.revoked),
+        "rejected": sorted(out.rejected),
+        "net_value": out.net_value,
+    }
+    assert snapshot == golden["models"]["penalties[revocable-greedy,phi=0.5]"]
+
+
+def test_preemptive_model_matches_seed_exactly(golden, instance):
+    out = simulate_preemptive(DasGuptaPalisPolicy(), instance)
+    snapshot = {
+        "accepted_ids": sorted(out.accepted_ids),
+        "completions": {str(k): v for k, v in sorted(out.completions.items())},
+        "accepted_load": out.accepted_load,
+    }
+    assert snapshot == golden["models"]["preemptive[dasgupta-palis]"]
+
+
+def test_golden_file_covers_all_five_models(golden):
+    prefixes = {name.split("[")[0] for name in golden["models"]}
+    assert prefixes == {"immediate", "delayed", "admission", "penalties", "preemptive"}

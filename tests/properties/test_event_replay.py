@@ -1,0 +1,93 @@
+"""Property: kernel event streams replay to the exact same schedule.
+
+For every schedule-producing commitment model, running with
+``record_events=True`` must yield an event stream from which
+:func:`repro.engine.kernel.replay_events` reconstructs the schedule
+bit-for-bit (assignments, machines, start times, rejections).  This pins
+the event stream as a faithful, lossless account of the run — the
+contract the observability layer (CLI event dumps, future persistent
+tracing) depends on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.greedy import GreedyPolicy
+from repro.core.threshold import ThresholdPolicy
+from repro.engine import (
+    AdmissionGreedyPolicy,
+    AdmissionLazyPolicy,
+    DelayedGreedyPolicy,
+    replay_events,
+    simulate,
+    simulate_admission,
+    simulate_delayed,
+)
+from repro.model.instance import Instance
+from repro.model.job import Job
+
+
+@st.composite
+def instances(draw, max_jobs=16, max_machines=3):
+    """Random valid instances with controlled slack."""
+    eps = draw(st.floats(min_value=0.05, max_value=1.0))
+    m = draw(st.integers(min_value=1, max_value=max_machines))
+    n = draw(st.integers(min_value=0, max_value=max_jobs))
+    jobs = []
+    t = 0.0
+    for _ in range(n):
+        t += draw(st.floats(min_value=0.0, max_value=2.0))
+        p = draw(st.floats(min_value=0.05, max_value=4.0))
+        extra = draw(st.floats(min_value=0.0, max_value=3.0))
+        jobs.append(Job(t, p, t + (1.0 + eps + extra) * p))
+    return Instance(jobs, machines=m, epsilon=eps)
+
+
+def _assert_replays(schedule, instance):
+    replayed = replay_events(instance, schedule.meta["events"])
+    assert replayed.assignments == schedule.assignments
+    assert replayed.rejected == schedule.rejected
+    assert replayed.accepted_load == schedule.accepted_load
+
+
+@given(instances())
+@settings(max_examples=40, deadline=None)
+def test_immediate_events_replay(inst):
+    _assert_replays(simulate(GreedyPolicy(), inst, record_events=True), inst)
+
+
+@given(instances())
+@settings(max_examples=40, deadline=None)
+def test_threshold_events_replay(inst):
+    _assert_replays(simulate(ThresholdPolicy(), inst, record_events=True), inst)
+
+
+@given(instances(), st.floats(min_value=0.0, max_value=0.05))
+@settings(max_examples=40, deadline=None)
+def test_delayed_events_replay(inst, delta):
+    schedule = simulate_delayed(DelayedGreedyPolicy(), inst, delta, record_events=True)
+    _assert_replays(schedule, inst)
+
+
+@given(instances())
+@settings(max_examples=40, deadline=None)
+def test_admission_events_replay(inst):
+    schedule = simulate_admission(AdmissionGreedyPolicy(), inst, record_events=True)
+    _assert_replays(schedule, inst)
+
+
+@given(instances())
+@settings(max_examples=25, deadline=None)
+def test_admission_lazy_events_replay(inst):
+    schedule = simulate_admission(AdmissionLazyPolicy(), inst, record_events=True)
+    _assert_replays(schedule, inst)
+
+
+@given(instances())
+@settings(max_examples=25, deadline=None)
+def test_event_stream_is_time_ordered(inst):
+    schedule = simulate(GreedyPolicy(), inst, record_events=True)
+    times = [e.time for e in schedule.meta["events"]]
+    assert times == sorted(times)
