@@ -196,12 +196,19 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Distinct exit codes for the ``sweep`` command's degraded outcomes.
+EXIT_SWEEP_DEGRADED = 4  # finished, but some cells were quarantined
+EXIT_SWEEP_INTERRUPTED = 130  # SIGINT; completed rows were flushed
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
     from functools import partial
 
     from repro.analysis.tables import render_rows
     from repro.workloads.cloud import cloud_instance
     from repro.workloads.random_instances import random_instance
+    from repro.workloads.resilient import SweepInterrupted, run_sweep_resilient
     from repro.workloads.sweep import SweepSpec, aggregate_rows, rows_to_csv, run_sweep
 
     factory = random_instance if args.workload == "random" else cloud_instance
@@ -214,17 +221,71 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         base_seed=args.seed,
         label=f"cli-{args.workload}",
     )
-    if args.parallel > 0:
-        from repro.workloads.parallel import run_sweep_parallel
 
-        rows = run_sweep_parallel(spec, max_workers=args.parallel)
-    else:
-        rows = run_sweep(spec)
-    print(render_rows(aggregate_rows(rows), title=f"sweep[{args.workload}]"))
-    if args.csv:
-        with open(args.csv, "w") as fh:
-            fh.write(rows_to_csv(rows))
-        print(f"wrote {args.csv}")
+    def _flush(rows, label):
+        print(render_rows(aggregate_rows(rows), title=label))
+        if args.csv:
+            with open(args.csv, "w") as fh:
+                fh.write(rows_to_csv(rows))
+            print(f"wrote {args.csv}")
+
+    journal_path = args.resume or args.journal
+    resilient = (
+        args.parallel > 0
+        or journal_path is not None
+        or args.timeout is not None
+        or args.manifest is not None
+    )
+    if not resilient:
+        # Serial fast path; still exit gracefully on ^C (no partial rows to
+        # save — run with --journal to make interrupted work resumable).
+        try:
+            rows = run_sweep(spec)
+        except KeyboardInterrupt:
+            print("\ninterrupted: serial sweep discarded; re-run with --journal "
+                  "PATH to checkpoint completed cells", file=sys.stderr)
+            return EXIT_SWEEP_INTERRUPTED
+        _flush(rows, f"sweep[{args.workload}]")
+        return 0
+
+    try:
+        result = run_sweep_resilient(
+            spec,
+            max_workers=args.parallel or None,
+            timeout=args.timeout,
+            max_retries=args.retries,
+            backoff=args.backoff,
+            journal_path=journal_path,
+            resume=args.resume is not None,
+        )
+    except SweepInterrupted as interrupted:
+        partial_result = interrupted.result
+        print(f"\ninterrupted: {partial_result.manifest.summary()}", file=sys.stderr)
+        if partial_result.rows:
+            _flush(partial_result.rows, f"sweep[{args.workload}] (partial)")
+        if journal_path:
+            print(
+                f"resume with: repro sweep ... --resume {journal_path}",
+                file=sys.stderr,
+            )
+        return EXIT_SWEEP_INTERRUPTED
+
+    manifest = result.manifest
+    _flush(result.rows, f"sweep[{args.workload}]")
+    print(manifest.summary())
+    if args.manifest:
+        with open(args.manifest, "w") as fh:
+            json.dump(manifest.as_dict(), fh, indent=2)
+        print(f"wrote {args.manifest}")
+    if manifest.failures:
+        for failure in manifest.failures:
+            print(
+                f"quarantined cell (eps={failure.epsilon}, m={failure.machines}, "
+                f"rep={failure.repetition}) after {failure.attempts} attempt(s): "
+                f"[{failure.kind}] {failure.detail}",
+                file=sys.stderr,
+            )
+        return EXIT_SWEEP_DEGRADED
     return 0
 
 
@@ -308,6 +369,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2020)
     p.add_argument("--parallel", type=int, default=0, help="worker count (0 = serial)")
     p.add_argument("--csv", help="write the raw rows to this CSV file")
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-cell timeout in seconds (enables the fault-tolerant runner)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=2,
+        help="extra attempts per failed cell, each in a fresh worker (default 2)",
+    )
+    p.add_argument(
+        "--backoff", type=float, default=0.25,
+        help="base retry delay in seconds, doubled per attempt (default 0.25)",
+    )
+    p.add_argument(
+        "--journal",
+        help="checkpoint completed cells to this append-only JSONL journal",
+    )
+    p.add_argument(
+        "--resume", metavar="JOURNAL",
+        help="resume from a checkpoint journal: replay completed cells from "
+             "disk and execute only the remainder",
+    )
+    p.add_argument(
+        "--manifest",
+        help="write the structured failure manifest (JSON) to this path",
+    )
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("report", help="generate the condensed reproduction report")

@@ -1,0 +1,9 @@
+"""Test-support utilities shipped with the library.
+
+Currently: the chaos/fault-injection harness used to validate the
+resilient sweep runner (:mod:`repro.testing.chaos`).
+"""
+
+from repro.testing.chaos import ChaosError, ChaosPlan
+
+__all__ = ["ChaosError", "ChaosPlan"]

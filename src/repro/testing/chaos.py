@@ -1,0 +1,152 @@
+"""Chaos / fault-injection harness for the resilient sweep runner.
+
+A fault-tolerance layer is only trustworthy if its failure paths are
+exercised deliberately.  :class:`ChaosPlan` injects the four failure
+modes a real sweep fleet sees — worker **crashes** (hard process death),
+**hangs** (a worker that never returns), **transient exceptions** and
+**corrupted results** — into sweep cells, driven entirely by
+deterministic seeds so every chaotic run is replayable.
+
+The plan is a frozen, picklable dataclass: the resilient runner ships it
+to worker processes, and each worker consults ``fault_for(cell_seed,
+attempt)`` before (or, for corruption, after) evaluating its cell.  Fault
+assignment depends only on ``(plan.seed, cell_seed)``, never on wall
+clock or execution order, so a test can pre-compute exactly which cells
+will misbehave and assert that the runner quarantines *only* the truly
+poisoned ones.
+
+Faults come in two severities:
+
+* **transient** — injected on the first attempt only; a single retry
+  recovers the cell.  Models flaky infrastructure.
+* **persistent** — injected on *every* attempt; the runner must exhaust
+  its retry budget and quarantine the cell.  Models poison cells
+  (pathological inputs, broken dependencies).
+
+The split is drawn per cell with probability ``persistent_rate``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.utils.rng import interleave_seeds
+from repro.workloads.sweep import SweepRow
+
+#: Injectable fault kinds, in draw order.
+FAULT_KINDS: tuple[str, ...] = ("crash", "hang", "error", "corrupt")
+
+#: Exit code used by injected worker crashes (recognisable in tests/logs).
+CHAOS_EXIT_CODE = 113
+
+#: Salt folded into per-cell draws so chaos streams never collide with
+#: the workload-generation streams derived from the same cell seed.
+_CHAOS_SALT = 0xC4A05
+
+
+class ChaosError(RuntimeError):
+    """The injected transient exception ('error' fault kind)."""
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Deterministic fault-injection plan for one sweep run.
+
+    Rates are independent probabilities stacked in :data:`FAULT_KINDS`
+    order; their sum must be ``<= 1``.  ``seed`` namespaces the plan so
+    two plans with equal rates but different seeds poison different
+    cells.
+    """
+
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    error_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    #: Of the faulted cells, the fraction whose fault repeats on every
+    #: attempt (poison cells); the rest fault on attempt 1 only.
+    persistent_rate: float = 0.0
+    #: How long an injected hang sleeps; keep well above the runner's
+    #: per-cell timeout so the timeout path, not the sleep, ends it.
+    hang_seconds: float = 3600.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        total = self.crash_rate + self.hang_rate + self.error_rate + self.corrupt_rate
+        if not 0.0 <= total <= 1.0:
+            raise ValueError(f"fault rates must sum to within [0, 1], got {total}")
+        if not 0.0 <= self.persistent_rate <= 1.0:
+            raise ValueError(f"persistent_rate must be in [0, 1], got {self.persistent_rate}")
+
+    # -- deterministic fault assignment --------------------------------
+
+    def draw(self, cell_seed: int) -> tuple[str | None, bool]:
+        """Fault assignment for one cell: ``(kind | None, persistent)``."""
+        rng = random.Random(interleave_seeds([self.seed, cell_seed, _CHAOS_SALT]))
+        u = rng.random()
+        persistent = rng.random() < self.persistent_rate
+        edge = 0.0
+        for kind, rate in zip(
+            FAULT_KINDS,
+            (self.crash_rate, self.hang_rate, self.error_rate, self.corrupt_rate),
+        ):
+            edge += rate
+            if u < edge:
+                return kind, persistent
+        return None, False
+
+    def fault_for(self, cell_seed: int, attempt: int) -> str | None:
+        """The fault to inject on *attempt* (1-based) of this cell, if any."""
+        kind, persistent = self.draw(cell_seed)
+        if kind is None or (attempt > 1 and not persistent):
+            return None
+        return kind
+
+    def faulted_cells(
+        self, cell_seeds: Iterable[int]
+    ) -> dict[int, tuple[str, bool]]:
+        """Pre-compute ``{seed: (kind, persistent)}`` over a grid.
+
+        Lets tests assert the chaos premise ("at least 20% of cells are
+        faulted") and predict the exact quarantine set.
+        """
+        out: dict[int, tuple[str, bool]] = {}
+        for seed in cell_seeds:
+            kind, persistent = self.draw(seed)
+            if kind is not None:
+                out[seed] = (kind, persistent)
+        return out
+
+    # -- worker-side execution -----------------------------------------
+
+    def trigger(self, kind: str | None) -> None:
+        """Execute a pre-run fault inside the worker process.
+
+        ``crash`` dies without cleanup (as a segfault/OOM-kill would),
+        ``hang`` blocks until the runner's timeout reaps the process, and
+        ``error`` raises :class:`ChaosError`.  ``corrupt`` and ``None``
+        are no-ops here — corruption applies to the *result* via
+        :meth:`corrupt_rows`.
+        """
+        if kind == "crash":
+            os._exit(CHAOS_EXIT_CODE)
+        if kind == "hang":
+            time.sleep(self.hang_seconds)
+        if kind == "error":
+            raise ChaosError("injected transient fault")
+
+    def corrupt_rows(self, rows: list[SweepRow]) -> list[SweepRow]:
+        """Mangle a completed cell's rows (non-finite load, negative count).
+
+        The damage is chosen to be *detectable*: the resilient runner's
+        row validator must reject these and count the attempt as a
+        ``corrupt`` failure rather than journal garbage.
+        """
+        return [
+            dataclasses.replace(row, accepted_load=float("nan"), accepted_count=-1)
+            for row in rows
+        ]

@@ -22,6 +22,20 @@ from repro.workloads.structured import (
 from repro.workloads.sweep import SweepSpec, run_sweep, SweepRow
 from repro.workloads.arrivals import batch_arrival_instance, mmpp_instance
 from repro.workloads.parallel import run_sweep_parallel
+from repro.workloads.journal import (
+    JournalError,
+    JournalMismatchError,
+    SweepJournal,
+    load_journal,
+)
+from repro.workloads.resilient import (
+    CellFailure,
+    FailureManifest,
+    ResilientSweepResult,
+    SweepExecutionError,
+    SweepInterrupted,
+    run_sweep_resilient,
+)
 from repro.workloads.traces import (
     instance_from_csv,
     instance_to_csv,
@@ -45,7 +59,17 @@ __all__ = [
     "SweepSpec",
     "run_sweep",
     "run_sweep_parallel",
+    "run_sweep_resilient",
     "SweepRow",
+    "CellFailure",
+    "FailureManifest",
+    "ResilientSweepResult",
+    "SweepExecutionError",
+    "SweepInterrupted",
+    "SweepJournal",
+    "JournalError",
+    "JournalMismatchError",
+    "load_journal",
     "instance_from_csv",
     "instance_to_csv",
     "load_trace",

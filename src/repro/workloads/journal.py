@@ -1,0 +1,257 @@
+"""Append-only JSONL checkpoint journal for sweep execution.
+
+A multi-hour sweep grid must survive worker crashes, machine reboots and
+``SIGINT``.  The journal is the durability layer behind
+:func:`repro.workloads.resilient.run_sweep_resilient`: every completed
+cell is appended as one self-contained JSON line *before* the runner
+moves on, so an interrupted run can be resumed with ``repro sweep
+--resume <journal>`` and replay finished cells from disk instead of
+recomputing them.
+
+Design notes
+------------
+
+* **Keyed by the deterministic cell seed.**  ``SweepSpec.cell_seed`` is a
+  pure function of ``(base_seed, epsilon, machines, repetition)``, so the
+  seed uniquely identifies a cell across runs and across machines — the
+  journal never needs to trust iteration order.
+* **Append-only JSONL.**  One record per line, flushed and fsync'd per
+  cell.  A hard kill can at worst truncate the *final* line; the loader
+  tolerates (and reports) a single trailing partial record.
+* **Fingerprinted header.**  The first line captures a structural
+  fingerprint of the :class:`~repro.workloads.sweep.SweepSpec` (grid,
+  algorithms, seeds, workload description).  Resuming against a journal
+  written for a different spec raises :class:`JournalMismatchError`
+  instead of silently mixing incompatible rows.
+* **Bit-identical replay.**  Rows are stored field-by-field; Python's
+  ``json`` emits shortest round-trip float literals, so a replayed
+  :class:`~repro.workloads.sweep.SweepRow` compares equal to the row the
+  worker originally produced.
+"""
+
+from __future__ import annotations
+
+import functools
+import io
+import json
+import os
+from dataclasses import dataclass, fields
+from typing import IO, TYPE_CHECKING, Any
+
+from repro.workloads.sweep import SweepRow
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.workloads.sweep import SweepSpec
+
+#: Journal format version; bumped on incompatible record changes.
+JOURNAL_VERSION = 1
+
+#: Ordered SweepRow constructor fields (the serialization schema).
+ROW_FIELDS: tuple[str, ...] = tuple(f.name for f in fields(SweepRow))
+
+
+class JournalError(RuntimeError):
+    """A journal file is unreadable or structurally invalid."""
+
+
+class JournalMismatchError(JournalError):
+    """A journal's header fingerprint does not match the current spec."""
+
+
+def describe_workload(workload: Any) -> dict[str, Any]:
+    """Stable, address-free description of a workload factory.
+
+    ``repr(partial(...))`` embeds the wrapped function's memory address,
+    which would make every fingerprint unique; this flattens partials to
+    ``module.qualname`` plus bound-argument reprs instead.
+    """
+    if isinstance(workload, functools.partial):
+        return {
+            "partial": describe_workload(workload.func),
+            "args": [repr(a) for a in workload.args],
+            "kwargs": {k: repr(v) for k, v in sorted((workload.keywords or {}).items())},
+        }
+    name = getattr(workload, "__qualname__", None) or type(workload).__qualname__
+    module = getattr(workload, "__module__", None) or type(workload).__module__
+    return {"callable": f"{module}.{name}"}
+
+
+def spec_fingerprint(spec: "SweepSpec") -> dict[str, Any]:
+    """Structural identity of a sweep spec (what the journal binds to)."""
+    return {
+        "epsilons": [float(e) for e in spec.epsilons],
+        "machine_counts": [int(m) for m in spec.machine_counts],
+        "algorithms": list(spec.algorithms),
+        "repetitions": int(spec.repetitions),
+        "base_seed": int(spec.base_seed),
+        "force_bounds": bool(spec.force_bounds),
+        "exact_limit": spec.exact_limit,
+        "record_events": bool(spec.record_events),
+        "workload": describe_workload(spec.workload),
+    }
+
+
+def row_to_payload(row: SweepRow) -> list[Any]:
+    """Serialise one row as a compact field-ordered list (see ROW_FIELDS)."""
+    return [getattr(row, name) for name in ROW_FIELDS]
+
+
+def row_from_payload(payload: list[Any]) -> SweepRow:
+    """Inverse of :func:`row_to_payload`; bit-identical round trip."""
+    if len(payload) != len(ROW_FIELDS):
+        raise JournalError(
+            f"row payload has {len(payload)} fields, expected {len(ROW_FIELDS)}"
+        )
+    return SweepRow(**dict(zip(ROW_FIELDS, payload)))
+
+
+@dataclass
+class JournalState:
+    """Everything :func:`load_journal` recovers from disk."""
+
+    fingerprint: dict[str, Any]
+    #: cell seed -> replayed rows, in the order they were journaled.
+    completed: dict[int, list[SweepRow]]
+    #: quarantine records observed in the journal (observability only —
+    #: resumed runs re-execute these cells rather than trusting old verdicts).
+    failures: list[dict[str, Any]]
+    #: True when the final line was cut off mid-write (hard kill).
+    truncated_tail: bool = False
+
+
+def load_journal(path: str | os.PathLike[str]) -> JournalState:
+    """Read a journal back; tolerates one truncated trailing line."""
+    completed: dict[int, list[SweepRow]] = {}
+    failures: list[dict[str, Any]] = []
+    fingerprint: dict[str, Any] | None = None
+    truncated = False
+    with open(path, "r", encoding="utf-8") as fh:
+        raw_lines = fh.read().split("\n")
+    lines = [line for line in raw_lines if line.strip()]
+    for i, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if i == len(lines) - 1:
+                truncated = True  # hard kill mid-append; cell simply re-runs
+                break
+            raise JournalError(f"{path}: corrupt journal record on line {i + 1}") from exc
+        kind = record.get("kind")
+        if kind == "header":
+            if record.get("version") != JOURNAL_VERSION:
+                raise JournalError(
+                    f"{path}: journal version {record.get('version')!r} is not "
+                    f"supported (expected {JOURNAL_VERSION})"
+                )
+            fingerprint = record["fingerprint"]
+        elif kind == "cell":
+            completed[int(record["seed"])] = [
+                row_from_payload(p) for p in record["rows"]
+            ]
+        elif kind == "failure":
+            failures.append(record)
+        else:
+            raise JournalError(f"{path}: unknown journal record kind {kind!r}")
+    if fingerprint is None:
+        raise JournalError(f"{path}: journal has no header record")
+    return JournalState(
+        fingerprint=fingerprint,
+        completed=completed,
+        failures=failures,
+        truncated_tail=truncated,
+    )
+
+
+class SweepJournal:
+    """Writer handle for an append-only sweep checkpoint journal.
+
+    Use :meth:`create` for a fresh journal or :meth:`resume` to reopen an
+    existing one (validating its fingerprint and recovering completed
+    cells).  Records are flushed and fsync'd per append so that completed
+    work survives a hard kill.
+    """
+
+    def __init__(self, path: str, fh: IO[str]) -> None:
+        self.path = path
+        self._fh = fh
+
+    # -- lifecycle -----------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str | os.PathLike[str], spec: "SweepSpec") -> "SweepJournal":
+        """Start a fresh journal (truncating any existing file)."""
+        fh = open(path, "w", encoding="utf-8")
+        journal = cls(os.fspath(path), fh)
+        journal._append(
+            {
+                "kind": "header",
+                "version": JOURNAL_VERSION,
+                "label": spec.label,
+                "fingerprint": spec_fingerprint(spec),
+            }
+        )
+        return journal
+
+    @classmethod
+    def resume(
+        cls, path: str | os.PathLike[str], spec: "SweepSpec"
+    ) -> tuple["SweepJournal", JournalState]:
+        """Reopen *path* for append, returning the recovered state.
+
+        Raises :class:`JournalMismatchError` when the journal belongs to a
+        different spec — resuming would otherwise silently mix rows from
+        incompatible grids.
+        """
+        state = load_journal(path)
+        current = spec_fingerprint(spec)
+        if state.fingerprint != current:
+            diffs = [
+                key
+                for key in sorted(set(state.fingerprint) | set(current))
+                if state.fingerprint.get(key) != current.get(key)
+            ]
+            raise JournalMismatchError(
+                f"{os.fspath(path)}: journal was written for a different sweep "
+                f"spec (mismatched fields: {', '.join(diffs)})"
+            )
+        fh = open(path, "a", encoding="utf-8")
+        return cls(os.fspath(path), fh), state
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- records -------------------------------------------------------
+
+    def record_cell(
+        self, seed: int, eps: float, m: int, rep: int, rows: list[SweepRow]
+    ) -> None:
+        """Checkpoint one completed cell (durable once this returns)."""
+        self._append(
+            {
+                "kind": "cell",
+                "seed": int(seed),
+                "epsilon": float(eps),
+                "machines": int(m),
+                "repetition": int(rep),
+                "rows": [row_to_payload(r) for r in rows],
+            }
+        )
+
+    def record_failure(self, failure: dict[str, Any]) -> None:
+        """Log a quarantined cell (observability; re-run on resume)."""
+        self._append({"kind": "failure", **failure})
+
+    def _append(self, record: dict[str, Any]) -> None:
+        self._fh.write(json.dumps(record, allow_nan=False) + "\n")
+        self._fh.flush()
+        try:
+            os.fsync(self._fh.fileno())
+        except (OSError, ValueError, io.UnsupportedOperation):  # pragma: no cover
+            pass  # non-seekable/mock sinks: flush is the best we can do

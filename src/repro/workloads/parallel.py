@@ -1,19 +1,27 @@
-"""Parallel sweep execution.
+"""Parallel sweep execution (strict wrapper over the resilient runner).
 
 Sweeps are embarrassingly parallel: each grid cell generates its own
 instance from a deterministic per-cell seed, so results are independent
-of scheduling order.  :func:`run_sweep_parallel` fans cells out over a
-:class:`concurrent.futures.ProcessPoolExecutor` and returns rows in the
-same canonical order as :func:`repro.workloads.sweep.run_sweep` — the
-test-suite asserts bit-identical results between the two paths.  Workers
-run cells through the same shared simulation kernel as the serial path,
-so validation and instrumentation are identical in both.
+of scheduling order.  :func:`run_sweep_parallel` fans cells out over
+fresh worker processes and returns rows in the same canonical order as
+:func:`repro.workloads.sweep.run_sweep` — the test-suite asserts
+bit-identical results between the two paths.  Workers run cells through
+the same shared simulation kernel as the serial path, so validation and
+instrumentation are identical in both.
+
+Since the fault-tolerance layer landed, this module is a thin *strict*
+facade over :func:`repro.workloads.resilient.run_sweep_resilient`: no
+retries, no timeout, and any worker failure raises
+:class:`~repro.workloads.resilient.SweepExecutionError` instead of
+degrading gracefully.  Long or unattended grids should call the
+resilient runner directly (or ``repro sweep --journal``) to get
+per-cell timeouts, retries, checkpointing and resume.
 
 Notes for HPC-style use (per the project guides):
 
-* the workload factory must be picklable (module-level functions or
-  :func:`functools.partial`, not lambdas) — a clear error is raised
-  otherwise;
+* the workload factory and every ``algorithm_kwargs`` value must be
+  picklable (module-level functions or :func:`functools.partial`, not
+  lambdas) — a clear error is raised up front otherwise;
 * per-cell seeds come from the spec, not from worker state, so adding
   workers can never change the data;
 * chunking is one cell per task — cells are coarse (an offline bracket
@@ -22,55 +30,13 @@ Notes for HPC-style use (per the project guides):
 
 from __future__ import annotations
 
-import pickle
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any
 
-from repro.baselines.registry import run_algorithm
-from repro.core.guarantees import guarantee_for
-from repro.offline.bracket import opt_bracket
+from repro.workloads.resilient import (
+    SweepExecutionError,
+    run_sweep_resilient,
+)
 from repro.workloads.sweep import SweepRow, SweepSpec
-
-
-def _run_cell(
-    spec: SweepSpec,
-    eps: float,
-    m: int,
-    rep: int,
-    algorithm_kwargs: dict[str, dict[str, Any]],
-) -> list[SweepRow]:
-    """Worker: evaluate one grid cell for every algorithm."""
-    seed = spec.cell_seed(eps, m, rep)
-    instance = spec.workload(m, eps, seed)
-    bracket = opt_bracket(
-        instance,
-        force_bounds=spec.force_bounds,
-        **({"exact_limit": spec.exact_limit} if spec.exact_limit is not None else {}),
-    )
-    rows = []
-    for name in spec.algorithms:
-        result = run_algorithm(
-            name,
-            instance,
-            record_events=spec.record_events,
-            **algorithm_kwargs.get(name, {}),
-        )
-        rows.append(
-            SweepRow(
-                epsilon=eps,
-                machines=m,
-                repetition=rep,
-                algorithm=name,
-                accepted_load=result.accepted_load,
-                accepted_count=result.accepted_count,
-                n_jobs=len(instance),
-                opt_lower=bracket.lower,
-                opt_upper=bracket.upper,
-                opt_exact=bracket.exact,
-                guarantee=guarantee_for(name, eps, m),
-            )
-        )
-    return rows
 
 
 def run_sweep_parallel(
@@ -78,29 +44,27 @@ def run_sweep_parallel(
     algorithm_kwargs: dict[str, dict[str, Any]] | None = None,
     max_workers: int | None = None,
 ) -> list[SweepRow]:
-    """Execute *spec* across a process pool.
+    """Execute *spec* across worker processes, all-or-nothing.
 
     Returns rows in canonical grid order (identical to the serial
-    :func:`repro.workloads.sweep.run_sweep`).
+    :func:`repro.workloads.sweep.run_sweep`).  Raises
+    :class:`SweepExecutionError` if any cell fails — callers that want
+    partial results and retries should use
+    :func:`repro.workloads.resilient.run_sweep_resilient`.
     """
-    algorithm_kwargs = algorithm_kwargs or {}
-    try:
-        pickle.dumps(spec.workload)
-    except Exception as exc:  # pragma: no cover - message content only
-        raise TypeError(
-            "the sweep workload factory must be picklable for parallel "
-            "execution (use a module-level function or functools.partial, "
-            f"not a lambda): {exc}"
-        ) from exc
-
-    cells = list(spec.cells())
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = [
-            pool.submit(_run_cell, spec, eps, m, rep, algorithm_kwargs)
-            for eps, m, rep in cells
-        ]
-        results = [f.result() for f in futures]
-    rows: list[SweepRow] = []
-    for cell_rows in results:
-        rows.extend(cell_rows)
-    return rows
+    result = run_sweep_resilient(
+        spec,
+        algorithm_kwargs,
+        max_workers=max_workers,
+        timeout=None,
+        max_retries=0,
+    )
+    if result.manifest.failures:
+        first = result.manifest.failures[0]
+        raise SweepExecutionError(
+            f"{result.manifest.quarantined} sweep cell(s) failed; first: "
+            f"cell (eps={first.epsilon}, m={first.machines}, rep={first.repetition}) "
+            f"[{first.kind}] {first.detail}",
+            result.manifest,
+        )
+    return result.rows

@@ -1,0 +1,575 @@
+"""Fault-tolerant sweep execution.
+
+:func:`run_sweep_resilient` is the production path for long benchmark
+grids.  Where :func:`repro.workloads.parallel.run_sweep_parallel` was
+all-or-nothing — one crashed or hung worker raised out of the pool and
+discarded every completed cell — this runner treats cell failure as a
+normal event:
+
+* each cell runs in a **fresh worker process** with an optional per-cell
+  **timeout** (hung workers are terminated, not waited on);
+* failed cells are **retried** with exponential backoff, up to
+  ``max_retries`` times, each retry in a brand-new process;
+* cells that exhaust their budget are **quarantined** and reported in a
+  structured :class:`FailureManifest` — the sweep still returns every
+  completed row (graceful degradation) instead of throwing them away;
+* results are **validated** before acceptance, so a worker returning
+  corrupted rows counts as a failure rather than polluting the dataset;
+* completed cells are checkpointed to an append-only JSONL **journal**
+  (:mod:`repro.workloads.journal`); ``resume=True`` replays them from
+  disk and re-executes only the remainder, bit-identical to an
+  uninterrupted run;
+* ``SIGINT`` raises :class:`SweepInterrupted` carrying the partial
+  result, after flushing the journal — nothing finished is ever lost.
+
+Determinism is unchanged from the serial path: cells draw their
+instances from :meth:`SweepSpec.cell_seed`, so retries, worker death and
+resumption cannot alter the data.  The chaos harness
+(:mod:`repro.testing.chaos`) injects crashes, hangs, transient errors
+and corrupted rows to prove it.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import os
+import pickle
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.baselines.registry import run_algorithm
+from repro.core.guarantees import guarantee_for
+from repro.offline.bracket import opt_bracket
+from repro.workloads.journal import SweepJournal, spec_fingerprint
+from repro.workloads.sweep import SweepRow, SweepSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.testing.chaos import ChaosPlan
+
+#: How long the scheduler sleeps between reap polls (seconds).
+_POLL_INTERVAL = 0.005
+
+#: Grace period between SIGTERM and SIGKILL when reaping a worker.
+_KILL_GRACE = 0.5
+
+
+class SweepExecutionError(RuntimeError):
+    """Raised by strict callers when a resilient sweep quarantined cells."""
+
+    def __init__(self, message: str, manifest: "FailureManifest") -> None:
+        super().__init__(message)
+        self.manifest = manifest
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """SIGINT during a resilient sweep; carries the flushed partial result."""
+
+    def __init__(self, result: "ResilientSweepResult") -> None:
+        super().__init__("sweep interrupted")
+        self.result = result
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One quarantined cell: where it died and how, attempt by attempt."""
+
+    epsilon: float
+    machines: int
+    repetition: int
+    seed: int
+    attempts: int
+    kind: str  # final failure kind: crash | timeout | error | corrupt
+    detail: str
+    #: per-attempt "kind: detail" records, oldest first.
+    history: tuple[str, ...] = ()
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "epsilon": self.epsilon,
+            "machines": self.machines,
+            "repetition": self.repetition,
+            "seed": self.seed,
+            "attempts": self.attempts,
+            "kind": self.kind,
+            "detail": self.detail,
+            "history": list(self.history),
+        }
+
+
+@dataclass
+class FailureManifest:
+    """Structured account of everything that went wrong in a sweep."""
+
+    failures: list[CellFailure] = field(default_factory=list)
+    #: cells that succeeded only after >= 1 retry (transient faults).
+    recovered: int = 0
+    #: total extra attempts spent across all cells.
+    retries: int = 0
+    cells_total: int = 0
+    cells_completed: int = 0
+    #: cells replayed from a checkpoint journal instead of re-executed.
+    cells_replayed: int = 0
+
+    @property
+    def quarantined(self) -> int:
+        return len(self.failures)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "cells_total": self.cells_total,
+            "cells_completed": self.cells_completed,
+            "cells_replayed": self.cells_replayed,
+            "recovered": self.recovered,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
+            "failures": [f.as_dict() for f in self.failures],
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.cells_completed}/{self.cells_total} cells completed "
+            f"({self.cells_replayed} replayed from journal, "
+            f"{self.recovered} recovered via retry, "
+            f"{self.quarantined} quarantined)"
+        )
+
+
+@dataclass
+class ResilientSweepResult:
+    """Rows in canonical grid order plus the failure manifest."""
+
+    rows: list[SweepRow]
+    manifest: FailureManifest
+    journal_path: str | None = None
+
+    @property
+    def complete(self) -> bool:
+        return not self.manifest.failures
+
+
+# ---------------------------------------------------------------------------
+# cell evaluation (shared with the thin pool-compatible wrapper)
+# ---------------------------------------------------------------------------
+
+
+def run_cell(
+    spec: SweepSpec,
+    eps: float,
+    m: int,
+    rep: int,
+    algorithm_kwargs: dict[str, dict[str, Any]],
+) -> list[SweepRow]:
+    """Evaluate one grid cell for every algorithm (worker-side)."""
+    seed = spec.cell_seed(eps, m, rep)
+    instance = spec.workload(m, eps, seed)
+    bracket = opt_bracket(
+        instance,
+        force_bounds=spec.force_bounds,
+        **({"exact_limit": spec.exact_limit} if spec.exact_limit is not None else {}),
+    )
+    rows = []
+    for name in spec.algorithms:
+        result = run_algorithm(
+            name,
+            instance,
+            record_events=spec.record_events,
+            **algorithm_kwargs.get(name, {}),
+        )
+        rows.append(
+            SweepRow(
+                epsilon=eps,
+                machines=m,
+                repetition=rep,
+                algorithm=name,
+                accepted_load=result.accepted_load,
+                accepted_count=result.accepted_count,
+                n_jobs=len(instance),
+                opt_lower=bracket.lower,
+                opt_upper=bracket.upper,
+                opt_exact=bracket.exact,
+                guarantee=guarantee_for(name, eps, m),
+            )
+        )
+    return rows
+
+
+def validate_sweep_pickles(
+    spec: SweepSpec, algorithm_kwargs: dict[str, dict[str, Any]]
+) -> None:
+    """Fail fast on unpicklable inputs instead of deep inside a worker.
+
+    Checks the workload factory *and* every ``algorithm_kwargs`` value —
+    an unpicklable kwarg used to surface as an opaque pool error.
+    """
+    try:
+        pickle.dumps(spec.workload)
+    except Exception as exc:
+        raise TypeError(
+            "the sweep workload factory must be picklable for parallel "
+            "execution (use a module-level function or functools.partial, "
+            f"not a lambda): {exc}"
+        ) from exc
+    for name, kwargs in algorithm_kwargs.items():
+        try:
+            pickle.dumps(kwargs)
+        except Exception as exc:
+            raise TypeError(
+                f"algorithm_kwargs[{name!r}] must be picklable for parallel "
+                f"execution (module-level callables and plain data only): {exc}"
+            ) from exc
+
+
+def validate_cell_rows(
+    spec: SweepSpec, eps: float, m: int, rep: int, rows: object
+) -> str | None:
+    """Structural validation of a worker's result; ``None`` means clean.
+
+    Guards the journal (and the returned dataset) against corrupted
+    results from a sick worker: wrong shape, misaligned identity fields,
+    non-finite or negative measurements, or an inverted OPT bracket.
+    """
+    if not isinstance(rows, list):
+        return f"result is {type(rows).__name__}, not a list of rows"
+    if len(rows) != len(spec.algorithms):
+        return f"expected {len(spec.algorithms)} rows, got {len(rows)}"
+    for row, name in zip(rows, spec.algorithms):
+        if not isinstance(row, SweepRow):
+            return f"row is {type(row).__name__}, not SweepRow"
+        if (row.epsilon, row.machines, row.repetition) != (eps, m, rep):
+            return (
+                f"row identity {(row.epsilon, row.machines, row.repetition)} "
+                f"does not match cell {(eps, m, rep)}"
+            )
+        if row.algorithm != name:
+            return f"row algorithm {row.algorithm!r} misaligned (expected {name!r})"
+        if not (math.isfinite(row.accepted_load) and row.accepted_load >= 0.0):
+            return f"accepted_load {row.accepted_load!r} is not finite and >= 0"
+        if not isinstance(row.accepted_count, int) or not (
+            0 <= row.accepted_count <= row.n_jobs
+        ):
+            return f"accepted_count {row.accepted_count!r} out of range [0, {row.n_jobs}]"
+        if not (math.isfinite(row.opt_lower) and math.isfinite(row.opt_upper)):
+            return "OPT bracket is not finite"
+        if row.opt_lower > row.opt_upper + 1e-9:
+            return f"OPT bracket inverted: [{row.opt_lower}, {row.opt_upper}]"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# worker process
+# ---------------------------------------------------------------------------
+
+
+def _cell_worker(
+    conn,
+    spec: SweepSpec,
+    eps: float,
+    m: int,
+    rep: int,
+    algorithm_kwargs: dict[str, dict[str, Any]],
+    chaos: "ChaosPlan | None",
+    attempt: int,
+) -> None:
+    """Run one cell in a dedicated process; report over a pipe.
+
+    Sends ``("ok", rows)`` or ``("error", detail)``.  A crash (or an
+    injected one) sends nothing — the parent detects the dead process.
+    """
+    try:
+        fault = None
+        if chaos is not None:
+            fault = chaos.fault_for(spec.cell_seed(eps, m, rep), attempt)
+            chaos.trigger(fault)  # may _exit, hang, or raise
+        rows = run_cell(spec, eps, m, rep, algorithm_kwargs)
+        if fault == "corrupt":
+            rows = chaos.corrupt_rows(rows)
+        conn.send(("ok", rows))
+    except BaseException as exc:  # noqa: BLE001 - must cross the process boundary
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Attempt:
+    """One scheduled execution of a cell."""
+
+    eps: float
+    m: int
+    rep: int
+    seed: int
+    attempt: int  # 1-based
+    ready_at: float  # monotonic time before which this must not launch
+    history: tuple[str, ...] = ()
+
+
+@dataclass
+class _Active:
+    task: _Attempt
+    process: mp.process.BaseProcess
+    conn: Any
+    deadline: float | None
+
+
+def _reap(active: _Active) -> tuple[str, Any] | None:
+    """Non-blocking check of a worker; returns an outcome or ``None``.
+
+    Outcomes: ``("ok", rows)``, ``("error", detail)``, ``("crash",
+    detail)``, ``("timeout", detail)``.
+    """
+    if active.conn.poll():
+        try:
+            status, payload = active.conn.recv()
+        except (EOFError, OSError):
+            status, payload = "crash", "worker closed the pipe without a result"
+        active.process.join()
+        return (status, payload)
+    if not active.process.is_alive():
+        # Exited without sending: died before (or while) reporting.
+        code = active.process.exitcode
+        return ("crash", f"worker process died with exit code {code}")
+    if active.deadline is not None and time.monotonic() >= active.deadline:
+        _terminate(active.process)
+        return ("timeout", "cell exceeded its timeout; worker terminated")
+    return None
+
+
+def _terminate(process: mp.process.BaseProcess) -> None:
+    """SIGTERM, then SIGKILL after a grace period; always joins."""
+    process.terminate()
+    process.join(_KILL_GRACE)
+    if process.is_alive():  # pragma: no cover - needs a TERM-ignoring worker
+        process.kill()
+        process.join()
+
+
+# ---------------------------------------------------------------------------
+# the scheduler
+# ---------------------------------------------------------------------------
+
+
+def run_sweep_resilient(
+    spec: SweepSpec,
+    algorithm_kwargs: dict[str, dict[str, Any]] | None = None,
+    *,
+    max_workers: int | None = None,
+    timeout: float | None = None,
+    max_retries: int = 2,
+    backoff: float = 0.25,
+    journal_path: str | os.PathLike[str] | None = None,
+    resume: bool = False,
+    chaos: "ChaosPlan | None" = None,
+    interrupt_after: int | None = None,
+) -> ResilientSweepResult:
+    """Execute *spec* fault-tolerantly across fresh worker processes.
+
+    Parameters beyond the classic runner:
+
+    ``timeout``
+        per-cell wall-clock budget in seconds; a cell that exceeds it is
+        terminated and counted as a ``timeout`` failure (then retried).
+    ``max_retries``
+        extra attempts per cell after the first, each in a fresh process,
+        delayed by ``backoff * 2**(attempt-1)`` seconds.
+    ``journal_path`` / ``resume``
+        checkpoint completed cells to an append-only JSONL journal; with
+        ``resume=True`` the journal is validated against the spec and its
+        completed cells are replayed from disk, bit-identically.
+    ``chaos``
+        a :class:`repro.testing.chaos.ChaosPlan` shipped to every worker
+        (fault-injection for tests; ``None`` in production).
+    ``interrupt_after``
+        testing hook: raise :class:`SweepInterrupted` — through the same
+        flush path as a real ``SIGINT`` — once this many *new* cells have
+        been journaled.
+
+    Returns a :class:`ResilientSweepResult`; never raises for individual
+    cell failures (see ``result.manifest``).
+    """
+    algorithm_kwargs = algorithm_kwargs or {}
+    validate_sweep_pickles(spec, algorithm_kwargs)
+
+    cells = list(spec.cells())
+    seeds = [spec.cell_seed(*cell) for cell in cells]
+    if len(set(seeds)) != len(seeds):
+        # The journal and the completed-cell map key by seed; a collision
+        # would silently conflate two cells' results.
+        raise ValueError(
+            "sweep grid produces colliding cell seeds; refusing to run — "
+            "check SweepSpec.cell_seed inputs"
+        )
+    manifest = FailureManifest(cells_total=len(cells))
+    completed: dict[int, list[SweepRow]] = {}
+
+    journal: SweepJournal | None = None
+    if journal_path is not None:
+        if resume:
+            journal, state = SweepJournal.resume(journal_path, spec)
+            valid_seeds = {spec.cell_seed(*cell) for cell in cells}
+            completed = {
+                seed: rows
+                for seed, rows in state.completed.items()
+                if seed in valid_seeds
+            }
+            manifest.cells_replayed = len(completed)
+        else:
+            journal = SweepJournal.create(journal_path, spec)
+    elif resume:
+        raise ValueError("resume=True requires a journal_path")
+
+    pending: deque[_Attempt] = deque(
+        _Attempt(eps, m, rep, seed, attempt=1, ready_at=0.0)
+        for eps, m, rep in cells
+        if (seed := spec.cell_seed(eps, m, rep)) not in completed
+    )
+    workers = max_workers or min(len(pending) or 1, os.cpu_count() or 2)
+    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+    active: list[_Active] = []
+    new_cells = 0
+
+    def partial_result() -> ResilientSweepResult:
+        return _assemble(spec, cells, completed, manifest, journal)
+
+    try:
+        while pending or active:
+            now = time.monotonic()
+            # Launch ready attempts into free slots.
+            while len(active) < workers and pending:
+                launchable = next((t for t in pending if t.ready_at <= now), None)
+                if launchable is None:
+                    break
+                pending.remove(launchable)
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_cell_worker,
+                    args=(
+                        child_conn,
+                        spec,
+                        launchable.eps,
+                        launchable.m,
+                        launchable.rep,
+                        algorithm_kwargs,
+                        chaos,
+                        launchable.attempt,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                deadline = None if timeout is None else now + timeout
+                active.append(_Active(launchable, proc, parent_conn, deadline))
+
+            # Reap finished / dead / overdue workers.
+            still_active: list[_Active] = []
+            for entry in active:
+                outcome = _reap(entry)
+                if outcome is None:
+                    still_active.append(entry)
+                    continue
+                entry.conn.close()
+                status, payload = outcome
+                task = entry.task
+                if status == "ok":
+                    problem = validate_cell_rows(spec, task.eps, task.m, task.rep, payload)
+                    if problem is None:
+                        completed[task.seed] = payload
+                        manifest.cells_completed += 1
+                        if task.attempt > 1:
+                            manifest.recovered += 1
+                        if journal is not None:
+                            journal.record_cell(
+                                task.seed, task.eps, task.m, task.rep, payload
+                            )
+                        new_cells += 1
+                        if (
+                            interrupt_after is not None
+                            and new_cells >= interrupt_after
+                            and len(completed) < len(cells)
+                        ):
+                            # Simulated hard kill: in-flight workers are
+                            # abandoned exactly as a real SIGINT would.
+                            raise KeyboardInterrupt
+                        continue
+                    status, payload = "corrupt", problem
+                # A failure (error / crash / timeout / corrupt): retry or quarantine.
+                history = task.history + (f"{status}: {payload}",)
+                if task.attempt <= max_retries:
+                    manifest.retries += 1
+                    pending.append(
+                        _Attempt(
+                            task.eps,
+                            task.m,
+                            task.rep,
+                            task.seed,
+                            attempt=task.attempt + 1,
+                            ready_at=time.monotonic()
+                            + backoff * (2 ** (task.attempt - 1)),
+                            history=history,
+                        )
+                    )
+                else:
+                    failure = CellFailure(
+                        epsilon=task.eps,
+                        machines=task.m,
+                        repetition=task.rep,
+                        seed=task.seed,
+                        attempts=task.attempt,
+                        kind=status,
+                        detail=str(payload),
+                        history=history,
+                    )
+                    manifest.failures.append(failure)
+                    if journal is not None:
+                        journal.record_failure(failure.as_dict())
+            active = still_active
+            if pending or active:
+                time.sleep(_POLL_INTERVAL)
+    except KeyboardInterrupt:
+        for entry in active:
+            _terminate(entry.process)
+            entry.conn.close()
+        raise SweepInterrupted(partial_result()) from None
+    finally:
+        if journal is not None:
+            journal.close()
+
+    manifest.cells_completed = len(completed) - manifest.cells_replayed
+    return _assemble(spec, cells, completed, manifest, journal)
+
+
+def _assemble(
+    spec: SweepSpec,
+    cells: list[tuple[float, int, int]],
+    completed: dict[int, list[SweepRow]],
+    manifest: FailureManifest,
+    journal: SweepJournal | None,
+) -> ResilientSweepResult:
+    """Rows in canonical grid order; quarantined cells are simply absent."""
+    rows: list[SweepRow] = []
+    for eps, m, rep in cells:
+        rows.extend(completed.get(spec.cell_seed(eps, m, rep), []))
+    return ResilientSweepResult(
+        rows=rows,
+        manifest=manifest,
+        journal_path=None if journal is None else journal.path,
+    )
+
+
+__all__ = [
+    "CellFailure",
+    "FailureManifest",
+    "ResilientSweepResult",
+    "SweepExecutionError",
+    "SweepInterrupted",
+    "run_cell",
+    "run_sweep_resilient",
+    "spec_fingerprint",
+    "validate_cell_rows",
+    "validate_sweep_pickles",
+]

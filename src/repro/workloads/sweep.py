@@ -101,9 +101,16 @@ class SweepSpec:
                     yield eps, m, rep
 
     def cell_seed(self, eps: float, m: int, rep: int) -> int:
-        """Deterministic per-cell seed, independent of iteration order."""
+        """Deterministic per-cell seed, independent of iteration order.
+
+        The epsilon hash is folded at full 64-bit width: float hashes of
+        dyadic rationals (0.5, 0.25, …) are high powers of two, so a
+        32-bit mask used to collapse them all to 0 and distinct epsilons
+        could collide on one seed — fatal for the checkpoint journal,
+        which keys completed cells by this value.
+        """
         return interleave_seeds(
-            [self.base_seed, hash(round(eps, 12)) & 0xFFFFFFFF, m, rep]
+            [self.base_seed, hash(round(eps, 12)) & 0xFFFFFFFFFFFFFFFF, m, rep]
         )
 
 

@@ -124,6 +124,52 @@ class TestSweepCommand:
         header = csv.read_text().splitlines()[0]
         assert header.startswith("epsilon,machines,repetition,algorithm")
 
+    def test_sweep_journal_resume_and_manifest(self, capsys, tmp_path):
+        from repro.cli import main
+
+        journal = tmp_path / "sweep.jsonl"
+        manifest = tmp_path / "failures.json"
+        csv = tmp_path / "rows.csv"
+        base = [
+            "sweep",
+            "--epsilons", "0.3",
+            "--machines", "2",
+            "--n", "8",
+            "--repetitions", "1",
+        ]
+        code = main(base + ["--journal", str(journal), "--manifest", str(manifest)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1/1 cells completed" in out
+        assert journal.exists()
+        import json
+
+        assert json.loads(manifest.read_text())["quarantined"] == 0
+
+        # Resume replays everything from disk and still writes the CSV.
+        code = main(base + ["--resume", str(journal), "--csv", str(csv)])
+        assert code == 0
+        assert "1 replayed from journal" in capsys.readouterr().out
+        assert csv.read_text().startswith("epsilon,machines")
+
+    def test_sweep_resume_rejects_mismatched_spec(self, tmp_path, capsys):
+        import pytest
+
+        from repro.cli import main
+        from repro.workloads.journal import JournalMismatchError
+
+        journal = tmp_path / "sweep.jsonl"
+        assert main(
+            ["sweep", "--epsilons", "0.3", "--machines", "2", "--n", "8",
+             "--repetitions", "1", "--journal", str(journal)]
+        ) == 0
+        capsys.readouterr()
+        with pytest.raises(JournalMismatchError, match="base_seed"):
+            main(
+                ["sweep", "--epsilons", "0.3", "--machines", "2", "--n", "8",
+                 "--repetitions", "1", "--seed", "9", "--resume", str(journal)]
+            )
+
     def test_sweep_cloud_workload(self, capsys):
         from repro.cli import main
 

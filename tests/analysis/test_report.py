@@ -18,6 +18,7 @@ class TestGenerateReport:
             "## Weighted impossibility",
             "## Dominant-phase growth rate",
             "## Simulation kernel",
+            "## Fault-tolerant sweeps",
         ]:
             assert heading in text, heading
 
@@ -41,6 +42,7 @@ class TestGenerateReport:
             "growth",
             "planning",
             "engine",
+            "resilience",
         }
 
     def test_planning_section(self):

@@ -1,0 +1,125 @@
+"""Tests for the append-only sweep checkpoint journal."""
+
+from functools import partial
+
+import pytest
+
+from repro.workloads.journal import (
+    JournalError,
+    JournalMismatchError,
+    SweepJournal,
+    load_journal,
+    row_from_payload,
+    row_to_payload,
+    spec_fingerprint,
+)
+from repro.workloads.random_instances import random_instance
+from repro.workloads.sweep import SweepSpec, run_sweep
+
+
+def _spec(**overrides) -> SweepSpec:
+    defaults = dict(
+        epsilons=[0.3],
+        machine_counts=[1],
+        algorithms=["greedy"],
+        workload=partial(random_instance, 6),
+        repetitions=2,
+        base_seed=5,
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+class TestRowSerialization:
+    def test_bit_identical_roundtrip(self):
+        rows = run_sweep(_spec())
+        for row in rows:
+            assert row_from_payload(row_to_payload(row)) == row
+
+    def test_json_roundtrip_preserves_floats(self, tmp_path):
+        import json
+
+        rows = run_sweep(_spec())
+        payloads = json.loads(json.dumps([row_to_payload(r) for r in rows]))
+        assert [row_from_payload(p) for p in payloads] == rows
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(JournalError, match="fields"):
+            row_from_payload([1, 2, 3])
+
+
+class TestJournalLifecycle:
+    def test_create_record_load(self, tmp_path):
+        spec = _spec()
+        rows = run_sweep(spec)
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal.create(path, spec) as journal:
+            for i, (eps, m, rep) in enumerate(spec.cells()):
+                journal.record_cell(spec.cell_seed(eps, m, rep), eps, m, rep, [rows[i]])
+        state = load_journal(path)
+        assert state.fingerprint == spec_fingerprint(spec)
+        assert not state.truncated_tail
+        replayed = [r for cell in state.completed.values() for r in cell]
+        assert sorted(replayed, key=lambda r: r.repetition) == rows
+
+    def test_resume_validates_fingerprint(self, tmp_path):
+        spec = _spec()
+        path = tmp_path / "sweep.jsonl"
+        SweepJournal.create(path, spec).close()
+        with pytest.raises(JournalMismatchError, match="base_seed"):
+            SweepJournal.resume(path, _spec(base_seed=6))
+
+    def test_resume_rejects_different_workload(self, tmp_path):
+        spec = _spec()
+        path = tmp_path / "sweep.jsonl"
+        SweepJournal.create(path, spec).close()
+        other = _spec(workload=partial(random_instance, 7))
+        with pytest.raises(JournalMismatchError, match="workload"):
+            SweepJournal.resume(path, other)
+
+    def test_truncated_tail_tolerated(self, tmp_path):
+        spec = _spec()
+        rows = run_sweep(spec)
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal.create(path, spec) as journal:
+            cell = next(iter(spec.cells()))
+            journal.record_cell(spec.cell_seed(*cell), *cell, [rows[0]])
+        # Simulate a hard kill mid-append: a partial trailing record.
+        with open(path, "a") as fh:
+            fh.write('{"kind": "cell", "seed": 99, "rows": [[0.3')
+        state = load_journal(path)
+        assert state.truncated_tail
+        assert len(state.completed) == 1
+
+    def test_corrupt_middle_record_rejected(self, tmp_path):
+        spec = _spec()
+        path = tmp_path / "sweep.jsonl"
+        SweepJournal.create(path, spec).close()
+        with open(path, "a") as fh:
+            fh.write("not json\n")
+            fh.write('{"kind": "failure", "seed": 1}\n')
+        with pytest.raises(JournalError, match="corrupt"):
+            load_journal(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text('{"kind": "failure", "seed": 1}\n')
+        with pytest.raises(JournalError, match="no header"):
+            load_journal(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        spec = _spec()
+        path = tmp_path / "sweep.jsonl"
+        SweepJournal.create(path, spec).close()
+        with open(path, "a") as fh:
+            fh.write('{"kind": "mystery"}\n')
+            fh.write('{"kind": "failure", "seed": 1}\n')
+        with pytest.raises(JournalError, match="unknown journal record"):
+            load_journal(path)
+
+    def test_fingerprint_is_address_free(self):
+        # partial() reprs embed function addresses; the fingerprint must not.
+        a = spec_fingerprint(_spec())
+        b = spec_fingerprint(_spec())
+        assert a == b
+        assert "0x" not in str(a)

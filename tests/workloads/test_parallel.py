@@ -49,3 +49,12 @@ class TestParallelSweep:
         )
         with pytest.raises(TypeError, match="picklable"):
             run_sweep_parallel(spec)
+
+    def test_unpicklable_algorithm_kwargs_rejected(self):
+        # Used to fail deep inside the pool with an opaque error; now the
+        # kwargs values are pickle-checked up front like the workload.
+        spec = _spec()
+        with pytest.raises(TypeError, match=r"algorithm_kwargs\['greedy'\]"):
+            run_sweep_parallel(
+                spec, algorithm_kwargs={"greedy": {"hook": lambda: None}}
+            )

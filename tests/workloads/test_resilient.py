@@ -1,0 +1,278 @@
+"""Chaos-driven validation of the fault-tolerant sweep runner.
+
+The acceptance bar (ISSUE 2): with injected crash + hang + transient
+error + corrupt faults on >= 20% of cells, the resilient runner must
+finish the sweep, quarantine *only* the truly-poisoned (persistent)
+cells, report them in the ``FailureManifest``, and a resume after a
+simulated hard kill must yield rows bit-identical to a clean serial
+:func:`run_sweep`.
+"""
+
+import json
+import os
+import time
+from functools import lru_cache, partial
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.testing.chaos import ChaosPlan
+from repro.workloads.journal import load_journal
+from repro.workloads.random_instances import random_instance
+from repro.workloads.resilient import (
+    SweepExecutionError,
+    SweepInterrupted,
+    run_sweep_resilient,
+    validate_cell_rows,
+)
+from repro.workloads.sweep import SweepSpec, run_sweep
+
+
+def _chaos_spec() -> SweepSpec:
+    return SweepSpec(
+        epsilons=[0.2, 0.5],
+        machine_counts=[1, 2],
+        algorithms=["threshold", "greedy"],
+        workload=partial(random_instance, 8),
+        repetitions=3,
+        base_seed=13,
+    )
+
+
+#: Deterministic plan: on the grid above it faults 5/12 cells (>= 20%)
+#: covering all four kinds; persistent = {corrupt, corrupt, error},
+#: transient = {crash, hang} (the hang is transient, so the slow timeout
+#: path runs exactly once).
+CHAOS_PLAN = ChaosPlan(
+    crash_rate=0.12,
+    hang_rate=0.1,
+    error_rate=0.12,
+    corrupt_rate=0.12,
+    persistent_rate=0.45,
+    hang_seconds=30.0,
+    seed=32,
+)
+
+
+def _small_spec(base_seed: int = 5) -> SweepSpec:
+    return SweepSpec(
+        epsilons=[0.25, 0.5],
+        machine_counts=[1],
+        algorithms=["greedy"],
+        workload=partial(random_instance, 6),
+        repetitions=2,
+        base_seed=base_seed,
+    )
+
+
+@lru_cache(maxsize=None)
+def _serial_rows(base_seed: int) -> tuple:
+    return tuple(run_sweep(_small_spec(base_seed)))
+
+
+def _hanging_workload(m: int, eps: float, seed: int):
+    """Module-level (picklable) workload that hangs on two machines."""
+    if m == 2:
+        time.sleep(30.0)
+    return random_instance(5, m, eps, seed=seed)
+
+
+def _broken_workload(m: int, eps: float, seed: int):
+    """Module-level workload that always raises (a poison cell)."""
+    raise ValueError("this workload is permanently broken")
+
+
+class TestCleanRuns:
+    def test_matches_serial_without_faults(self):
+        spec = _chaos_spec()
+        result = run_sweep_resilient(spec, max_workers=4)
+        assert result.complete
+        assert result.rows == run_sweep(spec)
+        assert result.manifest.cells_completed == result.manifest.cells_total
+
+    def test_journal_written_and_replayed(self, tmp_path):
+        spec = _small_spec()
+        path = tmp_path / "sweep.jsonl"
+        first = run_sweep_resilient(spec, journal_path=path, max_workers=2)
+        assert first.complete and first.journal_path == str(path)
+        # A full resume re-executes nothing: every cell replays from disk.
+        again = run_sweep_resilient(spec, journal_path=path, resume=True)
+        assert again.rows == first.rows == list(_serial_rows(5))
+        assert again.manifest.cells_replayed == again.manifest.cells_total
+        assert again.manifest.cells_completed == 0
+
+    def test_resume_without_journal_path_rejected(self):
+        with pytest.raises(ValueError, match="journal_path"):
+            run_sweep_resilient(_small_spec(), resume=True)
+
+
+class TestChaosAcceptance:
+    """The headline chaos scenario from the issue's acceptance criteria."""
+
+    def test_quarantines_only_poisoned_cells(self):
+        spec = _chaos_spec()
+        cells = list(spec.cells())
+        seeds = [spec.cell_seed(*c) for c in cells]
+        faults = CHAOS_PLAN.faulted_cells(seeds)
+
+        # Premise: >= 20% of cells faulted, all injectable kinds present.
+        assert len(faults) / len(cells) >= 0.20
+        kinds = {kind for kind, _ in faults.values()}
+        assert {"crash", "hang", "error", "corrupt"} <= kinds
+        poisoned = {seed for seed, (_, persistent) in faults.items() if persistent}
+        transient = set(faults) - poisoned
+        assert poisoned and transient
+
+        result = run_sweep_resilient(
+            spec,
+            chaos=CHAOS_PLAN,
+            timeout=1.0,
+            max_retries=1,
+            backoff=0.02,
+            max_workers=4,
+        )
+        manifest = result.manifest
+        if os.environ.get("REPRO_CHAOS_MANIFEST"):
+            with open(os.environ["REPRO_CHAOS_MANIFEST"], "w") as fh:
+                json.dump(manifest.as_dict(), fh, indent=2)
+
+        # Quarantine exactly the persistent cells, nothing else.
+        assert {f.seed for f in manifest.failures} == poisoned
+        assert manifest.recovered == len(transient)
+        assert manifest.cells_completed == len(cells) - len(poisoned)
+
+        # Failures are fully attributed: kind, attempts, per-attempt history.
+        by_seed = {f.seed: f for f in manifest.failures}
+        for seed, (kind, _) in faults.items():
+            if seed in poisoned:
+                failure = by_seed[seed]
+                expected = "timeout" if kind == "hang" else kind
+                assert failure.kind == expected
+                assert failure.attempts == 2
+                assert len(failure.history) == 2
+
+        # Graceful degradation: every surviving row is bit-identical to
+        # the serial run's row for that cell.
+        serial = run_sweep(spec)
+        surviving = [
+            row
+            for cell, chunk in zip(
+                cells, [serial[i : i + 2] for i in range(0, len(serial), 2)]
+            )
+            if spec.cell_seed(*cell) not in poisoned
+            for row in chunk
+        ]
+        assert result.rows == surviving
+
+    def test_resume_after_hard_kill_bit_identical_to_serial(self, tmp_path):
+        spec = _chaos_spec()
+        path = tmp_path / "killed.jsonl"
+        with pytest.raises(SweepInterrupted) as excinfo:
+            run_sweep_resilient(
+                spec, journal_path=path, interrupt_after=4, max_workers=2
+            )
+        partial_result = excinfo.value.result
+        assert 0 < len(partial_result.rows) < len(run_sweep(spec))
+
+        resumed = run_sweep_resilient(spec, journal_path=path, resume=True, max_workers=2)
+        assert resumed.complete
+        assert resumed.rows == run_sweep(spec)
+        assert resumed.manifest.cells_replayed >= 4
+
+    def test_resume_tolerates_truncated_tail(self, tmp_path):
+        spec = _small_spec()
+        path = tmp_path / "sweep.jsonl"
+        with pytest.raises(SweepInterrupted):
+            run_sweep_resilient(spec, journal_path=path, interrupt_after=2, max_workers=1)
+        with open(path, "a") as fh:
+            fh.write('{"kind": "cell", "seed": 1, "rows": [[0.25, 1')  # hard kill mid-write
+        resumed = run_sweep_resilient(spec, journal_path=path, resume=True)
+        assert resumed.rows == list(_serial_rows(5))
+
+
+class TestFailureModes:
+    def test_hung_cells_time_out_and_quarantine(self):
+        spec = SweepSpec(
+            epsilons=[0.3],
+            machine_counts=[1, 2],
+            algorithms=["greedy"],
+            workload=_hanging_workload,
+            repetitions=1,
+            base_seed=2,
+        )
+        start = time.monotonic()
+        result = run_sweep_resilient(spec, timeout=0.5, max_retries=0, max_workers=2)
+        assert time.monotonic() - start < 15.0  # terminated, not waited on
+        assert [f.kind for f in result.manifest.failures] == ["timeout"]
+        assert result.manifest.failures[0].machines == 2
+        # The healthy machine count still produced its row.
+        assert [r.machines for r in result.rows] == [1]
+
+    def test_poison_cell_exhausts_retries(self):
+        spec = SweepSpec(
+            epsilons=[0.3],
+            machine_counts=[1],
+            algorithms=["greedy"],
+            workload=_broken_workload,
+            repetitions=1,
+        )
+        result = run_sweep_resilient(spec, max_retries=2, backoff=0.01)
+        assert result.rows == []
+        (failure,) = result.manifest.failures
+        assert failure.kind == "error"
+        assert failure.attempts == 3
+        assert "permanently broken" in failure.detail
+        assert result.manifest.retries == 2
+
+    def test_corrupt_rows_detected_by_validator(self):
+        spec = _small_spec()
+        eps, m, rep = next(iter(spec.cells()))
+        rows = run_sweep(spec)[:1]
+        assert validate_cell_rows(spec, eps, m, rep, rows) is None
+        mangled = ChaosPlan().corrupt_rows(rows)
+        problem = validate_cell_rows(spec, eps, m, rep, mangled)
+        assert problem is not None and "accepted_load" in problem
+        assert validate_cell_rows(spec, eps, m, rep, "rows") is not None
+        assert validate_cell_rows(spec, eps, m, rep, []) is not None
+
+    def test_parallel_wrapper_raises_on_failure(self):
+        spec = SweepSpec(
+            epsilons=[0.3],
+            machine_counts=[1],
+            algorithms=["greedy"],
+            workload=_broken_workload,
+            repetitions=1,
+        )
+        from repro.workloads.parallel import run_sweep_parallel
+
+        with pytest.raises(SweepExecutionError, match="permanently broken") as excinfo:
+            run_sweep_parallel(spec)
+        assert excinfo.value.manifest.quarantined == 1
+
+
+class TestInterruptedResumeProperty:
+    """Hypothesis: interrupt anywhere, resume, get the serial rows exactly."""
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(base_seed=st.sampled_from([5, 6, 7]), kill_after=st.integers(1, 3))
+    def test_interrupt_resume_bit_identical(self, tmp_path, base_seed, kill_after):
+        spec = _small_spec(base_seed)
+        path = tmp_path / f"journal-{base_seed}-{kill_after}-{time.monotonic_ns()}.jsonl"
+        with pytest.raises(SweepInterrupted) as excinfo:
+            run_sweep_resilient(
+                spec, journal_path=path, interrupt_after=kill_after, max_workers=1
+            )
+        # The journal holds exactly what the interrupt flushed.
+        state = load_journal(path)
+        assert len(state.completed) == kill_after
+        assert len(excinfo.value.result.rows) == kill_after
+
+        resumed = run_sweep_resilient(spec, journal_path=path, resume=True)
+        assert resumed.complete
+        assert resumed.rows == list(_serial_rows(base_seed))
+        assert resumed.manifest.cells_replayed == kill_after

@@ -36,6 +36,14 @@ class TestSpec:
         }
         assert len(seeds) == 8
 
+    def test_cell_seed_distinguishes_dyadic_epsilons(self):
+        # Regression: float hashes of 0.5/0.25/0.125 are high powers of
+        # two; a 32-bit fold collapsed them all to one seed, conflating
+        # journal keys and reusing RNG streams across grid columns.
+        spec = _spec(epsilons=[0.125, 0.25, 0.5])
+        seeds = {spec.cell_seed(e, m, r) for e, m, r in spec.cells()}
+        assert len(seeds) == 3 * 2 * 2
+
 
 class TestRunSweep:
     def test_row_count(self):
