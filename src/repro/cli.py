@@ -16,6 +16,7 @@ All output is plain text; commands are deterministic given ``--seed``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -207,6 +208,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     from repro.analysis.tables import render_rows
     from repro.workloads.cloud import cloud_instance
+    from repro.workloads.journal import JournalError, JournalMismatchError
     from repro.workloads.random_instances import random_instance
     from repro.workloads.resilient import SweepInterrupted, run_sweep_resilient
     from repro.workloads.sweep import SweepSpec, aggregate_rows, rows_to_csv, run_sweep
@@ -229,6 +231,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 fh.write(rows_to_csv(rows))
             print(f"wrote {args.csv}")
 
+    if (
+        args.journal
+        and args.resume
+        and os.path.abspath(args.journal) != os.path.abspath(args.resume)
+    ):
+        print(
+            "error: --journal and --resume point at different files; pass just "
+            "--resume to continue an existing journal",
+            file=sys.stderr,
+        )
+        return 2
     journal_path = args.resume or args.journal
     resilient = (
         args.parallel > 0
@@ -258,6 +271,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             journal_path=journal_path,
             resume=args.resume is not None,
         )
+    except JournalMismatchError:
+        raise
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except SweepInterrupted as interrupted:
         partial_result = interrupted.result
         print(f"\ninterrupted: {partial_result.manifest.summary()}", file=sys.stderr)
@@ -367,11 +385,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=15)
     p.add_argument("--repetitions", type=int, default=3)
     p.add_argument("--seed", type=int, default=2020)
-    p.add_argument("--parallel", type=int, default=0, help="worker count (0 = serial)")
+    p.add_argument(
+        "--parallel", type=int, default=0,
+        help="worker count; 0 = serial, unless --timeout/--journal/--resume/"
+             "--manifest is given (each implies the fault-tolerant "
+             "multiprocess runner)",
+    )
     p.add_argument("--csv", help="write the raw rows to this CSV file")
     p.add_argument(
         "--timeout", type=float, default=None,
-        help="per-cell timeout in seconds (enables the fault-tolerant runner)",
+        help="per-cell timeout in seconds (implies the fault-tolerant runner)",
     )
     p.add_argument(
         "--retries", type=int, default=2,
@@ -383,16 +406,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--journal",
-        help="checkpoint completed cells to this append-only JSONL journal",
+        help="checkpoint completed cells to this append-only JSONL journal "
+             "(must not already exist; implies the fault-tolerant runner)",
     )
     p.add_argument(
         "--resume", metavar="JOURNAL",
         help="resume from a checkpoint journal: replay completed cells from "
-             "disk and execute only the remainder",
+             "disk and execute only the remainder (implies the fault-tolerant "
+             "runner)",
     )
     p.add_argument(
         "--manifest",
-        help="write the structured failure manifest (JSON) to this path",
+        help="write the structured failure manifest (JSON) to this path "
+             "(implies the fault-tolerant runner)",
     )
     p.set_defaults(fn=_cmd_sweep)
 

@@ -17,7 +17,9 @@ Design notes
   journal never needs to trust iteration order.
 * **Append-only JSONL.**  One record per line, flushed and fsync'd per
   cell.  A hard kill can at worst truncate the *final* line; the loader
-  tolerates (and reports) a single trailing partial record.
+  tolerates (and reports) a single trailing partial record, and
+  :meth:`SweepJournal.resume` truncates it away before appending so that
+  repeated kill/resume cycles never glue records onto the fragment.
 * **Fingerprinted header.**  The first line captures a structural
   fingerprint of the :class:`~repro.workloads.sweep.SweepSpec` (grid,
   algorithms, seeds, workload description).  Resuming against a journal
@@ -117,6 +119,11 @@ class JournalState:
     failures: list[dict[str, Any]]
     #: True when the final line was cut off mid-write (hard kill).
     truncated_tail: bool = False
+    #: byte offset of the end of the last complete record; everything past
+    #: it is the truncated tail, which :meth:`SweepJournal.resume` chops
+    #: off before appending (a new record glued onto a partial line would
+    #: corrupt the journal for every later load).
+    valid_bytes: int = 0
 
 
 def load_journal(path: str | os.PathLike[str]) -> JournalState:
@@ -125,13 +132,23 @@ def load_journal(path: str | os.PathLike[str]) -> JournalState:
     failures: list[dict[str, Any]] = []
     fingerprint: dict[str, Any] | None = None
     truncated = False
-    with open(path, "r", encoding="utf-8") as fh:
-        raw_lines = fh.read().split("\n")
-    lines = [line for line in raw_lines if line.strip()]
-    for i, line in enumerate(lines):
+    valid_bytes = 0
+    with open(path, "rb") as fh:
+        data = fh.read()
+    # (raw line, byte offset just past its newline), blank lines dropped.
+    lines: list[tuple[bytes, int]] = []
+    pos = 0
+    while pos < len(data):
+        newline = data.find(b"\n", pos)
+        end = len(data) if newline == -1 else newline + 1
+        raw = data[pos:end]
+        if raw.strip():
+            lines.append((raw, end))
+        pos = end
+    for i, (raw, end) in enumerate(lines):
         try:
-            record = json.loads(line)
-        except json.JSONDecodeError as exc:
+            record = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             if i == len(lines) - 1:
                 truncated = True  # hard kill mid-append; cell simply re-runs
                 break
@@ -149,9 +166,14 @@ def load_journal(path: str | os.PathLike[str]) -> JournalState:
                 row_from_payload(p) for p in record["rows"]
             ]
         elif kind == "failure":
-            failures.append(record)
+            if "failure" not in record:
+                raise JournalError(
+                    f"{path}: failure record on line {i + 1} has no 'failure' field"
+                )
+            failures.append(record["failure"])
         else:
             raise JournalError(f"{path}: unknown journal record kind {kind!r}")
+        valid_bytes = end
     if fingerprint is None:
         raise JournalError(f"{path}: journal has no header record")
     return JournalState(
@@ -159,6 +181,7 @@ def load_journal(path: str | os.PathLike[str]) -> JournalState:
         completed=completed,
         failures=failures,
         truncated_tail=truncated,
+        valid_bytes=valid_bytes,
     )
 
 
@@ -179,8 +202,22 @@ class SweepJournal:
 
     @classmethod
     def create(cls, path: str | os.PathLike[str], spec: "SweepSpec") -> "SweepJournal":
-        """Start a fresh journal (truncating any existing file)."""
-        fh = open(path, "w", encoding="utf-8")
+        """Start a fresh journal; refuses to clobber an existing one.
+
+        A journal is the only durable copy of hours of completed cells, so
+        silently truncating one (e.g. a ``--journal`` run where the user
+        forgot ``--resume``) would destroy exactly the work it exists to
+        protect.  Raises :class:`JournalError` if *path* already holds data.
+        """
+        try:
+            fh = open(path, "x", encoding="utf-8")
+        except FileExistsError:
+            if os.path.getsize(path) > 0:
+                raise JournalError(
+                    f"{os.fspath(path)}: journal already exists; resume from it "
+                    "(repro sweep --resume) or delete it explicitly to start over"
+                ) from None
+            fh = open(path, "w", encoding="utf-8")
         journal = cls(os.fspath(path), fh)
         journal._append(
             {
@@ -201,6 +238,12 @@ class SweepJournal:
         Raises :class:`JournalMismatchError` when the journal belongs to a
         different spec — resuming would otherwise silently mix rows from
         incompatible grids.
+
+        A hard kill can leave a partial trailing line; appending straight
+        after it would glue the next record onto the fragment, silently
+        dropping that record and corrupting the journal for every later
+        load.  The tail is therefore truncated back to the last complete
+        record before the file is reopened for append.
         """
         state = load_journal(path)
         current = spec_fingerprint(spec)
@@ -214,6 +257,9 @@ class SweepJournal:
                 f"{os.fspath(path)}: journal was written for a different sweep "
                 f"spec (mismatched fields: {', '.join(diffs)})"
             )
+        if state.truncated_tail:
+            with open(path, "r+b") as trunc:
+                trunc.truncate(state.valid_bytes)
         fh = open(path, "a", encoding="utf-8")
         return cls(os.fspath(path), fh), state
 
@@ -245,8 +291,13 @@ class SweepJournal:
         )
 
     def record_failure(self, failure: dict[str, Any]) -> None:
-        """Log a quarantined cell (observability; re-run on resume)."""
-        self._append({"kind": "failure", **failure})
+        """Log a quarantined cell (observability; re-run on resume).
+
+        The payload is nested under ``"failure"`` — it carries its own
+        ``"kind"`` (crash/timeout/error/corrupt), which must not collide
+        with the record-level ``"kind"`` the loader dispatches on.
+        """
+        self._append({"kind": "failure", "failure": dict(failure)})
 
     def _append(self, record: dict[str, Any]) -> None:
         self._fh.write(json.dumps(record, allow_nan=False) + "\n")

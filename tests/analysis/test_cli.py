@@ -170,6 +170,37 @@ class TestSweepCommand:
                  "--repetitions", "1", "--seed", "9", "--resume", str(journal)]
             )
 
+    def test_sweep_refuses_to_clobber_existing_journal(self, tmp_path, capsys):
+        from repro.cli import main
+
+        journal = tmp_path / "sweep.jsonl"
+        base = [
+            "sweep",
+            "--epsilons", "0.3",
+            "--machines", "2",
+            "--n", "8",
+            "--repetitions", "1",
+        ]
+        assert main(base + ["--journal", str(journal)]) == 0
+        before = journal.read_text()
+        capsys.readouterr()
+        # Forgot --resume: must refuse, not truncate hours of checkpoints.
+        assert main(base + ["--journal", str(journal)]) == 2
+        assert "already exists" in capsys.readouterr().err
+        assert journal.read_text() == before
+
+    def test_sweep_rejects_conflicting_journal_and_resume(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["sweep", "--epsilons", "0.3", "--machines", "2", "--n", "8",
+             "--repetitions", "1",
+             "--journal", str(tmp_path / "a.jsonl"),
+             "--resume", str(tmp_path / "b.jsonl")]
+        )
+        assert code == 2
+        assert "different files" in capsys.readouterr().err
+
     def test_sweep_cloud_workload(self, capsys):
         from repro.cli import main
 

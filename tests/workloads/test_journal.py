@@ -97,13 +97,13 @@ class TestJournalLifecycle:
         SweepJournal.create(path, spec).close()
         with open(path, "a") as fh:
             fh.write("not json\n")
-            fh.write('{"kind": "failure", "seed": 1}\n')
+            fh.write('{"kind": "failure", "failure": {"seed": 1}}\n')
         with pytest.raises(JournalError, match="corrupt"):
             load_journal(path)
 
     def test_missing_header_rejected(self, tmp_path):
         path = tmp_path / "empty.jsonl"
-        path.write_text('{"kind": "failure", "seed": 1}\n')
+        path.write_text('{"kind": "failure", "failure": {"seed": 1}}\n')
         with pytest.raises(JournalError, match="no header"):
             load_journal(path)
 
@@ -113,9 +113,79 @@ class TestJournalLifecycle:
         SweepJournal.create(path, spec).close()
         with open(path, "a") as fh:
             fh.write('{"kind": "mystery"}\n')
-            fh.write('{"kind": "failure", "seed": 1}\n')
+            fh.write('{"kind": "failure", "failure": {"seed": 1}}\n')
         with pytest.raises(JournalError, match="unknown journal record"):
             load_journal(path)
+
+    def test_failure_record_roundtrip(self, tmp_path):
+        # A failure's own "kind" (crash/timeout/...) must not shadow the
+        # record kind — a journal with quarantined cells has to stay loadable.
+        spec = _spec()
+        path = tmp_path / "sweep.jsonl"
+        failure = {
+            "epsilon": 0.3,
+            "machines": 1,
+            "repetition": 0,
+            "seed": 42,
+            "attempts": 3,
+            "kind": "crash",
+            "detail": "worker process died with exit code -9",
+            "history": ["crash: ...", "crash: ...", "crash: ..."],
+        }
+        with SweepJournal.create(path, spec) as journal:
+            journal.record_failure(failure)
+        state = load_journal(path)
+        assert state.failures == [failure]
+        assert not state.truncated_tail
+
+    def test_create_refuses_existing_journal(self, tmp_path):
+        spec = _spec()
+        path = tmp_path / "sweep.jsonl"
+        SweepJournal.create(path, spec).close()
+        with pytest.raises(JournalError, match="already exists"):
+            SweepJournal.create(path, spec)
+        # The refusal must not have clobbered the original journal.
+        assert load_journal(path).fingerprint == spec_fingerprint(spec)
+
+    def test_create_accepts_empty_placeholder_file(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        path.touch()
+        SweepJournal.create(path, _spec()).close()
+        assert load_journal(path).fingerprint == spec_fingerprint(_spec())
+
+    def test_resume_truncates_partial_tail_before_appending(self, tmp_path):
+        # Appending onto a partial trailing line would glue the new record
+        # to the fragment: the record silently vanishes and, once another
+        # record follows, the merged line corrupts every later load.
+        spec = _spec()
+        rows = run_sweep(spec)
+        cells = list(spec.cells())
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal.create(path, spec) as journal:
+            journal.record_cell(spec.cell_seed(*cells[0]), *cells[0], [rows[0]])
+        for _ in range(2):  # kill -> resume -> kill -> resume
+            with open(path, "a") as fh:
+                fh.write('{"kind": "cell", "seed": 99, "rows": [[0.3')
+            journal, state = SweepJournal.resume(path, spec)
+            assert state.truncated_tail
+            with journal:
+                journal.record_cell(spec.cell_seed(*cells[1]), *cells[1], [rows[1]])
+            state = load_journal(path)
+            assert not state.truncated_tail
+            assert set(state.completed) == {spec.cell_seed(*c) for c in cells[:2]}
+
+    def test_resume_drops_corrupt_final_line_with_newline(self, tmp_path):
+        # A corrupt *complete* last line (kill after the newline of a partial
+        # buffer flush) must also be chopped, or it ends up mid-file.
+        spec = _spec()
+        path = tmp_path / "sweep.jsonl"
+        SweepJournal.create(path, spec).close()
+        with open(path, "a") as fh:
+            fh.write('{"kind": "cell", "seed": 99, "rows": [[0.3\n')
+        journal, state = SweepJournal.resume(path, spec)
+        assert state.truncated_tail
+        journal.close()
+        assert not load_journal(path).truncated_tail
 
     def test_fingerprint_is_address_free(self):
         # partial() reprs embed function addresses; the fingerprint must not.

@@ -190,6 +190,53 @@ class TestChaosAcceptance:
         resumed = run_sweep_resilient(spec, journal_path=path, resume=True)
         assert resumed.rows == list(_serial_rows(5))
 
+    def test_double_hard_kill_and_resume(self, tmp_path):
+        # kill -> resume -> kill -> resume: each kill leaves a partial
+        # trailing line, and each resume must still converge on a journal
+        # that loads cleanly and rows bit-identical to the serial run.
+        spec = _chaos_spec()  # 12 cells
+        path = tmp_path / "killed-twice.jsonl"
+        with pytest.raises(SweepInterrupted):
+            run_sweep_resilient(spec, journal_path=path, interrupt_after=3, max_workers=1)
+        with open(path, "a") as fh:
+            fh.write('{"kind": "cell", "seed": 7, "rows": [[0.2')
+        with pytest.raises(SweepInterrupted):
+            run_sweep_resilient(
+                spec, journal_path=path, resume=True, interrupt_after=3, max_workers=1
+            )
+        with open(path, "a") as fh:
+            fh.write('{"kind": "ce')
+        resumed = run_sweep_resilient(spec, journal_path=path, resume=True, max_workers=2)
+        assert resumed.complete
+        assert resumed.rows == run_sweep(spec)
+        assert resumed.manifest.cells_replayed >= 6
+        state = load_journal(path)
+        assert not state.truncated_tail
+        assert len(state.completed) == 12
+
+    def test_journal_with_quarantined_cells_stays_loadable(self, tmp_path):
+        # Quarantine writes a failure record; the journal must still load
+        # (and resume) afterwards, reporting the failure for observability.
+        spec = SweepSpec(
+            epsilons=[0.3],
+            machine_counts=[1],
+            algorithms=["greedy"],
+            workload=_broken_workload,
+            repetitions=1,
+        )
+        path = tmp_path / "poison.jsonl"
+        result = run_sweep_resilient(
+            spec, journal_path=path, max_retries=0, max_workers=1
+        )
+        assert result.manifest.quarantined == 1
+        state = load_journal(path)
+        assert len(state.failures) == 1
+        assert state.failures[0]["kind"] == "error"
+        resumed = run_sweep_resilient(
+            spec, journal_path=path, resume=True, max_retries=0, max_workers=1
+        )
+        assert resumed.manifest.quarantined == 1
+
 
 class TestFailureModes:
     def test_hung_cells_time_out_and_quarantine(self):
