@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test verify bench examples report docs clean all
+.PHONY: install test verify bench examples report docs docs-check clean all
 
 install:
 	pip install -e .
@@ -26,6 +26,10 @@ report:
 
 docs:
 	$(PYTHON) -m repro.tools.apidoc --out docs/api.md
+
+# CI staleness gate: fails when docs/api.md was not regenerated.
+docs-check:
+	$(PYTHON) -m repro.tools.apidoc --check
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks

@@ -1,0 +1,198 @@
+"""E23 — content-addressed bracket cache: cold vs warm OPT reuse.
+
+The offline bracket (exact OPT below ``EXACT_JOB_LIMIT``) dominates sweep
+cost, and it is pure in the instance content — so a crash-and-resume
+rerun, or any re-execution of a grid already certified once, should pay
+for it exactly once.  This bench measures the
+:class:`repro.offline.cache.BracketCache` doing that job:
+
+* **cold vs warm bracket stage** — computing every cell bracket of a
+  grid against an empty cache, then again against the populated
+  directory through a fresh process-local tier (so every hit is a disk
+  hit, the worst case).  The warm pass must be at least 5x faster and
+  recompute nothing;
+* **interrupt / resume / rerun** — a journal-backed resilient run is
+  hard-interrupted mid-grid, resumed to completion, then the full sweep
+  is re-run warm: the rerun must hit the cache on every cell (zero
+  bracket recomputes) and reproduce the resumed rows bit-identically.
+
+Run directly (``python benchmarks/bench_bracket_cache.py``) to write the
+machine-readable snapshot ``BENCH_cache.json`` at the repository root.
+"""
+
+import json
+import tempfile
+import time
+from functools import partial
+from pathlib import Path
+
+from repro.analysis.tables import format_table
+from repro.offline.cache import BracketCache
+from repro.workloads.random_instances import random_instance
+from repro.workloads.resilient import SweepInterrupted, run_sweep_resilient
+from repro.workloads.sweep import SweepSpec, cell_bracket, run_sweep
+
+EPSILONS = [0.1, 0.25]
+MACHINES = [2, 3]
+REPS = 3
+N_JOBS = 12  # inside the exact-solver region: cold brackets are expensive
+INTERRUPT_AFTER = 4
+
+
+def _spec() -> SweepSpec:
+    return SweepSpec(
+        epsilons=EPSILONS,
+        machine_counts=MACHINES,
+        algorithms=["threshold", "greedy"],
+        workload=partial(random_instance, N_JOBS),
+        repetitions=REPS,
+        base_seed=23,
+        label="bracket-cache",
+    )
+
+
+def _bracket_stage(spec: SweepSpec, cache: BracketCache) -> float:
+    """Compute every cell's bracket through *cache*; returns seconds."""
+    t0 = time.perf_counter()
+    for eps, m, rep in spec.cells():
+        instance = spec.workload(m, eps, spec.cell_seed(eps, m, rep))
+        cell_bracket(spec, instance, cache)
+    return time.perf_counter() - t0
+
+
+def snapshot() -> dict:
+    """Measure cold/warm bracket reuse and the interrupt-resume-rerun flow."""
+    spec = _spec()
+    cells = len(list(spec.cells()))
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold = BracketCache(cache_dir)
+        cold_seconds = _bracket_stage(spec, cold)
+        assert cold.stats.misses == cells and cold.stats.writes == cells
+
+        # Fresh cache object on the same directory: empty LRU, so every
+        # lookup exercises the disk tier — the worst-case warm path.
+        warm = BracketCache(cache_dir)
+        warm_seconds = _bracket_stage(spec, warm)
+
+        cold_stats, warm_stats = cold.stats.as_dict(), warm.stats.as_dict()
+
+    # Crash / resume / warm-rerun round trip through the journal.
+    with tempfile.TemporaryDirectory() as workdir:
+        cache_dir = str(Path(workdir) / "brackets")
+        journal = str(Path(workdir) / "sweep.jsonl")
+        try:
+            run_sweep_resilient(
+                spec,
+                journal_path=journal,
+                interrupt_after=INTERRUPT_AFTER,
+                max_workers=2,
+                cache=BracketCache(cache_dir),
+            )
+            raise RuntimeError("interrupt_after did not trigger")
+        except SweepInterrupted:
+            pass
+        resumed = run_sweep_resilient(
+            spec,
+            journal_path=journal,
+            resume=True,
+            max_workers=2,
+            cache=BracketCache(cache_dir),
+        )
+        assert resumed.complete
+        rerun_cache = BracketCache(cache_dir)
+        rerun_rows = run_sweep(spec, cache=rerun_cache)
+        rerun_stats = rerun_cache.stats.as_dict()
+
+    return {
+        "bench": "E23 bracket cache",
+        "cells": cells,
+        "n_jobs": N_JOBS,
+        "machines": MACHINES,
+        "epsilons": EPSILONS,
+        "repetitions": REPS,
+        "base_seed": 23,
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "speedup": round(cold_seconds / warm_seconds, 2),
+        "cold": cold_stats,
+        "warm": warm_stats,
+        "resumed_replayed": resumed.manifest.cells_replayed,
+        "rerun": rerun_stats,
+        "rerun_rows_identical": rerun_rows == resumed.rows,
+    }
+
+
+def test_e23_bracket_cache(benchmark, save_artifact):
+    snap = benchmark.pedantic(snapshot, rounds=1, iterations=1)
+
+    # Warm pass recomputes nothing and is at least 5x faster.
+    assert snap["warm"]["misses"] == 0
+    assert snap["warm"]["hit_rate"] == 1.0
+    assert snap["speedup"] >= 5.0, snap
+
+    # A journal-resumed grid left the cache complete: the full warm rerun
+    # recomputes zero brackets and reproduces the resumed rows exactly.
+    assert snap["resumed_replayed"] >= INTERRUPT_AFTER
+    assert snap["rerun"]["misses"] == 0
+    assert snap["rerun"]["hit_rate"] == 1.0
+    assert snap["rerun_rows_identical"]
+
+    benchmark.extra_info.update(
+        {
+            "cells": snap["cells"],
+            "cold_seconds": snap["cold_seconds"],
+            "warm_seconds": snap["warm_seconds"],
+            "speedup": snap["speedup"],
+            "rerun_hit_rate": snap["rerun"]["hit_rate"],
+        }
+    )
+    rows = [
+        {
+            "pass": "cold (empty cache)",
+            "seconds": snap["cold_seconds"],
+            "hits": snap["cold"]["hits"],
+            "misses": snap["cold"]["misses"],
+            "writes": snap["cold"]["writes"],
+        },
+        {
+            "pass": "warm (disk tier only)",
+            "seconds": snap["warm_seconds"],
+            "hits": snap["warm"]["hits"],
+            "misses": snap["warm"]["misses"],
+            "writes": snap["warm"]["writes"],
+        },
+        {
+            "pass": "rerun after crash+resume",
+            "seconds": float("nan"),
+            "hits": snap["rerun"]["hits"],
+            "misses": snap["rerun"]["misses"],
+            "writes": snap["rerun"]["writes"],
+        },
+    ]
+    save_artifact(
+        "e23_bracket_cache.txt",
+        format_table(
+            rows,
+            title=f"E23 — bracket cache: {snap['cells']} cells, n={N_JOBS} "
+            f"(exact OPT), warm speedup {snap['speedup']}x",
+        ),
+    )
+
+
+def main() -> int:
+    snap = snapshot()
+    out = Path(__file__).resolve().parent.parent / "BENCH_cache.json"
+    out.write_text(json.dumps(snap, indent=2) + "\n")
+    print(f"cold bracket stage : {snap['cold_seconds'] * 1e3:10.1f} ms")
+    print(f"warm bracket stage : {snap['warm_seconds'] * 1e3:10.1f} ms")
+    print(f"speedup            : {snap['speedup']:10.1f} x")
+    print(f"rerun hit rate     : {100 * snap['rerun']['hit_rate']:10.0f} %")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

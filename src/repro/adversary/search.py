@@ -28,7 +28,7 @@ import numpy as np
 from repro.baselines.registry import run_algorithm
 from repro.model.instance import Instance
 from repro.model.job import Job, tight_deadline
-from repro.offline.bracket import opt_bracket
+from repro.offline.cache import BracketCache, cached_opt_bracket
 from repro.utils.rng import rng_from_any
 from repro.workloads.random_instances import random_instance
 
@@ -46,11 +46,13 @@ class SearchResult:
     improvements: int
 
 
-def _evaluate(algorithm: str, instance: Instance) -> float:
+def _evaluate(
+    algorithm: str, instance: Instance, cache: BracketCache | None = None
+) -> float:
     result = run_algorithm(algorithm, instance)
     if result.accepted_load <= 0:
         return float("inf") if instance.total_load > 0 else 1.0
-    return opt_bracket(instance).upper / result.accepted_load
+    return cached_opt_bracket(instance, cache=cache).upper / result.accepted_load
 
 
 def _mutate(instance: Instance, rng: np.random.Generator) -> Instance:
@@ -96,12 +98,17 @@ def falsify(
     budget: int = 60,
     n_jobs: int = 8,
     seed: int | np.random.Generator | None = 0,
+    cache: BracketCache | None = None,
 ) -> SearchResult:
     """Search for an instance maximising *algorithm*'s empirical ratio.
 
     Random-restart hill climbing: a third of the budget seeds fresh random
     tight-slack instances, the rest mutates the incumbent.  ``n_jobs`` is
     kept small so the exact offline solver certifies every fitness value.
+    Pass a :class:`~repro.offline.cache.BracketCache` to skip re-solving
+    OPT when the search revisits an instance it has already scored (the
+    cache keys on content, so a mutation that round-trips back to a
+    previous job multiset hits).
     """
     if budget < 1:
         raise ValueError(f"budget must be >= 1, got {budget}")
@@ -110,7 +117,7 @@ def falsify(
         n_jobs, machines, epsilon, seed=int(rng.integers(2**31)),
         tight_fraction=1.0,
     )
-    best_ratio = _evaluate(algorithm, best_inst)
+    best_ratio = _evaluate(algorithm, best_inst, cache)
     evaluations, improvements = 1, 0
     for step in range(budget - 1):
         if step % 3 == 0:
@@ -122,7 +129,7 @@ def falsify(
             candidate = _mutate(best_inst, rng)
             if len(candidate) > 2 * n_jobs:  # keep the exact solver fast
                 continue
-        ratio = _evaluate(algorithm, candidate)
+        ratio = _evaluate(algorithm, candidate, cache)
         evaluations += 1
         if np.isfinite(ratio) and ratio > best_ratio:
             best_ratio, best_inst = ratio, candidate

@@ -20,7 +20,8 @@ from typing import Any, Sequence
 from repro.baselines.registry import run_algorithm
 from repro.core.guarantees import guarantee_for
 from repro.model.instance import Instance
-from repro.offline.bracket import OptBracket, opt_bracket
+from repro.offline.bracket import OptBracket
+from repro.offline.cache import BracketCache, cached_opt_bracket
 
 
 @dataclass(frozen=True)
@@ -72,11 +73,16 @@ def empirical_ratio(
     algorithm: str,
     instance: Instance,
     bracket: OptBracket | None = None,
+    cache: BracketCache | None = None,
     **algorithm_kwargs: Any,
 ) -> RatioReport:
-    """Measure *algorithm* on *instance* against the offline bracket."""
+    """Measure *algorithm* on *instance* against the offline bracket.
+
+    Pass a :class:`~repro.offline.cache.BracketCache` to reuse OPT
+    brackets across instances already certified in earlier runs.
+    """
     if bracket is None:
-        bracket = opt_bracket(instance)
+        bracket = cached_opt_bracket(instance, cache=cache)
     result = run_algorithm(algorithm, instance, **algorithm_kwargs)
     return RatioReport(
         algorithm=algorithm,
@@ -90,10 +96,11 @@ def empirical_ratio(
 def compare_algorithms(
     algorithms: Sequence[str],
     instance: Instance,
+    cache: BracketCache | None = None,
     **kwargs_by_algorithm: dict,
 ) -> list[RatioReport]:
     """Measure several algorithms against one shared offline bracket."""
-    bracket = opt_bracket(instance)
+    bracket = cached_opt_bracket(instance, cache=cache)
     return [
         empirical_ratio(
             name, instance, bracket=bracket, **kwargs_by_algorithm.get(name, {})

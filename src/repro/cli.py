@@ -9,6 +9,7 @@ Commands
 ``tree``     enumerate the Fig. 2 decision tree
 ``compare``  run the algorithm registry on a generated workload
 ``simulate`` run one algorithm through the kernel and print its run stats
+``cache``    inspect or clear the content-addressed offline bracket cache
 
 All output is plain text; commands are deterministic given ``--seed``.
 """
@@ -207,11 +208,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from functools import partial
 
     from repro.analysis.tables import render_rows
+    from repro.offline.cache import BracketCache
     from repro.workloads.cloud import cloud_instance
     from repro.workloads.journal import JournalError, JournalMismatchError
     from repro.workloads.random_instances import random_instance
     from repro.workloads.resilient import SweepInterrupted, run_sweep_resilient
     from repro.workloads.sweep import SweepSpec, aggregate_rows, rows_to_csv, run_sweep
+
+    cache = (
+        BracketCache(args.cache_dir) if args.cache or args.cache_dir else None
+    )
+
+    def _cache_summary(stats: dict | None) -> None:
+        if stats is None:
+            return
+        print(
+            f"bracket cache: {stats['hits']} hits / {stats['misses']} misses "
+            f"({100.0 * stats['hit_rate']:.0f}% hit rate), "
+            f"{stats['writes']} written, {stats['evictions']} evicted"
+            + (
+                f", {stats['corrupt']} corrupt entries dropped"
+                if stats["corrupt"]
+                else ""
+            )
+        )
 
     factory = random_instance if args.workload == "random" else cloud_instance
     spec = SweepSpec(
@@ -253,12 +273,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # Serial fast path; still exit gracefully on ^C (no partial rows to
         # save — run with --journal to make interrupted work resumable).
         try:
-            rows = run_sweep(spec)
+            rows = run_sweep(spec, cache=cache)
         except KeyboardInterrupt:
             print("\ninterrupted: serial sweep discarded; re-run with --journal "
                   "PATH to checkpoint completed cells", file=sys.stderr)
             return EXIT_SWEEP_INTERRUPTED
         _flush(rows, f"sweep[{args.workload}]")
+        if cache is not None:
+            _cache_summary(cache.stats.as_dict())
         return 0
 
     try:
@@ -270,6 +292,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             backoff=args.backoff,
             journal_path=journal_path,
             resume=args.resume is not None,
+            cache=cache,
         )
     except JournalMismatchError:
         raise
@@ -291,6 +314,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     manifest = result.manifest
     _flush(result.rows, f"sweep[{args.workload}]")
     print(manifest.summary())
+    _cache_summary(result.cache_stats)
     if args.manifest:
         with open(args.manifest, "w") as fh:
             json.dump(manifest.as_dict(), fh, indent=2)
@@ -304,6 +328,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         return EXIT_SWEEP_DEGRADED
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.offline.cache import BracketCache
+
+    cache = BracketCache(args.cache_dir)
+    if args.action == "stats":
+        report = cache.scan()
+        print(f"cache directory : {report.directory}")
+        print(f"entries         : {report.entries}")
+        print(f"shards          : {report.shards}")
+        print(f"size on disk    : {report.total_bytes} bytes")
+        print(f"schema version  : {report.as_dict()['version']}")
+    else:  # clear
+        removed = cache.clear()
+        print(f"removed {removed} cached bracket(s) from {cache.cache_dir}")
     return 0
 
 
@@ -420,7 +461,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the structured failure manifest (JSON) to this path "
              "(implies the fault-tolerant runner)",
     )
+    p.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=True,
+        help="reuse offline OPT brackets via the content-addressed disk "
+             "cache (default: on; --no-cache recomputes every bracket)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        help="bracket cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro/brackets; implies --cache)",
+    )
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("cache", help="inspect or clear the offline bracket cache")
+    p.add_argument("action", choices=["stats", "clear"])
+    p.add_argument(
+        "--cache-dir",
+        help="bracket cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro/brackets)",
+    )
+    p.set_defaults(fn=_cmd_cache)
 
     p = sub.add_parser("report", help="generate the condensed reproduction report")
     p.add_argument("--sections", help="comma-separated subset (default: all)")

@@ -15,7 +15,10 @@ the library provides a portfolio:
   insertion heuristics with gap filling.
 
 ``opt_bracket`` combines them into ``(lower, upper)`` with
-``lower <= OPT <= upper``.
+``lower <= OPT <= upper``; :mod:`repro.offline.cache` memoises those
+brackets content-addressed on disk (``opt_bracket`` is pure in
+``(instance, exact_limit, force_bounds)``), so sweep reruns and resumed
+grids never recompute an OPT reference they already certified.
 """
 
 from repro.offline.exact import exact_optimum, ExactResult, EXACT_JOB_LIMIT
@@ -24,6 +27,16 @@ from repro.offline.bounds import flow_upper_bound, opt_upper_bound
 from repro.offline.lp import lp_upper_bound
 from repro.offline.heuristics import best_offline_schedule, opt_lower_bound
 from repro.offline.bracket import opt_bracket, OptBracket
+from repro.offline.cache import (
+    BracketCache,
+    BracketCacheWarning,
+    CacheReport,
+    CacheStats,
+    bracket_key,
+    cached_opt_bracket,
+    default_cache_dir,
+    instance_fingerprint,
+)
 
 __all__ = [
     "exact_optimum",
@@ -37,4 +50,12 @@ __all__ = [
     "opt_lower_bound",
     "opt_bracket",
     "OptBracket",
+    "BracketCache",
+    "BracketCacheWarning",
+    "CacheReport",
+    "CacheStats",
+    "bracket_key",
+    "cached_opt_bracket",
+    "default_cache_dir",
+    "instance_fingerprint",
 ]

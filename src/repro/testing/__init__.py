@@ -1,9 +1,10 @@
 """Test-support utilities shipped with the library.
 
 Currently: the chaos/fault-injection harness used to validate the
-resilient sweep runner (:mod:`repro.testing.chaos`).
+resilient sweep runner and the on-disk bracket cache
+(:mod:`repro.testing.chaos`).
 """
 
-from repro.testing.chaos import ChaosError, ChaosPlan
+from repro.testing.chaos import ChaosError, ChaosPlan, corrupt_file
 
-__all__ = ["ChaosError", "ChaosPlan"]
+__all__ = ["ChaosError", "ChaosPlan", "corrupt_file"]

@@ -150,3 +150,28 @@ class ChaosPlan:
             dataclasses.replace(row, accepted_load=float("nan"), accepted_count=-1)
             for row in rows
         ]
+
+
+def corrupt_file(path: str | os.PathLike, seed: int = 0) -> str:
+    """Deterministically damage a file on disk; returns the damage mode.
+
+    Models the partial-write / bit-rot failures a persistent cache sees:
+    depending on ``seed`` the file is truncated mid-byte, overwritten
+    with non-JSON garbage, or rewritten as valid JSON of the wrong shape.
+    Readers (e.g. :class:`repro.offline.cache.BracketCache`) must treat
+    every mode as a miss, never an exception.
+    """
+    rng = random.Random(interleave_seeds([seed, _CHAOS_SALT]))
+    mode = rng.choice(("truncate", "garbage", "wrong-shape"))
+    path = os.fspath(path)
+    if mode == "truncate":
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(max(1, size // 2))
+    elif mode == "garbage":
+        with open(path, "wb") as fh:
+            fh.write(bytes(rng.getrandbits(8) for _ in range(64)))
+    else:
+        with open(path, "w") as fh:
+            fh.write('{"not": "a bracket"}')
+    return mode

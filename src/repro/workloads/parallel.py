@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.offline.cache import BracketCache
 from repro.workloads.resilient import (
     SweepExecutionError,
     run_sweep_resilient,
@@ -43,6 +44,7 @@ def run_sweep_parallel(
     spec: SweepSpec,
     algorithm_kwargs: dict[str, dict[str, Any]] | None = None,
     max_workers: int | None = None,
+    cache: BracketCache | None = None,
 ) -> list[SweepRow]:
     """Execute *spec* across worker processes, all-or-nothing.
 
@@ -58,6 +60,7 @@ def run_sweep_parallel(
         max_workers=max_workers,
         timeout=None,
         max_retries=0,
+        cache=cache,
     )
     if result.manifest.failures:
         first = result.manifest.failures[0]

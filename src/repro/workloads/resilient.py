@@ -42,9 +42,9 @@ from typing import TYPE_CHECKING, Any
 
 from repro.baselines.registry import run_algorithm
 from repro.core.guarantees import guarantee_for
-from repro.offline.bracket import opt_bracket
+from repro.offline.cache import BracketCache, CacheStats
 from repro.workloads.journal import SweepJournal, spec_fingerprint
-from repro.workloads.sweep import SweepRow, SweepSpec
+from repro.workloads.sweep import SweepRow, SweepSpec, cell_bracket
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.testing.chaos import ChaosPlan
@@ -144,6 +144,9 @@ class ResilientSweepResult:
     rows: list[SweepRow]
     manifest: FailureManifest
     journal_path: str | None = None
+    #: aggregated bracket-cache counters across all workers (dict form of
+    #: :class:`repro.offline.cache.CacheStats`); ``None`` without a cache.
+    cache_stats: dict[str, Any] | None = None
 
     @property
     def complete(self) -> bool:
@@ -161,15 +164,12 @@ def run_cell(
     m: int,
     rep: int,
     algorithm_kwargs: dict[str, dict[str, Any]],
+    cache: BracketCache | None = None,
 ) -> list[SweepRow]:
     """Evaluate one grid cell for every algorithm (worker-side)."""
     seed = spec.cell_seed(eps, m, rep)
     instance = spec.workload(m, eps, seed)
-    bracket = opt_bracket(
-        instance,
-        force_bounds=spec.force_bounds,
-        **({"exact_limit": spec.exact_limit} if spec.exact_limit is not None else {}),
-    )
+    bracket = cell_bracket(spec, instance, cache)
     rows = []
     for name in spec.algorithms:
         result = run_algorithm(
@@ -272,24 +272,28 @@ def _cell_worker(
     algorithm_kwargs: dict[str, dict[str, Any]],
     chaos: "ChaosPlan | None",
     attempt: int,
+    cache: BracketCache | None = None,
 ) -> None:
     """Run one cell in a dedicated process; report over a pipe.
 
-    Sends ``("ok", rows)`` or ``("error", detail)``.  A crash (or an
-    injected one) sends nothing — the parent detects the dead process.
+    Sends ``("ok", rows, cache_stats)`` or ``("error", detail, None)``.
+    A crash (or an injected one) sends nothing — the parent detects the
+    dead process.  ``cache_stats`` is the worker's bracket-cache counter
+    dict (the cache object itself ships as configuration only, so each
+    fresh process opens the shared disk tier with zeroed stats).
     """
     try:
         fault = None
         if chaos is not None:
             fault = chaos.fault_for(spec.cell_seed(eps, m, rep), attempt)
             chaos.trigger(fault)  # may _exit, hang, or raise
-        rows = run_cell(spec, eps, m, rep, algorithm_kwargs)
+        rows = run_cell(spec, eps, m, rep, algorithm_kwargs, cache)
         if fault == "corrupt":
             rows = chaos.corrupt_rows(rows)
-        conn.send(("ok", rows))
+        conn.send(("ok", rows, None if cache is None else cache.stats.as_dict()))
     except BaseException as exc:  # noqa: BLE001 - must cross the process boundary
         try:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            conn.send(("error", f"{type(exc).__name__}: {exc}", None))
         except Exception:  # pragma: no cover - pipe already gone
             pass
     finally:
@@ -317,26 +321,30 @@ class _Active:
     deadline: float | None
 
 
-def _reap(active: _Active) -> tuple[str, Any] | None:
+def _reap(active: _Active) -> tuple[str, Any, Any] | None:
     """Non-blocking check of a worker; returns an outcome or ``None``.
 
-    Outcomes: ``("ok", rows)``, ``("error", detail)``, ``("crash",
-    detail)``, ``("timeout", detail)``.
+    Outcomes: ``("ok", rows, cache_stats)``, ``("error", detail, None)``,
+    ``("crash", detail, None)``, ``("timeout", detail, None)``.
     """
     if active.conn.poll():
         try:
-            status, payload = active.conn.recv()
+            status, payload, extra = active.conn.recv()
         except (EOFError, OSError):
-            status, payload = "crash", "worker closed the pipe without a result"
+            status, payload, extra = (
+                "crash",
+                "worker closed the pipe without a result",
+                None,
+            )
         active.process.join()
-        return (status, payload)
+        return (status, payload, extra)
     if not active.process.is_alive():
         # Exited without sending: died before (or while) reporting.
         code = active.process.exitcode
-        return ("crash", f"worker process died with exit code {code}")
+        return ("crash", f"worker process died with exit code {code}", None)
     if active.deadline is not None and time.monotonic() >= active.deadline:
         _terminate(active.process)
-        return ("timeout", "cell exceeded its timeout; worker terminated")
+        return ("timeout", "cell exceeded its timeout; worker terminated", None)
     return None
 
 
@@ -366,6 +374,7 @@ def run_sweep_resilient(
     resume: bool = False,
     chaos: "ChaosPlan | None" = None,
     interrupt_after: int | None = None,
+    cache: BracketCache | None = None,
 ) -> ResilientSweepResult:
     """Execute *spec* fault-tolerantly across fresh worker processes.
 
@@ -388,6 +397,12 @@ def run_sweep_resilient(
         testing hook: raise :class:`SweepInterrupted` — through the same
         flush path as a real ``SIGINT`` — once this many *new* cells have
         been journaled.
+    ``cache``
+        a :class:`repro.offline.cache.BracketCache` shared by every
+        worker.  Only its configuration is pickled to workers — each
+        fresh process opens the shared on-disk tier itself (atomic-rename
+        writes make concurrent writers safe) — and the per-worker
+        hit/miss counters are aggregated into ``result.cache_stats``.
 
     Returns a :class:`ResilientSweepResult`; never raises for individual
     cell failures (see ``result.manifest``).
@@ -432,9 +447,10 @@ def run_sweep_resilient(
     ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
     active: list[_Active] = []
     new_cells = 0
+    cache_totals = CacheStats() if cache is not None else None
 
     def partial_result() -> ResilientSweepResult:
-        return _assemble(spec, cells, completed, manifest, journal)
+        return _assemble(spec, cells, completed, manifest, journal, cache_totals)
 
     try:
         while pending or active:
@@ -457,6 +473,7 @@ def run_sweep_resilient(
                         algorithm_kwargs,
                         chaos,
                         launchable.attempt,
+                        cache,
                     ),
                     daemon=True,
                 )
@@ -473,12 +490,14 @@ def run_sweep_resilient(
                     still_active.append(entry)
                     continue
                 entry.conn.close()
-                status, payload = outcome
+                status, payload, worker_cache = outcome
                 task = entry.task
                 if status == "ok":
                     problem = validate_cell_rows(spec, task.eps, task.m, task.rep, payload)
                     if problem is None:
                         completed[task.seed] = payload
+                        if cache_totals is not None and worker_cache:
+                            cache_totals.merge(worker_cache)
                         manifest.cells_completed += 1
                         if task.attempt > 1:
                             manifest.recovered += 1
@@ -540,7 +559,7 @@ def run_sweep_resilient(
             journal.close()
 
     manifest.cells_completed = len(completed) - manifest.cells_replayed
-    return _assemble(spec, cells, completed, manifest, journal)
+    return _assemble(spec, cells, completed, manifest, journal, cache_totals)
 
 
 def _assemble(
@@ -549,6 +568,7 @@ def _assemble(
     completed: dict[int, list[SweepRow]],
     manifest: FailureManifest,
     journal: SweepJournal | None,
+    cache_totals: CacheStats | None = None,
 ) -> ResilientSweepResult:
     """Rows in canonical grid order; quarantined cells are simply absent."""
     rows: list[SweepRow] = []
@@ -558,6 +578,7 @@ def _assemble(
         rows=rows,
         manifest=manifest,
         journal_path=None if journal is None else journal.path,
+        cache_stats=None if cache_totals is None else cache_totals.as_dict(),
     )
 
 

@@ -21,7 +21,8 @@ from typing import Any, Callable, Iterable, Sequence
 from repro.baselines.registry import run_algorithm
 from repro.core.guarantees import guarantee_for
 from repro.model.instance import Instance
-from repro.offline.bracket import OptBracket, opt_bracket
+from repro.offline.bracket import OptBracket
+from repro.offline.cache import BracketCache, cached_opt_bracket
 from repro.utils.rng import interleave_seeds
 
 #: Signature of a workload factory: (machines, epsilon, seed) -> Instance.
@@ -114,29 +115,42 @@ class SweepSpec:
         )
 
 
+def cell_bracket(
+    spec: SweepSpec, instance: Instance, cache: BracketCache | None = None
+) -> OptBracket:
+    """Offline bracket for one sweep cell, through an optional cache.
+
+    The single place the sweep layer turns a cell instance into its OPT
+    reference — both the serial path and the resilient runner's workers
+    route through it, so a cache hit is bit-identical to a recompute by
+    construction.
+    """
+    return cached_opt_bracket(
+        instance,
+        force_bounds=spec.force_bounds,
+        cache=cache,
+        **({"exact_limit": spec.exact_limit} if spec.exact_limit is not None else {}),
+    )
+
+
 def run_sweep(
     spec: SweepSpec,
     algorithm_kwargs: dict[str, dict[str, Any]] | None = None,
+    cache: BracketCache | None = None,
 ) -> list[SweepRow]:
     """Execute *spec*; returns one row per (cell, algorithm).
 
     The offline bracket is computed once per cell and shared across
-    algorithms (it dominates the cost).
+    algorithms (it dominates the cost).  Pass a
+    :class:`~repro.offline.cache.BracketCache` to memoise brackets across
+    runs; hit/miss counters accumulate on ``cache.stats``.
     """
     algorithm_kwargs = algorithm_kwargs or {}
     rows: list[SweepRow] = []
     for eps, m, rep in spec.cells():
         seed = spec.cell_seed(eps, m, rep)
         instance = spec.workload(m, eps, seed)
-        bracket: OptBracket = opt_bracket(
-            instance,
-            force_bounds=spec.force_bounds,
-            **(
-                {"exact_limit": spec.exact_limit}
-                if spec.exact_limit is not None
-                else {}
-            ),
-        )
+        bracket: OptBracket = cell_bracket(spec, instance, cache)
         for name in spec.algorithms:
             result = run_algorithm(
                 name,

@@ -37,6 +37,24 @@ class TestApidoc:
         assert out.exists()
         assert "wrote" in capsys.readouterr().out
 
+    def test_check_mode(self, tmp_path, capsys):
+        out = tmp_path / "api.md"
+        assert main(["--out", str(out), "--check"]) == 1  # missing file
+        assert "stale" in capsys.readouterr().out
+        assert main(["--out", str(out)]) == 0
+        assert main(["--out", str(out), "--check"]) == 0
+        out.write_text(out.read_text() + "\ndrift\n")
+        assert main(["--out", str(out), "--check"]) == 1
+
+    def test_committed_reference_is_current(self):
+        """The repo's docs/api.md must match the live public surface."""
+        import pathlib
+
+        committed = (
+            pathlib.Path(__file__).resolve().parents[2] / "docs" / "api.md"
+        )
+        assert committed.read_text() == generate_api_markdown()
+
     def test_no_dangling_exports(self):
         """Every __all__ name must resolve (guards against typo'd exports)."""
         import importlib

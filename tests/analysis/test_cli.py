@@ -216,6 +216,53 @@ class TestSweepCommand:
         ) == 0
         assert "cloud" in capsys.readouterr().out
 
+    def test_sweep_cache_warm_rerun(self, capsys, tmp_path):
+        from repro.cli import main
+
+        argv = [
+            "sweep", "--epsilons", "0.3", "--machines", "2", "--n", "8",
+            "--repetitions", "1", "--cache-dir", str(tmp_path / "brackets"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "bracket cache: 0 hits / 1 misses" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "bracket cache: 1 hits / 0 misses (100% hit rate)" in warm
+
+    def test_sweep_no_cache(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["sweep", "--epsilons", "0.3", "--machines", "2", "--n", "8",
+             "--repetitions", "1", "--no-cache"]
+        ) == 0
+        assert "bracket cache" not in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def test_stats_and_clear(self, capsys, tmp_path):
+        from repro.cli import main
+
+        cache_dir = str(tmp_path / "brackets")
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries         : 0" in capsys.readouterr().out
+
+        assert main(
+            ["sweep", "--epsilons", "0.3", "--machines", "2", "--n", "8",
+             "--repetitions", "2", "--cache-dir", cache_dir]
+        ) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries         : 2" in out
+        assert "schema version" in out
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 2 cached bracket(s)" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries         : 0" in capsys.readouterr().out
+
 
 class TestRowsToCsv:
     def test_roundtrip_columns(self):

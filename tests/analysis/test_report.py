@@ -19,6 +19,7 @@ class TestGenerateReport:
             "## Dominant-phase growth rate",
             "## Simulation kernel",
             "## Fault-tolerant sweeps",
+            "## Bracket cache (content-addressed OPT reuse)",
         ]:
             assert heading in text, heading
 
@@ -43,7 +44,14 @@ class TestGenerateReport:
             "planning",
             "engine",
             "resilience",
+            "performance",
         }
+
+    def test_performance_section(self):
+        text = generate_report(["performance"])
+        assert "## Bracket cache" in text
+        assert "cold" in text and "warm" in text
+        assert "100%" in text  # the warm pass hits on every bracket
 
     def test_planning_section(self):
         text = generate_report(["planning"])

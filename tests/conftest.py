@@ -8,6 +8,19 @@ import pytest
 from repro.model import Instance, Job
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_bracket_cache(tmp_path_factory, monkeypatch):
+    """Point the default bracket-cache directory inside the test tree.
+
+    The sweep CLI caches offline brackets by default; without this, tests
+    exercising the default path would write into the user's real
+    ``~/.cache/repro/brackets``.
+    """
+    monkeypatch.setenv(
+        "REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("bracket-cache"))
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic generator for tests needing ad-hoc randomness."""

@@ -52,7 +52,15 @@ class TestDocsReferenceRealNames:
     MODULE_RE = re.compile(r"`(repro(?:\.[a-z_]+)+)`")
 
     @pytest.mark.parametrize(
-        "doc", ["README.md", "docs/usage.md", "docs/paper_map.md", "docs/algorithms.md"]
+        "doc",
+        [
+            "README.md",
+            "docs/usage.md",
+            "docs/paper_map.md",
+            "docs/algorithms.md",
+            "docs/offline_opt.md",
+            "docs/benchmarks.md",
+        ],
     )
     def test_referenced_modules_importable(self, doc):
         text = (ROOT / doc).read_text()
@@ -76,6 +84,12 @@ class TestDocsReferenceRealNames:
         text = (ROOT / "EXPERIMENTS.md").read_text()
         for bench in set(re.findall(r"`(bench_[a-z0-9_]+\.py)`", text)):
             assert (ROOT / "benchmarks" / bench).exists(), bench
+
+    def test_benchmarks_doc_covers_every_bench_file(self):
+        """docs/benchmarks.md must have a row for every bench file."""
+        text = (ROOT / "docs" / "benchmarks.md").read_text()
+        for bench in sorted((ROOT / "benchmarks").glob("bench_*.py")):
+            assert f"`{bench.name}`" in text, f"{bench.name} missing a row"
 
     def test_readme_example_scripts_exist(self):
         text = (ROOT / "README.md").read_text()

@@ -14,7 +14,7 @@ class TestBracket:
         assert b.exact
         assert b.lower == b.upper == pytest.approx(exact_optimum(inst).value)
         assert b.gap == 0.0
-        assert b.relative_gap() == 0.0
+        assert b.relative_gap == 0.0
 
     def test_large_instance_uses_bounds(self):
         inst = random_instance(60, 2, 0.2, seed=3)
@@ -38,3 +38,16 @@ class TestBracket:
         inst = random_instance(10, 2, 0.2, seed=3)
         b = opt_bracket(inst, exact_limit=5)
         assert not b.exact
+
+    def test_relative_gap_is_a_property(self):
+        inst = random_instance(40, 2, 0.2, seed=5)
+        b = opt_bracket(inst)
+        gap = b.relative_gap
+        assert isinstance(gap, float)
+        assert gap == pytest.approx(b.gap / b.upper)
+
+    def test_relative_gap_call_form_is_deprecated(self):
+        b = opt_bracket(random_instance(8, 2, 0.2, seed=3))
+        with pytest.warns(DeprecationWarning, match="drop the call parentheses"):
+            called = b.relative_gap()
+        assert called == b.relative_gap
