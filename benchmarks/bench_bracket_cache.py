@@ -28,9 +28,10 @@ from pathlib import Path
 
 from repro.analysis.tables import format_table
 from repro.offline.cache import BracketCache
+from repro.workloads.execute import ExecutionPolicy, execute_sweep
 from repro.workloads.random_instances import random_instance
-from repro.workloads.resilient import SweepInterrupted, run_sweep_resilient
-from repro.workloads.sweep import SweepSpec, cell_bracket, run_sweep
+from repro.workloads.resilient import SweepInterrupted
+from repro.workloads.sweep import SweepSpec, cell_bracket
 
 EPSILONS = [0.1, 0.25]
 MACHINES = [2, 3]
@@ -82,26 +83,30 @@ def snapshot() -> dict:
         cache_dir = str(Path(workdir) / "brackets")
         journal = str(Path(workdir) / "sweep.jsonl")
         try:
-            run_sweep_resilient(
+            execute_sweep(
                 spec,
-                journal_path=journal,
-                interrupt_after=INTERRUPT_AFTER,
-                max_workers=2,
-                cache=BracketCache(cache_dir),
+                ExecutionPolicy(
+                    journal=journal,
+                    interrupt_after=INTERRUPT_AFTER,
+                    workers=2,
+                    cache=BracketCache(cache_dir),
+                ),
             )
             raise RuntimeError("interrupt_after did not trigger")
         except SweepInterrupted:
             pass
-        resumed = run_sweep_resilient(
+        resumed = execute_sweep(
             spec,
-            journal_path=journal,
-            resume=True,
-            max_workers=2,
-            cache=BracketCache(cache_dir),
+            ExecutionPolicy(
+                journal=journal,
+                resume=True,
+                workers=2,
+                cache=BracketCache(cache_dir),
+            ),
         )
         assert resumed.complete
         rerun_cache = BracketCache(cache_dir)
-        rerun_rows = run_sweep(spec, cache=rerun_cache)
+        rerun_rows = execute_sweep(spec, ExecutionPolicy(cache=rerun_cache)).rows
         rerun_stats = rerun_cache.stats.as_dict()
 
     return {

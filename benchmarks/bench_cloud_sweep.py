@@ -21,8 +21,8 @@ from repro.analysis.stats import bootstrap_mean
 from repro.analysis.tables import format_table
 from repro.core.guarantees import theorem2_bound
 from repro.workloads.cloud import cloud_instance
-from repro.workloads.parallel import run_sweep_parallel
-from repro.workloads.sweep import SweepSpec, run_sweep
+from repro.workloads.execute import ExecutionPolicy, execute_sweep
+from repro.workloads.sweep import SweepSpec
 
 EPSILONS = [0.05, 0.1, 0.2, 0.4]
 MACHINES = 4
@@ -44,7 +44,7 @@ def _spec() -> SweepSpec:
 
 
 def measure():
-    rows_raw = run_sweep(_spec())
+    rows_raw = execute_sweep(_spec()).rows
     out = []
     for eps in EPSILONS:
         for algorithm in ("threshold", "greedy"):
@@ -93,7 +93,11 @@ def test_e19_parallel_path_agrees(benchmark):
     spec = _spec()
 
     def both():
-        return run_sweep(spec), run_sweep_parallel(spec, max_workers=2)
+        serial = execute_sweep(spec)
+        parallel = execute_sweep(
+            spec, ExecutionPolicy(workers=2, retries=0, strict=True)
+        )
+        return serial.rows, parallel.rows
 
     serial, parallel = benchmark.pedantic(both, rounds=1, iterations=1)
     assert serial == parallel

@@ -27,9 +27,9 @@ from functools import partial
 from repro.analysis.tables import format_table
 from repro.testing.chaos import ChaosPlan
 from repro.workloads.cloud import cloud_instance
-from repro.workloads.parallel import run_sweep_parallel
-from repro.workloads.resilient import SweepInterrupted, run_sweep_resilient
-from repro.workloads.sweep import SweepSpec, run_sweep
+from repro.workloads.execute import ExecutionPolicy, execute_sweep
+from repro.workloads.resilient import SweepInterrupted
+from repro.workloads.sweep import SweepSpec
 
 EPSILONS = [0.1, 0.2, 0.4]
 MACHINES = 3
@@ -65,20 +65,25 @@ def measure():
     timings = {}
 
     t0 = time.perf_counter()
-    serial = run_sweep(spec)
+    serial = execute_sweep(spec).rows
     timings["serial"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    parallel = run_sweep_parallel(spec, max_workers=4)
+    parallel = execute_sweep(
+        spec, ExecutionPolicy(workers=4, retries=0, strict=True)
+    ).rows
     timings["parallel"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    clean = run_sweep_resilient(spec, max_workers=4)
+    clean = execute_sweep(spec, ExecutionPolicy(workers=4))
     timings["resilient (no faults)"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    chaotic = run_sweep_resilient(
-        spec, chaos=CHAOS, timeout=2.0, max_retries=2, backoff=0.05, max_workers=4
+    chaotic = execute_sweep(
+        spec,
+        ExecutionPolicy(
+            chaos=CHAOS, timeout=2.0, retries=2, backoff=0.05, workers=4
+        ),
     )
     timings["resilient (chaos)"] = time.perf_counter() - t0
 
@@ -87,10 +92,14 @@ def measure():
 
     journal = tempfile.NamedTemporaryFile(suffix=".jsonl", delete=False).name
     try:
-        run_sweep_resilient(spec, journal_path=journal, interrupt_after=5, max_workers=4)
+        execute_sweep(
+            spec, ExecutionPolicy(journal=journal, interrupt_after=5, workers=4)
+        )
         resumed = None
     except SweepInterrupted:
-        resumed = run_sweep_resilient(spec, journal_path=journal, resume=True, max_workers=4)
+        resumed = execute_sweep(
+            spec, ExecutionPolicy(journal=journal, resume=True, workers=4)
+        )
 
     return serial, parallel, clean, chaotic, resumed, timings
 

@@ -1,0 +1,170 @@
+"""E24 — sharded sweep execution: partition, merge, bit-identical rows.
+
+A multi-host sweep only earns its keep if splitting the grid changes
+*nothing* about the data: the deterministic per-cell seeds mean a cell
+computed on shard 3 of 4 must equal the same cell in a single-host run
+bit for bit, and :func:`repro.workloads.sharding.merge_journals` must
+reassemble the shard journals into exactly the single-host row list.
+This bench runs a grid both ways — one resilient single-host pass, then
+four independent shard passes with stamped journals plus a merge — and
+certifies:
+
+* the merged rows are **bit-identical**, row for row, to the single-host
+  run (the acceptance bar for the sharding layer);
+* the shard plan balances expected cost (max/mean cost ratio near 1);
+* the merge is complete — no missing cells, no duplicates, nothing
+  quarantined — and reports per-shard wall-clock and straggler ratio.
+
+Run directly (``python benchmarks/bench_sharding.py``) to write the
+machine-readable snapshot ``BENCH_sharding.json`` at the repository
+root.
+"""
+
+import json
+import tempfile
+import time
+from functools import partial
+from pathlib import Path
+
+from repro.analysis.tables import format_table
+from repro.workloads.execute import ExecutionPolicy, execute_sweep
+from repro.workloads.random_instances import random_instance
+from repro.workloads.sharding import ShardPlan, merge_journals, shard_journal_paths
+from repro.workloads.sweep import SweepSpec
+
+EPSILONS = [0.1, 0.25, 0.5]
+MACHINES = [1, 2, 3]
+REPS = 3
+N_JOBS = 14
+N_SHARDS = 4
+
+
+def _spec() -> SweepSpec:
+    return SweepSpec(
+        epsilons=EPSILONS,
+        machine_counts=MACHINES,
+        algorithms=["threshold", "greedy"],
+        workload=partial(random_instance, N_JOBS),
+        repetitions=REPS,
+        base_seed=24,
+        label="sharding-bench",
+    )
+
+
+def snapshot() -> dict:
+    """Single-host vs 4-shard-merge comparison over one grid."""
+    spec = _spec()
+    plan = ShardPlan.build(spec, N_SHARDS)
+
+    t0 = time.perf_counter()
+    single = execute_sweep(spec, ExecutionPolicy(workers=4))
+    single_seconds = time.perf_counter() - t0
+    assert single.complete
+
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = shard_journal_paths(Path(tmp) / "sweep.jsonl", N_SHARDS)
+        shard_seconds = []
+        for i, path in enumerate(paths):
+            t0 = time.perf_counter()
+            result = execute_sweep(
+                spec,
+                ExecutionPolicy(
+                    shards=N_SHARDS, shard_index=i, journal=path, workers=2
+                ),
+            )
+            shard_seconds.append(round(time.perf_counter() - t0, 6))
+            assert result.complete
+        t0 = time.perf_counter()
+        merged = merge_journals(paths)
+        merge_seconds = time.perf_counter() - t0
+
+    return {
+        "bench": "E24 sharded sweep",
+        "cells": merged.manifest.cells_total,
+        "n_jobs": N_JOBS,
+        "machines": MACHINES,
+        "epsilons": EPSILONS,
+        "repetitions": REPS,
+        "base_seed": 24,
+        "n_shards": N_SHARDS,
+        "shard_cells": [info.cells for info in merged.shards],
+        "plan_costs": list(plan.costs()),
+        "plan_balance_ratio": round(plan.balance_ratio, 6),
+        "single_host_seconds": round(single_seconds, 6),
+        "shard_seconds": shard_seconds,
+        "merge_seconds": round(merge_seconds, 6),
+        "straggler_ratio": (
+            None
+            if merged.straggler_ratio is None
+            else round(merged.straggler_ratio, 4)
+        ),
+        "missing": len(merged.missing),
+        "duplicates": merged.duplicates,
+        "quarantined": merged.manifest.quarantined,
+        "rows": len(merged.rows),
+        "rows_bit_identical": merged.rows == single.rows,
+    }
+
+
+def test_e24_sharded_merge_bit_identical(benchmark, save_artifact):
+    snap = benchmark.pedantic(snapshot, rounds=1, iterations=1)
+
+    # The acceptance bar: sharding must not change the dataset at all.
+    assert snap["rows_bit_identical"]
+    assert snap["missing"] == 0
+    assert snap["duplicates"] == 0
+    assert snap["quarantined"] == 0
+    assert sum(snap["shard_cells"]) == snap["cells"]
+
+    # The LPT plan keeps expected cost balanced across shards.
+    assert snap["plan_balance_ratio"] <= 4 / 3 + 1e-9
+
+    benchmark.extra_info.update(
+        {
+            "cells": snap["cells"],
+            "n_shards": snap["n_shards"],
+            "plan_balance_ratio": snap["plan_balance_ratio"],
+            "straggler_ratio": snap["straggler_ratio"],
+            "merge_seconds": snap["merge_seconds"],
+        }
+    )
+    rows = [
+        {
+            "shard": i,
+            "cells": snap["shard_cells"][i],
+            "planned cost": snap["plan_costs"][i],
+            "seconds": snap["shard_seconds"][i],
+        }
+        for i in range(snap["n_shards"])
+    ]
+    save_artifact(
+        "e24_sharding.txt",
+        format_table(
+            rows,
+            title=f"E24 — {snap['cells']} cells over {snap['n_shards']} shards "
+            f"(balance {snap['plan_balance_ratio']}, merge "
+            f"{snap['merge_seconds']}s, bit-identical: "
+            f"{snap['rows_bit_identical']})",
+        ),
+    )
+
+
+def main() -> int:
+    snap = snapshot()
+    out = Path(__file__).resolve().parent.parent / "BENCH_sharding.json"
+    out.write_text(json.dumps(snap, indent=2) + "\n")
+    print(f"cells              : {snap['cells']:10d}")
+    print(f"shards             : {snap['n_shards']:10d} {snap['shard_cells']}")
+    print(f"plan balance ratio : {snap['plan_balance_ratio']:10.3f}")
+    ratio = snap["straggler_ratio"]
+    print(f"straggler ratio    : {ratio if ratio is not None else 'n/a':>10}")
+    print(f"merge time         : {snap['merge_seconds'] * 1e3:10.1f} ms")
+    print(f"bit-identical rows : {str(snap['rows_bit_identical']):>10}")
+    print(f"wrote {out}")
+    return 0 if snap["rows_bit_identical"] else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

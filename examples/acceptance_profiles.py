@@ -20,7 +20,7 @@ from repro.core.threshold import ThresholdPolicy
 from repro.baselines.greedy import GreedyPolicy
 from repro.engine.simulator import simulate
 from repro.workloads import random_instance
-from repro.workloads.parallel import run_sweep_parallel
+from repro.workloads.execute import ExecutionPolicy, execute_sweep
 from repro.workloads.sweep import SweepSpec, aggregate_rows
 
 
@@ -57,10 +57,10 @@ def main() -> None:
         repetitions=3,
         base_seed=11,
     )
-    rows = run_sweep_parallel(spec, max_workers=2)
+    result = execute_sweep(spec, ExecutionPolicy(workers=2, strict=True))
     print(
         render_rows(
-            aggregate_rows(rows),
+            aggregate_rows(result.rows),
             title="parallel sweep (2 workers, deterministic per-cell seeds)",
         )
     )

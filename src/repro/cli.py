@@ -9,6 +9,8 @@ Commands
 ``tree``     enumerate the Fig. 2 decision tree
 ``compare``  run the algorithm registry on a generated workload
 ``simulate`` run one algorithm through the kernel and print its run stats
+``sweep``    run a sweep grid (serial, parallel, resilient, or one shard)
+``merge``    merge shard journals into one dataset with a coverage report
 ``cache``    inspect or clear the content-addressed offline bracket cache
 
 All output is plain text; commands are deterministic given ``--seed``.
@@ -210,10 +212,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis.tables import render_rows
     from repro.offline.cache import BracketCache
     from repro.workloads.cloud import cloud_instance
+    from repro.workloads.execute import ExecutionPolicy, execute_sweep
     from repro.workloads.journal import JournalError, JournalMismatchError
     from repro.workloads.random_instances import random_instance
-    from repro.workloads.resilient import SweepInterrupted, run_sweep_resilient
-    from repro.workloads.sweep import SweepSpec, aggregate_rows, rows_to_csv, run_sweep
+    from repro.workloads.resilient import SweepInterrupted
+    from repro.workloads.sweep import SweepSpec, aggregate_rows, rows_to_csv
 
     cache = (
         BracketCache(args.cache_dir) if args.cache or args.cache_dir else None
@@ -262,38 +265,58 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    if args.shards > 1 and args.shard_index is None:
+        print(
+            f"error: --shards {args.shards} requires --shard-index "
+            f"(0..{args.shards - 1}) naming the shard this host executes",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shard_index is not None and not 0 <= args.shard_index < args.shards:
+        print(
+            f"error: --shard-index {args.shard_index} out of range "
+            f"[0, {args.shards})",
+            file=sys.stderr,
+        )
+        return 2
     journal_path = args.resume or args.journal
     resilient = (
         args.parallel > 0
         or journal_path is not None
         or args.timeout is not None
         or args.manifest is not None
+        or args.shards > 1
     )
     if not resilient:
         # Serial fast path; still exit gracefully on ^C (no partial rows to
         # save — run with --journal to make interrupted work resumable).
         try:
-            rows = run_sweep(spec, cache=cache)
+            result = execute_sweep(spec, ExecutionPolicy(cache=cache))
         except KeyboardInterrupt:
             print("\ninterrupted: serial sweep discarded; re-run with --journal "
                   "PATH to checkpoint completed cells", file=sys.stderr)
             return EXIT_SWEEP_INTERRUPTED
-        _flush(rows, f"sweep[{args.workload}]")
-        if cache is not None:
-            _cache_summary(cache.stats.as_dict())
+        _flush(result.rows, f"sweep[{args.workload}]")
+        _cache_summary(result.cache_stats)
         return 0
 
+    policy = ExecutionPolicy(
+        parallel=True,
+        workers=args.parallel or None,
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+        journal=journal_path,
+        resume=args.resume is not None,
+        cache=cache,
+        shards=args.shards,
+        shard_index=args.shard_index,
+    )
     try:
-        result = run_sweep_resilient(
-            spec,
-            max_workers=args.parallel or None,
-            timeout=args.timeout,
-            max_retries=args.retries,
-            backoff=args.backoff,
-            journal_path=journal_path,
-            resume=args.resume is not None,
-            cache=cache,
-        )
+        result = execute_sweep(spec, policy)
     except JournalMismatchError:
         raise
     except JournalError as exc:
@@ -312,8 +335,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return EXIT_SWEEP_INTERRUPTED
 
     manifest = result.manifest
-    _flush(result.rows, f"sweep[{args.workload}]")
+    label = f"sweep[{args.workload}]"
+    if args.shards > 1:
+        label += f" shard {args.shard_index}/{args.shards}"
+    _flush(result.rows, label)
     print(manifest.summary())
+    if args.shards > 1 and journal_path:
+        print(
+            f"shard {args.shard_index}/{args.shards} journaled to {journal_path}; "
+            "combine the shard journals with: repro merge <journal...>"
+        )
     _cache_summary(result.cache_stats)
     if args.manifest:
         with open(args.manifest, "w") as fh:
@@ -327,6 +358,37 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"[{failure.kind}] {failure.detail}",
                 file=sys.stderr,
             )
+        return EXIT_SWEEP_DEGRADED
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import render_rows
+    from repro.workloads.journal import JournalError
+    from repro.workloads.sharding import merge_journals
+    from repro.workloads.sweep import aggregate_rows, rows_to_csv
+
+    try:
+        result = merge_journals(args.journals, out=args.out)
+    except JournalError as exc:  # includes JournalMismatchError
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.coverage_report())
+    if args.table and result.rows:
+        print(render_rows(aggregate_rows(result.rows), title="merged sweep"))
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(rows_to_csv(result.rows))
+        print(f"wrote {args.csv}")
+    if result.out_path:
+        print(f"wrote {result.out_path}")
+    if not result.complete:
+        print(
+            "merge is incomplete; resume the merged journal to fill the "
+            "holes: repro sweep ... --resume "
+            + (result.out_path or "<merged journal>"),
+            file=sys.stderr,
+        )
         return EXIT_SWEEP_DEGRADED
     return 0
 
@@ -471,7 +533,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="bracket cache directory (default: $REPRO_CACHE_DIR or "
              "~/.cache/repro/brackets; implies --cache)",
     )
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the grid into this many disjoint, cost-balanced "
+             "shards and execute only --shard-index (implies the "
+             "fault-tolerant runner); merge shard journals with repro merge",
+    )
+    p.add_argument(
+        "--shard-index", type=int, default=None,
+        help="which shard this host executes (0-based; required with "
+             "--shards > 1)",
+    )
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "merge",
+        help="merge shard journals into one dataset with a coverage report",
+    )
+    p.add_argument(
+        "journals", nargs="+",
+        help="journal paths to merge (shard-stamped or plain; fingerprints "
+             "must match)",
+    )
+    p.add_argument(
+        "--out",
+        help="write the merged, resumable journal to this path "
+             "(must not already exist)",
+    )
+    p.add_argument("--csv", help="write the merged rows to this CSV file")
+    p.add_argument(
+        "--table", action=argparse.BooleanOptionalAction, default=True,
+        help="print the aggregated results table (default: on)",
+    )
+    p.set_defaults(fn=_cmd_merge)
 
     p = sub.add_parser("cache", help="inspect or clear the offline bracket cache")
     p.add_argument("action", choices=["stats", "clear"])

@@ -5,6 +5,6 @@ resilient sweep runner and the on-disk bracket cache
 (:mod:`repro.testing.chaos`).
 """
 
-from repro.testing.chaos import ChaosError, ChaosPlan, corrupt_file
+from repro.testing.chaos import ChaosError, ChaosPlan, corrupt_file, truncate_tail
 
-__all__ = ["ChaosError", "ChaosPlan", "corrupt_file"]
+__all__ = ["ChaosError", "ChaosPlan", "corrupt_file", "truncate_tail"]

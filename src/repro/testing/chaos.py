@@ -152,6 +152,24 @@ class ChaosPlan:
         ]
 
 
+def truncate_tail(path: str | os.PathLike, nbytes: int = 1) -> int:
+    """Chop *nbytes* off the end of a file, simulating a hard kill mid-write.
+
+    Models the one corruption an append-only, fsync-per-record journal can
+    suffer: the final record cut off partway.  Returns the new size.
+    Loaders (:func:`repro.workloads.journal.load_journal`, and therefore
+    :func:`repro.workloads.sharding.merge_journals`) must tolerate the
+    partial trailing line, report it, and count the damaged cell as
+    missing rather than fail.
+    """
+    path = os.fspath(path)
+    size = os.path.getsize(path)
+    new_size = max(0, size - max(1, int(nbytes)))
+    with open(path, "r+b") as fh:
+        fh.truncate(new_size)
+    return new_size
+
+
 def corrupt_file(path: str | os.PathLike, seed: int = 0) -> str:
     """Deterministically damage a file on disk; returns the damage mode.
 

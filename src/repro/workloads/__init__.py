@@ -19,9 +19,17 @@ from repro.workloads.structured import (
     overload_instance,
     adversarial_like_instance,
 )
-from repro.workloads.sweep import SweepSpec, run_sweep, SweepRow
+from repro.workloads.sweep import SweepSpec, run_sweep, SweepRow, cell_seed_for
 from repro.workloads.arrivals import batch_arrival_instance, mmpp_instance
 from repro.workloads.parallel import run_sweep_parallel
+from repro.workloads.execute import ExecutionPolicy, execute_sweep
+from repro.workloads.sharding import (
+    MergeResult,
+    ShardJournalInfo,
+    ShardPlan,
+    merge_journals,
+    shard_journal_paths,
+)
 from repro.workloads.journal import (
     JournalError,
     JournalMismatchError,
@@ -61,6 +69,14 @@ __all__ = [
     "run_sweep_parallel",
     "run_sweep_resilient",
     "SweepRow",
+    "cell_seed_for",
+    "ExecutionPolicy",
+    "execute_sweep",
+    "ShardPlan",
+    "ShardJournalInfo",
+    "MergeResult",
+    "merge_journals",
+    "shard_journal_paths",
     "CellFailure",
     "FailureManifest",
     "ResilientSweepResult",

@@ -1,0 +1,243 @@
+"""Unified sweep execution: one entrypoint, one policy object.
+
+The sweep surface historically grew three overlapping entrypoints —
+``run_sweep`` (serial), ``run_sweep_parallel`` (strict multiprocess) and
+``run_sweep_resilient`` (fault-tolerant, journaled) — each with its own
+drifting keyword set.  :func:`execute_sweep` replaces all three behind a
+single contract:
+
+* **what** to run is the :class:`~repro.workloads.sweep.SweepSpec`;
+* **how** to run it is the :class:`ExecutionPolicy`, a frozen dataclass
+  unifying the scattered kwargs (workers, timeout, retries, journal,
+  resume, cache, shards, …);
+* the result is always a
+  :class:`~repro.workloads.resilient.ResilientSweepResult` — rows in
+  canonical grid order, a :class:`~repro.workloads.resilient.FailureManifest`
+  and merged bracket-cache counters — whichever path executed.
+
+Determinism is policy-independent: every cell draws its instance from
+:func:`repro.workloads.sweep.cell_seed_for`, so the serial path, the
+multiprocess path and any shard of a multi-host run produce bit-identical
+rows for the same spec.  The legacy entrypoints remain as thin shims that
+build a policy and emit ``DeprecationWarning``.
+
+Examples
+--------
+
+Serial, in-process (the old ``run_sweep``)::
+
+    result = execute_sweep(spec)
+
+Fault-tolerant production run (the old ``run_sweep_resilient``)::
+
+    policy = ExecutionPolicy(workers=8, timeout=120.0, retries=2,
+                             journal="sweep.jsonl")
+    result = execute_sweep(spec, policy)
+
+Shard 2 of a 4-host run (see :mod:`repro.workloads.sharding`)::
+
+    policy = ExecutionPolicy(shards=4, shard_index=2,
+                             journal="shard2.jsonl")
+    result = execute_sweep(spec, policy)
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any
+
+from repro.offline.cache import BracketCache
+from repro.workloads.resilient import (
+    FailureManifest,
+    ResilientSweepResult,
+    SweepExecutionError,
+    _execute_resilient,
+    run_cell,
+)
+from repro.workloads.sweep import SweepSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.testing.chaos import ChaosPlan
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a sweep runs: every execution knob in one frozen value object.
+
+    The default policy is the serial in-process path (cheapest for small
+    grids and interactive use).  Setting any multiprocess-only field —
+    ``parallel``, ``workers``, ``timeout``, ``journal``, ``resume``,
+    ``shards`` (> 1), ``chaos`` or ``interrupt_after`` — routes execution
+    through the fault-tolerant scheduler (fresh worker processes,
+    retries, quarantine, checkpoint journal).  ``retries``/``backoff``
+    only apply on that path.
+    """
+
+    #: Force the fault-tolerant multiprocess scheduler even with defaults
+    #: elsewhere (implied by workers/timeout/journal/resume/shards/chaos).
+    parallel: bool = False
+    #: Worker process count; ``None`` sizes to the pending cells / CPUs.
+    workers: int | None = None
+    #: Per-cell wall-clock budget in seconds; hung workers are terminated.
+    timeout: float | None = None
+    #: Extra attempts per failed cell, each in a fresh process.
+    retries: int = 2
+    #: Base retry delay in seconds, doubled per attempt.
+    backoff: float = 0.25
+    #: Append-only JSONL checkpoint journal path (None = no journal).
+    journal: str | os.PathLike[str] | None = None
+    #: Replay completed cells from ``journal`` and run only the remainder.
+    resume: bool = False
+    #: Bracket cache: a ready :class:`~repro.offline.cache.BracketCache`,
+    #: ``True`` for the default directory, or ``None``/``False`` for off.
+    cache: BracketCache | bool | None = None
+    #: Cache directory (implies caching when set and ``cache`` is unset).
+    cache_dir: str | os.PathLike[str] | None = None
+    #: Partition the grid into this many disjoint shards (1 = no sharding).
+    shards: int = 1
+    #: Which shard this host executes (required when ``shards > 1``).
+    shard_index: int | None = None
+    #: Raise :class:`~repro.workloads.resilient.SweepExecutionError` if any
+    #: cell is quarantined instead of degrading gracefully.
+    strict: bool = False
+    #: Fault-injection plan shipped to workers (tests only).
+    chaos: "ChaosPlan | None" = None
+    #: Testing hook: simulate a hard kill after this many new cells.
+    interrupt_after: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.shards > 1 and self.shard_index is None:
+            raise ValueError(
+                f"a sharded policy (shards={self.shards}) requires shard_index"
+            )
+        if self.shard_index is not None and not 0 <= self.shard_index < self.shards:
+            raise ValueError(
+                f"shard_index {self.shard_index} out of range [0, {self.shards})"
+            )
+        if self.resume and self.journal is None:
+            raise ValueError("resume=True requires a journal path")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.cache is False and self.cache_dir is not None:
+            raise ValueError("cache=False conflicts with an explicit cache_dir")
+
+    # -- derived views -------------------------------------------------
+
+    @property
+    def sharded(self) -> bool:
+        """True when this policy executes one shard of a larger grid."""
+        return self.shards > 1
+
+    @property
+    def needs_processes(self) -> bool:
+        """True when any field demands the fault-tolerant scheduler."""
+        return (
+            self.parallel
+            or self.workers is not None
+            or self.timeout is not None
+            or self.journal is not None
+            or self.resume
+            or self.sharded
+            or self.chaos is not None
+            or self.interrupt_after is not None
+        )
+
+    def resolve_cache(self) -> BracketCache | None:
+        """Materialise the policy's bracket cache (``None`` = caching off)."""
+        if isinstance(self.cache, BracketCache):
+            return self.cache
+        if self.cache is True or (self.cache is None and self.cache_dir is not None):
+            return BracketCache(self.cache_dir)
+        return None
+
+    def with_shard(self, shard_index: int) -> "ExecutionPolicy":
+        """Copy of this policy pointed at a different shard index."""
+        return replace(self, shard_index=shard_index)
+
+
+def _execute_serial(
+    spec: SweepSpec,
+    algorithm_kwargs: dict[str, dict[str, Any]],
+    cache: BracketCache | None,
+) -> ResilientSweepResult:
+    """In-process fast path: no worker processes, no journal, no retries."""
+    cells = list(spec.cells())
+    rows = []
+    for eps, m, rep in cells:
+        rows.extend(run_cell(spec, eps, m, rep, algorithm_kwargs, cache))
+    manifest = FailureManifest(cells_total=len(cells), cells_completed=len(cells))
+    return ResilientSweepResult(
+        rows=rows,
+        manifest=manifest,
+        journal_path=None,
+        cache_stats=None if cache is None else cache.stats.as_dict(),
+    )
+
+
+def execute_sweep(
+    spec: SweepSpec,
+    policy: ExecutionPolicy | None = None,
+    algorithm_kwargs: dict[str, dict[str, Any]] | None = None,
+) -> ResilientSweepResult:
+    """Execute *spec* under *policy*; the single sweep entrypoint.
+
+    Dispatches between the serial in-process path and the fault-tolerant
+    multiprocess scheduler based on the policy (see
+    :class:`ExecutionPolicy`), restricting to the policy's shard when
+    ``shards > 1``.  Rows are bit-identical across paths for the same
+    spec — the choice of policy is purely operational.
+
+    Raises :class:`~repro.workloads.resilient.SweepExecutionError` when
+    ``policy.strict`` and any cell was quarantined; the serial path
+    propagates cell exceptions directly (it has no quarantine machinery).
+    """
+    policy = policy if policy is not None else ExecutionPolicy()
+    algorithm_kwargs = algorithm_kwargs or {}
+    cache = policy.resolve_cache()
+    if policy.needs_processes:
+        cells = None
+        shard = None
+        if policy.sharded:
+            from repro.workloads.sharding import ShardPlan
+
+            plan = ShardPlan.build(spec, policy.shards)
+            cells = plan.cells_for(policy.shard_index)
+            shard = (policy.shard_index, policy.shards)
+        result = _execute_resilient(
+            spec,
+            algorithm_kwargs,
+            max_workers=policy.workers,
+            timeout=policy.timeout,
+            max_retries=policy.retries,
+            backoff=policy.backoff,
+            journal_path=policy.journal,
+            resume=policy.resume,
+            chaos=policy.chaos,
+            interrupt_after=policy.interrupt_after,
+            cache=cache,
+            cells=cells,
+            shard=shard,
+        )
+    else:
+        result = _execute_serial(spec, algorithm_kwargs, cache)
+    if policy.strict and result.manifest.failures:
+        first = result.manifest.failures[0]
+        raise SweepExecutionError(
+            f"{result.manifest.quarantined} sweep cell(s) failed; first: "
+            f"cell (eps={first.epsilon}, m={first.machines}, rep={first.repetition}) "
+            f"[{first.kind}] {first.detail}",
+            result.manifest,
+        )
+    return result
+
+
+__all__ = ["ExecutionPolicy", "execute_sweep"]

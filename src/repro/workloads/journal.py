@@ -2,7 +2,7 @@
 
 A multi-hour sweep grid must survive worker crashes, machine reboots and
 ``SIGINT``.  The journal is the durability layer behind
-:func:`repro.workloads.resilient.run_sweep_resilient`: every completed
+:func:`repro.workloads.execute.execute_sweep`: every completed
 cell is appended as one self-contained JSON line *before* the runner
 moves on, so an interrupted run can be resumed with ``repro sweep
 --resume <journal>`` and replay finished cells from disk instead of
@@ -25,6 +25,17 @@ Design notes
   algorithms, seeds, workload description).  Resuming against a journal
   written for a different spec raises :class:`JournalMismatchError`
   instead of silently mixing incompatible rows.
+* **Shard stamp.**  A journal written by one shard of a multi-host sweep
+  (see :mod:`repro.workloads.sharding`) additionally stamps its header
+  with ``(shard_index, n_shards)``.  Resuming it under different shard
+  flags raises :class:`JournalError` naming both stamps — silently
+  recomputing a different cell subset would corrupt the eventual merge.
+* **Run-stats trailer.**  Each run (initial or resumed) appends one
+  ``stats`` record on exit — wall-clock seconds, manifest counters,
+  bracket-cache counters — which the merge layer aggregates into
+  per-shard timing and a combined cache report.  Loaders that predate
+  the record type would reject it, but old journals (without it) load
+  unchanged, so the format version is unbumped.
 * **Bit-identical replay.**  Rows are stored field-by-field; Python's
   ``json`` emits shortest round-trip float literals, so a replayed
   :class:`~repro.workloads.sweep.SweepRow` compares equal to the row the
@@ -37,7 +48,7 @@ import functools
 import io
 import json
 import os
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from typing import IO, TYPE_CHECKING, Any
 
 from repro.workloads.sweep import SweepRow
@@ -117,6 +128,11 @@ class JournalState:
     #: quarantine records observed in the journal (observability only —
     #: resumed runs re-execute these cells rather than trusting old verdicts).
     failures: list[dict[str, Any]]
+    #: ``(shard_index, n_shards)`` stamp from the header; ``(0, 1)`` for
+    #: unsharded journals (including every journal written before sharding).
+    shard: tuple[int, int] = (0, 1)
+    #: run-stats trailer records (one per run/resume cycle), oldest first.
+    stats: list[dict[str, Any]] = field(default_factory=list)
     #: True when the final line was cut off mid-write (hard kill).
     truncated_tail: bool = False
     #: byte offset of the end of the last complete record; everything past
@@ -130,7 +146,9 @@ def load_journal(path: str | os.PathLike[str]) -> JournalState:
     """Read a journal back; tolerates one truncated trailing line."""
     completed: dict[int, list[SweepRow]] = {}
     failures: list[dict[str, Any]] = []
+    stats: list[dict[str, Any]] = []
     fingerprint: dict[str, Any] | None = None
+    shard = (0, 1)
     truncated = False
     valid_bytes = 0
     with open(path, "rb") as fh:
@@ -161,6 +179,8 @@ def load_journal(path: str | os.PathLike[str]) -> JournalState:
                     f"supported (expected {JOURNAL_VERSION})"
                 )
             fingerprint = record["fingerprint"]
+            if "shard" in record:
+                shard = (int(record["shard"]["index"]), int(record["shard"]["of"]))
         elif kind == "cell":
             completed[int(record["seed"])] = [
                 row_from_payload(p) for p in record["rows"]
@@ -171,6 +191,8 @@ def load_journal(path: str | os.PathLike[str]) -> JournalState:
                     f"{path}: failure record on line {i + 1} has no 'failure' field"
                 )
             failures.append(record["failure"])
+        elif kind == "stats":
+            stats.append({k: v for k, v in record.items() if k != "kind"})
         else:
             raise JournalError(f"{path}: unknown journal record kind {kind!r}")
         valid_bytes = end
@@ -180,6 +202,8 @@ def load_journal(path: str | os.PathLike[str]) -> JournalState:
         fingerprint=fingerprint,
         completed=completed,
         failures=failures,
+        shard=shard,
+        stats=stats,
         truncated_tail=truncated,
         valid_bytes=valid_bytes,
     )
@@ -201,13 +225,21 @@ class SweepJournal:
     # -- lifecycle -----------------------------------------------------
 
     @classmethod
-    def create(cls, path: str | os.PathLike[str], spec: "SweepSpec") -> "SweepJournal":
+    def create(
+        cls,
+        path: str | os.PathLike[str],
+        spec: "SweepSpec",
+        shard: tuple[int, int] | None = None,
+    ) -> "SweepJournal":
         """Start a fresh journal; refuses to clobber an existing one.
 
         A journal is the only durable copy of hours of completed cells, so
         silently truncating one (e.g. a ``--journal`` run where the user
         forgot ``--resume``) would destroy exactly the work it exists to
         protect.  Raises :class:`JournalError` if *path* already holds data.
+
+        ``shard=(shard_index, n_shards)`` stamps a shard-scoped journal so
+        that resume and merge can verify which slice of the grid it holds.
         """
         try:
             fh = open(path, "x", encoding="utf-8")
@@ -219,25 +251,33 @@ class SweepJournal:
                 ) from None
             fh = open(path, "w", encoding="utf-8")
         journal = cls(os.fspath(path), fh)
-        journal._append(
-            {
-                "kind": "header",
-                "version": JOURNAL_VERSION,
-                "label": spec.label,
-                "fingerprint": spec_fingerprint(spec),
-            }
-        )
+        header = {
+            "kind": "header",
+            "version": JOURNAL_VERSION,
+            "label": spec.label,
+            "fingerprint": spec_fingerprint(spec),
+        }
+        if shard is not None:
+            header["shard"] = {"index": int(shard[0]), "of": int(shard[1])}
+        journal._append(header)
         return journal
 
     @classmethod
     def resume(
-        cls, path: str | os.PathLike[str], spec: "SweepSpec"
+        cls,
+        path: str | os.PathLike[str],
+        spec: "SweepSpec",
+        shard: tuple[int, int] | None = None,
     ) -> tuple["SweepJournal", JournalState]:
         """Reopen *path* for append, returning the recovered state.
 
         Raises :class:`JournalMismatchError` when the journal belongs to a
         different spec — resuming would otherwise silently mix rows from
-        incompatible grids.
+        incompatible grids — and :class:`JournalError` when its shard
+        stamp disagrees with the requested ``(shard_index, n_shards)``:
+        the completed-cell set on disk belongs to a *different slice* of
+        the grid, so continuing would silently recompute the wrong subset
+        and poison the eventual merge.
 
         A hard kill can leave a partial trailing line; appending straight
         after it would glue the next record onto the fragment, silently
@@ -256,6 +296,14 @@ class SweepJournal:
             raise JournalMismatchError(
                 f"{os.fspath(path)}: journal was written for a different sweep "
                 f"spec (mismatched fields: {', '.join(diffs)})"
+            )
+        wanted = (0, 1) if shard is None else (int(shard[0]), int(shard[1]))
+        if state.shard != wanted:
+            raise JournalError(
+                f"{os.fspath(path)}: journal is stamped shard_index={state.shard[0]} "
+                f"of n_shards={state.shard[1]}, but this run requests "
+                f"shard_index={wanted[0]} of n_shards={wanted[1]}; resume a shard "
+                "journal with the same --shards/--shard-index it was written with"
             )
         if state.truncated_tail:
             with open(path, "r+b") as trunc:
@@ -298,6 +346,15 @@ class SweepJournal:
         with the record-level ``"kind"`` the loader dispatches on.
         """
         self._append({"kind": "failure", "failure": dict(failure)})
+
+    def record_stats(self, stats: dict[str, Any]) -> None:
+        """Append a run-stats trailer (wall clock, counters, cache stats).
+
+        One is written per run or resume cycle; the merge layer sums them
+        per journal, so cumulative per-shard timing survives any number of
+        interruptions.
+        """
+        self._append({"kind": "stats", **stats})
 
     def _append(self, record: dict[str, Any]) -> None:
         self._fh.write(json.dumps(record, allow_nan=False) + "\n")

@@ -1,42 +1,24 @@
-"""Parallel sweep execution (strict wrapper over the resilient runner).
+"""Parallel sweep execution (deprecated strict facade).
 
 Sweeps are embarrassingly parallel: each grid cell generates its own
 instance from a deterministic per-cell seed, so results are independent
-of scheduling order.  :func:`run_sweep_parallel` fans cells out over
-fresh worker processes and returns rows in the same canonical order as
-:func:`repro.workloads.sweep.run_sweep` — the test-suite asserts
-bit-identical results between the two paths.  Workers run cells through
-the same shared simulation kernel as the serial path, so validation and
-instrumentation are identical in both.
-
-Since the fault-tolerance layer landed, this module is a thin *strict*
-facade over :func:`repro.workloads.resilient.run_sweep_resilient`: no
-retries, no timeout, and any worker failure raises
+of scheduling order.  :func:`run_sweep_parallel` used to be the fan-out
+path; it survives as a deprecated shim over
+:func:`repro.workloads.execute.execute_sweep` with a *strict* policy —
+no retries, no timeout, and any worker failure raises
 :class:`~repro.workloads.resilient.SweepExecutionError` instead of
-degrading gracefully.  Long or unattended grids should call the
-resilient runner directly (or ``repro sweep --journal``) to get
-per-cell timeouts, retries, checkpointing and resume.
-
-Notes for HPC-style use (per the project guides):
-
-* the workload factory and every ``algorithm_kwargs`` value must be
-  picklable (module-level functions or :func:`functools.partial`, not
-  lambdas) — a clear error is raised up front otherwise;
-* per-cell seeds come from the spec, not from worker state, so adding
-  workers can never change the data;
-* chunking is one cell per task — cells are coarse (an offline bracket
-  dominates), so scheduling overhead is negligible.
+degrading gracefully.  New code should build an
+:class:`~repro.workloads.execute.ExecutionPolicy` directly (and long or
+unattended grids should add per-cell timeouts, retries, checkpointing
+and resume — see ``docs/usage.md``).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any
 
 from repro.offline.cache import BracketCache
-from repro.workloads.resilient import (
-    SweepExecutionError,
-    run_sweep_resilient,
-)
 from repro.workloads.sweep import SweepRow, SweepSpec
 
 
@@ -48,26 +30,21 @@ def run_sweep_parallel(
 ) -> list[SweepRow]:
     """Execute *spec* across worker processes, all-or-nothing.
 
-    Returns rows in canonical grid order (identical to the serial
-    :func:`repro.workloads.sweep.run_sweep`).  Raises
-    :class:`SweepExecutionError` if any cell fails — callers that want
-    partial results and retries should use
-    :func:`repro.workloads.resilient.run_sweep_resilient`.
+    .. deprecated::
+        Legacy entrypoint, kept as a thin shim.  Use
+        :func:`repro.workloads.execute.execute_sweep` with
+        ``ExecutionPolicy(parallel=True, retries=0, strict=True)``.
     """
-    result = run_sweep_resilient(
-        spec,
-        algorithm_kwargs,
-        max_workers=max_workers,
-        timeout=None,
-        max_retries=0,
-        cache=cache,
+    warnings.warn(
+        "run_sweep_parallel is deprecated; use repro.workloads.execute."
+        "execute_sweep(spec, ExecutionPolicy(parallel=True, retries=0, "
+        "strict=True))",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    if result.manifest.failures:
-        first = result.manifest.failures[0]
-        raise SweepExecutionError(
-            f"{result.manifest.quarantined} sweep cell(s) failed; first: "
-            f"cell (eps={first.epsilon}, m={first.machines}, rep={first.repetition}) "
-            f"[{first.kind}] {first.detail}",
-            result.manifest,
-        )
-    return result.rows
+    from repro.workloads.execute import ExecutionPolicy, execute_sweep
+
+    policy = ExecutionPolicy(
+        parallel=True, workers=max_workers, retries=0, strict=True, cache=cache
+    )
+    return execute_sweep(spec, policy, algorithm_kwargs).rows

@@ -1,7 +1,9 @@
 """Fault-tolerant sweep execution.
 
-:func:`run_sweep_resilient` is the production path for long benchmark
-grids.  Where :func:`repro.workloads.parallel.run_sweep_parallel` was
+The scheduler core here is the production path for long benchmark grids,
+reached through :func:`repro.workloads.execute.execute_sweep` (the
+deprecated :func:`run_sweep_resilient` shim remains for old callers).
+Where :func:`repro.workloads.parallel.run_sweep_parallel` was
 all-or-nothing — one crashed or hung worker raised out of the pool and
 discarded every completed cell — this runner treats cell failure as a
 normal event:
@@ -36,6 +38,7 @@ import multiprocessing as mp
 import os
 import pickle
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
@@ -378,6 +381,55 @@ def run_sweep_resilient(
 ) -> ResilientSweepResult:
     """Execute *spec* fault-tolerantly across fresh worker processes.
 
+    .. deprecated::
+        Legacy entrypoint, kept as a thin shim.  Use
+        :func:`repro.workloads.execute.execute_sweep` with an
+        :class:`~repro.workloads.execute.ExecutionPolicy` — it carries
+        these keyword arguments as policy fields and adds sharding.
+    """
+    warnings.warn(
+        "run_sweep_resilient is deprecated; use "
+        "repro.workloads.execute.execute_sweep(spec, ExecutionPolicy(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if resume and journal_path is None:
+        raise ValueError("resume=True requires a journal_path")
+    from repro.workloads.execute import ExecutionPolicy, execute_sweep
+
+    policy = ExecutionPolicy(
+        parallel=True,
+        workers=max_workers,
+        timeout=timeout,
+        retries=max_retries,
+        backoff=backoff,
+        journal=journal_path,
+        resume=resume,
+        cache=cache,
+        chaos=chaos,
+        interrupt_after=interrupt_after,
+    )
+    return execute_sweep(spec, policy, algorithm_kwargs)
+
+
+def _execute_resilient(
+    spec: SweepSpec,
+    algorithm_kwargs: dict[str, dict[str, Any]] | None = None,
+    *,
+    max_workers: int | None = None,
+    timeout: float | None = None,
+    max_retries: int = 2,
+    backoff: float = 0.25,
+    journal_path: str | os.PathLike[str] | None = None,
+    resume: bool = False,
+    chaos: "ChaosPlan | None" = None,
+    interrupt_after: int | None = None,
+    cache: BracketCache | None = None,
+    cells: list[tuple[float, int, int]] | None = None,
+    shard: tuple[int, int] | None = None,
+) -> ResilientSweepResult:
+    """Scheduler core behind :func:`repro.workloads.execute.execute_sweep`.
+
     Parameters beyond the classic runner:
 
     ``timeout``
@@ -403,6 +455,15 @@ def run_sweep_resilient(
         fresh process opens the shared on-disk tier itself (atomic-rename
         writes make concurrent writers safe) — and the per-worker
         hit/miss counters are aggregated into ``result.cache_stats``.
+    ``cells``
+        restrict execution to this subset of the grid (a shard produced
+        by :class:`repro.workloads.sharding.ShardPlan`); ``None`` runs
+        the full grid.  Cell seeds are unchanged — a sharded cell is
+        bit-identical to the same cell in a single-host run.
+    ``shard``
+        ``(shard_index, n_shards)`` stamp written into (and validated
+        against) the journal header, so shard journals can never be
+        resumed under different shard flags or merged into the wrong run.
 
     Returns a :class:`ResilientSweepResult`; never raises for individual
     cell failures (see ``result.manifest``).
@@ -410,7 +471,7 @@ def run_sweep_resilient(
     algorithm_kwargs = algorithm_kwargs or {}
     validate_sweep_pickles(spec, algorithm_kwargs)
 
-    cells = list(spec.cells())
+    cells = list(spec.cells()) if cells is None else list(cells)
     seeds = [spec.cell_seed(*cell) for cell in cells]
     if len(set(seeds)) != len(seeds):
         # The journal and the completed-cell map key by seed; a collision
@@ -425,7 +486,7 @@ def run_sweep_resilient(
     journal: SweepJournal | None = None
     if journal_path is not None:
         if resume:
-            journal, state = SweepJournal.resume(journal_path, spec)
+            journal, state = SweepJournal.resume(journal_path, spec, shard=shard)
             valid_seeds = {spec.cell_seed(*cell) for cell in cells}
             completed = {
                 seed: rows
@@ -434,7 +495,7 @@ def run_sweep_resilient(
             }
             manifest.cells_replayed = len(completed)
         else:
-            journal = SweepJournal.create(journal_path, spec)
+            journal = SweepJournal.create(journal_path, spec, shard=shard)
     elif resume:
         raise ValueError("resume=True requires a journal_path")
 
@@ -448,9 +509,26 @@ def run_sweep_resilient(
     active: list[_Active] = []
     new_cells = 0
     cache_totals = CacheStats() if cache is not None else None
+    started = time.monotonic()
 
     def partial_result() -> ResilientSweepResult:
         return _assemble(spec, cells, completed, manifest, journal, cache_totals)
+
+    def journal_stats(interrupted: bool) -> None:
+        if journal is None:
+            return
+        journal.record_stats(
+            {
+                "wall_seconds": round(time.monotonic() - started, 6),
+                "interrupted": interrupted,
+                "cells_completed": manifest.cells_completed,
+                "cells_replayed": manifest.cells_replayed,
+                "recovered": manifest.recovered,
+                "retries": manifest.retries,
+                "quarantined": manifest.quarantined,
+                "cache": None if cache_totals is None else cache_totals.as_dict(),
+            }
+        )
 
     try:
         while pending or active:
@@ -549,16 +627,18 @@ def run_sweep_resilient(
             active = still_active
             if pending or active:
                 time.sleep(_POLL_INTERVAL)
+        manifest.cells_completed = len(completed) - manifest.cells_replayed
+        journal_stats(interrupted=False)
     except KeyboardInterrupt:
         for entry in active:
             _terminate(entry.process)
             entry.conn.close()
+        journal_stats(interrupted=True)
         raise SweepInterrupted(partial_result()) from None
     finally:
         if journal is not None:
             journal.close()
 
-    manifest.cells_completed = len(completed) - manifest.cells_replayed
     return _assemble(spec, cells, completed, manifest, journal, cache_totals)
 
 

@@ -1,10 +1,12 @@
 """Parameter sweeps: the benchmark harness's workhorse.
 
 A :class:`SweepSpec` is a declarative grid — slack values, machine counts,
-repetitions, a workload factory and a list of algorithm names — and
-:func:`run_sweep` executes it with per-cell deterministic seeds (derived
-via ``SeedSequence``-style folding so results are independent of execution
-order) and returns flat rows ready for the table/plot layer.
+repetitions, a workload factory and a list of algorithm names — executed
+with per-cell deterministic seeds (derived via ``SeedSequence``-style
+folding so results are independent of execution order) into flat rows
+ready for the table/plot layer.  Execution itself lives in
+:func:`repro.workloads.execute.execute_sweep`; the historical
+:func:`run_sweep` remains as a deprecated serial shim.
 
 Every run goes through :func:`repro.baselines.registry.run_algorithm` and
 therefore through the shared simulation kernel: sweep cells carry exactly
@@ -15,11 +17,10 @@ run's ``detail.meta``).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.baselines.registry import run_algorithm
-from repro.core.guarantees import guarantee_for
 from repro.model.instance import Instance
 from repro.offline.bracket import OptBracket
 from repro.offline.cache import BracketCache, cached_opt_bracket
@@ -27,6 +28,27 @@ from repro.utils.rng import interleave_seeds
 
 #: Signature of a workload factory: (machines, epsilon, seed) -> Instance.
 WorkloadFactory = Callable[[int, float, int], Instance]
+
+
+def cell_seed_for(base_seed: int, eps: float, m: int, rep: int) -> int:
+    """Deterministic per-cell seed, independent of iteration order.
+
+    The single source of truth for cell identity: :class:`SweepSpec`, the
+    checkpoint journal and the shard/merge layer all derive seeds through
+    this function, so a cell keeps the same key across hosts, resumes and
+    shard boundaries.  Notably it is computable from a journal's header
+    fingerprint alone (``base_seed`` plus the grid values) — no workload
+    factory or spec object required.
+
+    The epsilon hash is folded at full 64-bit width: float hashes of
+    dyadic rationals (0.5, 0.25, …) are high powers of two, so a 32-bit
+    mask used to collapse them all to 0 and distinct epsilons could
+    collide on one seed — fatal for the checkpoint journal, which keys
+    completed cells by this value.
+    """
+    return interleave_seeds(
+        [base_seed, hash(round(eps, 12)) & 0xFFFFFFFFFFFFFFFF, m, rep]
+    )
 
 
 @dataclass(frozen=True)
@@ -102,17 +124,8 @@ class SweepSpec:
                     yield eps, m, rep
 
     def cell_seed(self, eps: float, m: int, rep: int) -> int:
-        """Deterministic per-cell seed, independent of iteration order.
-
-        The epsilon hash is folded at full 64-bit width: float hashes of
-        dyadic rationals (0.5, 0.25, …) are high powers of two, so a
-        32-bit mask used to collapse them all to 0 and distinct epsilons
-        could collide on one seed — fatal for the checkpoint journal,
-        which keys completed cells by this value.
-        """
-        return interleave_seeds(
-            [self.base_seed, hash(round(eps, 12)) & 0xFFFFFFFFFFFFFFFF, m, rep]
-        )
+        """Deterministic per-cell seed (see :func:`cell_seed_for`)."""
+        return cell_seed_for(self.base_seed, eps, m, rep)
 
 
 def cell_bracket(
@@ -138,42 +151,23 @@ def run_sweep(
     algorithm_kwargs: dict[str, dict[str, Any]] | None = None,
     cache: BracketCache | None = None,
 ) -> list[SweepRow]:
-    """Execute *spec*; returns one row per (cell, algorithm).
+    """Execute *spec* serially; returns one row per (cell, algorithm).
 
-    The offline bracket is computed once per cell and shared across
-    algorithms (it dominates the cost).  Pass a
-    :class:`~repro.offline.cache.BracketCache` to memoise brackets across
-    runs; hit/miss counters accumulate on ``cache.stats``.
+    .. deprecated::
+        Legacy entrypoint, kept as a thin shim.  Use
+        :func:`repro.workloads.execute.execute_sweep` — the default
+        :class:`~repro.workloads.execute.ExecutionPolicy` is exactly this
+        serial in-process path and the rows are bit-identical.
     """
-    algorithm_kwargs = algorithm_kwargs or {}
-    rows: list[SweepRow] = []
-    for eps, m, rep in spec.cells():
-        seed = spec.cell_seed(eps, m, rep)
-        instance = spec.workload(m, eps, seed)
-        bracket: OptBracket = cell_bracket(spec, instance, cache)
-        for name in spec.algorithms:
-            result = run_algorithm(
-                name,
-                instance,
-                record_events=spec.record_events,
-                **algorithm_kwargs.get(name, {}),
-            )
-            rows.append(
-                SweepRow(
-                    epsilon=eps,
-                    machines=m,
-                    repetition=rep,
-                    algorithm=name,
-                    accepted_load=result.accepted_load,
-                    accepted_count=result.accepted_count,
-                    n_jobs=len(instance),
-                    opt_lower=bracket.lower,
-                    opt_upper=bracket.upper,
-                    opt_exact=bracket.exact,
-                    guarantee=guarantee_for(name, eps, m),
-                )
-            )
-    return rows
+    warnings.warn(
+        "run_sweep is deprecated; use repro.workloads.execute.execute_sweep"
+        "(spec) — the default ExecutionPolicy is the serial path",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.workloads.execute import ExecutionPolicy, execute_sweep
+
+    return execute_sweep(spec, ExecutionPolicy(cache=cache), algorithm_kwargs).rows
 
 
 def rows_to_csv(rows: Iterable[SweepRow]) -> str:

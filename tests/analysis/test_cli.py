@@ -240,6 +240,104 @@ class TestSweepCommand:
         assert "bracket cache" not in capsys.readouterr().out
 
 
+class TestShardedSweepCommand:
+    BASE = [
+        "sweep",
+        "--epsilons", "0.2,0.5",
+        "--machines", "1,2",
+        "--n", "6",
+        "--repetitions", "1",
+        "--algorithms", "greedy",
+    ]
+
+    def test_shards_require_shard_index(self, capsys):
+        from repro.cli import main
+
+        assert main(self.BASE + ["--shards", "3"]) == 2
+        assert "--shard-index" in capsys.readouterr().err
+        assert main(self.BASE + ["--shards", "3", "--shard-index", "5"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_shard_run_and_merge_match_unsharded(self, capsys, tmp_path):
+        from repro.cli import main
+
+        plain_csv = tmp_path / "plain.csv"
+        assert main(self.BASE + ["--csv", str(plain_csv)]) == 0
+        capsys.readouterr()
+
+        journals = []
+        for i in range(3):
+            journal = tmp_path / f"shard{i}.jsonl"
+            journals.append(str(journal))
+            code = main(
+                self.BASE
+                + ["--shards", "3", "--shard-index", str(i),
+                   "--journal", str(journal)]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert f"shard {i}/3" in out
+
+        merged_csv = tmp_path / "merged.csv"
+        merged_journal = tmp_path / "merged.jsonl"
+        code = main(
+            ["merge", *journals, "--out", str(merged_journal),
+             "--csv", str(merged_csv)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "merged 3 journal(s)" in out
+        assert "0 missing" in out
+        assert merged_csv.read_text() == plain_csv.read_text()
+        assert merged_journal.exists()
+
+    def test_resume_shard_with_wrong_flags_fails(self, capsys, tmp_path):
+        from repro.cli import main
+
+        journal = tmp_path / "shard0.jsonl"
+        assert main(
+            self.BASE
+            + ["--shards", "3", "--shard-index", "0", "--journal", str(journal)]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            self.BASE
+            + ["--shards", "4", "--shard-index", "0", "--resume", str(journal)]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "n_shards=3" in err and "n_shards=4" in err
+
+
+class TestMergeCommand:
+    def test_incomplete_merge_degraded_exit(self, capsys, tmp_path):
+        from repro.cli import main
+
+        journal = tmp_path / "shard0.jsonl"
+        assert main(
+            ["sweep", "--epsilons", "0.2,0.5", "--machines", "1", "--n", "6",
+             "--repetitions", "1", "--algorithms", "greedy",
+             "--shards", "2", "--shard-index", "0", "--journal", str(journal)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["merge", str(journal)]) == 4
+        captured = capsys.readouterr()
+        assert "missing" in captured.out
+        assert "incomplete" in captured.err
+
+    def test_mismatched_journals_rejected(self, capsys, tmp_path):
+        from repro.cli import main
+
+        base = ["sweep", "--epsilons", "0.3", "--machines", "2", "--n", "6",
+                "--repetitions", "1", "--algorithms", "greedy"]
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert main(base + ["--journal", str(a)]) == 0
+        assert main(base + ["--seed", "9", "--journal", str(b)]) == 0
+        capsys.readouterr()
+        assert main(["merge", str(a), str(b)]) == 2
+        assert "different sweeps" in capsys.readouterr().err
+
+
 class TestCacheCommand:
     def test_stats_and_clear(self, capsys, tmp_path):
         from repro.cli import main
@@ -268,8 +366,9 @@ class TestRowsToCsv:
     def test_roundtrip_columns(self):
         from functools import partial
 
+        from repro.workloads.execute import execute_sweep
         from repro.workloads.random_instances import random_instance
-        from repro.workloads.sweep import SweepSpec, rows_to_csv, run_sweep
+        from repro.workloads.sweep import SweepSpec, rows_to_csv
 
         spec = SweepSpec(
             epsilons=[0.3],
@@ -278,7 +377,7 @@ class TestRowsToCsv:
             workload=partial(random_instance, 6),
             repetitions=1,
         )
-        text = rows_to_csv(run_sweep(spec))
+        text = rows_to_csv(execute_sweep(spec).rows)
         lines = text.strip().splitlines()
         assert len(lines) == 2
         assert len(lines[0].split(",")) == len(lines[1].split(","))

@@ -20,6 +20,7 @@ class TestGenerateReport:
             "## Simulation kernel",
             "## Fault-tolerant sweeps",
             "## Bracket cache (content-addressed OPT reuse)",
+            "## Sharded execution",
         ]:
             assert heading in text, heading
 
@@ -45,6 +46,7 @@ class TestGenerateReport:
             "engine",
             "resilience",
             "performance",
+            "sharding",
         }
 
     def test_performance_section(self):
@@ -52,6 +54,12 @@ class TestGenerateReport:
         assert "## Bracket cache" in text
         assert "cold" in text and "warm" in text
         assert "100%" in text  # the warm pass hits on every bracket
+
+    def test_sharding_section(self):
+        text = generate_report(["sharding"])
+        assert "## Sharded execution" in text
+        assert "straggler ratio" in text
+        assert "bit-identical to the single-host run: **yes**" in text
 
     def test_planning_section(self):
         text = generate_report(["planning"])

@@ -28,7 +28,8 @@ from repro.workloads import (
     cloud_instance,
     random_instance,
 )
-from repro.workloads.sweep import SweepSpec, aggregate_rows, run_sweep
+from repro.workloads.execute import execute_sweep
+from repro.workloads.sweep import SweepSpec, aggregate_rows
 
 
 class TestGuaranteesHoldEmpirically:
@@ -118,7 +119,7 @@ class TestSweepPipeline:
             workload=lambda m, e, s: random_instance(10, m, e, seed=s),
             repetitions=2,
         )
-        agg = aggregate_rows(run_sweep(spec))
+        agg = aggregate_rows(execute_sweep(spec).rows)
         assert len(agg) == 2
         for entry in agg:
             assert entry["mean_ratio_upper"] >= 1.0 - 1e-9

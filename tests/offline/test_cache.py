@@ -346,7 +346,7 @@ class TestConcurrentWriters:
 def test_resilient_runner_reports_cache_stats(tmp_path):
     from functools import partial
 
-    from repro.workloads.resilient import run_sweep_resilient
+    from repro.workloads.execute import ExecutionPolicy, execute_sweep
     from repro.workloads.sweep import SweepSpec
 
     spec = SweepSpec(
@@ -358,18 +358,22 @@ def test_resilient_runner_reports_cache_stats(tmp_path):
         base_seed=5,
         label="cache-stats",
     )
-    cold = run_sweep_resilient(spec, max_workers=2, cache=BracketCache(tmp_path))
+    cold = execute_sweep(
+        spec, ExecutionPolicy(workers=2, cache=BracketCache(tmp_path))
+    )
     assert cold.complete
     assert cold.cache_stats is not None
     assert cold.cache_stats["misses"] == 2
     assert cold.cache_stats["writes"] == 2
 
-    warm = run_sweep_resilient(spec, max_workers=2, cache=BracketCache(tmp_path))
+    warm = execute_sweep(
+        spec, ExecutionPolicy(workers=2, cache=BracketCache(tmp_path))
+    )
     assert warm.complete and warm.rows == cold.rows
     assert warm.cache_stats["hits"] == 2
     assert warm.cache_stats["misses"] == 0
     assert warm.cache_stats["hit_rate"] == 1.0
 
-    uncached = run_sweep_resilient(spec, max_workers=2)
+    uncached = execute_sweep(spec, ExecutionPolicy(workers=2))
     assert uncached.cache_stats is None
     assert uncached.rows == cold.rows

@@ -13,8 +13,9 @@ from repro.workloads.journal import (
     row_to_payload,
     spec_fingerprint,
 )
+from repro.workloads.execute import execute_sweep
 from repro.workloads.random_instances import random_instance
-from repro.workloads.sweep import SweepSpec, run_sweep
+from repro.workloads.sweep import SweepSpec
 
 
 def _spec(**overrides) -> SweepSpec:
@@ -32,14 +33,14 @@ def _spec(**overrides) -> SweepSpec:
 
 class TestRowSerialization:
     def test_bit_identical_roundtrip(self):
-        rows = run_sweep(_spec())
+        rows = execute_sweep(_spec()).rows
         for row in rows:
             assert row_from_payload(row_to_payload(row)) == row
 
     def test_json_roundtrip_preserves_floats(self, tmp_path):
         import json
 
-        rows = run_sweep(_spec())
+        rows = execute_sweep(_spec()).rows
         payloads = json.loads(json.dumps([row_to_payload(r) for r in rows]))
         assert [row_from_payload(p) for p in payloads] == rows
 
@@ -51,7 +52,7 @@ class TestRowSerialization:
 class TestJournalLifecycle:
     def test_create_record_load(self, tmp_path):
         spec = _spec()
-        rows = run_sweep(spec)
+        rows = execute_sweep(spec).rows
         path = tmp_path / "sweep.jsonl"
         with SweepJournal.create(path, spec) as journal:
             for i, (eps, m, rep) in enumerate(spec.cells()):
@@ -79,7 +80,7 @@ class TestJournalLifecycle:
 
     def test_truncated_tail_tolerated(self, tmp_path):
         spec = _spec()
-        rows = run_sweep(spec)
+        rows = execute_sweep(spec).rows
         path = tmp_path / "sweep.jsonl"
         with SweepJournal.create(path, spec) as journal:
             cell = next(iter(spec.cells()))
@@ -158,7 +159,7 @@ class TestJournalLifecycle:
         # to the fragment: the record silently vanishes and, once another
         # record follows, the merged line corrupts every later load.
         spec = _spec()
-        rows = run_sweep(spec)
+        rows = execute_sweep(spec).rows
         cells = list(spec.cells())
         path = tmp_path / "sweep.jsonl"
         with SweepJournal.create(path, spec) as journal:
