@@ -381,6 +381,87 @@ def _section_sharding() -> str:
     )
 
 
+def _section_transport() -> str:
+    """Verified transport: flaky collection, salvage, refill, identity."""
+    import tempfile
+    from functools import partial
+    from pathlib import Path
+
+    from repro.testing import ChaosTransport, bitflip
+    from repro.workloads.execute import ExecutionPolicy, execute_sweep
+    from repro.workloads.sharding import merge_journals
+    from repro.workloads.sweep import SweepSpec
+    from repro.workloads.transport import LocalDirTransport, collect_journals
+
+    spec = SweepSpec(
+        epsilons=[0.3],
+        machine_counts=[1, 2],
+        algorithms=["greedy"],
+        workload=partial(random_instance, 8),
+        repetitions=1,
+        base_seed=11,
+        label="report-transport",
+    )
+    single = execute_sweep(spec)
+    with tempfile.TemporaryDirectory() as tmp:
+        shards = [Path(tmp) / f"shard{i}.jsonl" for i in range(2)]
+        for i, path in enumerate(shards):
+            execute_sweep(
+                spec, ExecutionPolicy(shards=2, shard_index=i, journal=path)
+            )
+        # Damage shard 1 at the source: flip one bit inside a row payload.
+        lines = shards[1].read_bytes().split(b"\n")
+        offset = len(lines[0]) + 1
+        bitflip(
+            shards[1],
+            seed=0,
+            lo=offset + lines[1].find(b'"rows"'),
+            hi=offset + len(lines[1]) - 20,
+        )
+        # Pull both through a transport that drops the first transfer
+        # mid-stream; the damaged shard survives every re-pull corrupt,
+        # so its intact rows are salvaged and the original quarantined.
+        inbox = Path(tmp) / "inbox"
+        collected = collect_journals(
+            [str(p) for p in shards],
+            inbox,
+            transport=ChaosTransport(LocalDirTransport(), faults=["drop"]),
+            sleep=lambda _: None,
+        )
+        rows = [
+            {
+                "journal": Path(rec.source).name,
+                "status": rec.status,
+                "attempts": rec.attempts,
+                "bytes": rec.bytes,
+                "corrupt records": (
+                    len(rec.corruption.events) if rec.corruption else 0
+                ),
+            }
+            for rec in collected.records
+        ]
+        merged_path = Path(tmp) / "merged.jsonl"
+        merge_journals(
+            [rec.dest for rec in collected.records], out=merged_path, spec=spec
+        )
+        refilled = execute_sweep(
+            spec, ExecutionPolicy(journal=merged_path, resume=True)
+        )
+    identical = refilled.rows == single.rows
+    return (
+        "## Verified journal transport (collect, salvage, refill)\n\n"
+        + format_markdown(rows)
+        + "\n\nEvery journal row carries a content checksum and every sealed\n"
+        + "journal a SHA-256 seal, so a bit flip or dropped transfer is\n"
+        + "detected at collection time: intact rows are salvaged, the damaged\n"
+        + "original is quarantined with a structured corruption report, and\n"
+        + "the missing cells become coverage holes that `repro sweep --resume`\n"
+        + "refills deterministically.  Rows after salvage + refill bit-identical\n"
+        + "to the undamaged single-host run: "
+        + f"**{'yes' if identical else 'NO — INVESTIGATE'}**.\n"
+    )
+
+
 def _section_growth() -> str:
     rows = []
     for m in (2, 3):
@@ -406,6 +487,7 @@ SECTIONS: dict[str, Callable[[], str]] = {
     "resilience": _section_resilience,
     "performance": _section_performance,
     "sharding": _section_sharding,
+    "transport": _section_transport,
 }
 
 

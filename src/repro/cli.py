@@ -10,6 +10,8 @@ Commands
 ``compare``  run the algorithm registry on a generated workload
 ``simulate`` run one algorithm through the kernel and print its run stats
 ``sweep``    run a sweep grid (serial, parallel, resilient, or one shard)
+``collect``  pull shard journals into a verified inbox (retry/salvage)
+``verify``   check journal seals and row checksums end to end
 ``merge``    merge shard journals into one dataset with a coverage report
 ``cache``    inspect or clear the content-addressed offline bracket cache
 
@@ -282,6 +284,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.salvage and args.resume is None:
+        print(
+            "error: --salvage repairs the journal being resumed; pass it "
+            "together with --resume",
+            file=sys.stderr,
+        )
+        return 2
     journal_path = args.resume or args.journal
     resilient = (
         args.parallel > 0
@@ -311,6 +320,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         backoff=args.backoff,
         journal=journal_path,
         resume=args.resume is not None,
+        salvage=args.salvage,
         cache=cache,
         shards=args.shards,
         shard_index=args.shard_index,
@@ -362,6 +372,66 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``repro verify`` exit code when a journal is intact but unsealed.
+EXIT_VERIFY_UNSEALED = 3
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.workloads.journal import verify_journal
+
+    worst = 0
+    for path in args.journals:
+        verification = verify_journal(path)
+        print(verification.summary())
+        if verification.corruption:
+            for event in verification.corruption.events:
+                print(f"  line {event.line}: [{event.kind}] {event.detail}")
+        if verification.status == "corrupt":
+            worst = max(worst, 2)
+        elif verification.status == "unsealed":
+            worst = max(worst, 1)
+    if worst == 2:
+        print(
+            "corrupt journal(s): re-transfer with repro collect, or repair "
+            "with repro sweep --resume <journal> --salvage",
+            file=sys.stderr,
+        )
+        return 1
+    return EXIT_VERIFY_UNSEALED if worst == 1 else 0
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    from repro.workloads.transport import TransferPolicy, collect_journals
+
+    try:
+        policy = TransferPolicy(
+            retries=args.retries, backoff=args.backoff, timeout=args.timeout
+        )
+        result = collect_journals(
+            args.sources,
+            args.inbox,
+            command=args.command,
+            policy=policy,
+            verify=args.verify,
+            salvage=args.salvage,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    if result.collected:
+        print(
+            "merge the inbox with: repro merge "
+            + " ".join(result.collected)
+            + (" --verify" if result.ok else "")
+        )
+    if any(r.status in ("failed", "quarantined") for r in result.records):
+        return 2
+    if result.degraded:
+        return EXIT_SWEEP_DEGRADED
+    return 0
+
+
 def _cmd_merge(args: argparse.Namespace) -> int:
     from repro.analysis.tables import render_rows
     from repro.workloads.journal import JournalError
@@ -369,8 +439,13 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     from repro.workloads.sweep import aggregate_rows, rows_to_csv
 
     try:
-        result = merge_journals(args.journals, out=args.out)
-    except JournalError as exc:  # includes JournalMismatchError
+        result = merge_journals(
+            args.journals,
+            out=args.out,
+            salvage=not args.strict,
+            require_verified=args.verify,
+        )
+    except JournalError as exc:  # includes JournalMismatch/IntegrityError
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(result.coverage_report())
@@ -519,6 +594,12 @@ def build_parser() -> argparse.ArgumentParser:
              "runner)",
     )
     p.add_argument(
+        "--salvage", action="store_true",
+        help="with --resume: repair a journal damaged mid-file (bit flips, "
+             "failed transfers) — corrupt records are quarantined, the file "
+             "is rewritten clean and their cells re-run",
+    )
+    p.add_argument(
         "--manifest",
         help="write the structured failure manifest (JSON) to this path "
              "(implies the fault-tolerant runner)",
@@ -565,7 +646,69 @@ def build_parser() -> argparse.ArgumentParser:
         "--table", action=argparse.BooleanOptionalAction, default=True,
         help="print the aggregated results table (default: on)",
     )
+    p.add_argument(
+        "--verify", action="store_true",
+        help="require every input to be sealed with all row checksums "
+             "intact; refuse to merge anything less",
+    )
+    p.add_argument(
+        "--strict", action="store_true",
+        help="fail on the first corrupt record instead of quarantining it "
+             "and counting its cell as missing",
+    )
     p.set_defaults(fn=_cmd_merge)
+
+    p = sub.add_parser(
+        "verify",
+        help="check journal seals and row checksums end to end",
+    )
+    p.add_argument("journals", nargs="+", help="journal paths to verify")
+    p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser(
+        "collect",
+        help="pull shard journals into a verified inbox (retry/salvage)",
+    )
+    p.add_argument(
+        "--from", dest="sources", action="append", required=True,
+        metavar="URI",
+        help="journal to pull (repeatable); a filesystem path for the "
+             "default local transport, or whatever --command understands",
+    )
+    p.add_argument(
+        "--inbox", required=True,
+        help="destination directory; verified journals land here, damaged "
+             "originals under <inbox>/quarantine/",
+    )
+    p.add_argument(
+        "--command",
+        help="fetch command template with {source} and {dest} placeholders "
+             "(e.g. 'scp -q {source} {dest}'); default: local file copy",
+    )
+    p.add_argument(
+        "--retries", type=int, default=2,
+        help="extra attempts per transfer, exponential backoff (default 2)",
+    )
+    p.add_argument(
+        "--backoff", type=float, default=0.25,
+        help="base retry delay in seconds, doubled per attempt (default 0.25)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-transfer wall-clock budget in seconds (default: none)",
+    )
+    p.add_argument(
+        "--verify", action=argparse.BooleanOptionalAction, default=True,
+        help="verify seals and row checksums before accepting a journal "
+             "into the inbox (default: on)",
+    )
+    p.add_argument(
+        "--salvage", action=argparse.BooleanOptionalAction, default=True,
+        help="when a journal still arrives corrupt after all retries, keep "
+             "its intact rows and quarantine the damaged ones (default: on; "
+             "--no-salvage marks the source failed instead)",
+    )
+    p.set_defaults(fn=_cmd_collect)
 
     p = sub.add_parser("cache", help="inspect or clear the offline bracket cache")
     p.add_argument("action", choices=["stats", "clear"])

@@ -1,10 +1,26 @@
 """Test-support utilities shipped with the library.
 
 Currently: the chaos/fault-injection harness used to validate the
-resilient sweep runner and the on-disk bracket cache
-(:mod:`repro.testing.chaos`).
+resilient sweep runner, the on-disk bracket cache and the verified
+journal transport (:mod:`repro.testing.chaos`).
 """
 
-from repro.testing.chaos import ChaosError, ChaosPlan, corrupt_file, truncate_tail
+from repro.testing.chaos import (
+    ChaosError,
+    ChaosPlan,
+    ChaosTransport,
+    bitflip,
+    corrupt_file,
+    drop_transfer,
+    truncate_tail,
+)
 
-__all__ = ["ChaosError", "ChaosPlan", "corrupt_file", "truncate_tail"]
+__all__ = [
+    "ChaosError",
+    "ChaosPlan",
+    "ChaosTransport",
+    "bitflip",
+    "corrupt_file",
+    "drop_transfer",
+    "truncate_tail",
+]

@@ -170,6 +170,113 @@ def truncate_tail(path: str | os.PathLike, nbytes: int = 1) -> int:
     return new_size
 
 
+def bitflip(
+    path: str | os.PathLike,
+    seed: int = 0,
+    count: int = 1,
+    lo: int = 0,
+    hi: int | None = None,
+) -> list[int]:
+    """Flip *count* bits in ``path[lo:hi]``, simulating in-transit bit rot.
+
+    The damaged byte offsets are drawn deterministically from ``seed``
+    (without replacement), so a test can corrupt one shard journal and
+    assert that *exactly* the records covering those offsets are
+    quarantined.  Restricting ``[lo, hi)`` lets tests aim at a specific
+    record — e.g. the ``rows`` payload of one cell line — instead of
+    hoping a random flip lands somewhere detectable.  Returns the flipped
+    offsets.  The journal integrity layer
+    (:func:`repro.workloads.journal.verify_journal`, row CRCs, seals)
+    must detect every flip that touches consumed data.
+    """
+    path = os.fspath(path)
+    size = os.path.getsize(path)
+    hi = size if hi is None else min(hi, size)
+    if not 0 <= lo < hi:
+        raise ValueError(f"empty flip range [{lo}, {hi}) for {size}-byte file")
+    rng = random.Random(interleave_seeds([seed, size, _CHAOS_SALT]))
+    count = min(int(count), hi - lo)
+    offsets = sorted(rng.sample(range(lo, hi), count))
+    with open(path, "r+b") as fh:
+        for offset in offsets:
+            fh.seek(offset)
+            byte = fh.read(1)[0]
+            fh.seek(offset)
+            fh.write(bytes([byte ^ (1 << rng.randrange(8))]))
+    return offsets
+
+
+def drop_transfer(path: str | os.PathLike, seed: int = 0) -> int:
+    """Truncate a file as a dropped connection would: mid-transfer.
+
+    Unlike :func:`truncate_tail` (which models a hard kill cutting the
+    *final* record), this cuts at a deterministic point somewhere in the
+    middle of the byte stream — the shape a failed ``scp``/HTTP pull
+    leaves behind.  Keeps at least one byte and always drops at least
+    one; returns the new size.  The transport layer must either resume
+    the pull from this offset or detect the damage at verification.
+    """
+    path = os.fspath(path)
+    size = os.path.getsize(path)
+    if size < 2:
+        raise ValueError(f"{path}: too small ({size} bytes) to drop mid-transfer")
+    rng = random.Random(interleave_seeds([seed, size, _CHAOS_SALT]))
+    new_size = rng.randrange(1, size)
+    with open(path, "r+b") as fh:
+        fh.truncate(new_size)
+    return new_size
+
+
+class ChaosTransport:
+    """Wrap a :class:`~repro.workloads.transport.Transport` with faults.
+
+    *faults* is consumed one entry per ``fetch`` call, in order:
+
+    * ``None`` — the call runs clean;
+    * ``"bitflip"`` — the transfer completes, then one bit of the
+      delivered file is flipped (in-transit corruption);
+    * ``"drop"`` — the transfer is cut mid-stream
+      (:func:`drop_transfer`) and raises ``TransportError``;
+    * ``"fail"`` — the transfer raises before delivering anything.
+
+    Once the sequence is exhausted every further call runs clean, so a
+    test expresses "first pull corrupt, retry succeeds" as
+    ``faults=["bitflip"]``.  Fault randomness is seeded per call index —
+    fully deterministic, replayable runs.
+    """
+
+    def __init__(self, inner, faults: Iterable[str | None], seed: int = 0) -> None:
+        self.inner = inner
+        self.faults = list(faults)
+        self.seed = int(seed)
+        self.calls = 0
+
+    def fetch(
+        self,
+        source: str,
+        dest: str | os.PathLike,
+        *,
+        offset: int = 0,
+        timeout: float | None = None,
+    ) -> int:
+        from repro.workloads.transport import TransportError
+
+        index = self.calls
+        self.calls += 1
+        fault = self.faults[index] if index < len(self.faults) else None
+        if fault == "fail":
+            raise TransportError(f"{source}: injected transport failure (call {index})")
+        total = self.inner.fetch(source, dest, offset=offset, timeout=timeout)
+        if fault == "bitflip":
+            bitflip(dest, seed=interleave_seeds([self.seed, index]))
+        elif fault == "drop":
+            drop_transfer(dest, seed=interleave_seeds([self.seed, index]))
+            raise TransportError(
+                f"{source}: injected dropped connection (call {index})"
+            )
+        return total if fault is None else os.path.getsize(dest)
+
+
 def corrupt_file(path: str | os.PathLike, seed: int = 0) -> str:
     """Deterministically damage a file on disk; returns the damage mode.
 

@@ -24,6 +24,7 @@ from repro.workloads.arrivals import batch_arrival_instance, mmpp_instance
 from repro.workloads.parallel import run_sweep_parallel
 from repro.workloads.execute import ExecutionPolicy, execute_sweep
 from repro.workloads.sharding import (
+    MergeConflict,
     MergeResult,
     ShardJournalInfo,
     ShardPlan,
@@ -31,10 +32,28 @@ from repro.workloads.sharding import (
     shard_journal_paths,
 )
 from repro.workloads.journal import (
+    CorruptionEvent,
+    CorruptionReport,
     JournalError,
+    JournalIntegrityError,
     JournalMismatchError,
+    JournalVerification,
     SweepJournal,
     load_journal,
+    salvage_journal,
+    verify_journal,
+)
+from repro.workloads.transport import (
+    CollectResult,
+    CommandTransport,
+    LocalDirTransport,
+    Transport,
+    TransferPolicy,
+    TransferRecord,
+    TransferTimeout,
+    TransportError,
+    collect_journals,
+    fetch_resumable,
 )
 from repro.workloads.resilient import (
     CellFailure,
@@ -74,6 +93,7 @@ __all__ = [
     "execute_sweep",
     "ShardPlan",
     "ShardJournalInfo",
+    "MergeConflict",
     "MergeResult",
     "merge_journals",
     "shard_journal_paths",
@@ -83,9 +103,25 @@ __all__ = [
     "SweepExecutionError",
     "SweepInterrupted",
     "SweepJournal",
+    "CorruptionEvent",
+    "CorruptionReport",
     "JournalError",
+    "JournalIntegrityError",
     "JournalMismatchError",
+    "JournalVerification",
     "load_journal",
+    "salvage_journal",
+    "verify_journal",
+    "Transport",
+    "TransportError",
+    "TransferTimeout",
+    "TransferPolicy",
+    "TransferRecord",
+    "CollectResult",
+    "LocalDirTransport",
+    "CommandTransport",
+    "collect_journals",
+    "fetch_resumable",
     "instance_from_csv",
     "instance_to_csv",
     "load_trace",

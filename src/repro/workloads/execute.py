@@ -89,6 +89,10 @@ class ExecutionPolicy:
     journal: str | os.PathLike[str] | None = None
     #: Replay completed cells from ``journal`` and run only the remainder.
     resume: bool = False
+    #: With ``resume``: repair a journal damaged mid-file (bit flips,
+    #: failed transfers) instead of raising — corrupt records are
+    #: quarantined, the file is rewritten clean, and their cells re-run.
+    salvage: bool = False
     #: Bracket cache: a ready :class:`~repro.offline.cache.BracketCache`,
     #: ``True`` for the default directory, or ``None``/``False`` for off.
     cache: BracketCache | bool | None = None
@@ -119,6 +123,8 @@ class ExecutionPolicy:
             )
         if self.resume and self.journal is None:
             raise ValueError("resume=True requires a journal path")
+        if self.salvage and not self.resume:
+            raise ValueError("salvage=True requires resume=True")
         if self.retries < 0:
             raise ValueError(f"retries must be >= 0, got {self.retries}")
         if self.backoff < 0:
@@ -221,6 +227,7 @@ def execute_sweep(
             backoff=policy.backoff,
             journal_path=policy.journal,
             resume=policy.resume,
+            salvage=policy.salvage,
             chaos=policy.chaos,
             interrupt_after=policy.interrupt_after,
             cache=cache,

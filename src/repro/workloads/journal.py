@@ -36,6 +36,29 @@ Design notes
   per-shard timing and a combined cache report.  Loaders that predate
   the record type would reject it, but old journals (without it) load
   unchanged, so the format version is unbumped.
+* **Row checksums.**  Every ``cell`` record carries a short content CRC
+  over ``(seed, rows)``, computed from a canonical JSON serialisation so
+  it survives reformatting.  A bit-flip in transit (or at rest) is
+  detected at load time instead of silently poisoning the dataset.
+  Journals written before the CRC existed load unchanged with
+  ``integrity="unknown"`` — the checksum is additive, so the format
+  version is unbumped.
+* **Seal records.**  A run that exits cleanly appends a ``seal`` record:
+  a SHA-256 over the byte stream of every preceding line, the record and
+  cell counts, a digest of the spec fingerprint and the shard stamp.
+  :func:`verify_journal` (``repro verify``) and the merge layer check it
+  — a sealed journal whose seal verifies is guaranteed bit-identical to
+  what the writer produced.  Appending after a seal (a resumed run)
+  simply leaves the journal *unsealed* until the next clean exit appends
+  a fresh seal covering everything, earlier seals included.
+* **Salvage mode.**  ``load_journal(path, salvage=True)`` quarantines
+  corrupt or checksum-failing lines *mid-file* into a structured
+  :class:`CorruptionReport` instead of raising: intact rows survive and
+  the damaged cells simply count as missing (coverage holes a resumed
+  sweep refills).  The default strict mode keeps the historical
+  fail-fast behaviour.  :func:`salvage_journal` rewrites a damaged
+  journal keeping only the intact records (original bytes, original
+  order) and appends a fresh seal marked ``salvaged``.
 * **Bit-identical replay.**  Rows are stored field-by-field; Python's
   ``json`` emits shortest round-trip float literals, so a replayed
   :class:`~repro.workloads.sweep.SweepRow` compares equal to the row the
@@ -45,9 +68,11 @@ Design notes
 from __future__ import annotations
 
 import functools
+import hashlib
 import io
 import json
 import os
+import zlib
 from dataclasses import dataclass, field, fields
 from typing import IO, TYPE_CHECKING, Any
 
@@ -62,6 +87,11 @@ JOURNAL_VERSION = 1
 #: Ordered SweepRow constructor fields (the serialization schema).
 ROW_FIELDS: tuple[str, ...] = tuple(f.name for f in fields(SweepRow))
 
+#: Integrity verdicts for a loaded journal / cell record.
+INTEGRITY_VERIFIED = "verified"
+INTEGRITY_UNKNOWN = "unknown"
+INTEGRITY_SALVAGED = "salvaged"
+
 
 class JournalError(RuntimeError):
     """A journal file is unreadable or structurally invalid."""
@@ -69,6 +99,10 @@ class JournalError(RuntimeError):
 
 class JournalMismatchError(JournalError):
     """A journal's header fingerprint does not match the current spec."""
+
+
+class JournalIntegrityError(JournalError):
+    """A checksum or seal failed: the journal's bytes have been altered."""
 
 
 def describe_workload(workload: Any) -> dict[str, Any]:
@@ -104,6 +138,12 @@ def spec_fingerprint(spec: "SweepSpec") -> dict[str, Any]:
     }
 
 
+def fingerprint_sha256(fingerprint: dict[str, Any]) -> str:
+    """Canonical digest of a spec fingerprint (stored inside seals)."""
+    blob = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 def row_to_payload(row: SweepRow) -> list[Any]:
     """Serialise one row as a compact field-ordered list (see ROW_FIELDS)."""
     return [getattr(row, name) for name in ROW_FIELDS]
@@ -116,6 +156,75 @@ def row_from_payload(payload: list[Any]) -> SweepRow:
             f"row payload has {len(payload)} fields, expected {len(ROW_FIELDS)}"
         )
     return SweepRow(**dict(zip(ROW_FIELDS, payload)))
+
+
+def row_crc(seed: int, payloads: list[list[Any]]) -> str:
+    """Content CRC of one cell record: 8 hex digits over ``(seed, rows)``.
+
+    Computed from a *canonical* JSON serialisation (fixed separators,
+    sorted nothing — lists only), so the checksum is stable under record
+    reformatting and under a JSON round trip (shortest-repr floats).
+    """
+    blob = json.dumps([int(seed), payloads], allow_nan=False, separators=(",", ":"))
+    return format(zlib.crc32(blob.encode("utf-8")) & 0xFFFFFFFF, "08x")
+
+
+# ---------------------------------------------------------------------------
+# corruption accounting
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CorruptionEvent:
+    """One damaged journal line, quarantined during a salvage load."""
+
+    line: int  # 1-based line number in the file
+    kind: str  # unparsable | crc-mismatch | seal-mismatch | bad-record | unknown-kind
+    detail: str
+    #: cell seed the damaged record claimed, when recoverable.
+    seed: int | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "line": self.line,
+            "kind": self.kind,
+            "detail": self.detail,
+            "seed": self.seed,
+        }
+
+
+@dataclass
+class CorruptionReport:
+    """Structured account of everything quarantined from one journal."""
+
+    path: str
+    events: list[CorruptionEvent] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def quarantined_seeds(self) -> set[int]:
+        """Cell seeds whose records were dropped (recoverable ones only)."""
+        return {e.seed for e in self.events if e.seed is not None}
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "events": [e.as_dict() for e in self.events],
+        }
+
+    def summary(self) -> str:
+        if not self.events:
+            return f"{self.path}: no corruption"
+        kinds: dict[str, int] = {}
+        for e in self.events:
+            kinds[e.kind] = kinds.get(e.kind, 0) + 1
+        breakdown = ", ".join(f"{n} {k}" for k, n in sorted(kinds.items()))
+        return (
+            f"{self.path}: {len(self.events)} corrupt record(s) quarantined "
+            f"({breakdown})"
+        )
 
 
 @dataclass
@@ -140,20 +249,30 @@ class JournalState:
     #: off before appending (a new record glued onto a partial line would
     #: corrupt the journal for every later load).
     valid_bytes: int = 0
+    #: header label (``spec.label`` at creation time; ``"merged"`` etc.).
+    label: str | None = None
+    #: overall verdict: ``verified`` (seal checked out, every row CRC
+    #: matched), ``salvaged`` (corrupt records were quarantined) or
+    #: ``unknown`` (pre-integrity journal, or unsealed).
+    integrity: str = INTEGRITY_UNKNOWN
+    #: True when the final record is a seal that verified.
+    sealed: bool = False
+    #: the final verified seal record, when ``sealed``.
+    seal: dict[str, Any] | None = None
+    #: per-cell integrity: seed -> ``verified`` | ``unknown`` (cells whose
+    #: CRC failed are quarantined and never reach ``completed``).
+    integrity_by_seed: dict[int, str] = field(default_factory=dict)
+    #: corrupt lines quarantined during a salvage load (empty when clean).
+    corruption: CorruptionReport | None = None
 
 
-def load_journal(path: str | os.PathLike[str]) -> JournalState:
-    """Read a journal back; tolerates one truncated trailing line."""
-    completed: dict[int, list[SweepRow]] = {}
-    failures: list[dict[str, Any]] = []
-    stats: list[dict[str, Any]] = []
-    fingerprint: dict[str, Any] | None = None
-    shard = (0, 1)
-    truncated = False
-    valid_bytes = 0
-    with open(path, "rb") as fh:
-        data = fh.read()
-    # (raw line, byte offset just past its newline), blank lines dropped.
+# ---------------------------------------------------------------------------
+# loading
+# ---------------------------------------------------------------------------
+
+
+def _split_lines(data: bytes) -> list[tuple[bytes, int]]:
+    """(raw line, byte offset just past its newline), blank lines dropped."""
     lines: list[tuple[bytes, int]] = []
     pos = 0
     while pos < len(data):
@@ -163,42 +282,161 @@ def load_journal(path: str | os.PathLike[str]) -> JournalState:
         if raw.strip():
             lines.append((raw, end))
         pos = end
+    return lines
+
+
+def _scan_journal(
+    path: str | os.PathLike[str], salvage: bool, collect_lines: bool
+) -> tuple[JournalState, list[bytes]]:
+    """Shared loader core; optionally collects the intact raw lines.
+
+    ``collect_lines`` gathers the verbatim bytes of every surviving
+    record *except* seals (a rewrite changes the byte stream, so any old
+    seal would be stale) — the input to :func:`salvage_journal`.
+    """
+    completed: dict[int, list[SweepRow]] = {}
+    failures: list[dict[str, Any]] = []
+    stats: list[dict[str, Any]] = []
+    fingerprint: dict[str, Any] | None = None
+    label: str | None = None
+    shard = (0, 1)
+    truncated = False
+    valid_bytes = 0
+    integrity_by_seed: dict[int, str] = {}
+    report = CorruptionReport(path=os.fspath(path))
+    kept: list[bytes] = []
+    hasher = hashlib.sha256()
+    last_seal: dict[str, Any] | None = None
+    last_seal_index: int | None = None
+    cells_seen = 0
+
+    with open(path, "rb") as fh:
+        data = fh.read()
+    lines = _split_lines(data)
+
+    def _quarantine(i: int, kind: str, detail: str, seed: int | None = None) -> None:
+        if not salvage:
+            if kind in ("crc-mismatch", "seal-mismatch"):
+                raise JournalIntegrityError(
+                    f"{os.fspath(path)}: {detail} on line {i + 1}; the journal's "
+                    "bytes were altered after writing — re-transfer it, or load "
+                    "with salvage to quarantine the damaged records"
+                )
+            raise JournalError(f"{path}: corrupt journal record on line {i + 1}")
+        report.events.append(CorruptionEvent(line=i + 1, kind=kind, detail=detail, seed=seed))
+
     for i, (raw, end) in enumerate(lines):
+        keep_line = False
         try:
             record = json.loads(raw.decode("utf-8"))
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            if not isinstance(record, dict):
+                raise JournalError("record is not a JSON object")
+        except (json.JSONDecodeError, UnicodeDecodeError, JournalError) as exc:
             if i == len(lines) - 1:
                 truncated = True  # hard kill mid-append; cell simply re-runs
                 break
-            raise JournalError(f"{path}: corrupt journal record on line {i + 1}") from exc
+            _quarantine(i, "unparsable", f"undecodable record: {exc}")
+            hasher.update(raw)
+            valid_bytes = end
+            continue
         kind = record.get("kind")
         if kind == "header":
             if record.get("version") != JOURNAL_VERSION:
+                # Not salvageable: an unknown format cannot be interpreted.
                 raise JournalError(
                     f"{path}: journal version {record.get('version')!r} is not "
                     f"supported (expected {JOURNAL_VERSION})"
                 )
             fingerprint = record["fingerprint"]
+            label = record.get("label")
             if "shard" in record:
                 shard = (int(record["shard"]["index"]), int(record["shard"]["of"]))
+            keep_line = True
         elif kind == "cell":
-            completed[int(record["seed"])] = [
-                row_from_payload(p) for p in record["rows"]
-            ]
+            try:
+                seed = int(record["seed"])
+                payloads = record["rows"]
+                rows = [row_from_payload(p) for p in payloads]
+            except (KeyError, TypeError, ValueError, JournalError) as exc:
+                _quarantine(
+                    i,
+                    "bad-record",
+                    f"malformed cell record: {exc}",
+                    seed=int(record["seed"])
+                    if isinstance(record.get("seed"), (int, float))
+                    else None,
+                )
+            else:
+                cells_seen += 1
+                crc = record.get("crc")
+                if crc is None:
+                    completed[seed] = rows
+                    integrity_by_seed[seed] = INTEGRITY_UNKNOWN
+                    keep_line = True
+                elif crc == row_crc(seed, payloads):
+                    completed[seed] = rows
+                    integrity_by_seed[seed] = INTEGRITY_VERIFIED
+                    keep_line = True
+                else:
+                    _quarantine(
+                        i,
+                        "crc-mismatch",
+                        f"row checksum mismatch (cell seed {seed}): stored "
+                        f"{crc!r} != computed {row_crc(seed, payloads)!r}",
+                        seed=seed,
+                    )
         elif kind == "failure":
             if "failure" not in record:
-                raise JournalError(
-                    f"{path}: failure record on line {i + 1} has no 'failure' field"
-                )
-            failures.append(record["failure"])
+                _quarantine(i, "bad-record", "failure record has no 'failure' field")
+            else:
+                failures.append(record["failure"])
+                keep_line = True
         elif kind == "stats":
             stats.append({k: v for k, v in record.items() if k != "kind"})
+            keep_line = True
+        elif kind == "seal":
+            problems = []
+            if record.get("stream_sha256") != hasher.hexdigest():
+                problems.append("stream hash mismatch")
+            if record.get("records") != i:
+                problems.append(
+                    f"record count mismatch (seal says {record.get('records')}, "
+                    f"stream has {i})"
+                )
+            if fingerprint is None:
+                problems.append("seal precedes the header")
+            elif record.get("fingerprint_sha256") != fingerprint_sha256(fingerprint):
+                problems.append("fingerprint digest mismatch")
+            if problems:
+                _quarantine(
+                    i, "seal-mismatch", "seal verification failed: " + "; ".join(problems)
+                )
+            else:
+                last_seal = record
+                last_seal_index = i
+            # Never kept: a rewrite invalidates every pre-existing seal.
         else:
-            raise JournalError(f"{path}: unknown journal record kind {kind!r}")
+            if not salvage:
+                raise JournalError(
+                    f"{path}: unknown journal record kind {kind!r}"
+                )
+            _quarantine(i, "unknown-kind", f"unknown journal record kind {kind!r}")
+        hasher.update(raw)
         valid_bytes = end
+        if keep_line and collect_lines:
+            kept.append(raw if raw.endswith(b"\n") else raw + b"\n")
     if fingerprint is None:
         raise JournalError(f"{path}: journal has no header record")
-    return JournalState(
+    sealed = last_seal is not None and last_seal_index == len(lines) - 1 and not truncated
+    if report.events:
+        integrity = INTEGRITY_SALVAGED
+    elif sealed and all(
+        v == INTEGRITY_VERIFIED for v in integrity_by_seed.values()
+    ):
+        integrity = INTEGRITY_VERIFIED
+    else:
+        integrity = INTEGRITY_UNKNOWN
+    state = JournalState(
         fingerprint=fingerprint,
         completed=completed,
         failures=failures,
@@ -206,7 +444,204 @@ def load_journal(path: str | os.PathLike[str]) -> JournalState:
         stats=stats,
         truncated_tail=truncated,
         valid_bytes=valid_bytes,
+        label=label,
+        integrity=integrity,
+        sealed=sealed,
+        seal=last_seal if sealed else None,
+        integrity_by_seed=integrity_by_seed,
+        corruption=report,
     )
+    return state, kept
+
+
+def load_journal(
+    path: str | os.PathLike[str], *, salvage: bool = False
+) -> JournalState:
+    """Read a journal back; tolerates one truncated trailing line.
+
+    In the default strict mode a corrupt mid-file record raises
+    :class:`JournalError` (:class:`JournalIntegrityError` when a row CRC
+    or seal fails).  With ``salvage=True`` damaged lines are quarantined
+    into ``state.corruption`` instead: intact rows survive, and the
+    affected cells simply count as missing so a resumed sweep refills
+    them.
+    """
+    state, _ = _scan_journal(path, salvage=salvage, collect_lines=False)
+    return state
+
+
+# ---------------------------------------------------------------------------
+# verification and salvage
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class JournalVerification:
+    """Outcome of :func:`verify_journal` (the ``repro verify`` payload)."""
+
+    path: str
+    #: ``verified`` | ``unsealed`` | ``corrupt``
+    status: str
+    cells: int = 0
+    detail: str = ""
+    corruption: CorruptionReport | None = None
+    state: JournalState | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "verified"
+
+    def summary(self) -> str:
+        extra = f" — {self.detail}" if self.detail else ""
+        return f"{self.path}: {self.status} ({self.cells} cell(s)){extra}"
+
+
+def verify_journal(path: str | os.PathLike[str]) -> JournalVerification:
+    """Check a journal's integrity end to end without loading it strictly.
+
+    ``verified``: the final record is a seal whose stream hash, record
+    count and fingerprint digest all check out, and every cell CRC
+    matched — the file is bit-identical to what its writer produced.
+    ``unsealed``: no damage found, but there is no (final) seal and/or
+    some records predate the checksum, so integrity is unknown.
+    ``corrupt``: at least one record is damaged (or the file is not a
+    journal at all).
+    """
+    path = os.fspath(path)
+    try:
+        state = load_journal(path, salvage=True)
+    except (JournalError, OSError) as exc:
+        return JournalVerification(
+            path=path, status="corrupt", detail=str(exc),
+            corruption=CorruptionReport(path=path),
+        )
+    if state.corruption:
+        detail = state.corruption.summary()
+        if state.truncated_tail:
+            detail += "; truncated tail"
+        return JournalVerification(
+            path=path, status="corrupt", cells=len(state.completed),
+            detail=detail, corruption=state.corruption, state=state,
+        )
+    if state.truncated_tail:
+        return JournalVerification(
+            path=path, status="corrupt", cells=len(state.completed),
+            detail="truncated trailing record", corruption=state.corruption,
+            state=state,
+        )
+    if state.integrity == INTEGRITY_VERIFIED:
+        detail = "sealed"
+        if state.seal and state.seal.get("salvaged"):
+            detail = "sealed (salvaged upstream)"
+        return JournalVerification(
+            path=path, status="verified", cells=len(state.completed),
+            detail=detail, corruption=state.corruption, state=state,
+        )
+    reasons = []
+    if not state.sealed:
+        reasons.append("no final seal")
+    unknown = sum(
+        1 for v in state.integrity_by_seed.values() if v != INTEGRITY_VERIFIED
+    )
+    if unknown:
+        reasons.append(f"{unknown} cell(s) without checksums")
+    return JournalVerification(
+        path=path, status="unsealed", cells=len(state.completed),
+        detail="; ".join(reasons) or "integrity unknown",
+        corruption=state.corruption, state=state,
+    )
+
+
+def _write_sealed_lines(
+    dest: str | os.PathLike[str],
+    raw_lines: list[bytes],
+    *,
+    fingerprint: dict[str, Any],
+    shard: tuple[int, int] | None,
+    cells: int,
+    salvaged: bool,
+) -> None:
+    """Write raw record lines plus a fresh covering seal, atomically."""
+    dest = os.fspath(dest)
+    hasher = hashlib.sha256()
+    tmp = dest + ".tmp"
+    with open(tmp, "wb") as fh:
+        for raw in raw_lines:
+            fh.write(raw)
+            hasher.update(raw)
+        seal = make_seal(
+            stream_sha256=hasher.hexdigest(),
+            records=len(raw_lines),
+            cells=cells,
+            fingerprint=fingerprint,
+            shard=shard,
+            salvaged=salvaged,
+        )
+        fh.write((json.dumps(seal, allow_nan=False) + "\n").encode("utf-8"))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, dest)
+
+
+def salvage_journal(
+    src: str | os.PathLike[str], dest: str | os.PathLike[str] | None = None
+) -> tuple[JournalState, CorruptionReport]:
+    """Rewrite a damaged journal keeping only its intact records.
+
+    Surviving records are copied *byte-for-byte* in their original order
+    (so replay stays bit-identical); corrupt lines, the truncated tail
+    and stale seals are dropped, and a fresh seal marked ``salvaged`` is
+    appended.  ``dest=None`` rewrites in place (atomic replace).  Returns
+    the pre-salvage state and the corruption report describing everything
+    that was quarantined.
+
+    Raises :class:`JournalError` when the journal cannot be salvaged at
+    all (no readable header) — that is a file for quarantine, not repair.
+    """
+    src = os.fspath(src)
+    dest = src if dest is None else os.fspath(dest)
+    state, kept = _scan_journal(src, salvage=True, collect_lines=True)
+    cells = sum(1 for _ in state.completed)
+    shard = None if state.shard == (0, 1) else state.shard
+    _write_sealed_lines(
+        dest,
+        kept,
+        fingerprint=state.fingerprint,
+        shard=shard,
+        cells=cells,
+        salvaged=bool(state.corruption) or state.truncated_tail,
+    )
+    assert state.corruption is not None
+    return state, state.corruption
+
+
+def make_seal(
+    *,
+    stream_sha256: str,
+    records: int,
+    cells: int,
+    fingerprint: dict[str, Any],
+    shard: tuple[int, int] | None = None,
+    salvaged: bool = False,
+) -> dict[str, Any]:
+    """Build a seal record covering *records* preceding lines."""
+    seal: dict[str, Any] = {
+        "kind": "seal",
+        "algo": "sha256",
+        "stream_sha256": stream_sha256,
+        "records": int(records),
+        "cells": int(cells),
+        "fingerprint_sha256": fingerprint_sha256(fingerprint),
+        "salvaged": bool(salvaged),
+    }
+    if shard is not None:
+        seal["shard"] = {"index": int(shard[0]), "of": int(shard[1])}
+    return seal
+
+
+# ---------------------------------------------------------------------------
+# the writer
+# ---------------------------------------------------------------------------
 
 
 class SweepJournal:
@@ -215,12 +650,42 @@ class SweepJournal:
     Use :meth:`create` for a fresh journal or :meth:`resume` to reopen an
     existing one (validating its fingerprint and recovering completed
     cells).  Records are flushed and fsync'd per append so that completed
-    work survives a hard kill.
+    work survives a hard kill.  The writer keeps a running SHA-256 over
+    everything it has written so :meth:`record_seal` can close a run with
+    a verifiable seal.
     """
 
-    def __init__(self, path: str, fh: IO[str]) -> None:
+    def __init__(
+        self,
+        path: str,
+        fh: IO[str],
+        *,
+        fingerprint: dict[str, Any] | None = None,
+        shard: tuple[int, int] | None = None,
+    ) -> None:
         self.path = path
         self._fh = fh
+        self._fingerprint = fingerprint or {}
+        self._shard = shard
+        self._hasher = hashlib.sha256()
+        self._records = 0
+        self._cells = 0
+
+    def _prime_from_disk(self) -> None:
+        """Re-establish the running hash/counters from the file's bytes."""
+        with open(self.path, "rb") as fh:
+            data = fh.read()
+        self._hasher = hashlib.sha256()
+        self._records = 0
+        self._cells = 0
+        for raw, _ in _split_lines(data):
+            self._hasher.update(raw)
+            self._records += 1
+            try:
+                if json.loads(raw.decode("utf-8")).get("kind") == "cell":
+                    self._cells += 1
+            except (json.JSONDecodeError, UnicodeDecodeError, AttributeError):
+                pass  # salvage-mode leftovers; counted as records only
 
     # -- lifecycle -----------------------------------------------------
 
@@ -250,12 +715,13 @@ class SweepJournal:
                     "(repro sweep --resume) or delete it explicitly to start over"
                 ) from None
             fh = open(path, "w", encoding="utf-8")
-        journal = cls(os.fspath(path), fh)
+        fingerprint = spec_fingerprint(spec)
+        journal = cls(os.fspath(path), fh, fingerprint=fingerprint, shard=shard)
         header = {
             "kind": "header",
             "version": JOURNAL_VERSION,
             "label": spec.label,
-            "fingerprint": spec_fingerprint(spec),
+            "fingerprint": fingerprint,
         }
         if shard is not None:
             header["shard"] = {"index": int(shard[0]), "of": int(shard[1])}
@@ -268,6 +734,7 @@ class SweepJournal:
         path: str | os.PathLike[str],
         spec: "SweepSpec",
         shard: tuple[int, int] | None = None,
+        salvage: bool = False,
     ) -> tuple["SweepJournal", JournalState]:
         """Reopen *path* for append, returning the recovered state.
 
@@ -284,8 +751,13 @@ class SweepJournal:
         dropping that record and corrupting the journal for every later
         load.  The tail is therefore truncated back to the last complete
         record before the file is reopened for append.
+
+        With ``salvage=True`` a journal damaged *mid-file* (bit-flips,
+        failed transfers) is repaired first — intact records are kept
+        byte-for-byte, corrupt ones quarantined (their cells re-run) —
+        instead of raising :class:`JournalIntegrityError`.
         """
-        state = load_journal(path)
+        state = load_journal(path, salvage=salvage)
         current = spec_fingerprint(spec)
         if state.fingerprint != current:
             diffs = [
@@ -305,11 +777,22 @@ class SweepJournal:
                 f"shard_index={wanted[0]} of n_shards={wanted[1]}; resume a shard "
                 "journal with the same --shards/--shard-index it was written with"
             )
-        if state.truncated_tail:
+        if salvage and state.corruption:
+            # Rewrite the journal clean (atomic) before appending: corrupt
+            # lines must not stay behind to poison every later strict load.
+            salvage_journal(path)
+        elif state.truncated_tail:
             with open(path, "r+b") as trunc:
                 trunc.truncate(state.valid_bytes)
         fh = open(path, "a", encoding="utf-8")
-        return cls(os.fspath(path), fh), state
+        journal = cls(
+            os.fspath(path),
+            fh,
+            fingerprint=state.fingerprint,
+            shard=None if state.shard == (0, 1) else state.shard,
+        )
+        journal._prime_from_disk()
+        return journal, state
 
     def close(self) -> None:
         if not self._fh.closed:
@@ -327,6 +810,7 @@ class SweepJournal:
         self, seed: int, eps: float, m: int, rep: int, rows: list[SweepRow]
     ) -> None:
         """Checkpoint one completed cell (durable once this returns)."""
+        payloads = [row_to_payload(r) for r in rows]
         self._append(
             {
                 "kind": "cell",
@@ -334,7 +818,8 @@ class SweepJournal:
                 "epsilon": float(eps),
                 "machines": int(m),
                 "repetition": int(rep),
-                "rows": [row_to_payload(r) for r in rows],
+                "rows": payloads,
+                "crc": row_crc(int(seed), payloads),
             }
         )
 
@@ -356,9 +841,32 @@ class SweepJournal:
         """
         self._append({"kind": "stats", **stats})
 
+    def record_seal(self, *, salvaged: bool = False) -> None:
+        """Close the run with a seal covering every line written so far.
+
+        Appended on clean exit (the journal stays resumable — records
+        appended later simply leave it unsealed until the next clean exit
+        seals it again, earlier seals included in the new stream hash).
+        """
+        self._append(
+            make_seal(
+                stream_sha256=self._hasher.hexdigest(),
+                records=self._records,
+                cells=self._cells,
+                fingerprint=self._fingerprint,
+                shard=self._shard,
+                salvaged=salvaged,
+            )
+        )
+
     def _append(self, record: dict[str, Any]) -> None:
-        self._fh.write(json.dumps(record, allow_nan=False) + "\n")
+        line = json.dumps(record, allow_nan=False) + "\n"
+        self._fh.write(line)
         self._fh.flush()
+        self._hasher.update(line.encode("utf-8"))
+        self._records += 1
+        if record.get("kind") == "cell":
+            self._cells += 1
         try:
             os.fsync(self._fh.fileno())
         except (OSError, ValueError, io.UnsupportedOperation):  # pragma: no cover

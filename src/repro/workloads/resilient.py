@@ -427,6 +427,7 @@ def _execute_resilient(
     cache: BracketCache | None = None,
     cells: list[tuple[float, int, int]] | None = None,
     shard: tuple[int, int] | None = None,
+    salvage: bool = False,
 ) -> ResilientSweepResult:
     """Scheduler core behind :func:`repro.workloads.execute.execute_sweep`.
 
@@ -464,6 +465,12 @@ def _execute_resilient(
         ``(shard_index, n_shards)`` stamp written into (and validated
         against) the journal header, so shard journals can never be
         resumed under different shard flags or merged into the wrong run.
+    ``salvage``
+        with ``resume=True``, repair a journal damaged mid-file (bit
+        flips, failed transfers) instead of raising
+        :class:`~repro.workloads.journal.JournalIntegrityError`: corrupt
+        records are quarantined, the file is rewritten clean, and the
+        affected cells are simply re-executed.
 
     Returns a :class:`ResilientSweepResult`; never raises for individual
     cell failures (see ``result.manifest``).
@@ -486,7 +493,9 @@ def _execute_resilient(
     journal: SweepJournal | None = None
     if journal_path is not None:
         if resume:
-            journal, state = SweepJournal.resume(journal_path, spec, shard=shard)
+            journal, state = SweepJournal.resume(
+                journal_path, spec, shard=shard, salvage=salvage
+            )
             valid_seeds = {spec.cell_seed(*cell) for cell in cells}
             completed = {
                 seed: rows
@@ -629,6 +638,10 @@ def _execute_resilient(
                 time.sleep(_POLL_INTERVAL)
         manifest.cells_completed = len(completed) - manifest.cells_replayed
         journal_stats(interrupted=False)
+        if journal is not None:
+            # Clean exit: seal the journal so the transport/merge layer can
+            # verify it arrived bit-identical (repro verify / collect).
+            journal.record_seal()
     except KeyboardInterrupt:
         for entry in active:
             _terminate(entry.process)

@@ -45,11 +45,17 @@ from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.offline.cache import CacheStats
 from repro.workloads.journal import (
+    INTEGRITY_UNKNOWN,
+    INTEGRITY_VERIFIED,
     JOURNAL_VERSION,
+    CorruptionReport,
     JournalError,
+    JournalIntegrityError,
     JournalMismatchError,
     JournalState,
+    _write_sealed_lines,
     load_journal,
+    row_crc,
     row_to_payload,
     spec_fingerprint,
 )
@@ -187,6 +193,13 @@ class ShardJournalInfo:
     #: cumulative wall-clock over this journal's run/resume cycles, from
     #: its stats trailers; ``None`` for journals without any.
     wall_seconds: float | None
+    #: overall integrity verdict from the loader (``verified`` /
+    #: ``unknown`` / ``salvaged``); see :class:`~repro.workloads.journal.JournalState`.
+    integrity: str = INTEGRITY_UNKNOWN
+    #: True when the journal ended in a verified seal record.
+    sealed: bool = False
+    #: corrupt records quarantined from this journal during the merge load.
+    corrupt_rows: int = 0
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -197,6 +210,38 @@ class ShardJournalInfo:
             "failures": self.failures,
             "truncated_tail": self.truncated_tail,
             "wall_seconds": self.wall_seconds,
+            "integrity": self.integrity,
+            "sealed": self.sealed,
+            "corrupt_rows": self.corrupt_rows,
+        }
+
+
+@dataclass(frozen=True)
+class MergeConflict:
+    """Two journals disagreed on one cell and a checksum broke the tie.
+
+    Raised as a hard :class:`JournalError` only when both copies carry the
+    *same* integrity level (genuinely diverging runs).  When exactly one
+    copy is checksum-verified, the verified copy wins, the other is
+    presumed transfer-damaged, and the event is reported here instead of
+    being silently deduplicated.
+    """
+
+    seed: int
+    cell: Cell
+    winner: str
+    loser: str
+    winner_integrity: str
+    loser_integrity: str
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "cell": list(self.cell),
+            "winner": self.winner,
+            "loser": self.loser,
+            "winner_integrity": self.winner_integrity,
+            "loser_integrity": self.loser_integrity,
         }
 
 
@@ -217,6 +262,10 @@ class MergeResult:
     missing: list[Cell] = field(default_factory=list)
     #: cells present in more than one journal with identical rows (deduped).
     duplicates: int = 0
+    #: cross-journal disagreements resolved by checksum (verified copy won).
+    conflicts: list[MergeConflict] = field(default_factory=list)
+    #: per-journal corruption quarantined during the (salvage-mode) load.
+    corruption: list[CorruptionReport] = field(default_factory=list)
     out_path: str | None = None
 
     @property
@@ -253,13 +302,26 @@ class MergeResult:
                 else f"{info.wall_seconds:.2f}s"
             )
             tail = ", truncated tail" if info.truncated_tail else ""
+            corrupt = (
+                f", {info.corrupt_rows} corrupt record(s) quarantined"
+                if info.corrupt_rows
+                else ""
+            )
             lines.append(
                 f"  shard {info.shard_index}/{info.n_shards}: {info.path} "
-                f"({info.cells} cells, {info.failures} failure(s), {wall}{tail})"
+                f"({info.cells} cells, {info.failures} failure(s), {wall}, "
+                f"{info.integrity}{tail}{corrupt})"
             )
         ratio = self.straggler_ratio
         if ratio is not None:
             lines.append(f"  straggler ratio: {ratio:.2f} (max/mean shard wall-clock)")
+        for conflict in self.conflicts:
+            eps, m, rep = conflict.cell
+            lines.append(
+                f"  conflict on cell (eps={eps}, m={m}, rep={rep}): kept "
+                f"{conflict.winner_integrity} copy from {conflict.winner}, "
+                f"dropped {conflict.loser_integrity} copy from {conflict.loser}"
+            )
         if self.missing:
             preview = ", ".join(
                 f"(eps={eps}, m={m}, rep={rep})" for eps, m, rep in self.missing[:5]
@@ -273,6 +335,9 @@ def merge_journals(
     paths: Sequence[str | os.PathLike[str]],
     out: str | os.PathLike[str] | None = None,
     spec: "SweepSpec | None" = None,
+    *,
+    salvage: bool = True,
+    require_verified: bool = False,
 ) -> MergeResult:
     """Merge shard journals into one dataset (and optionally one journal).
 
@@ -283,11 +348,21 @@ def merge_journals(
     * a truncated trailing line (hard-killed shard) is tolerated exactly
       as on resume: the partial record is ignored and its cell counts as
       missing;
+    * journals load in **salvage mode** by default: corrupt mid-file
+      records (bit-flips, failed transfers) are quarantined into
+      :attr:`MergeResult.corruption` and their cells count as missing,
+      instead of one damaged shard aborting the whole merge
+      (``salvage=False`` restores strict fail-fast loading);
     * cells present in several journals (duplicate shard uploads, or a
       cell re-executed after a merge-and-resume) are **deduplicated by
       cell seed** when their rows are bit-identical; differing rows for
-      one seed raise :class:`JournalError` — that means the inputs came
-      from diverging code or data and must not be silently mixed;
+      one seed raise :class:`JournalError` — *unless* exactly one copy is
+      checksum-verified, in which case the verified copy wins, the other
+      is presumed transfer-damaged, and the event is reported in
+      :attr:`MergeResult.conflicts` rather than silently deduplicated;
+    * ``require_verified=True`` (``repro merge --verify``) insists every
+      input is sealed with all row checksums intact —
+      :class:`JournalIntegrityError` names the first journal that is not;
     * coverage is computed against the grid encoded in the fingerprint:
       ``result.missing`` lists expected cells no journal completed;
     * failure records only survive for cells *no* journal completed (a
@@ -298,16 +373,41 @@ def merge_journals(
       ``cache_stats``.
 
     With *out*, the merged dataset is written as a normal journal —
-    header, cell records in canonical order, unresolved failures, one
-    stats trailer — which loads, resumes (to fill missing cells) and
-    re-merges like any other journal.  Refuses to overwrite an existing
-    non-empty file, mirroring :meth:`SweepJournal.create`.
+    header, checksummed cell records in canonical order, unresolved
+    failures, one stats trailer, one covering seal — which loads, resumes
+    (to fill missing cells), verifies and re-merges like any other
+    journal.  Refuses to overwrite an existing non-empty file, mirroring
+    :meth:`SweepJournal.create`.
     """
     if not paths:
         raise ValueError("merge_journals needs at least one journal path")
     states: list[tuple[str, JournalState]] = []
     for path in paths:
-        states.append((os.fspath(path), load_journal(path)))
+        fspath = os.fspath(path)
+        state = load_journal(path, salvage=salvage)
+        if require_verified:
+            problems = []
+            if state.corruption:
+                problems.append(state.corruption.summary())
+            if state.truncated_tail:
+                problems.append("truncated trailing record")
+            if not state.sealed:
+                problems.append("no final seal")
+            unchecked = sum(
+                1
+                for v in state.integrity_by_seed.values()
+                if v != INTEGRITY_VERIFIED
+            )
+            if unchecked:
+                problems.append(f"{unchecked} cell(s) without checksums")
+            if problems:
+                raise JournalIntegrityError(
+                    f"{fspath}: merge --verify requires sealed, checksum-"
+                    f"verified journals: {'; '.join(problems)} — run "
+                    "'repro verify' for details, 'repro collect' to "
+                    "re-transfer, or merge without --verify to salvage"
+                )
+        states.append((fspath, state))
 
     first_path, first_state = states[0]
     fingerprint = first_state.fingerprint
@@ -333,7 +433,10 @@ def merge_journals(
 
     completed: dict[int, list[SweepRow]] = {}
     completed_from: dict[int, str] = {}
+    completed_integrity: dict[int, str] = {}
     duplicates = 0
+    conflicts: list[MergeConflict] = []
+    corruption: list[CorruptionReport] = []
     failures_by_seed: dict[int, dict[str, Any]] = {}
     infos: list[ShardJournalInfo] = []
     recovered = 0
@@ -341,7 +444,10 @@ def merge_journals(
     cache_totals: CacheStats | None = None
 
     for path, state in states:
+        if state.corruption:
+            corruption.append(state.corruption)
         for seed, rows in state.completed.items():
+            level = state.integrity_by_seed.get(seed, INTEGRITY_UNKNOWN)
             if seed not in seed_to_cell:
                 raise JournalError(
                     f"{path}: cell seed {seed} is not in the grid its own "
@@ -350,15 +456,48 @@ def merge_journals(
             if seed in completed:
                 if completed[seed] == rows:
                     duplicates += 1
+                    if level == INTEGRITY_VERIFIED:
+                        completed_integrity[seed] = level
                     continue
-                eps, m, rep = seed_to_cell[seed]
-                raise JournalError(
-                    f"conflicting rows for cell (eps={eps}, m={m}, rep={rep}) "
-                    f"between {completed_from[seed]} and {path} — the journals "
-                    "were produced by diverging runs and cannot be merged"
-                )
+                held = completed_integrity[seed]
+                if held == level:
+                    # Same integrity level on both sides: nothing breaks
+                    # the tie, so this really is diverging data.
+                    eps, m, rep = seed_to_cell[seed]
+                    raise JournalError(
+                        f"conflicting rows for cell (eps={eps}, m={m}, rep={rep}) "
+                        f"between {completed_from[seed]} and {path} — the journals "
+                        "were produced by diverging runs and cannot be merged"
+                    )
+                if level == INTEGRITY_VERIFIED:
+                    conflicts.append(
+                        MergeConflict(
+                            seed=seed,
+                            cell=seed_to_cell[seed],
+                            winner=path,
+                            loser=completed_from[seed],
+                            winner_integrity=level,
+                            loser_integrity=held,
+                        )
+                    )
+                    completed[seed] = rows
+                    completed_from[seed] = path
+                    completed_integrity[seed] = level
+                else:
+                    conflicts.append(
+                        MergeConflict(
+                            seed=seed,
+                            cell=seed_to_cell[seed],
+                            winner=completed_from[seed],
+                            loser=path,
+                            winner_integrity=held,
+                            loser_integrity=level,
+                        )
+                    )
+                continue
             completed[seed] = rows
             completed_from[seed] = path
+            completed_integrity[seed] = level
         for failure in state.failures:
             seed = int(failure.get("seed", -1))
             failures_by_seed[seed] = failure
@@ -380,6 +519,9 @@ def merge_journals(
                 failures=len(state.failures),
                 truncated_tail=state.truncated_tail,
                 wall_seconds=wall,
+                integrity=state.integrity,
+                sealed=state.sealed,
+                corrupt_rows=len(state.corruption.events) if state.corruption else 0,
             )
         )
 
@@ -420,6 +562,8 @@ def merge_journals(
         shards=infos,
         missing=missing,
         duplicates=duplicates,
+        conflicts=conflicts,
+        corruption=corruption,
     )
     if out is not None:
         result.out_path = _write_merged_journal(out, result, completed)
@@ -431,7 +575,7 @@ def _write_merged_journal(
     result: MergeResult,
     completed: dict[int, list[SweepRow]],
 ) -> str:
-    """Serialise a :class:`MergeResult` as a normal (resumable) journal."""
+    """Serialise a :class:`MergeResult` as a sealed (resumable) journal."""
     if os.path.exists(out) and os.path.getsize(out) > 0:
         raise JournalError(
             f"{os.fspath(out)}: merge output already exists; delete it "
@@ -445,10 +589,13 @@ def _write_merged_journal(
             "fingerprint": result.fingerprint,
         }
     ]
+    cell_count = 0
     for eps, m, rep in fingerprint_cells(result.fingerprint):
         seed = fingerprint_cell_seed(result.fingerprint, (eps, m, rep))
         if seed not in completed:
             continue
+        payloads = [row_to_payload(r) for r in completed[seed]]
+        cell_count += 1
         records.append(
             {
                 "kind": "cell",
@@ -456,7 +603,8 @@ def _write_merged_journal(
                 "epsilon": float(eps),
                 "machines": int(m),
                 "repetition": int(rep),
-                "rows": [row_to_payload(r) for r in completed[seed]],
+                "rows": payloads,
+                "crc": row_crc(int(seed), payloads),
             }
         )
     for failure in result.manifest.failures:
@@ -476,11 +624,20 @@ def _write_merged_journal(
             "merged_from": len(result.shards),
         }
     )
-    with open(out, "w", encoding="utf-8") as fh:
-        for record in records:
-            fh.write(json.dumps(record, allow_nan=False) + "\n")
-        fh.flush()
-        os.fsync(fh.fileno())
+    raw_lines = [
+        (json.dumps(record, allow_nan=False) + "\n").encode("utf-8")
+        for record in records
+    ]
+    # Seal the merged journal like any clean shard exit would: downstream
+    # verification and re-merges treat it exactly like a shard journal.
+    _write_sealed_lines(
+        out,
+        raw_lines,
+        fingerprint=result.fingerprint,
+        shard=None,
+        cells=cell_count,
+        salvaged=bool(result.corruption) or bool(result.conflicts),
+    )
     return os.fspath(out)
 
 
@@ -501,6 +658,7 @@ def shard_journal_paths(
 
 __all__ = [
     "Cell",
+    "MergeConflict",
     "MergeResult",
     "ShardJournalInfo",
     "ShardPlan",

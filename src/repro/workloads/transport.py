@@ -1,0 +1,492 @@
+"""Verified journal transport: collect shard journals across hosts.
+
+A multi-host sweep (:mod:`repro.workloads.sharding`) ends with N shard
+journals scattered over N machines.  Getting them onto one filesystem is
+the step the durability story has so far taken on faith: a bit-flip in
+transit, a connection dropped mid-file or a half-written NFS copy would
+surface — at best — as a confusing load error at merge time, and at
+worst as silently missing grid coverage.  This module closes that gap
+with an end-to-end integrity pipeline::
+
+    shard hosts ──fetch──▶ staging ──verify/salvage──▶ inbox ──▶ merge
+
+* **Transport backends** implement the tiny :class:`Transport` protocol
+  (pull bytes from a source URI into a local file, resumable by byte
+  offset).  :class:`LocalDirTransport` covers shared-filesystem setups;
+  :class:`CommandTransport` wraps any user-supplied fetch command
+  (``scp``, ``rsync``, ``curl`` …) so no network stack is baked in.
+* **Retries with bounded exponential backoff** around every pull
+  (:func:`fetch_resumable`), with per-transfer timeouts and resumption
+  of partial pulls from the byte offset already staged — a flaky link
+  costs only the missing suffix, not the whole file.
+* **Verification before hand-off**: a staged journal must pass
+  :func:`~repro.workloads.journal.verify_journal` (seal + row CRCs)
+  before it is atomically renamed into the inbox.  A journal that
+  arrives damaged is re-pulled from scratch while transfer retries
+  remain; once exhausted it is **salvaged** (intact rows kept, corrupt
+  rows quarantined into a ``<name>.corruption.json`` sidecar, damaged
+  original preserved under ``inbox/quarantine/``) so one flaky host
+  degrades coverage by exactly its damaged cells — never by the shard.
+
+The pipeline is driven by ``repro collect --from <uri>... --inbox
+<dir>`` and handed to ``repro merge --verify``; the chaos faults
+``bitflip`` and ``drop_transfer`` (:mod:`repro.testing.chaos`) exercise
+every path deterministically in the test suite and the CI smoke step.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shlex
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol, Sequence, runtime_checkable
+
+from repro.workloads.journal import (
+    CorruptionReport,
+    JournalError,
+    JournalVerification,
+    salvage_journal,
+    verify_journal,
+)
+
+
+class TransportError(RuntimeError):
+    """A transfer attempt failed (network, command, timeout, missing source)."""
+
+
+class TransferTimeout(TransportError):
+    """A transfer attempt exceeded its per-transfer time budget."""
+
+
+@dataclass(frozen=True)
+class TransferPolicy:
+    """Retry/timeout envelope around every pull.
+
+    ``retries`` bounds *extra* attempts (so ``retries=2`` means at most
+    three pulls), each delayed by ``backoff * 2**(attempt-1)`` seconds —
+    the same bounded-exponential shape the sweep scheduler uses for
+    failed cells.  ``timeout`` is a per-transfer wall-clock budget;
+    ``None`` waits indefinitely.  Verification failures after a complete
+    pull consume transfer attempts too: a journal that keeps arriving
+    corrupt is a transfer problem until proven otherwise.
+    """
+
+    retries: int = 2
+    backoff: float = 0.25
+    timeout: float | None = None
+    chunk_size: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry *attempt* (1-based)."""
+        return self.backoff * (2 ** (attempt - 1))
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Pull bytes from a source URI into a local file, offset-resumable.
+
+    ``fetch`` must append the source's bytes starting at byte *offset*
+    to *dest* (which holds exactly *offset* bytes of a partial earlier
+    pull) and return the total size of *dest* afterwards.  Backends that
+    cannot seek (plain fetch commands) may ignore *offset* by truncating
+    *dest* and re-pulling from zero — correctness first, resumption as
+    an optimisation.  Failures raise :class:`TransportError`
+    (:class:`TransferTimeout` for budget overruns).
+    """
+
+    def fetch(
+        self,
+        source: str,
+        dest: str | os.PathLike[str],
+        *,
+        offset: int = 0,
+        timeout: float | None = None,
+    ) -> int:  # pragma: no cover - protocol signature
+        ...
+
+
+class LocalDirTransport:
+    """Transport over a locally mounted filesystem (NFS, sshfs, same host).
+
+    Copies in bounded chunks so the per-transfer timeout is enforced even
+    for multi-gigabyte journals, and resumes from *offset* so a timed-out
+    pull continues where it stopped instead of starting over.
+    """
+
+    def __init__(self, chunk_size: int = 1 << 20) -> None:
+        self.chunk_size = int(chunk_size)
+
+    def fetch(
+        self,
+        source: str,
+        dest: str | os.PathLike[str],
+        *,
+        offset: int = 0,
+        timeout: float | None = None,
+    ) -> int:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        try:
+            src = open(source, "rb")
+        except OSError as exc:
+            raise TransportError(f"{source}: cannot open source: {exc}") from exc
+        with src, open(dest, "ab") as out:
+            out.truncate(offset)
+            src.seek(offset)
+            total = offset
+            while True:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TransferTimeout(
+                        f"{source}: transfer exceeded {timeout:.3g}s "
+                        f"({total} bytes staged)"
+                    )
+                chunk = src.read(self.chunk_size)
+                if not chunk:
+                    break
+                out.write(chunk)
+                total += len(chunk)
+            out.flush()
+            os.fsync(out.fileno())
+        return total
+
+
+class CommandTransport:
+    """Transport via a user-supplied fetch command (``scp``, ``rsync`` …).
+
+    *template* is a shell-free command template whose ``{source}`` and
+    ``{dest}`` placeholders are substituted per transfer, e.g.::
+
+        CommandTransport("scp -q {source} {dest}")
+        CommandTransport("rsync -t {source} {dest}")
+
+    The command must leave the complete file at ``{dest}`` and exit 0.
+    Offset resumption is delegated to the command when it supports it
+    (rsync does); since this layer cannot know, every pull re-fetches
+    from zero — *dest* is truncated first so a partial earlier pull can
+    never masquerade as a complete transfer.
+    """
+
+    def __init__(self, template: str) -> None:
+        if "{source}" not in template or "{dest}" not in template:
+            raise ValueError(
+                "command template must contain {source} and {dest} "
+                f"placeholders, got {template!r}"
+            )
+        self.template = template
+
+    def fetch(
+        self,
+        source: str,
+        dest: str | os.PathLike[str],
+        *,
+        offset: int = 0,
+        timeout: float | None = None,
+    ) -> int:
+        dest = os.fspath(dest)
+        if os.path.exists(dest):
+            os.remove(dest)  # commands own the whole file: no stale partials
+        argv = [
+            part.format(source=source, dest=dest)
+            for part in shlex.split(self.template)
+        ]
+        try:
+            proc = subprocess.run(
+                argv, capture_output=True, text=True, timeout=timeout
+            )
+        except subprocess.TimeoutExpired as exc:
+            raise TransferTimeout(
+                f"{source}: fetch command exceeded {timeout:.3g}s"
+            ) from exc
+        except OSError as exc:
+            raise TransportError(
+                f"{source}: fetch command could not run: {exc}"
+            ) from exc
+        if proc.returncode != 0:
+            detail = (proc.stderr or proc.stdout or "").strip()
+            raise TransportError(
+                f"{source}: fetch command exited {proc.returncode}"
+                + (f": {detail}" if detail else "")
+            )
+        if not os.path.exists(dest):
+            raise TransportError(
+                f"{source}: fetch command exited 0 but wrote nothing to {dest}"
+            )
+        return os.path.getsize(dest)
+
+
+def fetch_resumable(
+    transport: Transport,
+    source: str,
+    dest: str | os.PathLike[str],
+    policy: TransferPolicy = TransferPolicy(),
+    *,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """Pull *source* into *dest* with retries, resuming partial pulls.
+
+    Each retry resumes from the byte offset already staged at *dest*
+    (backends that cannot seek simply restart — see
+    :class:`CommandTransport`), after a bounded exponential backoff.
+    Returns the number of attempts used; raises the last
+    :class:`TransportError` once ``policy.retries`` extra attempts are
+    exhausted.  *sleep* is injectable so tests run at full speed.
+    """
+    dest = os.fspath(dest)
+    last: TransportError | None = None
+    for attempt in range(1, policy.retries + 2):
+        if attempt > 1:
+            delay = policy.delay(attempt - 1)
+            if delay > 0:
+                sleep(delay)
+        offset = os.path.getsize(dest) if os.path.exists(dest) else 0
+        try:
+            transport.fetch(source, dest, offset=offset, timeout=policy.timeout)
+            return attempt
+        except TransportError as exc:
+            last = exc
+    assert last is not None
+    raise last
+
+
+# ---------------------------------------------------------------------------
+# collection: pull + verify + salvage/quarantine
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TransferRecord:
+    """Outcome of collecting one journal."""
+
+    source: str
+    dest: str | None
+    #: ``verified`` — sealed and every CRC intact; ``unsealed`` — intact
+    #: but integrity unknown (pre-checksum journal); ``salvaged`` —
+    #: arrived damaged, intact rows kept, corrupt rows quarantined;
+    #: ``quarantined`` — unusable (no readable header), moved aside
+    #: whole; ``failed`` — transport never delivered the file.
+    status: str
+    attempts: int = 0
+    bytes: int = 0
+    corruption: CorruptionReport | None = None
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when the journal (or its intact part) reached the inbox."""
+        return self.status in ("verified", "unsealed", "salvaged")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "source": self.source,
+            "dest": self.dest,
+            "status": self.status,
+            "attempts": self.attempts,
+            "bytes": self.bytes,
+            "corruption": None if self.corruption is None else self.corruption.as_dict(),
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class CollectResult:
+    """Outcome of :func:`collect_journals` (the ``repro collect`` payload)."""
+
+    inbox: str
+    records: list[TransferRecord] = field(default_factory=list)
+
+    @property
+    def collected(self) -> list[str]:
+        """Inbox paths of every journal that landed (verified or salvaged)."""
+        return [r.dest for r in self.records if r.ok and r.dest]
+
+    @property
+    def ok(self) -> bool:
+        """True when every source arrived fully verified."""
+        return bool(self.records) and all(
+            r.status == "verified" for r in self.records
+        )
+
+    @property
+    def degraded(self) -> bool:
+        """True when anything was salvaged, quarantined or lost."""
+        return any(r.status != "verified" for r in self.records)
+
+    def summary(self) -> str:
+        counts: dict[str, int] = {}
+        for r in self.records:
+            counts[r.status] = counts.get(r.status, 0) + 1
+        breakdown = ", ".join(f"{n} {s}" for s, n in sorted(counts.items()))
+        lines = [
+            f"collected {len(self.collected)}/{len(self.records)} journal(s) "
+            f"into {self.inbox} ({breakdown})"
+        ]
+        for r in self.records:
+            extra = f" — {r.detail}" if r.detail else ""
+            lines.append(
+                f"  {r.source}: {r.status} "
+                f"({r.attempts} attempt(s), {r.bytes} bytes){extra}"
+            )
+        return "\n".join(lines)
+
+
+def _resolve_transport(
+    transport: Transport | None, command: str | None
+) -> Transport:
+    if transport is not None and command is not None:
+        raise ValueError("pass either a transport or a command, not both")
+    if transport is not None:
+        return transport
+    if command is not None:
+        return CommandTransport(command)
+    return LocalDirTransport()
+
+
+def collect_journals(
+    sources: Sequence[str],
+    inbox: str | os.PathLike[str],
+    *,
+    transport: Transport | None = None,
+    command: str | None = None,
+    policy: TransferPolicy = TransferPolicy(),
+    verify: bool = True,
+    salvage: bool = True,
+    sleep: Callable[[float], None] = time.sleep,
+) -> CollectResult:
+    """Pull shard journals into a verified inbox (``repro collect``).
+
+    For each source URI: fetch into ``inbox/.staging`` (retrying with
+    backoff, resuming partial pulls), verify the staged file's seal and
+    row checksums, and atomically rename it into *inbox*.  A journal
+    that arrives corrupt is re-pulled from scratch while transfer
+    attempts remain — transient corruption is a transfer problem.  When
+    attempts are exhausted and ``salvage`` is set, the damaged original
+    is preserved under ``inbox/quarantine/``, the intact rows are
+    salvaged into the inbox (resealed, marked ``salvaged``), and the
+    quarantined rows are written to a ``<name>.corruption.json`` sidecar
+    so ``repro merge`` / ``repro sweep --resume`` can account for every
+    missing cell.  Files with no readable header cannot be salvaged and
+    are quarantined whole.
+
+    ``verify=False`` skips verification entirely (pull-only mode);
+    ``salvage=False`` records persistent corruption as ``failed`` and
+    leaves nothing in the inbox for that source.
+    """
+    inbox = os.fspath(inbox)
+    staging = os.path.join(inbox, ".staging")
+    quarantine = os.path.join(inbox, "quarantine")
+    os.makedirs(staging, exist_ok=True)
+    backend = _resolve_transport(transport, command)
+    result = CollectResult(inbox=inbox)
+
+    for source in sources:
+        name = os.path.basename(source.rstrip("/")) or "journal.jsonl"
+        part = os.path.join(staging, name + ".part")
+        final = os.path.join(inbox, name)
+        if os.path.exists(part):
+            os.remove(part)  # stale partial from an aborted earlier collect
+        record = TransferRecord(source=source, dest=None, status="failed")
+        verification: JournalVerification | None = None
+        for attempt in range(1, policy.retries + 2):
+            if attempt > 1:
+                delay = policy.delay(attempt - 1)
+                if delay > 0:
+                    sleep(delay)
+            try:
+                record.attempts += fetch_resumable(
+                    backend, source, part, policy, sleep=sleep
+                )
+            except TransportError as exc:
+                record.status = "failed"
+                record.detail = str(exc)
+                verification = None
+                break
+            record.bytes = os.path.getsize(part)
+            if not verify:
+                verification = None
+                record.status = "unsealed"
+                record.detail = "verification skipped"
+                break
+            verification = verify_journal(part)
+            if verification.status != "corrupt":
+                record.status = verification.status
+                record.detail = verification.detail
+                break
+            # Arrived damaged: assume transfer trouble and re-pull from
+            # scratch while attempts remain; salvage only when the link
+            # has had every chance to deliver clean bytes.
+            record.detail = verification.detail
+            if attempt <= policy.retries:
+                os.remove(part)
+
+        if record.status in ("verified", "unsealed"):
+            os.replace(part, final)
+            record.dest = final
+        elif verification is not None and verification.status == "corrupt":
+            if not salvage:
+                record.status = "failed"
+                record.detail = (
+                    f"persistently corrupt after {record.attempts} attempt(s): "
+                    f"{verification.detail}"
+                )
+                os.remove(part)
+            else:
+                os.makedirs(quarantine, exist_ok=True)
+                damaged = os.path.join(quarantine, name)
+                try:
+                    _, report = salvage_journal(part, damaged + ".salvaged")
+                except JournalError as exc:
+                    # No readable header: not a journal we can repair.
+                    os.replace(part, damaged)
+                    record.status = "quarantined"
+                    record.dest = None
+                    record.detail = f"unsalvageable: {exc}"
+                else:
+                    os.replace(part, damaged)  # keep damaged original bytes
+                    os.replace(damaged + ".salvaged", final)
+                    report.path = final  # not the transient staging path
+                    sidecar = final + ".corruption.json"
+                    with open(sidecar, "w", encoding="utf-8") as fh:
+                        json.dump(
+                            {
+                                "source": source,
+                                "quarantined_original": damaged,
+                                **report.as_dict(),
+                            },
+                            fh,
+                            indent=2,
+                        )
+                        fh.write("\n")
+                    record.status = "salvaged"
+                    record.dest = final
+                    record.corruption = report
+                    record.detail = (
+                        f"{report.summary()}; damaged original kept at {damaged}"
+                    )
+        result.records.append(record)
+    return result
+
+
+__all__ = [
+    "CollectResult",
+    "CommandTransport",
+    "LocalDirTransport",
+    "Transport",
+    "TransferPolicy",
+    "TransferRecord",
+    "TransferTimeout",
+    "TransportError",
+    "collect_journals",
+    "fetch_resumable",
+]

@@ -47,6 +47,7 @@ class TestGenerateReport:
             "resilience",
             "performance",
             "sharding",
+            "transport",
         }
 
     def test_performance_section(self):

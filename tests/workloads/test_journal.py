@@ -1,19 +1,24 @@
 """Tests for the append-only sweep checkpoint journal."""
 
+import json
 from functools import partial
 
 import pytest
 
+from repro.testing import bitflip
 from repro.workloads.journal import (
     JournalError,
     JournalMismatchError,
     SweepJournal,
     load_journal,
+    row_crc,
     row_from_payload,
     row_to_payload,
+    salvage_journal,
     spec_fingerprint,
+    verify_journal,
 )
-from repro.workloads.execute import execute_sweep
+from repro.workloads.execute import ExecutionPolicy, execute_sweep
 from repro.workloads.random_instances import random_instance
 from repro.workloads.sweep import SweepSpec
 
@@ -194,3 +199,148 @@ class TestJournalLifecycle:
         b = spec_fingerprint(_spec())
         assert a == b
         assert "0x" not in str(a)
+
+
+def _sealed_journal(tmp_path, name="sweep.jsonl"):
+    """A sealed two-cell journal on disk, plus its spec and rows."""
+    spec = _spec()
+    rows = execute_sweep(spec).rows
+    path = tmp_path / name
+    cells = list(spec.cells())
+    with SweepJournal.create(path, spec) as journal:
+        for i, cell in enumerate(cells):
+            journal.record_cell(spec.cell_seed(*cell), *cell, [rows[i]])
+        journal.record_seal()
+    return spec, rows, path
+
+
+def _flip_rows_payload(path, line_index=1, seed=0):
+    """Bit-flip inside the ``rows`` payload of one cell line; its seed."""
+    lines = path.read_bytes().split(b"\n")
+    offset = sum(len(l) + 1 for l in lines[:line_index])
+    target = lines[line_index]
+    rows_at = target.find(b'"rows"') + len(b'"rows"')
+    bitflip(path, seed=seed, count=1, lo=offset + rows_at, hi=offset + len(target) - 20)
+    return json.loads(target)["seed"]
+
+
+class TestIntegrity:
+    def test_clean_sealed_journal_verifies(self, tmp_path):
+        _, _, path = _sealed_journal(tmp_path)
+        state = load_journal(path)
+        assert state.sealed
+        assert state.integrity == "verified"
+        assert set(state.integrity_by_seed.values()) == {"verified"}
+        verification = verify_journal(path)
+        assert verification.ok and verification.status == "verified"
+
+    def test_row_crc_stable_under_reformatting(self, tmp_path):
+        # The CRC covers (seed, rows) canonically, so a journal that is
+        # parsed and re-serialised differently still verifies.
+        _, _, path = _sealed_journal(tmp_path)
+        records = [json.loads(l) for l in path.read_text().splitlines()]
+        for record in records:
+            if record["kind"] == "cell":
+                roundtripped = json.loads(json.dumps(record, indent=2))
+                assert record["crc"] == row_crc(
+                    roundtripped["seed"], roundtripped["rows"]
+                )
+
+    def test_bitflip_detected_strict_and_quarantined_in_salvage(self, tmp_path):
+        spec, _, path = _sealed_journal(tmp_path)
+        damaged_seed = _flip_rows_payload(path)
+        with pytest.raises(JournalError):  # crc-mismatch or unparsable
+            load_journal(path)
+        state = load_journal(path, salvage=True)
+        assert state.integrity == "salvaged"
+        assert state.corruption and len(state.corruption.events) >= 1
+        # Only the damaged cell is lost; the other survives intact.
+        intact = {spec.cell_seed(*c) for c in spec.cells()} - {damaged_seed}
+        assert intact <= set(state.completed)
+        assert damaged_seed not in state.completed
+        assert verify_journal(path).status == "corrupt"
+
+    def test_corrupt_midfile_line_recoverable_in_salvage_mode(self, tmp_path):
+        # Satellite: mid-file garbage no longer makes the journal
+        # unloadable — strict keeps today's fail-fast behaviour.
+        _, _, path = _sealed_journal(tmp_path)
+        lines = path.read_text().splitlines(keepends=True)
+        lines.insert(2, "not json\n")
+        path.write_text("".join(lines))
+        with pytest.raises(JournalError, match="corrupt"):
+            load_journal(path)
+        state = load_journal(path, salvage=True)
+        assert len(state.completed) == 2  # every real cell survives
+        kinds = [e.kind for e in state.corruption.events]
+        assert "unparsable" in kinds
+
+    def test_salvage_journal_rewrites_clean_and_reseals(self, tmp_path):
+        spec, _, path = _sealed_journal(tmp_path)
+        damaged_seed = _flip_rows_payload(path)
+        state, report = salvage_journal(path)
+        assert report.quarantined_seeds <= {damaged_seed} or report.events
+        # The rewritten journal is strict-loadable, sealed and verified.
+        clean = load_journal(path)
+        assert clean.sealed
+        assert clean.seal["salvaged"] is True
+        verification = verify_journal(path)
+        assert verification.ok
+        assert "salvaged" in verification.detail
+
+    def test_pre_checksum_journal_loads_with_unknown_integrity(self, tmp_path):
+        # Backward compatibility: journals written before the CRC/seal
+        # existed load unchanged, just with integrity "unknown".
+        _, rows, path = _sealed_journal(tmp_path)
+        records = [json.loads(l) for l in path.read_text().splitlines()]
+        stripped = []
+        for record in records:
+            if record["kind"] == "seal":
+                continue
+            record.pop("crc", None)
+            stripped.append(json.dumps(record) + "\n")
+        path.write_text("".join(stripped))
+        state = load_journal(path)
+        assert not state.sealed
+        assert state.integrity == "unknown"
+        assert set(state.integrity_by_seed.values()) == {"unknown"}
+        assert len(state.completed) == 2
+        assert verify_journal(path).status == "unsealed"
+
+    def test_append_after_seal_unseals_until_resealed(self, tmp_path):
+        spec, _, path = _sealed_journal(tmp_path)
+        journal, state = SweepJournal.resume(path, spec)
+        assert state.sealed
+        with journal:
+            journal.record_stats({"wall_seconds": 0.0, "interrupted": False})
+            assert not load_journal(path).sealed
+            journal.record_seal()
+        resealed = load_journal(path)
+        assert resealed.sealed
+        assert resealed.integrity == "verified"
+
+    def test_resume_salvage_repairs_and_refills(self, tmp_path):
+        # The end-to-end contract: a bit-flipped journal, resumed with
+        # salvage, re-runs exactly the damaged cells and converges on the
+        # same rows as an undamaged run.
+        spec = _spec()
+        path = tmp_path / "sweep.jsonl"
+        reference = execute_sweep(
+            spec, ExecutionPolicy(journal=path)
+        ).rows
+        _flip_rows_payload(path)
+        # Depending on which byte the flip hits, strict resume fails as a
+        # checksum mismatch (JournalIntegrityError) or an unparsable
+        # record (JournalError) — either way it must not load silently.
+        with pytest.raises(JournalError):
+            execute_sweep(spec, ExecutionPolicy(journal=path, resume=True))
+        result = execute_sweep(
+            spec, ExecutionPolicy(journal=path, resume=True, salvage=True)
+        )
+        assert result.complete
+        assert result.rows == reference
+        assert result.manifest.cells_completed == 1  # only the damaged cell re-ran
+        assert verify_journal(path).ok
+
+    def test_salvage_policy_requires_resume(self):
+        with pytest.raises(ValueError, match="salvage"):
+            ExecutionPolicy(journal="x.jsonl", salvage=True)

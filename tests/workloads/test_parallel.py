@@ -1,4 +1,10 @@
-"""Tests for the parallel sweep executor."""
+"""Tests for the parallel sweep executor.
+
+This file exercises the deprecated ``run_sweep_parallel``/``run_sweep``
+shims on purpose (they must keep working until removed), so the
+module-level mark exempts it from the suite-wide
+``-W error::DeprecationWarning`` gate.
+"""
 
 from functools import partial
 
@@ -7,6 +13,8 @@ import pytest
 from repro.workloads.parallel import run_sweep_parallel
 from repro.workloads.random_instances import random_instance
 from repro.workloads.sweep import SweepSpec, run_sweep
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 def _workload(m: int, eps: float, seed: int, n: int = 10):

@@ -20,13 +20,35 @@ from hypothesis import strategies as st
 from repro.testing.chaos import ChaosPlan
 from repro.workloads.journal import load_journal
 from repro.workloads.random_instances import random_instance
+from repro.workloads.execute import ExecutionPolicy, execute_sweep
 from repro.workloads.resilient import (
     SweepExecutionError,
     SweepInterrupted,
-    run_sweep_resilient,
     validate_cell_rows,
 )
-from repro.workloads.sweep import SweepSpec, run_sweep
+from repro.workloads.sweep import SweepSpec
+
+
+def run_sweep(spec):
+    """Serial reference rows via the unified entrypoint."""
+    return execute_sweep(spec).rows
+
+
+def run_sweep_resilient(spec, **kwargs):
+    """The fault-tolerant scheduler under its current execute_sweep surface.
+
+    Keeps the historical keyword names these tests were written with
+    (max_workers/max_retries/journal_path) while exercising the
+    non-deprecated ExecutionPolicy path.
+    """
+    policy = ExecutionPolicy(
+        parallel=True,
+        workers=kwargs.pop("max_workers", None),
+        retries=kwargs.pop("max_retries", 2),
+        journal=kwargs.pop("journal_path", None),
+        **kwargs,
+    )
+    return execute_sweep(spec, policy)
 
 
 def _chaos_spec() -> SweepSpec:
@@ -103,7 +125,7 @@ class TestCleanRuns:
         assert again.manifest.cells_completed == 0
 
     def test_resume_without_journal_path_rejected(self):
-        with pytest.raises(ValueError, match="journal_path"):
+        with pytest.raises(ValueError, match="journal"):
             run_sweep_resilient(_small_spec(), resume=True)
 
 
@@ -283,7 +305,9 @@ class TestFailureModes:
         assert validate_cell_rows(spec, eps, m, rep, "rows") is not None
         assert validate_cell_rows(spec, eps, m, rep, []) is not None
 
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_parallel_wrapper_raises_on_failure(self):
+        # Exercises the deprecated strict wrapper on purpose.
         spec = SweepSpec(
             epsilons=[0.3],
             machine_counts=[1],

@@ -21,9 +21,12 @@ from repro.workloads.execute import ExecutionPolicy, execute_sweep
 from repro.workloads.journal import (
     ROW_FIELDS,
     JournalError,
+    JournalIntegrityError,
     JournalMismatchError,
     load_journal,
+    row_crc,
     spec_fingerprint,
+    verify_journal,
 )
 from repro.workloads.random_instances import random_instance
 from repro.workloads.sharding import (
@@ -134,9 +137,11 @@ class TestShardedExecution:
         # Per-shard stats trailers surface as timing + straggler ratio.
         assert all(info.wall_seconds is not None for info in merged.shards)
         assert merged.straggler_ratio is not None
-        # The merged journal loads, re-merges and equals the same rows.
+        # The merged journal loads, re-merges and equals the same rows —
+        # and is itself sealed and checksummed like any shard journal.
         again = merge_journals([tmp_path / "merged.jsonl"])
         assert again.rows == single.rows
+        assert verify_journal(tmp_path / "merged.jsonl").ok
 
     def test_shard_journals_carry_the_stamp(self, tmp_path):
         spec = _spec()
@@ -187,11 +192,12 @@ class TestMergeCoverage:
         paths = shard_journal_paths(tmp_path / "sweep.jsonl", 2)
         for i, path in enumerate(paths):
             _run_shard(spec, 2, i, path)
-        # Chop the stats trailer plus part of the final cell record: the
-        # loader must tolerate the partial line and drop only that cell.
+        # Chop the seal, the stats trailer and part of the final cell
+        # record: the loader must tolerate the partial line and drop only
+        # that cell.
         damaged = Path(paths[1])
-        last_line = damaged.read_bytes().rstrip(b"\n").rsplit(b"\n", 1)[-1]
-        truncate_tail(damaged, len(last_line) + 10)
+        lines = damaged.read_bytes().rstrip(b"\n").split(b"\n")
+        truncate_tail(damaged, len(lines[-1]) + len(lines[-2]) + 12)
         merged = merge_journals(paths)
         assert merged.shards[1].truncated_tail
         assert not merged.complete
@@ -232,6 +238,8 @@ class TestMergeValidation:
             merge_journals([a], spec=_spec(base_seed=6))
 
     def test_conflicting_rows_rejected(self, tmp_path):
+        # Both copies carry *valid* checksums yet different rows: genuinely
+        # diverging runs, which no integrity level can arbitrate.
         spec = _spec()
         a = tmp_path / "a.jsonl"
         execute_sweep(spec, ExecutionPolicy(journal=a))
@@ -240,9 +248,12 @@ class TestMergeValidation:
         for record in records:
             if record["kind"] == "cell":
                 record["rows"][0][load_index] += 1.0
+                record["crc"] = row_crc(record["seed"], record["rows"])
                 break
         b = tmp_path / "b.jsonl"
-        b.write_text("".join(json.dumps(r) + "\n" for r in records))
+        b.write_text(
+            "".join(json.dumps(r) + "\n" for r in records if r["kind"] != "seal")
+        )
         with pytest.raises(JournalError, match="conflicting rows"):
             merge_journals([a, b])
 
@@ -258,6 +269,99 @@ class TestMergeValidation:
     def test_merge_needs_at_least_one_path(self):
         with pytest.raises(ValueError, match="at least one"):
             merge_journals([])
+
+
+class TestMergeIntegrity:
+    """Overlapping shards disagreeing because one copy is corrupt.
+
+    The checksummed copy must win, and the event must be reported — in
+    ``MergeResult.corruption`` when the damage is CRC-detectable, in
+    ``MergeResult.conflicts`` when the damaged copy predates checksums —
+    never silently deduplicated.
+    """
+
+    @staticmethod
+    def _tampered_copy(src, dest, *, strip_crcs):
+        """Copy *src* with one cell's rows mutated (and no seal).
+
+        With ``strip_crcs`` the copy looks like a pre-checksum journal
+        whose damage is undetectable by CRC; without it the mutated
+        record keeps its now-stale CRC, making the damage detectable.
+        Returns the tampered cell's seed.
+        """
+        records = [json.loads(line) for line in src.read_text().splitlines()]
+        load_index = ROW_FIELDS.index("accepted_load")
+        tampered = None
+        for record in records:
+            if record["kind"] != "cell":
+                continue
+            if strip_crcs:
+                del record["crc"]
+            if tampered is None:
+                record["rows"][0][load_index] += 1.0
+                tampered = record["seed"]
+                if not strip_crcs:
+                    break
+        dest.write_text(
+            "".join(json.dumps(r) + "\n" for r in records if r["kind"] != "seal")
+        )
+        return tampered
+
+    def test_crc_detectable_corruption_quarantined_and_reported(self, tmp_path):
+        spec = _spec()
+        a = tmp_path / "a.jsonl"
+        execute_sweep(spec, ExecutionPolicy(journal=a))
+        b = tmp_path / "b.jsonl"
+        seed = self._tampered_copy(a, b, strip_crcs=False)
+        reference = execute_sweep(spec).rows
+        for order in ([a, b], [b, a]):
+            merged = merge_journals(order)
+            # The intact copy wins regardless of merge order ...
+            assert merged.complete
+            assert merged.rows == reference
+            # ... and the quarantine is reported, not silently deduped.
+            assert len(merged.corruption) == 1
+            assert merged.corruption[0].quarantined_seeds == {seed}
+            assert "corrupt record(s) quarantined" in merged.coverage_report()
+        # Strict mode refuses the damaged input outright.
+        with pytest.raises(JournalIntegrityError, match="checksum mismatch"):
+            merge_journals([a, b], salvage=False)
+
+    def test_verified_copy_beats_unchecksummed_divergent_copy(self, tmp_path):
+        spec = _spec()
+        a = tmp_path / "a.jsonl"
+        execute_sweep(spec, ExecutionPolicy(journal=a))
+        b = tmp_path / "b.jsonl"
+        seed = self._tampered_copy(a, b, strip_crcs=True)
+        reference = execute_sweep(spec).rows
+        for order in ([a, b], [b, a]):
+            merged = merge_journals(order)
+            assert merged.complete
+            assert merged.rows == reference
+            assert [c.seed for c in merged.conflicts] == [seed]
+            conflict = merged.conflicts[0]
+            assert conflict.winner == str(a)
+            assert conflict.winner_integrity == "verified"
+            assert conflict.loser_integrity == "unknown"
+            assert "conflict on cell" in merged.coverage_report()
+
+    def test_merge_verify_requires_sealed_checksummed_inputs(self, tmp_path):
+        spec = _spec()
+        a = tmp_path / "a.jsonl"
+        execute_sweep(spec, ExecutionPolicy(journal=a))
+        merged = merge_journals([a], require_verified=True)
+        assert merged.complete and merged.shards[0].sealed
+        # An unsealed copy of the same journal is refused under --verify.
+        unsealed = tmp_path / "unsealed.jsonl"
+        unsealed.write_text(
+            "".join(
+                line + "\n"
+                for line in a.read_text().splitlines()
+                if json.loads(line)["kind"] != "seal"
+            )
+        )
+        with pytest.raises(JournalIntegrityError, match="no final seal"):
+            merge_journals([unsealed], require_verified=True)
 
 
 class TestShardStampResume:

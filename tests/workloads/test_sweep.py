@@ -2,8 +2,14 @@
 
 import pytest
 
+from repro.workloads.execute import execute_sweep
 from repro.workloads.random_instances import random_instance
-from repro.workloads.sweep import SweepSpec, aggregate_rows, run_sweep
+from repro.workloads.sweep import SweepSpec, aggregate_rows
+
+
+def run_sweep(spec):
+    """Serial rows via the unified (non-deprecated) entrypoint."""
+    return execute_sweep(spec).rows
 
 
 def _spec(**overrides):
