@@ -1,4 +1,4 @@
-"""E16 — engine performance: simulation throughput and scaling.
+"""E16/E25 — engine performance: simulation throughput and scaling.
 
 Not a paper artefact, but a deliverable of a production-quality
 implementation: the simulator must sustain laptop-scale sweeps.  These
@@ -17,11 +17,22 @@ every commitment-model engine on the shared kernel and write the
 machine-readable snapshot ``BENCH_engine.json`` (jobs/s per model) at the
 repository root — the artefact the throughput regression guard compares
 against.
+
+E25 extends the snapshot with the **batch backend**
+(:mod:`repro.engine.backend`): the same workloads through the
+structure-of-arrays NumPy kernels, amortised over a 64-instance batch for
+the immediate model (the batch kernel's unit of work) and per-instance for
+penalties (that kernel vectorises within an instance).  The snapshot
+stamps the python/numpy versions and per-backend speedups so regressions
+are attributable.
 """
 
 import json
+import platform
 import time
 from pathlib import Path
+
+import numpy as np
 
 from repro.baselines.greedy import GreedyPolicy
 from repro.core.params import BoundFunction
@@ -119,6 +130,37 @@ def _model_runs():
     ]
 
 
+#: Batch size for the immediate-model batch-backend rows (E25).
+BATCH_SIZE = 64
+
+
+def _batch_runs():
+    """(label, total_jobs, thunk) per batch-backend row (E25)."""
+    from repro.engine.batch import IMMEDIATE_RULES, run_immediate_batch
+    from repro.engine.batch_penalties import run_penalties_batch
+
+    batch = [
+        random_instance(N_JOBS, MACHINES, 0.2, seed=42 + i) for i in range(BATCH_SIZE)
+    ]
+    return [
+        (
+            "immediate[threshold]",
+            BATCH_SIZE * N_JOBS,
+            lambda: run_immediate_batch(IMMEDIATE_RULES["threshold"], batch),
+        ),
+        (
+            "immediate[greedy]",
+            BATCH_SIZE * N_JOBS,
+            lambda: run_immediate_batch(IMMEDIATE_RULES["greedy"], batch),
+        ),
+        (
+            "penalties[revocable-greedy]",
+            N_JOBS,
+            lambda: run_penalties_batch([_INSTANCE], 0.5),
+        ),
+    ]
+
+
 def snapshot_throughput(rounds: int = 3) -> dict:
     """Best-of-*rounds* jobs/s for every engine; pure measurement, no I/O."""
     results = {}
@@ -129,13 +171,31 @@ def snapshot_throughput(rounds: int = 3) -> dict:
             run()
             best = min(best, time.perf_counter() - t0)
         results[label] = round(N_JOBS / best, 1)
+    batch_results = {}
+    for label, total, run in _batch_runs():
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            run()
+            best = min(best, time.perf_counter() - t0)
+        batch_results[label] = {
+            "jobs_per_second": round(total / best, 1),
+            "batch_size": total // N_JOBS,
+            "speedup_vs_scalar": round(total / best / results[label], 2),
+        }
     return {
         "n_jobs": N_JOBS,
         "machines": MACHINES,
         "epsilon": _INSTANCE.epsilon,
         "seed": 42,
         "rounds": rounds,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
         "jobs_per_second": results,
+        "backends": {
+            "scalar": {"jobs_per_second": results},
+            "batch": batch_results,
+        },
     }
 
 
@@ -144,7 +204,12 @@ def main() -> int:
     out = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
     out.write_text(json.dumps(snapshot, indent=2) + "\n")
     for label, rate in snapshot["jobs_per_second"].items():
-        print(f"{label:30s} {rate:>12,.0f} jobs/s")
+        print(f"{label:30s} {rate:>12,.0f} jobs/s  [scalar]")
+    for label, row in snapshot["backends"]["batch"].items():
+        print(
+            f"{label:30s} {row['jobs_per_second']:>12,.0f} jobs/s  "
+            f"[batch x{row['batch_size']}, {row['speedup_vs_scalar']}x scalar]"
+        )
     print(f"wrote {out}")
     return 0
 

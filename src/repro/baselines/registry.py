@@ -91,6 +91,12 @@ def _make_admission_lazy(**kwargs):
     return AdmissionLazyPolicy(**kwargs)
 
 
+def _make_revocable_greedy(**kwargs):
+    from repro.engine.penalties import RevocableGreedyPolicy
+
+    return RevocableGreedyPolicy(**kwargs)
+
+
 ALGORITHMS: dict[str, AlgorithmSpec] = {
     "threshold": AlgorithmSpec(
         "threshold",
@@ -181,6 +187,13 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
         "admission",
         description="Commitment on admission: wait until forced, then start the largest.",
     ),
+    "revocable-greedy": AlgorithmSpec(
+        "revocable-greedy",
+        _make_revocable_greedy,
+        "penalties",
+        description="Commitment with penalties: latest-feasible greedy with "
+        "profitable swaps (phi defaults to 0.5).",
+    ),
 }
 
 
@@ -219,6 +232,7 @@ def run_algorithm(
         raise ValueError(f"{name} only runs on single-machine instances")
     # Engine-level kwargs are consumed before the policy factory sees them.
     delta = kwargs.pop("delta", None) if spec.model == "delayed" else None
+    phi = kwargs.pop("phi", None) if spec.model == "penalties" else None
     algorithm = spec.factory(**kwargs)
     if spec.model == "nonpreemptive":
         schedule = simulate(algorithm, instance, record_events=record_events)
@@ -257,6 +271,23 @@ def run_algorithm(
             accepted_load=schedule.accepted_load,
             accepted_count=schedule.accepted_count,
             detail=schedule,
+        )
+    if spec.model == "penalties":
+        from repro.engine.batch_penalties import DEFAULT_PHI
+        from repro.engine.penalties import simulate_with_penalties
+
+        outcome = simulate_with_penalties(
+            algorithm,
+            instance,
+            DEFAULT_PHI if phi is None else phi,
+            record_events=record_events,
+        )
+        return RunResult(
+            algorithm=name,
+            instance=instance,
+            accepted_load=outcome.completed_load,
+            accepted_count=len(outcome.completed),
+            detail=outcome,
         )
     if spec.model == "delayed":
         from repro.engine.delayed import simulate_delayed

@@ -130,7 +130,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.baselines.registry import ALGORITHMS, run_algorithm
+    from repro.baselines.registry import ALGORITHMS
+    from repro.engine.backend import SimulationRequest, run_simulation
     from repro.workloads import alternating_instance, cloud_instance, random_instance
 
     if args.algorithm not in ALGORITHMS:
@@ -146,8 +147,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         inst = cloud_instance(args.n, args.m, args.eps, seed=args.seed)
     else:
         inst = alternating_instance(max(1, args.n // (2 * args.m)), args.m, args.eps)
-    result = run_algorithm(args.algorithm, inst, record_events=args.events)
+    result = run_simulation(
+        SimulationRequest(args.algorithm, inst, record_events=args.events),
+        backend=args.backend,
+    )
+    meta = getattr(result.detail, "meta", None)
+    used = meta.get("backend", "scalar") if meta is not None else "scalar"
     print(f"instance       : {inst.name} (n={len(inst)}, m={args.m}, eps={args.eps})")
+    print(f"backend        : {used} (requested: {args.backend})")
     print(f"accepted load  : {result.accepted_load:.6f}")
     print(f"accepted jobs  : {result.accepted_count}/{len(inst)}")
     stats = result.stats
@@ -161,6 +168,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"sim time       : {stats.sim_seconds * 1e3:.2f} ms "
               f"({stats.decisions_per_second / 1e3:.1f} kdec/s)")
         print(f"audit time     : {stats.audit_seconds * 1e3:.2f} ms")
+        print(f"throughput     : {stats.jobs_per_second:,.0f} jobs/s, "
+              f"{stats.decisions_per_second:,.0f} decisions/s")
     if args.events:
         events = result.events
         print()
@@ -303,7 +312,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # Serial fast path; still exit gracefully on ^C (no partial rows to
         # save — run with --journal to make interrupted work resumable).
         try:
-            result = execute_sweep(spec, ExecutionPolicy(cache=cache))
+            result = execute_sweep(
+                spec, ExecutionPolicy(cache=cache, backend=args.backend)
+            )
         except KeyboardInterrupt:
             print("\ninterrupted: serial sweep discarded; re-run with --journal "
                   "PATH to checkpoint completed cells", file=sys.stderr)
@@ -324,6 +335,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache=cache,
         shards=args.shards,
         shard_index=args.shard_index,
+        backend=args.backend,
     )
     try:
         result = execute_sweep(spec, policy)
@@ -545,6 +557,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--events", action="store_true", help="record and print the kernel event stream"
     )
+    p.add_argument(
+        "--backend", choices=["auto", "scalar", "batch"], default="auto",
+        help="simulation kernel backend (see docs/engine_backends.md); "
+             "batch falls back to scalar with a warning when unsupported",
+    )
     p.set_defaults(fn=_cmd_simulate)
 
     p = sub.add_parser("plan", help="capacity planning: invert the bound function")
@@ -624,6 +641,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-index", type=int, default=None,
         help="which shard this host executes (0-based; required with "
              "--shards > 1)",
+    )
+    p.add_argument(
+        "--backend", choices=["auto", "scalar", "batch"], default="auto",
+        help="simulation kernel backend for every cell "
+             "(see docs/engine_backends.md)",
     )
     p.set_defaults(fn=_cmd_sweep)
 

@@ -16,6 +16,13 @@ Each commitment model of the paper's §1 taxonomy plugs into it as a thin
 Every invalid policy decision, in every model, raises the unified
 :class:`~repro.engine.kernel.SimulationError`; every run surfaces
 ``meta["stats"]`` and, on request, ``meta["events"]``.
+
+Above the per-model simulators sits the **kernel-backend seam**
+(:mod:`repro.engine.backend`): :func:`~repro.engine.backend.run_simulations`
+dispatches :class:`~repro.engine.backend.SimulationRequest` batches either
+to the scalar golden path above or to the structure-of-arrays NumPy kernels
+(:mod:`repro.engine.batch`, :mod:`repro.engine.batch_penalties`), which are
+bit-identical to it — see ``docs/engine_backends.md``.
 """
 
 from repro.engine.kernel import (
@@ -64,6 +71,19 @@ from repro.engine.penalties import (
     PenaltyOutcome,
     simulate_with_penalties,
 )
+from repro.engine.batch import ImmediateRule, IMMEDIATE_RULES, run_immediate_batch
+from repro.engine.batch_penalties import DEFAULT_PHI, run_penalties_batch
+from repro.engine.backend import (
+    BACKEND_CHOICES,
+    BACKENDS,
+    BackendFallbackWarning,
+    BatchBackend,
+    KernelBackend,
+    ScalarBackend,
+    SimulationRequest,
+    run_simulation,
+    run_simulations,
+)
 
 __all__ = [
     "CommitmentModel",
@@ -109,4 +129,18 @@ __all__ = [
     "AdmissionEddPolicy",
     "AdmissionLazyPolicy",
     "simulate_admission",
+    "ImmediateRule",
+    "IMMEDIATE_RULES",
+    "run_immediate_batch",
+    "DEFAULT_PHI",
+    "run_penalties_batch",
+    "BACKEND_CHOICES",
+    "BACKENDS",
+    "BackendFallbackWarning",
+    "BatchBackend",
+    "KernelBackend",
+    "ScalarBackend",
+    "SimulationRequest",
+    "run_simulation",
+    "run_simulations",
 ]

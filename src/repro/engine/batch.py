@@ -1,0 +1,279 @@
+"""Structure-of-arrays batch kernel for the immediate-commitment model.
+
+This module is the NumPy half of the kernel-backend seam
+(:mod:`repro.engine.backend`).  It steps a *batch* of instances through the
+paper's immediate-commitment decision rules at once, holding the entire
+simulation state as dense arrays:
+
+* job data as ``(B, N)`` arrays (release / processing / deadline),
+* per-machine commitment history as ``(B*M, N)`` start/end/prefix slabs,
+* a monotone per-machine pointer that replays ``bisect_right(ends, t)``
+  exactly (releases are non-decreasing, so the pointer never moves back).
+
+The contract with the scalar kernel is **bit-identity**, not approximate
+agreement: every float is produced by the same IEEE-754 operations in the
+same order as :class:`repro.engine.simulator.ImmediateCommitmentModel`
+driving the pure-Python policies, and every comparison goes through
+:mod:`repro.utils.tolerances` (``fge``/``vsnap`` with ``TIME_EPS``).  The
+cross-backend equivalence suite (``tests/engine/test_backends.py``) asserts
+identical schedules, ``RunStats`` counters and journal rows.
+
+Key correspondences with the scalar path:
+
+* outstanding load: ``snap((ends[j] - max(starts[j], t)) + (prefix[n] -
+  prefix[j+1]))`` with ``j = bisect_right(ends, t)`` — replicated with the
+  same operand order via :func:`repro.utils.tolerances.vsnap`;
+* threshold: ``d_lim = t + max(sorted_desc_loads[k-1:] * f)`` using the
+  same ``np.sort``/``np.max`` calls as ``ThresholdPolicy.threshold_at``;
+* tie-breaking: Python's ``max(..., key=(load, -index))`` picks the first
+  maximal element, which is exactly ``np.argmax``'s first-occurrence rule
+  (and ``min``/``np.argmin`` for worst-fit / least-loaded);
+* commitments always append (``start = max(t, last_end)`` is never below a
+  previous end), so the scalar machine's O(1) prefix extension is the only
+  code path that needs replaying.
+
+Only deterministic immediate-model policies are supported; everything else
+falls back to the scalar kernel via the dispatch layer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import clamp_epsilon, threshold_parameters
+from repro.engine.kernel import MAX_KERNEL_STEPS, RunStats, SimulationError
+from repro.model.instance import Instance
+from repro.model.schedule import Assignment, Schedule
+from repro.utils.tolerances import TIME_EPS, fge, vsnap
+
+
+@dataclass(frozen=True)
+class ImmediateRule:
+    """A batch-supported immediate-model decision rule.
+
+    ``admission`` is ``"threshold"`` (Algorithm 1's deadline test) or
+    ``"greedy"`` (accept iff some machine fits); ``allocation`` is the
+    candidate-selection rule among fitting machines.
+    """
+
+    algorithm: str
+    admission: str
+    allocation: str
+
+
+#: Registry algorithm name -> batch rule, for every immediate-model policy
+#: the batch kernel reproduces bit-identically.
+IMMEDIATE_RULES: dict[str, ImmediateRule] = {
+    "threshold": ImmediateRule("threshold", "threshold", "best-fit"),
+    "threshold[worst-fit]": ImmediateRule(
+        "threshold[worst-fit]", "threshold", "worst-fit"
+    ),
+    "threshold[first-fit]": ImmediateRule(
+        "threshold[first-fit]", "threshold", "first-fit"
+    ),
+    "greedy": ImmediateRule("greedy", "greedy", "best-fit"),
+    "greedy[least-loaded]": ImmediateRule(
+        "greedy[least-loaded]", "greedy", "least-loaded"
+    ),
+}
+
+
+def _job_arrays(instances: list[Instance], n: int) -> tuple[np.ndarray, ...]:
+    rel = np.empty((len(instances), n))
+    proc = np.empty((len(instances), n))
+    dl = np.empty((len(instances), n))
+    for b, inst in enumerate(instances):
+        for j, job in enumerate(inst.jobs):
+            rel[b, j] = job.release
+            proc[b, j] = job.processing
+            dl[b, j] = job.deadline
+    return rel, proc, dl
+
+
+def run_immediate_batch(
+    rule: ImmediateRule,
+    instances: list[Instance],
+    max_steps: int = MAX_KERNEL_STEPS,
+) -> list[Schedule]:
+    """Run *rule* over a batch of same-shape instances; one Schedule each.
+
+    All instances must share the machine count and job count (the dispatch
+    layer groups by that key), which keeps every array rectangular — no
+    masking or padding anywhere in the step loop.
+    """
+    if not instances:
+        return []
+    m = instances[0].machines
+    n = len(instances[0])
+    for inst in instances:
+        if inst.machines != m or len(inst) != n:
+            raise ValueError(
+                "batch requires uniform shape: expected "
+                f"(machines={m}, jobs={n}), got ({inst.machines}, {len(inst)})"
+            )
+    if n >= max_steps:
+        # Same condition and message as run_model's step-count guard.
+        raise SimulationError(
+            f"kernel exceeded max_steps={max_steps} (non-terminating model?)",
+            model="immediate",
+        )
+
+    t0 = time.perf_counter()
+    b = len(instances)
+    threshold = rule.admission == "threshold"
+
+    if threshold:
+        # Per-instance Algorithm 1 parameters, padded into one (B, M) factor
+        # table: position k-1+i holds f[i]; ranks < k-1 are masked out.
+        f_pad = np.zeros((b, m))
+        kvec = np.empty(b, dtype=np.int64)
+        for i, inst in enumerate(instances):
+            params = threshold_parameters(clamp_epsilon(inst.epsilon), m)
+            kvec[i] = params.k
+            f_pad[i, params.k - 1 :] = params.f
+        rank_ok = np.arange(m)[None, :] >= (kvec[:, None] - 1)
+
+    rel, proc, dl = _job_arrays(instances, n)
+
+    # Per-(instance, machine) commitment history, flattened to B*M rows.
+    bm = b * m
+    rows = np.arange(bm)
+    starts = np.zeros((bm, n)) if n else np.zeros((bm, 1))
+    ends = np.zeros_like(starts)
+    prefix = np.zeros((bm, starts.shape[1] + 1))
+    cnt = np.zeros(bm, dtype=np.int64)
+    ptr = np.zeros(bm, dtype=np.int64)
+
+    acc = np.zeros((b, n), dtype=bool)
+    mach = np.zeros((b, n), dtype=np.int64)
+    startv = np.zeros((b, n))
+
+    for s in range(n):
+        t = rel[:, s]
+        p = proc[:, s]
+        d = dl[:, s]
+        tbm = np.repeat(t, m)
+
+        # Advance the bisect_right(ends, t) pointer.  Releases are
+        # non-decreasing (Instance validates this), so the pointer only
+        # moves forward; bisect_right uses the exact `ends[j] <= t` test.
+        while True:
+            has = ptr < cnt
+            idx = np.where(has, ptr, 0)
+            adv = has & (ends[rows, idx] <= tbm)
+            if not adv.any():
+                break
+            ptr += adv
+
+        # Outstanding load, operand-for-operand as MachineState.outstanding.
+        has = ptr < cnt
+        idx = np.where(has, ptr, 0)
+        partial = ends[rows, idx] - np.maximum(starts[rows, idx], tbm)
+        rest = prefix[rows, cnt] - prefix[rows, idx + 1]
+        load = np.where(has, vsnap(partial + rest), 0.0)
+        loads = load.reshape(b, m)
+
+        # Feasibility per machine: start would be the completion frontier.
+        last_idx = np.where(cnt > 0, cnt - 1, 0)
+        frontier = np.maximum(tbm, np.where(cnt > 0, ends[rows, last_idx], 0.0))
+        fits = fge(np.repeat(d, m), frontier + np.repeat(p, m)).reshape(b, m)
+        anyfit = fits.any(axis=1)
+
+        if threshold:
+            sorted_desc = np.sort(loads, axis=1)[:, ::-1]
+            d_lim = t + np.max(np.where(rank_ok, sorted_desc * f_pad, -np.inf), axis=1)
+            ok = fge(d, d_lim)
+            bad = ok & ~anyfit
+            if bad.any():
+                raise AssertionError(
+                    f"job {s}: accepted by threshold but no machine can "
+                    "complete it — Claim 1 invariant broken"
+                )
+        else:
+            ok = anyfit
+
+        if rule.allocation == "best-fit":
+            choice = np.argmax(np.where(fits, loads, -np.inf), axis=1)
+        elif rule.allocation in ("worst-fit", "least-loaded"):
+            choice = np.argmin(np.where(fits, loads, np.inf), axis=1)
+        else:  # first-fit
+            choice = np.argmax(fits, axis=1)
+
+        sel = np.flatnonzero(ok)
+        if sel.size:
+            rsel = sel * m + choice[sel]
+            c = cnt[rsel]
+            st = frontier[rsel]
+            starts[rsel, c] = st
+            ends[rsel, c] = st + p[sel]
+            prefix[rsel, c + 1] = prefix[rsel, c] + p[sel]
+            cnt[rsel] = c + 1
+            acc[sel, s] = True
+            mach[sel, s] = choice[sel]
+            startv[sel, s] = st
+
+    sim_seconds = (time.perf_counter() - t0) / b
+
+    t1 = time.perf_counter()
+    _audit_batch(rel, proc, dl, acc, startv, starts, ends, cnt, m)
+    audit_seconds = (time.perf_counter() - t1) / b
+
+    schedules: list[Schedule] = []
+    for i, inst in enumerate(instances):
+        accepted_ids = np.flatnonzero(acc[i])
+        assignments = {
+            int(j): Assignment(int(j), int(mach[i, j]), float(startv[i, j]))
+            for j in accepted_ids
+        }
+        rejected = {int(j) for j in np.flatnonzero(~acc[i])}
+        schedule = Schedule(
+            instance=inst,
+            assignments=assignments,
+            rejected=rejected,
+            algorithm=rule.algorithm,
+            meta={"model": "immediate", "backend": "batch"},
+        )
+        schedule.meta["stats"] = RunStats(
+            model="immediate",
+            algorithm=rule.algorithm,
+            jobs=n,
+            decisions=n,
+            accepted=len(assignments),
+            rejected=n - len(assignments),
+            steps=n,
+            accepted_load=float(schedule.accepted_load),
+            sim_seconds=sim_seconds,
+            audit_seconds=audit_seconds,
+        )
+        schedules.append(schedule)
+    return schedules
+
+
+def _audit_batch(rel, proc, dl, acc, startv, starts, ends, cnt, m) -> None:
+    """Vectorised replica of ``Schedule.audit`` over the whole batch.
+
+    Checks the same invariants (start after release, completion by the
+    deadline, no overlap on any machine; coverage and machine range hold by
+    construction).  On the never-expected failure it delegates to the
+    scalar ``Schedule.audit`` path via an assertion so the violation is not
+    silently swallowed — the equivalence suite exercises this against the
+    scalar kernel's audit.
+    """
+    early = acc & ~fge(startv, rel)
+    late = acc & ~fge(dl, startv + proc)
+    cap = starts.shape[1]
+    span = np.arange(max(cap - 1, 1))[None, : cap - 1]
+    mask = span < (cnt[:, None] - 1)
+    overlap = mask & (starts[:, 1:cap] < ends[:, : cap - 1] - TIME_EPS)
+    if early.any() or late.any() or overlap.any():
+        raise AssertionError(
+            "batch audit failed: schedule invariant violated "
+            f"(early={int(early.sum())}, late={int(late.sum())}, "
+            f"overlap={int(overlap.sum())})"
+        )
+
+
+__all__ = ["ImmediateRule", "IMMEDIATE_RULES", "run_immediate_batch"]

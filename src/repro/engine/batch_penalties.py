@@ -1,0 +1,296 @@
+"""Vectorised batch kernel for the commitment-with-penalties model.
+
+The scalar :class:`repro.engine.penalties.RevocableGreedyPolicy` spends its
+time scanning per-machine plan gaps (latest-feasible-start placement) and
+plan suffixes (profitable-swap revocation) in pure Python — the slowest row
+of ``BENCH_engine.json`` by a wide margin.  This module keeps each
+machine's tentative plans in sorted NumPy slabs (start / end / processing /
+job-id arrays plus a live count) so both scans become a handful of
+elementwise operations, while preserving **bit-identity** with the scalar
+engine:
+
+* Gap scan: the candidate start of gap *g* is ``min(d, upper_g) - p`` and
+  its floor is ``max(edge_g, earliest)`` — exactly the scalar fold's
+  operands.  The fold's result equals the max over valid candidate starts
+  whenever no valid gap is *tight* (candidate below its floor within
+  ``TIME_EPS``); in the rare tight case the scalar fold is replayed
+  verbatim in Python.  Small plan sets skip NumPy entirely and run the
+  verbatim fold (identical by construction, faster below ~16 plans).
+* Started plans form a *prefix* of the start-sorted slab (``started(t)`` is
+  monotone in the start), so the swap rule's removable set is always a
+  suffix — revocation truncates the slab, no compaction needed.
+* Insertion uses ``searchsorted(..., side="right")``, reproducing Python's
+  stable ``sorted(plans, key=start)`` order for equal starts (later
+  insertion sorts after).
+* All engine-side plan validation (`_validate_plan` in
+  :mod:`repro.engine.penalties`) that can fire is replicated with the same
+  :class:`~repro.engine.kernel.SimulationError` messages.
+
+Sums that feed decisions or reported loads use Python's left-fold ``sum``
+over the same operand order as the scalar engine — never ``np.sum``, whose
+pairwise summation rounds differently.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.engine.kernel import MAX_KERNEL_STEPS, RunStats, SimulationError
+from repro.engine.penalties import PenaltyOutcome, PlannedJob
+from repro.model.instance import Instance
+from repro.utils.tolerances import TIME_EPS, fge
+
+#: Engine-level default penalty factor for the registry's
+#: ``revocable-greedy`` entry (matches bench E13/E16 conventions).
+DEFAULT_PHI = 0.5
+
+#: Below this many plans the verbatim Python fold beats the NumPy version.
+_SMALL_FOLD = 16
+
+_MODEL = "commitment-with-penalties"
+_ALGORITHM = "revocable-greedy"
+
+
+def _latest_start_exact(d, p, earliest, edges, uppers):
+    """Verbatim replica of ``RevocableGreedyPolicy._latest_start``."""
+    best = None
+    for lo, hi in zip(edges, uppers):
+        lo = max(lo, earliest)
+        start = min(d, hi) - p
+        if start >= lo - TIME_EPS and fge(d, start + p):
+            if best is None or start > best:
+                best = max(start, lo)
+    return best
+
+
+def _latest_start(d, p, earliest, s_row, e_row, count, scratch=None):
+    """Latest feasible start against the first *count* slab plans."""
+    if count > 0:
+        # O(1) fast path: when the unbounded gap after the last plan admits
+        # ``d - p`` with at least TIME_EPS to spare, it is the fold's
+        # winner.  Proof sketch: starts are sorted and positive-length
+        # plans don't overlap, so every earlier gap's candidate start
+        # ``min(d, s_g) - p`` is strictly below ``lo_last``, hence both its
+        # raw start and its clamped floor (raw + at most TIME_EPS) stay
+        # strictly below ``d - p`` — no earlier gap can outscore or mask
+        # the last one.
+        lo_last = max(float(e_row[count - 1]), earliest)
+        cand = d - p
+        if cand >= lo_last + TIME_EPS and fge(d, cand + p):
+            return cand
+    if count <= _SMALL_FOLD:
+        edges = [earliest] + e_row[:count].tolist()
+        uppers = s_row[:count].tolist() + [float("inf")]
+        return _latest_start_exact(d, p, earliest, edges, uppers)
+    if scratch is None:
+        scratch = np.empty((2, count + 1))
+    starts = scratch[0, : count + 1]
+    lows = scratch[1, : count + 1]
+    np.minimum(d, s_row[:count], out=starts[:count])
+    starts[:count] -= p
+    starts[count] = d - p
+    lows[0] = earliest
+    lows[1:] = e_row[:count]
+    np.maximum(lows, earliest, out=lows)
+    # The deadline re-check is not redundant: ``(min(d, hi) - p) + p`` can
+    # round above ``d`` at large magnitudes, and the scalar fold tests it.
+    valid = fge(starts, lows) & fge(d, starts + p)
+    if not valid.any():
+        return None
+    if bool(np.any(valid & (starts < lows))):
+        # A tight gap (candidate within TIME_EPS below its floor) makes the
+        # scalar fold's running max depend on clamped values; replay it.
+        edges = [earliest] + e_row[:count].tolist()
+        uppers = s_row[:count].tolist() + [float("inf")]
+        return _latest_start_exact(d, p, earliest, edges, uppers)
+    return float(starts[valid].max())
+
+
+class _MachineSlab:
+    """Start-sorted plan arrays for one machine."""
+
+    __slots__ = ("starts", "ends", "procs", "ids", "count")
+
+    def __init__(self, capacity: int) -> None:
+        self.starts = np.zeros(capacity)
+        self.ends = np.zeros(capacity)
+        self.procs = np.zeros(capacity)
+        self.ids = np.zeros(capacity, dtype=np.int64)
+        self.count = 0
+
+    def insert(self, start: float, p: float, jid: int) -> None:
+        c = self.count
+        pos = int(np.searchsorted(self.starts[:c], start, side="right"))
+        if pos < c:
+            self.starts[pos + 1 : c + 1] = self.starts[pos:c].copy()
+            self.ends[pos + 1 : c + 1] = self.ends[pos:c].copy()
+            self.procs[pos + 1 : c + 1] = self.procs[pos:c].copy()
+            self.ids[pos + 1 : c + 1] = self.ids[pos:c].copy()
+        self.starts[pos] = start
+        self.ends[pos] = start + p
+        self.procs[pos] = p
+        self.ids[pos] = jid
+        self.count = c + 1
+
+
+def _fail(message: str, jid: int, t: float) -> None:
+    raise SimulationError(message, model=_MODEL, job_id=jid, time=t)
+
+
+def _check_overlap(plans, instance, machine, start, end, jid, t) -> None:
+    """Replicate `_validate_plan`'s overlap scan on a violation.
+
+    Iterates the surviving-plan dict in insertion order (as the scalar
+    engine does) so the reported conflicting job id is identical.
+    """
+    for rid, (g, st) in plans.items():
+        other_end = st + instance[rid].processing
+        if g == machine and (start < other_end - TIME_EPS and st < end - TIME_EPS):
+            _fail(
+                f"plan for job {jid} overlaps surviving plan {rid}",
+                jid,
+                t,
+            )
+
+
+def run_penalties_batch(
+    instances: list[Instance],
+    phi: float = DEFAULT_PHI,
+    max_steps: int = MAX_KERNEL_STEPS,
+) -> list[PenaltyOutcome]:
+    """Revocable-greedy penalties runs for a batch of instances.
+
+    Unlike the immediate batch kernel, the vectorisation here is *within*
+    each instance (gap and suffix scans across a machine's plan slab);
+    instances need not share a shape.
+    """
+    if phi < 0:
+        raise ValueError(f"penalty factor must be non-negative, got {phi}")
+    return [_run_one(inst, phi, max_steps) for inst in instances]
+
+
+def _run_one(instance: Instance, phi: float, max_steps: int) -> PenaltyOutcome:
+    jobs = instance.jobs
+    m = instance.machines
+    n = len(jobs)
+    if n >= max_steps:
+        raise SimulationError(
+            f"kernel exceeded max_steps={max_steps} (non-terminating model?)",
+            model=_MODEL,
+        )
+
+    t0 = time.perf_counter()
+    slabs = [_MachineSlab(max(n, 1)) for _ in range(m)]
+    scratch = np.empty((2, n + 1)) if n else None
+    plans: dict[int, tuple[int, float]] = {}
+    revoked: set[int] = set()
+    rejected: set[int] = set()
+    accepted = 0
+
+    for job in jobs:
+        t = job.release
+        p = job.processing
+        d = job.deadline
+        jid = job.job_id
+
+        # Phase 1 — plain placement: latest start over all machines, ties
+        # to the lowest machine (strict > in the scalar scan).
+        best_start = None
+        best_machine = -1
+        for g in range(m):
+            slab = slabs[g]
+            start = _latest_start(d, p, t, slab.starts, slab.ends, slab.count, scratch)
+            if start is not None and (best_start is None or start > best_start):
+                best_start = start
+                best_machine = g
+        if best_start is not None:
+            end = best_start + p
+            slab = slabs[best_machine]
+            c = slab.count
+            over = (best_start < slab.ends[:c] - TIME_EPS) & (
+                slab.starts[:c] < end - TIME_EPS
+            )
+            if bool(over.any()):  # unreachable for a correct gap scan
+                _check_overlap(plans, instance, best_machine, best_start, end, jid, t)
+            slab.insert(best_start, p, jid)
+            plans[jid] = (best_machine, best_start)
+            accepted += 1
+            continue
+
+        # Phase 2 — profitable swap: drop the not-yet-started suffix of the
+        # machine with the cheapest removable load.
+        options = []
+        for g in range(m):
+            slab = slabs[g]
+            c = slab.count
+            if c == 0:
+                continue
+            n_started = int(np.count_nonzero(fge(t, slab.starts[:c])))
+            if n_started == c:
+                continue
+            start = _latest_start(d, p, t, slab.starts, slab.ends, n_started, scratch)
+            if start is None:
+                continue
+            cost = float(sum(slab.procs[n_started:c].tolist()))
+            options.append((cost, g, start, n_started))
+        placed = False
+        if options:
+            cost, g, start, n_started = min(options, key=lambda o: o[0])
+            if p > (1.0 + phi) * cost + TIME_EPS:
+                slab = slabs[g]
+                for rid in slab.ids[n_started : slab.count].tolist():
+                    del plans[rid]
+                    revoked.add(rid)
+                slab.count = n_started
+                end = start + p
+                over = (start < slab.ends[:n_started] - TIME_EPS) & (
+                    slab.starts[:n_started] < end - TIME_EPS
+                )
+                if bool(over.any()):
+                    _check_overlap(plans, instance, g, start, end, jid, t)
+                slab.insert(start, p, jid)
+                plans[jid] = (g, start)
+                accepted += 1
+                placed = True
+        if not placed:
+            rejected.add(jid)
+
+    completed = {
+        jid: PlannedJob(jobs[jid], machine, start)
+        for jid, (machine, start) in plans.items()
+    }
+    outcome = PenaltyOutcome(
+        instance=instance,
+        algorithm=_ALGORITHM,
+        phi=phi,
+        completed=completed,
+        revoked=revoked,
+        rejected=rejected,
+    )
+    sim_seconds = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    outcome.audit()
+    audit_seconds = time.perf_counter() - t1
+
+    outcome.meta["model"] = _MODEL
+    outcome.meta["backend"] = "batch"
+    outcome.meta["stats"] = RunStats(
+        model=_MODEL,
+        algorithm=_ALGORITHM,
+        jobs=n,
+        decisions=n,
+        accepted=accepted,
+        rejected=n - accepted,
+        revoked=len(revoked),
+        steps=n,
+        accepted_load=float(outcome.completed_load),
+        sim_seconds=sim_seconds,
+        audit_seconds=audit_seconds,
+    )
+    return outcome
+
+
+__all__ = ["DEFAULT_PHI", "run_penalties_batch"]

@@ -36,15 +36,25 @@ def flow_upper_bound(instance: Instance) -> float:
     intervals = [
         (lo, hi) for lo, hi in zip(events, events[1:]) if hi - lo > TIME_EPS
     ]
+    # Integer node labels, not strings: networkx's flow algorithms iterate
+    # internal *sets* of nodes, and string hashing is randomised per process
+    # (PYTHONHASHSEED), which perturbs the float summation order and thus
+    # the last ulp of the flow value.  Small-int hashing is deterministic,
+    # so the bound is bit-identical across processes and hosts.
+    src, sink = 0, 1
+    interval_node = [2 + idx for idx in range(len(intervals))]
+    job_node_base = 2 + len(intervals)
     graph = nx.DiGraph()
     for idx, (lo, hi) in enumerate(intervals):
-        graph.add_edge(f"I{idx}", "sink", capacity=instance.machines * (hi - lo))
+        graph.add_edge(interval_node[idx], sink, capacity=instance.machines * (hi - lo))
     for job in instance:
-        graph.add_edge("src", f"J{job.job_id}", capacity=job.processing)
+        graph.add_edge(src, job_node_base + job.job_id, capacity=job.processing)
         for idx, (lo, hi) in enumerate(intervals):
             if fge(lo, job.release) and fge(job.deadline, hi):
-                graph.add_edge(f"J{job.job_id}", f"I{idx}", capacity=hi - lo)
-    value, _ = nx.maximum_flow(graph, "src", "sink")
+                graph.add_edge(
+                    job_node_base + job.job_id, interval_node[idx], capacity=hi - lo
+                )
+    value, _ = nx.maximum_flow(graph, src, sink)
     return float(value)
 
 

@@ -15,6 +15,7 @@ from repro.utils.tolerances import (
     flt,
     is_close,
     snap,
+    vsnap,
 )
 from repro.utils.rng import make_rng, spawn_rngs, rng_from_any
 from repro.utils.intervals import (
@@ -37,6 +38,7 @@ __all__ = [
     "flt",
     "is_close",
     "snap",
+    "vsnap",
     "make_rng",
     "spawn_rngs",
     "rng_from_any",

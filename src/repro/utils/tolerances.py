@@ -68,3 +68,19 @@ def snap(x: float, eps: float = TIME_EPS) -> float:
     ``load > 0`` tests.
     """
     return 0.0 if abs(x) <= eps else x
+
+
+def vsnap(x, eps: float = TIME_EPS):
+    """Vectorised :func:`snap` for NumPy arrays (used by the batch kernel).
+
+    ``snap`` relies on Python's ``bool(abs(x) <= eps)`` and therefore cannot
+    take arrays.  This variant applies the identical elementwise rule — any
+    entry within *eps* of zero becomes exactly ``0.0`` — so scalar and batch
+    backends agree bit-for-bit on snapped loads.  The comparison predicates
+    (:func:`fge`, :func:`fle`, …) are already elementwise-safe and are shared
+    verbatim by both backends.
+    """
+    import numpy as np
+
+    x = np.asarray(x, dtype=float)
+    return np.where(np.abs(x) <= eps, 0.0, x)

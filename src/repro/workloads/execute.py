@@ -47,13 +47,14 @@ import os
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any
 
+from repro.engine.backend import BACKEND_CHOICES
 from repro.offline.cache import BracketCache
 from repro.workloads.resilient import (
     FailureManifest,
     ResilientSweepResult,
     SweepExecutionError,
     _execute_resilient,
-    run_cell,
+    run_cells,
 )
 from repro.workloads.sweep import SweepSpec
 
@@ -109,8 +110,18 @@ class ExecutionPolicy:
     chaos: "ChaosPlan | None" = None
     #: Testing hook: simulate a hard kill after this many new cells.
     interrupt_after: int | None = None
+    #: Kernel backend for the simulations: ``"auto"`` (batch where it
+    #: pays off), ``"scalar"`` (golden reference) or ``"batch"`` (loud
+    #: fallback for unsupported algorithms).  See
+    #: :mod:`repro.engine.backend` and ``docs/engine_backends.md``.
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
+        if self.backend not in BACKEND_CHOICES:
+            raise ValueError(
+                f"unknown backend {self.backend!r}: expected one of "
+                f"{BACKEND_CHOICES}"
+            )
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
         if self.shards > 1 and self.shard_index is None:
@@ -170,16 +181,24 @@ class ExecutionPolicy:
         return replace(self, shard_index=shard_index)
 
 
+#: Cells per :func:`repro.workloads.resilient.run_cells` call on the serial
+#: path — bounds batch working-set memory while amortising kernel setup.
+_SERIAL_GROUP = 32
+
+
 def _execute_serial(
     spec: SweepSpec,
     algorithm_kwargs: dict[str, dict[str, Any]],
     cache: BracketCache | None,
+    backend: str = "auto",
 ) -> ResilientSweepResult:
     """In-process fast path: no worker processes, no journal, no retries."""
     cells = list(spec.cells())
     rows = []
-    for eps, m, rep in cells:
-        rows.extend(run_cell(spec, eps, m, rep, algorithm_kwargs, cache))
+    for lo in range(0, len(cells), _SERIAL_GROUP):
+        group = cells[lo : lo + _SERIAL_GROUP]
+        for cell_rows in run_cells(spec, group, algorithm_kwargs, cache, backend):
+            rows.extend(cell_rows)
     manifest = FailureManifest(cells_total=len(cells), cells_completed=len(cells))
     return ResilientSweepResult(
         rows=rows,
@@ -233,9 +252,10 @@ def execute_sweep(
             cache=cache,
             cells=cells,
             shard=shard,
+            backend=policy.backend,
         )
     else:
-        result = _execute_serial(spec, algorithm_kwargs, cache)
+        result = _execute_serial(spec, algorithm_kwargs, cache, policy.backend)
     if policy.strict and result.manifest.failures:
         first = result.manifest.failures[0]
         raise SweepExecutionError(

@@ -199,6 +199,73 @@ def run_cell(
     return rows
 
 
+def run_cells(
+    spec: SweepSpec,
+    cells: list[tuple[float, int, int]],
+    algorithm_kwargs: dict[str, dict[str, Any]],
+    cache: BracketCache | None = None,
+    backend: str = "scalar",
+) -> list[list[SweepRow]]:
+    """Evaluate several grid cells, optionally through the batch backend.
+
+    With ``backend="scalar"`` this is exactly ``[run_cell(...) for cell in
+    cells]``.  Otherwise all of the group's simulations are routed through
+    :func:`repro.engine.backend.run_simulations` in one call, so compatible
+    cells (same algorithm, machine count and job count) step through the
+    structure-of-arrays kernel together.  Rows are bit-identical either way
+    — the backend seam guarantees it — so journals, resumes and shard
+    merges are unaffected by the backend choice.
+    """
+    if backend == "scalar":
+        return [
+            run_cell(spec, eps, m, rep, algorithm_kwargs, cache)
+            for eps, m, rep in cells
+        ]
+    from repro.engine.backend import SimulationRequest, run_simulations
+
+    instances = []
+    brackets = []
+    for eps, m, rep in cells:
+        instance = spec.workload(m, eps, spec.cell_seed(eps, m, rep))
+        instances.append(instance)
+        brackets.append(cell_bracket(spec, instance, cache))
+    requests = [
+        SimulationRequest(
+            name,
+            instance,
+            algorithm_kwargs.get(name, {}),
+            record_events=spec.record_events,
+        )
+        for instance in instances
+        for name in spec.algorithms
+    ]
+    results = run_simulations(requests, backend=backend)
+    rows_per_cell: list[list[SweepRow]] = []
+    i = 0
+    for (eps, m, rep), instance, bracket in zip(cells, instances, brackets):
+        rows = []
+        for name in spec.algorithms:
+            result = results[i]
+            i += 1
+            rows.append(
+                SweepRow(
+                    epsilon=eps,
+                    machines=m,
+                    repetition=rep,
+                    algorithm=name,
+                    accepted_load=result.accepted_load,
+                    accepted_count=result.accepted_count,
+                    n_jobs=len(instance),
+                    opt_lower=bracket.lower,
+                    opt_upper=bracket.upper,
+                    opt_exact=bracket.exact,
+                    guarantee=guarantee_for(name, eps, m),
+                )
+            )
+        rows_per_cell.append(rows)
+    return rows_per_cell
+
+
 def validate_sweep_pickles(
     spec: SweepSpec, algorithm_kwargs: dict[str, dict[str, Any]]
 ) -> None:
@@ -303,9 +370,43 @@ def _cell_worker(
         conn.close()
 
 
+def _group_worker(
+    conn,
+    spec: SweepSpec,
+    cells: list[tuple[float, int, int]],
+    algorithm_kwargs: dict[str, dict[str, Any]],
+    backend: str,
+    cache: BracketCache | None = None,
+) -> None:
+    """Run a *group lease* of cells in one process; report over a pipe.
+
+    Sends ``("ok", [rows, ...], cache_stats)`` with one row list per cell
+    in order.  Group leases exist so the batch backend amortises its
+    structure-of-arrays setup over many compatible cells per process; the
+    parent demotes a failed group to per-cell scalar attempts, so fault
+    isolation is unchanged.
+    """
+    try:
+        rows_per_cell = run_cells(spec, cells, algorithm_kwargs, cache, backend=backend)
+        conn.send(
+            ("ok", rows_per_cell, None if cache is None else cache.stats.as_dict())
+        )
+    except BaseException as exc:  # noqa: BLE001 - must cross the process boundary
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}", None))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        conn.close()
+
+
+#: Cells per group lease when the resilient scheduler may batch.
+_GROUP_CELLS = 8
+
+
 @dataclass
 class _Attempt:
-    """One scheduled execution of a cell."""
+    """One scheduled execution of a cell (or of a group lease of cells)."""
 
     eps: float
     m: int
@@ -314,6 +415,8 @@ class _Attempt:
     attempt: int  # 1-based
     ready_at: float  # monotonic time before which this must not launch
     history: tuple[str, ...] = ()
+    #: group lease: (eps, m, rep, seed) per member; ``None`` = single cell.
+    group: tuple[tuple[float, int, int, int], ...] | None = None
 
 
 @dataclass
@@ -428,6 +531,7 @@ def _execute_resilient(
     cells: list[tuple[float, int, int]] | None = None,
     shard: tuple[int, int] | None = None,
     salvage: bool = False,
+    backend: str = "scalar",
 ) -> ResilientSweepResult:
     """Scheduler core behind :func:`repro.workloads.execute.execute_sweep`.
 
@@ -472,6 +576,15 @@ def _execute_resilient(
         records are quarantined, the file is rewritten clean, and the
         affected cells are simply re-executed.
 
+    ``backend``
+        kernel backend for the simulations (see
+        :mod:`repro.engine.backend`).  With a non-scalar backend — and no
+        chaos plan or interrupt hook — pending cells are dispatched as
+        *group leases* of up to ``_GROUP_CELLS`` cells per worker so the
+        batch kernel amortises across compatible cells.  A failed lease is
+        demoted to independent per-cell scalar attempts, so retry
+        semantics, validation and journaling stay per-cell.
+
     Returns a :class:`ResilientSweepResult`; never raises for individual
     cell failures (see ``result.manifest``).
     """
@@ -508,11 +621,25 @@ def _execute_resilient(
     elif resume:
         raise ValueError("resume=True requires a journal_path")
 
-    pending: deque[_Attempt] = deque(
-        _Attempt(eps, m, rep, seed, attempt=1, ready_at=0.0)
+    todo = [
+        (eps, m, rep, seed)
         for eps, m, rep in cells
         if (seed := spec.cell_seed(eps, m, rep)) not in completed
-    )
+    ]
+    grouping = backend != "scalar" and chaos is None and interrupt_after is None
+    pending: deque[_Attempt] = deque()
+    if grouping:
+        for lo in range(0, len(todo), _GROUP_CELLS):
+            members = tuple(todo[lo : lo + _GROUP_CELLS])
+            eps, m, rep, seed = members[0]
+            pending.append(
+                _Attempt(eps, m, rep, seed, attempt=1, ready_at=0.0, group=members)
+            )
+    else:
+        pending.extend(
+            _Attempt(eps, m, rep, seed, attempt=1, ready_at=0.0)
+            for eps, m, rep, seed in todo
+        )
     workers = max_workers or min(len(pending) or 1, os.cpu_count() or 2)
     ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
     active: list[_Active] = []
@@ -549,24 +676,40 @@ def _execute_resilient(
                     break
                 pending.remove(launchable)
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
-                proc = ctx.Process(
-                    target=_cell_worker,
-                    args=(
-                        child_conn,
-                        spec,
-                        launchable.eps,
-                        launchable.m,
-                        launchable.rep,
-                        algorithm_kwargs,
-                        chaos,
-                        launchable.attempt,
-                        cache,
-                    ),
-                    daemon=True,
-                )
+                if launchable.group is not None:
+                    proc = ctx.Process(
+                        target=_group_worker,
+                        args=(
+                            child_conn,
+                            spec,
+                            [(e, mm, r) for e, mm, r, _ in launchable.group],
+                            algorithm_kwargs,
+                            backend,
+                            cache,
+                        ),
+                        daemon=True,
+                    )
+                    budget = None if timeout is None else timeout * len(launchable.group)
+                else:
+                    proc = ctx.Process(
+                        target=_cell_worker,
+                        args=(
+                            child_conn,
+                            spec,
+                            launchable.eps,
+                            launchable.m,
+                            launchable.rep,
+                            algorithm_kwargs,
+                            chaos,
+                            launchable.attempt,
+                            cache,
+                        ),
+                        daemon=True,
+                    )
+                    budget = timeout
                 proc.start()
                 child_conn.close()
-                deadline = None if timeout is None else now + timeout
+                deadline = None if budget is None else now + budget
                 active.append(_Active(launchable, proc, parent_conn, deadline))
 
             # Reap finished / dead / overdue workers.
@@ -579,6 +722,38 @@ def _execute_resilient(
                 entry.conn.close()
                 status, payload, worker_cache = outcome
                 task = entry.task
+                if task.group is not None:
+                    if status == "ok":
+                        good, bad = _split_group_payload(spec, task, payload)
+                        if cache_totals is not None and worker_cache and good:
+                            cache_totals.merge(worker_cache)
+                        for (g_eps, g_m, g_rep, g_seed), rows in good:
+                            completed[g_seed] = rows
+                            manifest.cells_completed += 1
+                            if journal is not None:
+                                journal.record_cell(g_seed, g_eps, g_m, g_rep, rows)
+                            new_cells += 1
+                        demote = [(member, detail) for member, detail in bad]
+                    else:
+                        demote = [
+                            (member, f"{status}: {payload}") for member in task.group
+                        ]
+                    # Demote failed lease members to independent per-cell
+                    # attempts with a fresh budget; the lease itself spends
+                    # no retries (each member's own failures count).
+                    for (g_eps, g_m, g_rep, g_seed), detail in demote:
+                        pending.append(
+                            _Attempt(
+                                g_eps,
+                                g_m,
+                                g_rep,
+                                g_seed,
+                                attempt=1,
+                                ready_at=time.monotonic() + backoff,
+                                history=(f"group-lease {detail}",),
+                            )
+                        )
+                    continue
                 if status == "ok":
                     problem = validate_cell_rows(spec, task.eps, task.m, task.rep, payload)
                     if problem is None:
@@ -586,7 +761,7 @@ def _execute_resilient(
                         if cache_totals is not None and worker_cache:
                             cache_totals.merge(worker_cache)
                         manifest.cells_completed += 1
-                        if task.attempt > 1:
+                        if task.attempt > 1 or task.history:
                             manifest.recovered += 1
                         if journal is not None:
                             journal.record_cell(
@@ -655,6 +830,34 @@ def _execute_resilient(
     return _assemble(spec, cells, completed, manifest, journal, cache_totals)
 
 
+def _split_group_payload(
+    spec: SweepSpec, task: _Attempt, payload: object
+) -> tuple[list, list]:
+    """Validate a group lease's payload; (good, bad) member lists.
+
+    ``good`` holds ``(member, rows)`` for cells whose rows validate;
+    ``bad`` holds ``(member, detail)`` for the rest.  A malformed payload
+    (wrong type or length) condemns every member.
+    """
+    members = task.group or ()
+    if not isinstance(payload, list) or len(payload) != len(members):
+        size = len(payload) if isinstance(payload, list) else "n/a"
+        detail = (
+            f"corrupt: group payload is {type(payload).__name__} of length "
+            f"{size}, expected {len(members)} row lists"
+        )
+        return [], [(member, detail) for member in members]
+    good, bad = [], []
+    for member, rows in zip(members, payload):
+        g_eps, g_m, g_rep, _ = member
+        problem = validate_cell_rows(spec, g_eps, g_m, g_rep, rows)
+        if problem is None:
+            good.append((member, rows))
+        else:
+            bad.append((member, f"corrupt: {problem}"))
+    return good, bad
+
+
 def _assemble(
     spec: SweepSpec,
     cells: list[tuple[float, int, int]],
@@ -682,6 +885,7 @@ __all__ = [
     "SweepExecutionError",
     "SweepInterrupted",
     "run_cell",
+    "run_cells",
     "run_sweep_resilient",
     "spec_fingerprint",
     "validate_cell_rows",

@@ -1,0 +1,385 @@
+"""Cross-backend equivalence suite for the kernel-backend seam.
+
+The batch backend's contract (:mod:`repro.engine.backend`) is
+**bit-identity** with the scalar golden path — not approximate agreement.
+These tests assert it three ways:
+
+* exhaustive scalar-vs-batch comparison of schedules, rejected sets and
+  ``RunStats`` counters over a grid of workload families, shapes and
+  algorithms (and phi values for the penalties kernel);
+* hypothesis property tests over adversarially generated instances;
+* golden-trace replay: the batch kernels must reproduce the same
+  pre-kernel snapshots in ``tests/golden/golden_traces.json`` that pin
+  the scalar engines.
+
+Plus the seam's dispatch semantics: loud scalar fallback under
+``backend="batch"``, the ``auto`` grouping heuristic, near-tie threshold
+decisions pinned identical across backends, and ``MAX_KERNEL_STEPS``
+enforcement with the same :class:`~repro.engine.kernel.SimulationError`
+shape as ``run_model``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.registry import run_algorithm
+from repro.core.params import clamp_epsilon, threshold_parameters
+from repro.engine.backend import (
+    _AUTO_MIN_GROUP,
+    BackendFallbackWarning,
+    BatchBackend,
+    SimulationRequest,
+    run_simulation,
+    run_simulations,
+)
+from repro.engine.batch import IMMEDIATE_RULES, run_immediate_batch
+from repro.engine.batch_penalties import run_penalties_batch
+from repro.engine.kernel import SimulationError, run_model
+from repro.engine.policy import SequenceSource
+from repro.engine.simulator import ImmediateCommitmentModel
+from repro.core.threshold import ThresholdPolicy
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.workloads import cloud_instance, random_instance
+
+GOLDEN_PATH = Path(__file__).parent.parent / "golden" / "golden_traces.json"
+
+IMMEDIATE_ALGORITHMS = sorted(IMMEDIATE_RULES)
+
+
+def _stats_key(stats):
+    """Deterministic RunStats counters (timings excluded)."""
+    return (
+        stats.model,
+        stats.algorithm,
+        stats.jobs,
+        stats.decisions,
+        stats.accepted,
+        stats.rejected,
+        stats.revoked,
+        stats.steps,
+        stats.events,
+        stats.accepted_load,
+    )
+
+
+def _schedule_key(schedule):
+    return (
+        {j: (a.machine, a.start) for j, a in schedule.assignments.items()},
+        schedule.rejected,
+        schedule.accepted_load,
+    )
+
+
+def _assert_immediate_equal(scalar, batch):
+    assert _schedule_key(scalar.detail) == _schedule_key(batch.detail)
+    assert scalar.accepted_load == batch.accepted_load
+    assert scalar.accepted_count == batch.accepted_count
+    assert _stats_key(scalar.stats) == _stats_key(batch.stats)
+
+
+def _assert_penalties_equal(scalar, batch):
+    s, b = scalar.detail, batch.detail
+    assert list(s.completed) == list(b.completed)  # same insertion order
+    assert {j: (p.machine, p.start) for j, p in s.completed.items()} == {
+        j: (p.machine, p.start) for j, p in b.completed.items()
+    }
+    assert s.revoked == b.revoked
+    assert s.rejected == b.rejected
+    assert s.completed_load == b.completed_load
+    assert s.penalty_paid == b.penalty_paid
+    assert _stats_key(scalar.stats) == _stats_key(batch.stats)
+
+
+# ---------------------------------------------------------------------------
+# exhaustive grid equivalence
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("algorithm", IMMEDIATE_ALGORITHMS)
+@pytest.mark.parametrize("family", ["random", "cloud"])
+def test_immediate_grid_bit_identical(algorithm, family):
+    factory = random_instance if family == "random" else cloud_instance
+    for m in (1, 2, 4):
+        for seed in (0, 1, 2):
+            inst = factory(40, m, 0.25, seed=seed)
+            scalar = run_algorithm(algorithm, inst)
+            (batch,) = BatchBackend().run_many(
+                [SimulationRequest(algorithm, inst)]
+            )
+            assert batch.detail.meta["backend"] == "batch"
+            _assert_immediate_equal(scalar, batch)
+
+
+@pytest.mark.parametrize("phi", [0.0, 0.5, 1.0, 3.0])
+def test_penalties_grid_bit_identical(phi):
+    for m in (1, 2, 4):
+        for seed in (0, 1):
+            inst = random_instance(50, m, 0.2, seed=seed)
+            scalar = run_algorithm("revocable-greedy", inst, phi=phi)
+            (batch,) = BatchBackend().run_many(
+                [SimulationRequest("revocable-greedy", inst, kwargs={"phi": phi})]
+            )
+            assert batch.detail.meta["backend"] == "batch"
+            _assert_penalties_equal(scalar, batch)
+
+
+def test_batched_group_equals_independent_runs():
+    """One batched call over many instances == per-instance scalar runs."""
+    instances = [random_instance(30, 3, 0.2, seed=s) for s in range(8)]
+    requests = [SimulationRequest("threshold", inst) for inst in instances]
+    batch = run_simulations(requests, backend="batch")
+    for inst, result in zip(instances, batch):
+        _assert_immediate_equal(run_algorithm("threshold", inst), result)
+
+
+def test_empty_and_single_job_instances():
+    empty = Instance([], machines=2, epsilon=0.3)
+    one = Instance([Job(0.0, 1.0, 10.0)], machines=2, epsilon=0.3)
+    for algorithm in IMMEDIATE_ALGORITHMS:
+        for inst in (empty, one):
+            scalar = run_algorithm(algorithm, inst)
+            (batch,) = BatchBackend().run_many([SimulationRequest(algorithm, inst)])
+            _assert_immediate_equal(scalar, batch)
+    for inst in (empty, one):
+        scalar = run_algorithm("revocable-greedy", inst)
+        (batch,) = BatchBackend().run_many(
+            [SimulationRequest("revocable-greedy", inst)]
+        )
+        _assert_penalties_equal(scalar, batch)
+
+
+# ---------------------------------------------------------------------------
+# hypothesis property: equivalence over generated instances
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def instances(draw):
+    eps = draw(st.floats(min_value=0.05, max_value=1.0))
+    m = draw(st.integers(min_value=1, max_value=4))
+    n = draw(st.integers(min_value=0, max_value=25))
+    jobs = []
+    t = 0.0
+    for _ in range(n):
+        t += draw(st.floats(min_value=0.0, max_value=2.0))
+        p = draw(st.floats(min_value=0.05, max_value=4.0))
+        extra = draw(st.floats(min_value=0.0, max_value=3.0))
+        jobs.append(Job(t, p, t + (1.0 + eps + extra) * p))
+    return Instance(jobs, machines=m, epsilon=eps)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(inst=instances(), algorithm=st.sampled_from(IMMEDIATE_ALGORITHMS))
+def test_property_immediate_equivalence(inst, algorithm):
+    scalar = run_algorithm(algorithm, inst)
+    (batch,) = BatchBackend().run_many([SimulationRequest(algorithm, inst)])
+    _assert_immediate_equal(scalar, batch)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(inst=instances(), phi=st.floats(min_value=0.0, max_value=4.0))
+def test_property_penalties_equivalence(inst, phi):
+    scalar = run_algorithm("revocable-greedy", inst, phi=phi)
+    (batch,) = BatchBackend().run_many(
+        [SimulationRequest("revocable-greedy", inst, kwargs={"phi": phi})]
+    )
+    _assert_penalties_equal(scalar, batch)
+
+
+# ---------------------------------------------------------------------------
+# golden-trace replay through the batch kernels
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def golden_instance(golden):
+    spec = golden["instance"]
+    return random_instance(spec["n"], spec["m"], spec["eps"], seed=spec["seed"])
+
+
+@pytest.mark.parametrize(
+    "case, algorithm",
+    [("immediate[threshold]", "threshold"), ("immediate[greedy]", "greedy")],
+)
+def test_batch_replays_golden_schedules(case, algorithm, golden, golden_instance):
+    (schedule,) = run_immediate_batch(IMMEDIATE_RULES[algorithm], [golden_instance])
+    snapshot = {
+        "assignments": [
+            {"job": a.job_id, "machine": a.machine, "start": a.start}
+            for a in sorted(schedule.assignments.values(), key=lambda a: a.job_id)
+        ],
+        "rejected": sorted(schedule.rejected),
+        "accepted_load": schedule.accepted_load,
+    }
+    assert snapshot == golden["models"][case]
+
+
+def test_batch_replays_golden_penalties(golden, golden_instance):
+    (out,) = run_penalties_batch([golden_instance], 0.5)
+    snapshot = {
+        "completed": [
+            {"job": jid, "machine": p.machine, "start": p.start}
+            for jid, p in sorted(out.completed.items())
+        ],
+        "revoked": sorted(out.revoked),
+        "rejected": sorted(out.rejected),
+        "net_value": out.net_value,
+    }
+    assert snapshot == golden["models"]["penalties[revocable-greedy,phi=0.5]"]
+
+
+# ---------------------------------------------------------------------------
+# near-tie threshold decisions (satellite: tolerance discipline)
+# ---------------------------------------------------------------------------
+
+
+def test_near_tie_threshold_decisions_pinned_across_backends():
+    """Deadlines within one TIME_EPS of d_lim decide identically.
+
+    The admission test is ``fge(d, d_lim)`` in both backends; probing
+    deadlines straddling the tolerance boundary pins that neither backend
+    drifts to a raw ``>=`` (or a different epsilon) without the suite
+    noticing.
+    """
+    m, eps = 2, 0.1
+    policy = ThresholdPolicy()
+    policy.params = threshold_parameters(clamp_epsilon(eps), m)
+    # The base job occupies machine 0 on [0, 4); the probe arrives at t=1
+    # seeing loads [3.0, 0.0], so its admission threshold is exactly
+    # threshold_at(1.0, [3.0, 0.0]) — well above the feasibility floor.
+    base = Job(0.0, 4.0, 40.0)
+    d_lim = policy.threshold_at(1.0, [3.0, 0.0])
+    assert d_lim > 1.0 + 1.0 + 1e-6  # probe stays a valid job at d_lim - 2e-9
+    decisions = {}
+    for delta in (-2e-9, -5e-10, 0.0, 5e-10, 2e-9):
+        probe = Job(1.0, 1.0, d_lim + delta)
+        inst = Instance([base, probe], machines=m, epsilon=eps)
+        scalar = run_algorithm("threshold", inst)
+        (batch,) = BatchBackend().run_many([SimulationRequest("threshold", inst)])
+        _assert_immediate_equal(scalar, batch)
+        decisions[delta] = 1 in scalar.detail.assignments
+    # The tolerance must actually bite: accepts at and just below d_lim
+    # (within TIME_EPS), rejects beyond the tolerance.
+    assert decisions[0.0] and decisions[5e-10] and decisions[-5e-10]
+    assert not decisions[-2e-9]
+
+
+# ---------------------------------------------------------------------------
+# MAX_KERNEL_STEPS enforcement (satellite: kernel guard parity)
+# ---------------------------------------------------------------------------
+
+
+def _tiny_instance(n):
+    jobs = [Job(float(i), 1.0, float(i) + 10.0) for i in range(n)]
+    return Instance(jobs, machines=2, epsilon=0.5)
+
+
+@pytest.mark.parametrize("runner", ["immediate", "penalties"])
+def test_batch_max_steps_matches_scalar_error_shape(runner):
+    inst = _tiny_instance(6)
+    with pytest.raises(SimulationError) as scalar_err:
+        run_model(
+            ImmediateCommitmentModel(ThresholdPolicy(), SequenceSource(inst)),
+            max_steps=5,
+        )
+    if runner == "immediate":
+        with pytest.raises(SimulationError) as batch_err:
+            run_immediate_batch(IMMEDIATE_RULES["threshold"], [inst], max_steps=5)
+        assert batch_err.value.model == "immediate"
+    else:
+        with pytest.raises(SimulationError) as batch_err:
+            run_penalties_batch([inst], 0.5, max_steps=5)
+        assert batch_err.value.model == "commitment-with-penalties"
+    assert str(batch_err.value).startswith(str(scalar_err.value).split(" [")[0])
+    assert "max_steps=5" in str(batch_err.value)
+    assert isinstance(batch_err.value, ValueError)  # same dual inheritance
+
+
+def test_batch_within_max_steps_is_fine():
+    inst = _tiny_instance(6)
+    (schedule,) = run_immediate_batch(
+        IMMEDIATE_RULES["threshold"], [inst], max_steps=7
+    )
+    assert schedule.accepted_count == 6
+
+
+# ---------------------------------------------------------------------------
+# dispatch semantics: fallback, auto heuristic, validation
+# ---------------------------------------------------------------------------
+
+
+def test_explicit_batch_falls_back_loudly_for_unsupported():
+    inst = random_instance(10, 2, 0.3, seed=0)
+    requests = [
+        SimulationRequest("threshold", inst),
+        SimulationRequest("dasgupta-palis", inst),  # preemptive: unsupported
+    ]
+    with pytest.warns(BackendFallbackWarning, match="dasgupta-palis"):
+        results = run_simulations(requests, backend="batch")
+    assert results[0].detail.meta["backend"] == "batch"
+    assert results[1].accepted_load == run_algorithm("dasgupta-palis", inst).accepted_load
+
+
+def test_record_events_falls_back_to_scalar():
+    inst = random_instance(10, 2, 0.3, seed=0)
+    request = SimulationRequest("threshold", inst, record_events=True)
+    assert not BatchBackend().supports(request)
+    with pytest.warns(BackendFallbackWarning):
+        result = run_simulation(request, backend="batch")
+    assert result.events is not None
+
+
+def test_auto_batches_groups_and_not_singletons():
+    inst = random_instance(12, 2, 0.3, seed=1)
+    single = run_simulations([SimulationRequest("threshold", inst)], backend="auto")
+    assert single[0].detail.meta.get("backend") != "batch"
+    group = run_simulations(
+        [SimulationRequest("threshold", inst)] * _AUTO_MIN_GROUP, backend="auto"
+    )
+    assert all(r.detail.meta["backend"] == "batch" for r in group)
+    # Penalties vectorises within the instance: batched even as a singleton.
+    pen = run_simulations(
+        [SimulationRequest("revocable-greedy", inst)], backend="auto"
+    )
+    assert pen[0].detail.meta["backend"] == "batch"
+
+
+def test_unknown_backend_rejected():
+    inst = random_instance(4, 1, 0.3, seed=0)
+    with pytest.raises(ValueError, match="unknown backend"):
+        run_simulations([SimulationRequest("threshold", inst)], backend="vector")
+
+
+def test_batch_backend_run_many_rejects_unsupported_directly():
+    inst = random_instance(4, 2, 0.3, seed=0)
+    with pytest.raises(ValueError, match="not supported by the batch backend"):
+        BatchBackend().run_many([SimulationRequest("migration-greedy", inst)])
+
+
+def test_batch_requires_uniform_shape():
+    a = random_instance(10, 2, 0.3, seed=0)
+    b = random_instance(12, 2, 0.3, seed=0)
+    with pytest.raises(ValueError, match="uniform shape"):
+        run_immediate_batch(IMMEDIATE_RULES["greedy"], [a, b])
+
+
+def test_registry_revocable_greedy_entry():
+    inst = random_instance(20, 2, 0.3, seed=3)
+    default = run_algorithm("revocable-greedy", inst)
+    explicit = run_algorithm("revocable-greedy", inst, phi=0.5)
+    assert default.accepted_load == explicit.accepted_load
+    assert default.detail.phi == 0.5
+    other = run_algorithm("revocable-greedy", inst, phi=2.0)
+    assert other.detail.phi == 2.0
+    assert default.stats is not None
