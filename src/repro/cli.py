@@ -307,7 +307,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         or args.timeout is not None
         or args.manifest is not None
         or args.shards > 1
+        or args.elastic
     )
+    if args.adaptive_reps and not args.elastic:
+        print("error: --adaptive-reps requires --elastic", file=sys.stderr)
+        return 2
     if not resilient:
         # Serial fast path; still exit gracefully on ^C (no partial rows to
         # save — run with --journal to make interrupted work resumable).
@@ -323,20 +327,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         _cache_summary(result.cache_stats)
         return 0
 
-    policy = ExecutionPolicy(
-        parallel=True,
-        workers=args.parallel or None,
-        timeout=args.timeout,
-        retries=args.retries,
-        backoff=args.backoff,
-        journal=journal_path,
-        resume=args.resume is not None,
-        salvage=args.salvage,
-        cache=cache,
-        shards=args.shards,
-        shard_index=args.shard_index,
-        backend=args.backend,
-    )
+    try:
+        policy = ExecutionPolicy(
+            parallel=True,
+            workers=args.parallel or None,
+            timeout=args.timeout,
+            retries=args.retries,
+            backoff=args.backoff,
+            journal=journal_path,
+            resume=args.resume is not None,
+            salvage=args.salvage,
+            cache=cache,
+            shards=args.shards,
+            shard_index=args.shard_index,
+            backend=args.backend,
+            elastic=args.elastic,
+            speculate=args.speculate,
+            adaptive_reps=args.adaptive_reps,
+            heartbeat_interval=args.heartbeat_interval,
+            lease_timeout=args.lease_timeout,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     try:
         result = execute_sweep(spec, policy)
     except JournalMismatchError:
@@ -372,6 +385,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.manifest, "w") as fh:
             json.dump(manifest.as_dict(), fh, indent=2)
         print(f"wrote {args.manifest}")
+    for worker in manifest.worker_failures:
+        # Worker quarantine is recovery, not failure: the pool shrank but
+        # every cell still completed elsewhere — report it, exit clean.
+        print(
+            f"quarantined worker slot {worker.slot} after "
+            f"{worker.failures} failure(s): {worker.detail}",
+            file=sys.stderr,
+        )
     if manifest.failures:
         for failure in manifest.failures:
             print(
@@ -646,6 +667,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=["auto", "scalar", "batch"], default="auto",
         help="simulation kernel backend for every cell "
              "(see docs/engine_backends.md)",
+    )
+    p.add_argument(
+        "--elastic", action="store_true",
+        help="pull-based elastic scheduler: persistent workers lease cells "
+             "from a shared queue, heartbeats separate slow workers from "
+             "hung ones, dead workers are respawned and their leases "
+             "re-dispatched (see docs/resilience.md)",
+    )
+    p.add_argument(
+        "--speculate", action=argparse.BooleanOptionalAction, default=True,
+        help="with --elastic: re-execute straggler cells speculatively once "
+             "the queue runs dry; first verified result wins and duplicates "
+             "are asserted bit-identical (default: on)",
+    )
+    p.add_argument(
+        "--adaptive-reps", action="store_true",
+        help="with --elastic: issue repetitions lazily and skip the "
+             "remainder of a config once the bootstrap CI of every "
+             "algorithm's mean accepted load is tight",
+    )
+    p.add_argument(
+        "--heartbeat-interval", type=float, default=0.1,
+        help="with --elastic: worker heartbeat cadence in seconds "
+             "(default 0.1)",
+    )
+    p.add_argument(
+        "--lease-timeout", type=float, default=None,
+        help="with --elastic: seconds without a heartbeat before a lease is "
+             "presumed dead and re-dispatched (default: 10x the heartbeat "
+             "interval)",
     )
     p.set_defaults(fn=_cmd_sweep)
 

@@ -9,6 +9,7 @@ from repro.testing.chaos import (
     ChaosError,
     ChaosPlan,
     ChaosTransport,
+    WorkerChaosPlan,
     bitflip,
     corrupt_file,
     drop_transfer,
@@ -19,6 +20,7 @@ __all__ = [
     "ChaosError",
     "ChaosPlan",
     "ChaosTransport",
+    "WorkerChaosPlan",
     "bitflip",
     "corrupt_file",
     "drop_transfer",

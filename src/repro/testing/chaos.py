@@ -152,6 +152,80 @@ class ChaosPlan:
         ]
 
 
+@dataclass(frozen=True)
+class WorkerChaosPlan:
+    """Deterministic *worker-level* fault plan for the elastic scheduler.
+
+    Where :class:`ChaosPlan` poisons individual **cells** (the unit of
+    retry), this plan poisons **worker slots** (the unit of leasing in
+    :mod:`repro.workloads.elastic`) — the failure modes a heterogeneous
+    or dying fleet exhibits even when every cell is healthy:
+
+    * ``slow_worker`` — the slot sleeps a fixed delay before every cell
+      (a 10x-slower host).  Its heartbeats keep arriving, so the lease
+      keeps extending: the scheduler must classify it *slow*, not hung,
+      and recover the tail via speculation rather than terminating it.
+    * ``dead_worker`` — the slot hard-dies (``os._exit``) when it picks
+      up its Nth cell, every process generation.  The scheduler must
+      re-dispatch the orphaned lease, count the slot failure, and
+      quarantine the slot once its failure budget is spent.
+    * ``lost_heartbeat`` — the slot computes normally but never sends
+      heartbeats: from the outside it is indistinguishable from a hung
+      worker.  Its leases must expire and re-dispatch elsewhere.
+    * ``duplicate_result`` — the slot reports every completed cell
+      twice.  The scheduler must accept the first copy and assert the
+      second bit-identical (the same check speculation relies on).
+
+    Faults are keyed by worker *slot* index, so a respawned process in
+    the same slot inherits the slot's fault — which is exactly how a
+    bad host behaves.  Fully deterministic: no RNG, no wall clock.
+    """
+
+    #: ``(slot, delay_seconds)``: sleep this long before every cell.
+    slow_worker: tuple[tuple[int, float], ...] = ()
+    #: ``(slot, nth_cell)``: hard-die when picking up the Nth cell
+    #: (1-based) of each process generation in this slot.
+    dead_worker: tuple[tuple[int, int], ...] = ()
+    #: slots whose heartbeats are suppressed (hang-alike).
+    lost_heartbeat: tuple[int, ...] = ()
+    #: slots that send every result twice.
+    duplicate_result: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        for slot, delay in self.slow_worker:
+            if delay < 0:
+                raise ValueError(f"slow_worker delay must be >= 0, got {delay} (slot {slot})")
+        for slot, nth in self.dead_worker:
+            if nth < 1:
+                raise ValueError(f"dead_worker cell index is 1-based, got {nth} (slot {slot})")
+
+    def delay_for(self, slot: int) -> float:
+        """Injected pre-cell sleep for this worker slot (0.0 = healthy)."""
+        return next((d for s, d in self.slow_worker if s == slot), 0.0)
+
+    def dies_on_cell(self, slot: int, nth_cell: int) -> bool:
+        """Whether this slot hard-dies when picking up its *nth_cell* (1-based)."""
+        return any(s == slot and nth_cell >= n for s, n in self.dead_worker)
+
+    def suppresses_heartbeat(self, slot: int) -> bool:
+        """Whether this slot's heartbeats are lost in transit."""
+        return slot in self.lost_heartbeat
+
+    def duplicates_result(self, slot: int) -> bool:
+        """Whether this slot reports every completed cell twice."""
+        return slot in self.duplicate_result
+
+    @property
+    def faulted_slots(self) -> set[int]:
+        """Every worker slot this plan touches (tests assert the premise)."""
+        return (
+            {s for s, _ in self.slow_worker}
+            | {s for s, _ in self.dead_worker}
+            | set(self.lost_heartbeat)
+            | set(self.duplicate_result)
+        )
+
+
 def truncate_tail(path: str | os.PathLike, nbytes: int = 1) -> int:
     """Chop *nbytes* off the end of a file, simulating a hard kill mid-write.
 

@@ -61,8 +61,10 @@ from repro.workloads.resilient import (
     ResilientSweepResult,
     SweepExecutionError,
     SweepInterrupted,
+    WorkerFailure,
     run_sweep_resilient,
 )
+from repro.workloads.elastic import CellQueue, Lease, SpeculationMismatch
 from repro.workloads.traces import (
     instance_from_csv,
     instance_to_csv,
@@ -98,10 +100,14 @@ __all__ = [
     "merge_journals",
     "shard_journal_paths",
     "CellFailure",
+    "CellQueue",
     "FailureManifest",
+    "Lease",
     "ResilientSweepResult",
+    "SpeculationMismatch",
     "SweepExecutionError",
     "SweepInterrupted",
+    "WorkerFailure",
     "SweepJournal",
     "CorruptionEvent",
     "CorruptionReport",

@@ -59,7 +59,7 @@ from repro.workloads.resilient import (
 from repro.workloads.sweep import SweepSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.testing.chaos import ChaosPlan
+    from repro.testing.chaos import ChaosPlan, WorkerChaosPlan
 
 
 @dataclass(frozen=True)
@@ -115,6 +115,33 @@ class ExecutionPolicy:
     #: fallback for unsupported algorithms).  See
     #: :mod:`repro.engine.backend` and ``docs/engine_backends.md``.
     backend: str = "auto"
+    #: Pull-based elastic scheduler (:mod:`repro.workloads.elastic`):
+    #: persistent workers lease cells from a shared queue, heartbeats
+    #: separate slow workers from hung ones, dead workers are respawned
+    #: (then quarantined) and their leases re-dispatched.
+    elastic: bool = False
+    #: With ``elastic``: speculatively re-execute straggler cells once
+    #: the queue runs dry (first verified result wins; duplicates are
+    #: asserted bit-identical).
+    speculate: bool = True
+    #: With ``elastic``: issue repetitions lazily and skip the remainder
+    #: of a grid config once the bootstrap CI of every algorithm's mean
+    #: accepted load is tight (see ``adaptive_rel_tol``).
+    adaptive_reps: bool = False
+    #: Repetitions always executed per config before the CI is consulted.
+    adaptive_min_reps: int = 2
+    #: Relative CI halfwidth below which remaining reps are skipped.
+    adaptive_rel_tol: float = 0.01
+    #: Worker heartbeat cadence in seconds (elastic only).
+    heartbeat_interval: float = 0.1
+    #: Lease deadline in seconds; a lease whose worker misses heartbeats
+    #: for this long is presumed dead and re-dispatched.  ``None`` uses
+    #: 10x ``heartbeat_interval``.
+    lease_timeout: float | None = None
+    #: Worker-slot failures tolerated before the slot is quarantined.
+    worker_max_failures: int = 3
+    #: Worker-level fault-injection plan (tests only; implies elastic).
+    worker_chaos: "WorkerChaosPlan | None" = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_CHOICES:
@@ -146,6 +173,34 @@ class ExecutionPolicy:
             raise ValueError(f"timeout must be positive, got {self.timeout}")
         if self.cache is False and self.cache_dir is not None:
             raise ValueError("cache=False conflicts with an explicit cache_dir")
+        if self.heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive, got {self.heartbeat_interval}"
+            )
+        if self.lease_timeout is not None and self.lease_timeout <= self.heartbeat_interval:
+            raise ValueError(
+                f"lease_timeout ({self.lease_timeout}) must exceed the "
+                f"heartbeat_interval ({self.heartbeat_interval}) — a lease "
+                "must survive at least one missed beat"
+            )
+        if self.worker_max_failures < 1:
+            raise ValueError(
+                f"worker_max_failures must be >= 1, got {self.worker_max_failures}"
+            )
+        if self.adaptive_min_reps < 2:
+            raise ValueError(
+                "adaptive_min_reps must be >= 2 (the bootstrap CI needs at "
+                f"least two samples), got {self.adaptive_min_reps}"
+            )
+        if self.adaptive_rel_tol <= 0:
+            raise ValueError(
+                f"adaptive_rel_tol must be positive, got {self.adaptive_rel_tol}"
+            )
+        if not self.elastic:
+            if self.adaptive_reps:
+                raise ValueError("adaptive_reps=True requires elastic=True")
+            if self.worker_chaos is not None:
+                raise ValueError("worker_chaos requires elastic=True")
 
     # -- derived views -------------------------------------------------
 
@@ -159,6 +214,7 @@ class ExecutionPolicy:
         """True when any field demands the fault-tolerant scheduler."""
         return (
             self.parallel
+            or self.elastic
             or self.workers is not None
             or self.timeout is not None
             or self.journal is not None
@@ -237,23 +293,51 @@ def execute_sweep(
             plan = ShardPlan.build(spec, policy.shards)
             cells = plan.cells_for(policy.shard_index)
             shard = (policy.shard_index, policy.shards)
-        result = _execute_resilient(
-            spec,
-            algorithm_kwargs,
-            max_workers=policy.workers,
-            timeout=policy.timeout,
-            max_retries=policy.retries,
-            backoff=policy.backoff,
-            journal_path=policy.journal,
-            resume=policy.resume,
-            salvage=policy.salvage,
-            chaos=policy.chaos,
-            interrupt_after=policy.interrupt_after,
-            cache=cache,
-            cells=cells,
-            shard=shard,
-            backend=policy.backend,
-        )
+        if policy.elastic:
+            from repro.workloads.elastic import _execute_elastic
+
+            result = _execute_elastic(
+                spec,
+                algorithm_kwargs,
+                max_workers=policy.workers,
+                timeout=policy.timeout,
+                max_retries=policy.retries,
+                journal_path=policy.journal,
+                resume=policy.resume,
+                salvage=policy.salvage,
+                chaos=policy.chaos,
+                worker_chaos=policy.worker_chaos,
+                interrupt_after=policy.interrupt_after,
+                cache=cache,
+                cells=cells,
+                shard=shard,
+                backend=policy.backend,
+                heartbeat_interval=policy.heartbeat_interval,
+                lease_timeout=policy.lease_timeout,
+                speculate=policy.speculate,
+                adaptive_reps=policy.adaptive_reps,
+                adaptive_min_reps=policy.adaptive_min_reps,
+                adaptive_rel_tol=policy.adaptive_rel_tol,
+                worker_max_failures=policy.worker_max_failures,
+            )
+        else:
+            result = _execute_resilient(
+                spec,
+                algorithm_kwargs,
+                max_workers=policy.workers,
+                timeout=policy.timeout,
+                max_retries=policy.retries,
+                backoff=policy.backoff,
+                journal_path=policy.journal,
+                resume=policy.resume,
+                salvage=policy.salvage,
+                chaos=policy.chaos,
+                interrupt_after=policy.interrupt_after,
+                cache=cache,
+                cells=cells,
+                shard=shard,
+                backend=policy.backend,
+            )
     else:
         result = _execute_serial(spec, algorithm_kwargs, cache, policy.backend)
     if policy.strict and result.manifest.failures:

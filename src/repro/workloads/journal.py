@@ -36,6 +36,13 @@ Design notes
   per-shard timing and a combined cache report.  Loaders that predate
   the record type would reject it, but old journals (without it) load
   unchanged, so the format version is unbumped.
+* **Lease provenance.**  A ``cell`` record may carry a ``prov`` object —
+  which worker slot computed it, on which attempt, how many heartbeats
+  the lease saw, how long it was held, and whether the winning copy was
+  a speculative duplicate (see :mod:`repro.workloads.elastic`).
+  Provenance is *outside* the row CRC (it describes the execution, not
+  the data), is preserved by salvage (byte-for-byte record copies) and
+  ignored by merge dedup; journals without it load unchanged.
 * **Row checksums.**  Every ``cell`` record carries a short content CRC
   over ``(seed, rows)``, computed from a canonical JSON serialisation so
   it survives reformatting.  A bit-flip in transit (or at rest) is
@@ -262,6 +269,10 @@ class JournalState:
     #: per-cell integrity: seed -> ``verified`` | ``unknown`` (cells whose
     #: CRC failed are quarantined and never reach ``completed``).
     integrity_by_seed: dict[int, str] = field(default_factory=dict)
+    #: per-cell execution provenance (worker slot, attempt, heartbeats,
+    #: lease duration, speculative flag) for journals written by the
+    #: elastic scheduler; empty for push-scheduler journals.
+    provenance: dict[int, dict[str, Any]] = field(default_factory=dict)
     #: corrupt lines quarantined during a salvage load (empty when clean).
     corruption: CorruptionReport | None = None
 
@@ -295,6 +306,7 @@ def _scan_journal(
     seal would be stale) — the input to :func:`salvage_journal`.
     """
     completed: dict[int, list[SweepRow]] = {}
+    provenance: dict[int, dict[str, Any]] = {}
     failures: list[dict[str, Any]] = []
     stats: list[dict[str, Any]] = []
     fingerprint: dict[str, Any] | None = None
@@ -385,6 +397,8 @@ def _scan_journal(
                         f"{crc!r} != computed {row_crc(seed, payloads)!r}",
                         seed=seed,
                     )
+                if seed in completed and isinstance(record.get("prov"), dict):
+                    provenance[seed] = record["prov"]
         elif kind == "failure":
             if "failure" not in record:
                 _quarantine(i, "bad-record", "failure record has no 'failure' field")
@@ -439,6 +453,7 @@ def _scan_journal(
     state = JournalState(
         fingerprint=fingerprint,
         completed=completed,
+        provenance=provenance,
         failures=failures,
         shard=shard,
         stats=stats,
@@ -807,21 +822,33 @@ class SweepJournal:
     # -- records -------------------------------------------------------
 
     def record_cell(
-        self, seed: int, eps: float, m: int, rep: int, rows: list[SweepRow]
+        self,
+        seed: int,
+        eps: float,
+        m: int,
+        rep: int,
+        rows: list[SweepRow],
+        provenance: dict[str, Any] | None = None,
     ) -> None:
-        """Checkpoint one completed cell (durable once this returns)."""
+        """Checkpoint one completed cell (durable once this returns).
+
+        ``provenance`` attaches execution metadata (worker slot, attempt,
+        heartbeat count, lease duration, speculative flag) outside the row
+        CRC — it describes how the cell ran, never what it produced.
+        """
         payloads = [row_to_payload(r) for r in rows]
-        self._append(
-            {
-                "kind": "cell",
-                "seed": int(seed),
-                "epsilon": float(eps),
-                "machines": int(m),
-                "repetition": int(rep),
-                "rows": payloads,
-                "crc": row_crc(int(seed), payloads),
-            }
-        )
+        record: dict[str, Any] = {
+            "kind": "cell",
+            "seed": int(seed),
+            "epsilon": float(eps),
+            "machines": int(m),
+            "repetition": int(rep),
+            "rows": payloads,
+            "crc": row_crc(int(seed), payloads),
+        }
+        if provenance is not None:
+            record["prov"] = dict(provenance)
+        self._append(record)
 
     def record_failure(self, failure: dict[str, Any]) -> None:
         """Log a quarantined cell (observability; re-run on resume).

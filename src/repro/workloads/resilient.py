@@ -102,6 +102,31 @@ class CellFailure:
         }
 
 
+@dataclass(frozen=True)
+class WorkerFailure:
+    """One quarantined worker *slot* (elastic mode), failure by failure.
+
+    Cell failures quarantine cells; worker failures quarantine the slot —
+    a host/process position that keeps crashing, hanging or missing
+    heartbeats is removed from the pool (down to a floor of one) while
+    its leased cells are re-dispatched to healthy slots.
+    """
+
+    slot: int
+    failures: int
+    detail: str  # final failure: why the slot was quarantined
+    #: per-failure "kind: detail" records, oldest first.
+    history: tuple[str, ...] = ()
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "slot": self.slot,
+            "failures": self.failures,
+            "detail": self.detail,
+            "history": list(self.history),
+        }
+
+
 @dataclass
 class FailureManifest:
     """Structured account of everything that went wrong in a sweep."""
@@ -115,28 +140,50 @@ class FailureManifest:
     cells_completed: int = 0
     #: cells replayed from a checkpoint journal instead of re-executed.
     cells_replayed: int = 0
+    #: worker slots quarantined after exhausting their failure budget
+    #: (elastic mode only; the pool shrinks gracefully to a floor of 1).
+    worker_failures: list[WorkerFailure] = field(default_factory=list)
+    #: speculative duplicate executions launched during the end-game.
+    speculated: int = 0
+    #: repetitions skipped by adaptive repetitions (CI already tight).
+    cells_skipped: int = 0
 
     @property
     def quarantined(self) -> int:
         return len(self.failures)
+
+    @property
+    def workers_quarantined(self) -> int:
+        return len(self.worker_failures)
 
     def as_dict(self) -> dict[str, Any]:
         return {
             "cells_total": self.cells_total,
             "cells_completed": self.cells_completed,
             "cells_replayed": self.cells_replayed,
+            "cells_skipped": self.cells_skipped,
             "recovered": self.recovered,
             "retries": self.retries,
+            "speculated": self.speculated,
             "quarantined": self.quarantined,
             "failures": [f.as_dict() for f in self.failures],
+            "workers_quarantined": self.workers_quarantined,
+            "worker_failures": [w.as_dict() for w in self.worker_failures],
         }
 
     def summary(self) -> str:
+        extras = ""
+        if self.cells_skipped:
+            extras += f", {self.cells_skipped} skipped by adaptive repetitions"
+        if self.speculated:
+            extras += f", {self.speculated} speculated"
+        if self.worker_failures:
+            extras += f", {self.workers_quarantined} worker(s) quarantined"
         return (
             f"{self.cells_completed}/{self.cells_total} cells completed "
             f"({self.cells_replayed} replayed from journal, "
             f"{self.recovered} recovered via retry, "
-            f"{self.quarantined} quarantined)"
+            f"{self.quarantined} quarantined{extras})"
         )
 
 
@@ -454,13 +501,108 @@ def _reap(active: _Active) -> tuple[str, Any, Any] | None:
     return None
 
 
-def _terminate(process: mp.process.BaseProcess) -> None:
-    """SIGTERM, then SIGKILL after a grace period; always joins."""
+def _terminate(
+    process: mp.process.BaseProcess, grace: float = _KILL_GRACE
+) -> None:
+    """Bounded SIGTERM -> SIGKILL escalation; always reaps the child.
+
+    SIGTERM first (a cooperative worker exits promptly), SIGKILL once the
+    grace period expires (a worker that ignores or blocks SIGTERM — e.g.
+    one stuck in native code mid-group-lease — must not outlive the
+    scheduler).  Every join is bounded, so teardown can never hang on an
+    unkillable child; the final join after SIGKILL reaps the process so
+    no zombie survives the sweep.
+    """
+    if not process.is_alive():
+        process.join(grace)  # already exited: just reap
+        return
     process.terminate()
-    process.join(_KILL_GRACE)
-    if process.is_alive():  # pragma: no cover - needs a TERM-ignoring worker
+    process.join(grace)
+    if process.is_alive():
         process.kill()
-        process.join()
+        process.join(grace)
+
+
+def _terminate_all(
+    processes: list[mp.process.BaseProcess], grace: float = _KILL_GRACE
+) -> None:
+    """Tear down many workers with one shared grace period.
+
+    Signals every process *first*, then waits — escalating serially would
+    spend ``grace`` per worker and stretch a SIGINT teardown linearly in
+    the pool size.
+    """
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    deadline = time.monotonic() + grace
+    for process in processes:
+        process.join(max(0.0, deadline - time.monotonic()))
+    for process in processes:
+        if process.is_alive():
+            process.kill()
+    for process in processes:
+        process.join(grace)
+
+
+# ---------------------------------------------------------------------------
+# shared scheduler plumbing (push scheduler here, pull scheduler in elastic)
+# ---------------------------------------------------------------------------
+
+
+def check_seed_collisions(
+    spec: SweepSpec, cells: list[tuple[float, int, int]]
+) -> list[int]:
+    """Refuse to run a grid whose cell seeds collide; returns the seeds.
+
+    The journal and the completed-cell map key by seed; a collision would
+    silently conflate two cells' results.
+    """
+    seeds = [spec.cell_seed(*cell) for cell in cells]
+    if len(set(seeds)) != len(seeds):
+        raise ValueError(
+            "sweep grid produces colliding cell seeds; refusing to run — "
+            "check SweepSpec.cell_seed inputs"
+        )
+    return seeds
+
+
+def prepare_journal(
+    spec: SweepSpec,
+    cells: list[tuple[float, int, int]],
+    journal_path: str | os.PathLike[str] | None,
+    *,
+    resume: bool = False,
+    shard: tuple[int, int] | None = None,
+    salvage: bool = False,
+) -> tuple[SweepJournal | None, dict[int, list[SweepRow]]]:
+    """Open (or create) the checkpoint journal and replay completed cells.
+
+    Shared by the push scheduler here and the pull scheduler in
+    :mod:`repro.workloads.elastic`, so both modes get identical journal
+    creation, resume validation, salvage and replay semantics.  Returns
+    ``(journal, completed)`` where ``completed`` maps cell seed to the
+    rows replayed from disk (restricted to *cells* — a merged journal may
+    hold more than this shard executes).
+    """
+    completed: dict[int, list[SweepRow]] = {}
+    journal: SweepJournal | None = None
+    if journal_path is not None:
+        if resume:
+            journal, state = SweepJournal.resume(
+                journal_path, spec, shard=shard, salvage=salvage
+            )
+            valid_seeds = {spec.cell_seed(*cell) for cell in cells}
+            completed = {
+                seed: rows
+                for seed, rows in state.completed.items()
+                if seed in valid_seeds
+            }
+        else:
+            journal = SweepJournal.create(journal_path, spec, shard=shard)
+    elif resume:
+        raise ValueError("resume=True requires a journal_path")
+    return journal, completed
 
 
 # ---------------------------------------------------------------------------
@@ -592,34 +734,12 @@ def _execute_resilient(
     validate_sweep_pickles(spec, algorithm_kwargs)
 
     cells = list(spec.cells()) if cells is None else list(cells)
-    seeds = [spec.cell_seed(*cell) for cell in cells]
-    if len(set(seeds)) != len(seeds):
-        # The journal and the completed-cell map key by seed; a collision
-        # would silently conflate two cells' results.
-        raise ValueError(
-            "sweep grid produces colliding cell seeds; refusing to run — "
-            "check SweepSpec.cell_seed inputs"
-        )
+    check_seed_collisions(spec, cells)
     manifest = FailureManifest(cells_total=len(cells))
-    completed: dict[int, list[SweepRow]] = {}
-
-    journal: SweepJournal | None = None
-    if journal_path is not None:
-        if resume:
-            journal, state = SweepJournal.resume(
-                journal_path, spec, shard=shard, salvage=salvage
-            )
-            valid_seeds = {spec.cell_seed(*cell) for cell in cells}
-            completed = {
-                seed: rows
-                for seed, rows in state.completed.items()
-                if seed in valid_seeds
-            }
-            manifest.cells_replayed = len(completed)
-        else:
-            journal = SweepJournal.create(journal_path, spec, shard=shard)
-    elif resume:
-        raise ValueError("resume=True requires a journal_path")
+    journal, completed = prepare_journal(
+        spec, cells, journal_path, resume=resume, shard=shard, salvage=salvage
+    )
+    manifest.cells_replayed = len(completed)
 
     todo = [
         (eps, m, rep, seed)
@@ -657,6 +777,8 @@ def _execute_resilient(
             {
                 "wall_seconds": round(time.monotonic() - started, 6),
                 "interrupted": interrupted,
+                "scheduler": "static",
+                "workers": workers,
                 "cells_completed": manifest.cells_completed,
                 "cells_replayed": manifest.cells_replayed,
                 "recovered": manifest.recovered,
@@ -818,8 +940,8 @@ def _execute_resilient(
             # verify it arrived bit-identical (repro verify / collect).
             journal.record_seal()
     except KeyboardInterrupt:
+        _terminate_all([entry.process for entry in active])
         for entry in active:
-            _terminate(entry.process)
             entry.conn.close()
         journal_stats(interrupted=True)
         raise SweepInterrupted(partial_result()) from None
@@ -884,6 +1006,9 @@ __all__ = [
     "ResilientSweepResult",
     "SweepExecutionError",
     "SweepInterrupted",
+    "WorkerFailure",
+    "check_seed_collisions",
+    "prepare_journal",
     "run_cell",
     "run_cells",
     "run_sweep_resilient",

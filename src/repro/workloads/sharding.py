@@ -200,6 +200,14 @@ class ShardJournalInfo:
     sealed: bool = False
     #: corrupt records quarantined from this journal during the merge load.
     corrupt_rows: int = 0
+    #: scheduler that produced this journal (``static`` / ``elastic``),
+    #: from its stats trailers; ``None`` for pre-stamp journals.
+    scheduler: str | None = None
+    #: worker process count from the stats trailers; ``None`` if unstamped.
+    workers: int | None = None
+    #: per-worker-slot wall-clock (elastic trailers only) — makes the
+    #: straggler ratio reproducible from the journal alone.
+    worker_wall_seconds: list[float] | None = None
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -213,6 +221,9 @@ class ShardJournalInfo:
             "integrity": self.integrity,
             "sealed": self.sealed,
             "corrupt_rows": self.corrupt_rows,
+            "scheduler": self.scheduler,
+            "workers": self.workers,
+            "worker_wall_seconds": self.worker_wall_seconds,
         }
 
 
@@ -287,6 +298,28 @@ class MergeResult:
         mean = sum(walls) / len(walls)
         return None if mean == 0 else max(walls) / mean
 
+    @property
+    def worker_straggler_ratio(self) -> float | None:
+        """Max over mean per-worker wall-clock, across every stamped slot.
+
+        ``None`` unless at least one journal carries per-worker timing
+        (elastic trailers).  Where :attr:`straggler_ratio` measures how
+        unbalanced the *shard plan* was, this measures how unevenly the
+        *worker pool* finished — an elastic run keeps it near 1.0 even
+        with a pathologically slow worker, because leases flow to
+        whichever slot is free.
+        """
+        walls = [
+            w
+            for s in self.shards
+            if s.worker_wall_seconds
+            for w in s.worker_wall_seconds
+        ]
+        if not walls:
+            return None
+        mean = sum(walls) / len(walls)
+        return None if mean == 0 else max(walls) / mean
+
     def coverage_report(self) -> str:
         """Human-readable merge/coverage summary (the ``repro merge`` output)."""
         expected = self.manifest.cells_total
@@ -307,14 +340,25 @@ class MergeResult:
                 if info.corrupt_rows
                 else ""
             )
+            crew = (
+                ""
+                if info.workers is None
+                else f", {info.scheduler or 'static'} x{info.workers} workers"
+            )
             lines.append(
                 f"  shard {info.shard_index}/{info.n_shards}: {info.path} "
                 f"({info.cells} cells, {info.failures} failure(s), {wall}, "
-                f"{info.integrity}{tail}{corrupt})"
+                f"{info.integrity}{tail}{corrupt}{crew})"
             )
         ratio = self.straggler_ratio
         if ratio is not None:
             lines.append(f"  straggler ratio: {ratio:.2f} (max/mean shard wall-clock)")
+        worker_ratio = self.worker_straggler_ratio
+        if worker_ratio is not None:
+            lines.append(
+                f"  worker straggler ratio: {worker_ratio:.2f} "
+                "(max/mean per-worker wall-clock)"
+            )
         for conflict in self.conflicts:
             eps, m, rep = conflict.cell
             lines.append(
@@ -502,10 +546,19 @@ def merge_journals(
             seed = int(failure.get("seed", -1))
             failures_by_seed[seed] = failure
         wall: float | None = None
+        scheduler: str | None = None
+        shard_workers: int | None = None
+        worker_walls: list[float] | None = None
         for stats in state.stats:
             wall = (wall or 0.0) + float(stats.get("wall_seconds") or 0.0)
             recovered += int(stats.get("recovered") or 0)
             retries += int(stats.get("retries") or 0)
+            if stats.get("scheduler"):
+                scheduler = str(stats["scheduler"])
+            if stats.get("workers"):
+                shard_workers = int(stats["workers"])
+            if stats.get("worker_wall_seconds"):
+                worker_walls = [float(w) for w in stats["worker_wall_seconds"]]
             if stats.get("cache"):
                 if cache_totals is None:
                     cache_totals = CacheStats()
@@ -522,6 +575,9 @@ def merge_journals(
                 integrity=state.integrity,
                 sealed=state.sealed,
                 corrupt_rows=len(state.corruption.events) if state.corruption else 0,
+                scheduler=scheduler,
+                workers=shard_workers,
+                worker_wall_seconds=worker_walls,
             )
         )
 
@@ -610,6 +666,13 @@ def _write_merged_journal(
     for failure in result.manifest.failures:
         records.append({"kind": "failure", "failure": failure.as_dict()})
     walls = [s.wall_seconds for s in result.shards if s.wall_seconds is not None]
+    workers = [s.workers for s in result.shards if s.workers is not None]
+    worker_walls = [
+        w
+        for s in result.shards
+        if s.worker_wall_seconds
+        for w in s.worker_wall_seconds
+    ]
     records.append(
         {
             "kind": "stats",
@@ -622,6 +685,11 @@ def _write_merged_journal(
             "quarantined": result.manifest.quarantined,
             "cache": result.cache_stats,
             "merged_from": len(result.shards),
+            # Worker provenance survives the merge so straggler ratios stay
+            # reproducible from this journal alone.
+            "scheduler": "merged",
+            "workers": sum(workers) if workers else None,
+            "worker_wall_seconds": worker_walls or None,
         }
     )
     raw_lines = [

@@ -21,6 +21,7 @@ class TestGenerateReport:
             "## Fault-tolerant sweeps",
             "## Bracket cache (content-addressed OPT reuse)",
             "## Sharded execution",
+            "## Elastic execution",
         ]:
             assert heading in text, heading
 
@@ -48,6 +49,7 @@ class TestGenerateReport:
             "performance",
             "sharding",
             "transport",
+            "elastic",
         }
 
     def test_performance_section(self):
@@ -60,7 +62,15 @@ class TestGenerateReport:
         text = generate_report(["sharding"])
         assert "## Sharded execution" in text
         assert "straggler ratio" in text
+        assert "elastic x2" in text  # scheduler + worker count stamped
         assert "bit-identical to the single-host run: **yes**" in text
+
+    def test_elastic_section(self):
+        text = generate_report(["elastic"])
+        assert "## Elastic execution" in text
+        assert "10x slow" in text and "dies mid-sweep" in text
+        assert "worker straggler ratio" in text
+        assert "bit-identical\nto the serial run under worker chaos: **yes**" in text
 
     def test_planning_section(self):
         text = generate_report(["planning"])

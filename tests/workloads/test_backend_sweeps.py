@@ -68,6 +68,43 @@ class TestRunCells:
         assert _rows_key(sum(scalar, [])) == _rows_key(sum(auto, []))
 
 
+class TestChunkingEdges:
+    """The serial path chunks cells by 32; the boundaries must be exact.
+
+    ``n % 32`` of 0 (whole chunks only), 1 (a final singleton chunk) and
+    31 (one chunk one short) plus the empty call — the off-by-one shapes
+    a round-sized grid never exercises.
+    """
+
+    @staticmethod
+    def _edge_spec(n_cells: int) -> SweepSpec:
+        return _spec(
+            epsilons=[0.3],
+            machine_counts=[2],
+            algorithms=["greedy"],
+            workload=partial(random_instance, 6),
+            repetitions=n_cells,
+        )
+
+    @pytest.mark.parametrize("n_cells", [32, 33, 31])
+    @pytest.mark.parametrize("backend", ["scalar", "batch"])
+    def test_chunk_boundaries_cover_every_cell(self, n_cells, backend):
+        spec = self._edge_spec(n_cells)
+        cells = list(spec.cells())
+        assert len(cells) == n_cells
+        result = execute_sweep(spec, ExecutionPolicy(backend=backend))
+        expected = [
+            row
+            for eps, m, rep in cells
+            for row in run_cell(spec, eps, m, rep, {})
+        ]
+        assert _rows_key(result.rows) == _rows_key(expected)
+
+    @pytest.mark.parametrize("backend", ["scalar", "batch", "auto"])
+    def test_empty_cell_list(self, backend):
+        assert run_cells(_spec(), [], {}, backend=backend) == []
+
+
 class TestExecuteSweepBackends:
     @pytest.mark.parametrize("backend", ["scalar", "batch", "auto"])
     def test_serial_rows_and_csv_identical(self, backend):

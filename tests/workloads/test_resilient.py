@@ -6,10 +6,21 @@ finish the sweep, quarantine *only* the truly-poisoned (persistent)
 cells, report them in the ``FailureManifest``, and a resume after a
 simulated hard kill must yield rows bit-identical to a clean serial
 :func:`run_sweep`.
+
+ISSUE 7 adds: bounded SIGTERM->SIGKILL teardown (no zombie children
+survive a SIGINT mid-group-lease) and a hypothesis property over the
+elastic :class:`~repro.workloads.elastic.CellQueue` — any interleaving
+of lease expiry / re-dispatch / duplicate completion yields the same
+final journal rows.
 """
 
 import json
+import multiprocessing as mp
 import os
+import signal
+import subprocess
+import sys
+import textwrap
 import time
 from functools import lru_cache, partial
 
@@ -18,12 +29,16 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.testing.chaos import ChaosPlan
-from repro.workloads.journal import load_journal
+from repro.workloads.elastic import CellQueue, SpeculationMismatch
+from repro.workloads.journal import SweepJournal, load_journal
 from repro.workloads.random_instances import random_instance
 from repro.workloads.execute import ExecutionPolicy, execute_sweep
 from repro.workloads.resilient import (
     SweepExecutionError,
     SweepInterrupted,
+    _terminate,
+    _terminate_all,
+    run_cell,
     validate_cell_rows,
 )
 from repro.workloads.sweep import SweepSpec
@@ -320,6 +335,258 @@ class TestFailureModes:
         with pytest.raises(SweepExecutionError, match="permanently broken") as excinfo:
             run_sweep_parallel(spec)
         assert excinfo.value.manifest.quarantined == 1
+
+
+def _stubborn_child() -> None:
+    """Module-level (picklable) child that ignores SIGTERM and lingers."""
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    time.sleep(60.0)
+
+
+class TestTerminationEscalation:
+    """Bounded SIGTERM -> SIGKILL teardown; nothing outlives the scheduler."""
+
+    def test_sigterm_ignoring_child_is_killed(self):
+        ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+        child = ctx.Process(target=_stubborn_child, daemon=True)
+        child.start()
+        time.sleep(0.2)  # let the child install its SIGTERM handler
+        start = time.monotonic()
+        _terminate(child, grace=0.3)
+        assert time.monotonic() - start < 5.0  # bounded, not a 60s wait
+        assert not child.is_alive()
+        assert child.exitcode == -signal.SIGKILL  # escalation actually fired
+
+    def test_terminate_all_shares_one_grace_period(self):
+        ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+        children = [ctx.Process(target=_stubborn_child, daemon=True) for _ in range(3)]
+        for child in children:
+            child.start()
+        time.sleep(0.3)
+        start = time.monotonic()
+        _terminate_all(children, grace=0.3)
+        # Serial escalation would take >= 3 * grace just for the SIGTERM
+        # waits; the shared deadline keeps teardown near one grace period.
+        assert time.monotonic() - start < 5.0
+        for child in children:
+            assert not child.is_alive()
+            assert child.exitcode == -signal.SIGKILL
+
+    def test_terminate_already_dead_child_is_reaped(self):
+        ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+        child = ctx.Process(target=time.sleep, args=(0.0,), daemon=True)
+        child.start()
+        child.join()
+        _terminate(child)  # must not raise, must leave it reaped
+        assert child.exitcode == 0
+
+    def test_no_zombies_survive_sigint_mid_group_lease(self, tmp_path):
+        """Real SIGINT during batch group leases: every worker PID dies.
+
+        The sweep subprocess records each worker's PID (with SIGTERM
+        ignored, so only the SIGKILL escalation can reap it), takes a
+        SIGINT mid-lease, and then proves from inside the interrupted
+        process that no recorded worker survived — ``os.kill(pid, 0)``
+        must fail for all of them (a zombie would still accept signal 0).
+        """
+        pid_dir = tmp_path / "pids"
+        pid_dir.mkdir()
+        script = textwrap.dedent(
+            """
+            import os, signal, sys, time
+            from repro.workloads.execute import ExecutionPolicy, execute_sweep
+            from repro.workloads.resilient import SweepInterrupted
+            from repro.workloads.sweep import SweepSpec
+            from repro.workloads.random_instances import random_instance
+
+            PID_DIR = os.environ["PID_DIR"]
+
+            def workload(m, eps, seed):
+                signal.signal(signal.SIGTERM, signal.SIG_IGN)
+                pid = os.getpid()
+                with open(os.path.join(PID_DIR, str(pid)), "w") as fh:
+                    fh.write(str(pid))
+                time.sleep(0.5)  # keep the group lease mid-flight
+                return random_instance(6, m, eps, seed=seed)
+
+            spec = SweepSpec(
+                epsilons=[0.2, 0.4],
+                machine_counts=[1, 2],
+                algorithms=["greedy"],
+                workload=workload,
+                repetitions=4,
+            )
+            policy = ExecutionPolicy(workers=2, backend="batch")
+            try:
+                execute_sweep(spec, policy)
+            except SweepInterrupted:
+                survivors = []
+                for name in os.listdir(PID_DIR):
+                    try:
+                        os.kill(int(name), 0)
+                        survivors.append(name)
+                    except ProcessLookupError:
+                        pass
+                if survivors:
+                    print(f"ZOMBIES: {survivors}", file=sys.stderr)
+                    sys.exit(70)
+                sys.exit(42)
+            sys.exit(1)  # finished before the SIGINT landed — retune sleeps
+            """
+        )
+        env = dict(os.environ)
+        env["PID_DIR"] = str(pid_dir)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), os.path.abspath("src")) if p
+        )
+        # The workload is a local closure on purpose: it only has to be
+        # picklable *inside* the subprocess, where it is module-level.
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            env=env,
+            stderr=subprocess.PIPE,
+            start_new_session=True,  # isolate our SIGINT from the test run
+        )
+        try:
+            deadline = time.monotonic() + 30.0
+            while not any(pid_dir.iterdir()):
+                assert time.monotonic() < deadline, "no worker ever started"
+                assert proc.poll() is None, "sweep exited before any worker ran"
+                time.sleep(0.02)
+            time.sleep(0.1)  # ensure the lease is genuinely mid-flight
+            proc.send_signal(signal.SIGINT)
+            _, stderr = proc.communicate(timeout=30.0)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert proc.returncode == 42, stderr.decode()
+
+
+def _interleaved_queue_run(
+    spec, journal_path, cells, rows_by_seed, decisions, n_workers
+) -> dict:
+    """Drive a :class:`CellQueue` through one adversarial interleaving.
+
+    ``decisions`` is an infinite-ish iterator of small ints from
+    hypothesis; each step picks a worker and an action (grant /
+    heartbeat / expire-and-redispatch / fail-release / complete /
+    duplicate-complete).  Wins are journaled exactly as the elastic
+    scheduler would.  Returns the journal's completed map.
+    """
+    queue = CellQueue(
+        cells, retries=3, lease_timeout=1.0, timeout=None, speculate=True
+    )
+    journal = SweepJournal.create(journal_path, spec)
+    clock = 0.0
+    idle = set(range(n_workers))
+    steps = iter(decisions)
+
+    def pick(options):
+        return options[next(steps) % len(options)]
+
+    try:
+        for _ in range(500):
+            if queue.done:
+                break
+            clock += 0.1
+            busy = [w for w in queue.leases]
+            action = next(steps) % 6
+            if action in (0, 1) or not busy:  # grant (weighted: most common)
+                if not idle:
+                    continue
+                worker = pick(sorted(idle))
+                lease = queue.next_lease(worker, clock)
+                if lease is not None:
+                    idle.discard(worker)
+            elif action == 2:  # heartbeat
+                queue.heartbeat(pick(busy), clock)
+            elif action == 3:  # lease expiry -> re-dispatch (worker charged)
+                worker = pick(busy)
+                queue.release(worker, "expired: missed heartbeats", charge_cell=False)
+                idle.add(worker)
+            elif action == 4:  # transient cell failure -> retry budget
+                worker = pick(busy)
+                # Stay within the retry budget: the property under test is
+                # that *recoverable* interleavings converge, so an injected
+                # failure that would quarantine the cell degrades to a
+                # charge-free expiry instead.
+                charge = queue.leases[worker].attempt <= queue.retries
+                detail = "error: injected" if charge else "expired: injected"
+                queue.release(worker, detail, charge_cell=charge)
+                idle.add(worker)
+            else:  # complete (possibly as a duplicate of a finished cell)
+                worker = pick(busy)
+                seed = queue.leases[worker].seed
+                outcome, lease = queue.complete(worker, seed, rows_by_seed[seed])
+                idle.add(worker)
+                if outcome == "win":
+                    journal.record_cell(
+                        seed,
+                        lease.eps,
+                        lease.m,
+                        lease.rep,
+                        rows_by_seed[seed],
+                        provenance={"worker": worker, "attempt": lease.attempt},
+                    )
+        else:
+            pytest.fail("interleaving did not converge in 500 steps")
+        journal.record_seal()
+    finally:
+        journal.close()
+    return load_journal(journal_path).completed
+
+
+class TestLeaseInterleavingProperty:
+    """Any interleaving of expiry/re-dispatch/duplicates -> same journal."""
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(decisions=st.lists(st.integers(0, 5), min_size=60, max_size=400))
+    def test_interleavings_converge_to_identical_journal_rows(
+        self, tmp_path, decisions
+    ):
+        spec = _small_spec(9)
+        cells = [
+            (eps, m, rep, spec.cell_seed(eps, m, rep)) for eps, m, rep in spec.cells()
+        ]
+        rows_by_seed = {
+            seed: run_cell(spec, eps, m, rep, {}) for eps, m, rep, seed in cells
+        }
+        path = tmp_path / f"interleave-{time.monotonic_ns()}.jsonl"
+        # Pad with a "complete" drain tail so every prefix hypothesis chooses
+        # is extended to a finished sweep: with leases outstanding the tail
+        # completes one per step, otherwise it grants — never a stall.
+        completed = _interleaved_queue_run(
+            spec, path, cells, rows_by_seed, decisions + [5] * 3000, n_workers=3
+        )
+        # However the leases bounced around, the journal holds exactly the
+        # canonical rows for every cell — bit-identical to a serial run.
+        assert completed == rows_by_seed
+
+    def test_duplicate_completion_must_be_bit_identical(self):
+        spec = _small_spec(9)
+        cells = [
+            (eps, m, rep, spec.cell_seed(eps, m, rep)) for eps, m, rep in spec.cells()
+        ]
+        queue = CellQueue(cells, lease_timeout=1.0)
+        first = queue.next_lease(0, 0.0)
+        rows = run_cell(spec, first.eps, first.m, first.rep, {})
+        assert queue.complete(0, first.seed, rows)[0] == "win"
+        # A second (stale/speculative) copy with identical rows is benign …
+        queue.pending.clear()
+        queue.leases[1] = type(first)(
+            **{**first.__dict__, "worker": 1}
+        )
+        assert queue.complete(1, first.seed, list(rows))[0] == "duplicate"
+        # … but a diverging copy is a hard nondeterminism error.
+        queue.leases[2] = type(first)(**{**first.__dict__, "worker": 2})
+        mangled = ChaosPlan().corrupt_rows(rows)
+        with pytest.raises(SpeculationMismatch):
+            queue.complete(2, first.seed, mangled)
 
 
 class TestInterruptedResumeProperty:
