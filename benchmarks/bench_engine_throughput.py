@@ -99,9 +99,15 @@ def test_bound_solver_throughput(benchmark):
 # ---------------------------------------------------------------------------
 
 
+#: Single-machine twin of the main stream, for the m=1-only algorithms
+#: (``goldwasser-kerbikov``, ``classify-select``).
+_INSTANCE_1 = random_instance(N_JOBS, 1, 0.2, seed=42)
+
+
 def _model_runs():
     """(label, thunk) per commitment model, all on the same 5k-job stream."""
     from repro.baselines.dasgupta_palis import DasGuptaPalisPolicy
+    from repro.baselines.registry import run_algorithm
     from repro.engine.admission import AdmissionLazyPolicy, simulate_admission
     from repro.engine.delayed import DelayedGreedyPolicy, simulate_delayed
     from repro.engine.penalties import RevocableGreedyPolicy, simulate_with_penalties
@@ -112,8 +118,28 @@ def _model_runs():
         ("immediate[threshold]", lambda: simulate(ThresholdPolicy(), _INSTANCE)),
         ("immediate[greedy]", lambda: simulate(GreedyPolicy(), _INSTANCE)),
         (
+            "immediate[lee-style]",
+            lambda: run_algorithm("lee-style", _INSTANCE),
+        ),
+        (
+            "immediate[goldwasser-kerbikov]",
+            lambda: run_algorithm("goldwasser-kerbikov", _INSTANCE_1),
+        ),
+        (
+            "immediate[random-admission]",
+            lambda: run_algorithm("random-admission", _INSTANCE),
+        ),
+        (
+            "immediate[classify-select]",
+            lambda: run_algorithm("classify-select", _INSTANCE_1),
+        ),
+        (
             "delayed[delayed-greedy]",
             lambda: simulate_delayed(DelayedGreedyPolicy(), _INSTANCE, eps / 2),
+        ),
+        (
+            "admission[admission-greedy]",
+            lambda: run_algorithm("admission-greedy", _INSTANCE),
         ),
         (
             "admission[admission-lazy]",
@@ -135,13 +161,28 @@ BATCH_SIZE = 64
 
 
 def _batch_runs():
-    """(label, total_jobs, thunk) per batch-backend row (E25)."""
-    from repro.engine.batch import IMMEDIATE_RULES, run_immediate_batch
+    """(label, total_jobs, thunk) per batch-backend row (E25).
+
+    Immediate-model rows amortise over a 64-lane batch (that kernel's
+    unit of work); the delayed/admission/penalties kernels win *within*
+    one instance, so their rows run per-instance like the scalar ones.
+    """
+    from repro.engine.batch import (
+        IMMEDIATE_RULES,
+        run_classify_select_batch,
+        run_immediate_batch,
+        run_random_admission_batch,
+    )
+    from repro.engine.batch_delayed import run_admission_batch, run_delayed_batch
     from repro.engine.batch_penalties import run_penalties_batch
 
     batch = [
         random_instance(N_JOBS, MACHINES, 0.2, seed=42 + i) for i in range(BATCH_SIZE)
     ]
+    batch_1 = [
+        random_instance(N_JOBS, 1, 0.2, seed=42 + i) for i in range(BATCH_SIZE)
+    ]
+    eps = _INSTANCE.epsilon
     return [
         (
             "immediate[threshold]",
@@ -154,6 +195,43 @@ def _batch_runs():
             lambda: run_immediate_batch(IMMEDIATE_RULES["greedy"], batch),
         ),
         (
+            "immediate[lee-style]",
+            BATCH_SIZE * N_JOBS,
+            lambda: run_immediate_batch(IMMEDIATE_RULES["lee-style"], batch),
+        ),
+        (
+            "immediate[goldwasser-kerbikov]",
+            BATCH_SIZE * N_JOBS,
+            lambda: run_immediate_batch(
+                IMMEDIATE_RULES["goldwasser-kerbikov"], batch_1
+            ),
+        ),
+        (
+            "immediate[random-admission]",
+            BATCH_SIZE * N_JOBS,
+            lambda: run_random_admission_batch(batch),
+        ),
+        (
+            "immediate[classify-select]",
+            BATCH_SIZE * N_JOBS,
+            lambda: run_classify_select_batch(batch_1),
+        ),
+        (
+            "delayed[delayed-greedy]",
+            N_JOBS,
+            lambda: run_delayed_batch([_INSTANCE], delta=eps / 2),
+        ),
+        (
+            "admission[admission-greedy]",
+            N_JOBS,
+            lambda: run_admission_batch([_INSTANCE], algorithm="admission-greedy"),
+        ),
+        (
+            "admission[admission-lazy]",
+            N_JOBS,
+            lambda: run_admission_batch([_INSTANCE], algorithm="admission-lazy"),
+        ),
+        (
             "penalties[revocable-greedy]",
             N_JOBS,
             lambda: run_penalties_batch([_INSTANCE], 0.5),
@@ -161,28 +239,65 @@ def _batch_runs():
     ]
 
 
+def _best_of(run, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
 def snapshot_throughput(rounds: int = 3) -> dict:
     """Best-of-*rounds* jobs/s for every engine; pure measurement, no I/O."""
+    import os
+
+    from repro.engine import jit
+
     results = {}
     for label, run in _model_runs():
-        best = float("inf")
-        for _ in range(rounds):
-            t0 = time.perf_counter()
-            run()
-            best = min(best, time.perf_counter() - t0)
-        results[label] = round(N_JOBS / best, 1)
+        results[label] = round(N_JOBS / _best_of(run, rounds), 1)
     batch_results = {}
     for label, total, run in _batch_runs():
-        best = float("inf")
-        for _ in range(rounds):
-            t0 = time.perf_counter()
-            run()
-            best = min(best, time.perf_counter() - t0)
+        rate = total / _best_of(run, rounds)
         batch_results[label] = {
-            "jobs_per_second": round(total / best, 1),
+            "jobs_per_second": round(rate, 1),
             "batch_size": total // N_JOBS,
-            "speedup_vs_scalar": round(total / best / results[label], 2),
+            "speedup_vs_scalar": round(rate / results[label], 2),
         }
+    jit_results = {}
+    numba_version = None
+    if jit.numba_available():
+        import numba
+
+        numba_version = numba.__version__
+        prior = os.environ.get(jit.JIT_ENV)
+        os.environ[jit.JIT_ENV] = "1"
+        try:
+            for label, total, run in _batch_runs():
+                if not label.startswith("immediate["):
+                    continue  # the jit seam covers the immediate step loop
+                run()  # warm the compile cache outside the timed rounds
+                rate = total / _best_of(run, rounds)
+                jit_results[label] = {
+                    "jobs_per_second": round(rate, 1),
+                    "batch_size": total // N_JOBS,
+                    "speedup_vs_scalar": round(rate / results[label], 2),
+                    "speedup_vs_batch": round(
+                        rate / batch_results[label]["jobs_per_second"], 2
+                    ),
+                }
+        finally:
+            if prior is None:
+                os.environ.pop(jit.JIT_ENV, None)
+            else:
+                os.environ[jit.JIT_ENV] = prior
+    backends = {
+        "scalar": {"jobs_per_second": results},
+        "batch": batch_results,
+    }
+    if jit_results:
+        backends["jit"] = jit_results
     return {
         "n_jobs": N_JOBS,
         "machines": MACHINES,
@@ -191,11 +306,9 @@ def snapshot_throughput(rounds: int = 3) -> dict:
         "rounds": rounds,
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "numba": numba_version,
         "jobs_per_second": results,
-        "backends": {
-            "scalar": {"jobs_per_second": results},
-            "batch": batch_results,
-        },
+        "backends": backends,
     }
 
 
@@ -204,11 +317,17 @@ def main() -> int:
     out = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
     out.write_text(json.dumps(snapshot, indent=2) + "\n")
     for label, rate in snapshot["jobs_per_second"].items():
-        print(f"{label:30s} {rate:>12,.0f} jobs/s  [scalar]")
+        print(f"{label:33s} {rate:>12,.0f} jobs/s  [scalar]")
     for label, row in snapshot["backends"]["batch"].items():
         print(
-            f"{label:30s} {row['jobs_per_second']:>12,.0f} jobs/s  "
+            f"{label:33s} {row['jobs_per_second']:>12,.0f} jobs/s  "
             f"[batch x{row['batch_size']}, {row['speedup_vs_scalar']}x scalar]"
+        )
+    for label, row in snapshot["backends"].get("jit", {}).items():
+        print(
+            f"{label:33s} {row['jobs_per_second']:>12,.0f} jobs/s  "
+            f"[jit x{row['batch_size']}, {row['speedup_vs_scalar']}x scalar, "
+            f"{row['speedup_vs_batch']}x batch]"
         )
     print(f"wrote {out}")
     return 0

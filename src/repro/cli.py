@@ -147,6 +147,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         inst = cloud_instance(args.n, args.m, args.eps, seed=args.seed)
     else:
         inst = alternating_instance(max(1, args.n // (2 * args.m)), args.m, args.eps)
+    if args.jit:
+        import os
+
+        from repro.engine.jit import JIT_ENV
+
+        os.environ[JIT_ENV] = "1"
     result = run_simulation(
         SimulationRequest(args.algorithm, inst, record_events=args.events),
         backend=args.backend,
@@ -317,7 +323,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # save — run with --journal to make interrupted work resumable).
         try:
             result = execute_sweep(
-                spec, ExecutionPolicy(cache=cache, backend=args.backend)
+                spec,
+                ExecutionPolicy(cache=cache, backend=args.backend, jit=args.jit),
             )
         except KeyboardInterrupt:
             print("\ninterrupted: serial sweep discarded; re-run with --journal "
@@ -341,6 +348,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             shards=args.shards,
             shard_index=args.shard_index,
             backend=args.backend,
+            jit=args.jit,
             elastic=args.elastic,
             speculate=args.speculate,
             adaptive_reps=args.adaptive_reps,
@@ -583,6 +591,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation kernel backend (see docs/engine_backends.md); "
              "batch falls back to scalar with a warning when unsupported",
     )
+    p.add_argument(
+        "--jit", action="store_true",
+        help="run batch kernels through the optional numba-jitted inner "
+             "loop (REPRO_NUMBA=1); warns and falls back to NumPy when "
+             "numba is not installed — results are identical either way",
+    )
     p.set_defaults(fn=_cmd_simulate)
 
     p = sub.add_parser("plan", help="capacity planning: invert the bound function")
@@ -667,6 +681,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=["auto", "scalar", "batch"], default="auto",
         help="simulation kernel backend for every cell "
              "(see docs/engine_backends.md)",
+    )
+    p.add_argument(
+        "--jit", action="store_true",
+        help="batch kernels use the optional numba-jitted inner loop "
+             "(exports REPRO_NUMBA=1 to workers); warns and falls back to "
+             "NumPy when numba is not installed",
     )
     p.add_argument(
         "--elastic", action="store_true",

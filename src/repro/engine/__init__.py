@@ -21,8 +21,12 @@ Above the per-model simulators sits the **kernel-backend seam**
 (:mod:`repro.engine.backend`): :func:`~repro.engine.backend.run_simulations`
 dispatches :class:`~repro.engine.backend.SimulationRequest` batches either
 to the scalar golden path above or to the structure-of-arrays NumPy kernels
-(:mod:`repro.engine.batch`, :mod:`repro.engine.batch_penalties`), which are
-bit-identical to it — see ``docs/engine_backends.md``.
+(:mod:`repro.engine.batch`, :mod:`repro.engine.batch_delayed`,
+:mod:`repro.engine.batch_penalties`), which are bit-identical to it — see
+``docs/engine_backends.md``.  An optional numba-jitted inner loop
+(:mod:`repro.engine.jit`, ``REPRO_NUMBA=1``) accelerates the immediate
+batch kernels without changing a single bit; ``docs/kernel_authoring.md``
+explains how to add a kernel that keeps these guarantees.
 """
 
 from repro.engine.kernel import (
@@ -71,7 +75,18 @@ from repro.engine.penalties import (
     PenaltyOutcome,
     simulate_with_penalties,
 )
-from repro.engine.batch import ImmediateRule, IMMEDIATE_RULES, run_immediate_batch
+from repro.engine.batch import (
+    ImmediateRule,
+    IMMEDIATE_RULES,
+    run_classify_select_batch,
+    run_immediate_batch,
+    run_random_admission_batch,
+)
+from repro.engine.batch_delayed import (
+    ADMISSION_ALGORITHMS,
+    run_admission_batch,
+    run_delayed_batch,
+)
 from repro.engine.batch_penalties import DEFAULT_PHI, run_penalties_batch
 from repro.engine.backend import (
     BACKEND_CHOICES,
@@ -132,6 +147,11 @@ __all__ = [
     "ImmediateRule",
     "IMMEDIATE_RULES",
     "run_immediate_batch",
+    "run_classify_select_batch",
+    "run_random_admission_batch",
+    "ADMISSION_ALGORITHMS",
+    "run_admission_batch",
+    "run_delayed_batch",
     "DEFAULT_PHI",
     "run_penalties_batch",
     "BACKEND_CHOICES",

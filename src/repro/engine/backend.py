@@ -13,15 +13,26 @@ through :func:`run_simulations`, which dispatches to one of two
 
 ``batch``
     Structure-of-arrays NumPy kernels (:mod:`repro.engine.batch` for the
-    immediate model, :mod:`repro.engine.batch_penalties` for commitment
-    with penalties) that step groups of compatible requests through
-    vectorised decision rules.  The contract is *bit-identity*: schedules,
-    ``RunStats`` counters and journal rows match the scalar backend
-    exactly (asserted by ``tests/engine/test_backends.py``).
+    immediate model — including the randomized ``random-admission`` and
+    ``classify-select`` via per-lane RNG-stream replay,
+    :mod:`repro.engine.batch_delayed` for the delayed and
+    commitment-on-admission models, :mod:`repro.engine.batch_penalties`
+    for commitment with penalties) that step groups of compatible
+    requests through vectorised decision rules.  The contract is
+    *bit-identity*: schedules, ``RunStats`` counters and journal rows
+    match the scalar backend exactly (asserted by
+    ``tests/engine/test_backends.py``).  With ``REPRO_NUMBA=1`` and numba
+    installed, the immediate-model inner loop runs jit-compiled
+    (:mod:`repro.engine.jit`) — same contract, same bits.
 
 ``auto``
     Batch where it pays off, scalar everywhere else — see
     :data:`_AUTO_MIN_GROUP` and ``docs/engine_backends.md``.
+
+Randomized algorithms carry their RNG seed inside the grouping key, so
+two requests with different seeds can never share a lane row (they would
+silently replay the wrong stream otherwise); live ``numpy.random.Generator``
+objects are scalar-only because their mutable state cannot be replayed.
 
 Unsupported algorithm/backend combinations never fail silently: under
 ``backend="batch"`` they fall back to scalar with a
@@ -35,9 +46,13 @@ import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
-from repro.engine.batch import IMMEDIATE_RULES
+import numpy as np
+
+from repro.engine.batch import DEFAULT_Q, DEFAULT_RANDOM_SEED, IMMEDIATE_RULES
+from repro.engine.batch_delayed import ADMISSION_ALGORITHMS, DEFAULT_SLACK_MARGIN
 from repro.engine.batch_penalties import DEFAULT_PHI
 from repro.model.instance import Instance
+from repro.utils.rng import DEFAULT_SEED
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.baselines.registry import RunResult
@@ -47,9 +62,28 @@ BACKEND_CHOICES = ("auto", "scalar", "batch")
 
 #: Minimum compatible group size for ``auto`` to batch immediate-model
 #: requests.  A single immediate run gains nothing from SoA layout (the
-#: arrays hold one row), while the penalties kernel vectorises *within* an
-#: instance and is worth it even for a group of one.
+#: arrays hold one row), while the penalties/delayed/admission kernels win
+#: *within* an instance and are worth batching even for a group of one.
 _AUTO_MIN_GROUP = 2
+
+#: Group-key kinds whose kernels vectorise *across* lanes and therefore
+#: need at least :data:`_AUTO_MIN_GROUP` members under ``auto``.
+_LANE_KINDS = ("immediate", "immediate-random", "classify")
+
+
+def _seed_key(rng: Any) -> int | None:
+    """Normalise an ``rng`` kwarg into a groupable seed, or ``None``.
+
+    Mirrors :func:`repro.utils.rng.rng_from_any`: ``None`` means the
+    library default seed, integers pass through.  Live ``Generator``
+    objects (or anything else) return ``None`` — unsupported, because
+    their mutable state cannot be replayed across lanes.
+    """
+    if rng is None:
+        return DEFAULT_SEED
+    if isinstance(rng, (int, np.integer)) and not isinstance(rng, bool):
+        return int(rng)
+    return None
 
 
 class BackendFallbackWarning(UserWarning):
@@ -118,26 +152,88 @@ class BatchBackend(KernelBackend):
 
         Requests sharing a key can run through one batched kernel call.
         Immediate-model groups additionally share the (machines, jobs)
-        shape so the SoA arrays stay rectangular; penalties groups share
-        only ``phi`` (that kernel vectorises within each instance).
-        Event recording always falls back — the batch kernels do not
-        replay per-decision event streams.
+        shape so the SoA arrays stay rectangular, and randomized
+        algorithms share the *seed* — mixed-seed requests must never share
+        a pre-drawn lane row.  Penalties/delayed/admission groups share
+        only their kwargs (those kernels loop per instance).  Event
+        recording always falls back — the batch kernels do not replay
+        per-decision event streams.
         """
         if request.record_events:
             return None
+        kwargs = request.kwargs
         if request.algorithm in IMMEDIATE_RULES:
-            if request.kwargs:
+            if kwargs:
                 return None
+            rule = IMMEDIATE_RULES[request.algorithm]
+            if rule.single_machine and request.instance.machines != 1:
+                return None  # let the scalar registry raise its canonical error
             return (
                 "immediate",
                 request.algorithm,
                 request.instance.machines,
                 len(request.instance),
             )
-        if request.algorithm == "revocable-greedy":
-            if set(request.kwargs) - {"phi"}:
+        if request.algorithm == "random-admission":
+            if set(kwargs) - {"q", "rng"}:
                 return None
-            return ("penalties", float(request.kwargs.get("phi", DEFAULT_PHI)))
+            seed = (
+                _seed_key(kwargs["rng"]) if "rng" in kwargs else DEFAULT_RANDOM_SEED
+            )
+            if seed is None:
+                return None
+            return (
+                "immediate-random",
+                float(kwargs.get("q", DEFAULT_Q)),
+                seed,
+                request.instance.machines,
+                len(request.instance),
+            )
+        if request.algorithm == "classify-select":
+            if set(kwargs) - {"virtual_machines", "rng", "selected"}:
+                return None
+            if request.instance.machines != 1:
+                return None  # scalar raises the canonical single-machine error
+            seed = _seed_key(kwargs.get("rng"))
+            if seed is None:
+                return None
+            selected = kwargs.get("selected")
+            if selected is not None and not isinstance(selected, (int, np.integer)):
+                return None
+            virtual_m = kwargs.get("virtual_machines")
+            if virtual_m is None:
+                from repro.core.randomized import default_virtual_machines
+
+                try:
+                    virtual_m = default_virtual_machines(request.instance.epsilon)
+                except ValueError:
+                    return None
+            return (
+                "classify",
+                int(virtual_m),
+                None if selected is None else int(selected),
+                seed,
+                len(request.instance),
+            )
+        if request.algorithm == "delayed-greedy":
+            if set(kwargs) - {"delta"}:
+                return None
+            delta = kwargs.get("delta")
+            if delta is not None and not isinstance(delta, (int, float)):
+                return None
+            return ("delayed", None if delta is None else float(delta))
+        if request.algorithm in ADMISSION_ALGORITHMS:
+            allowed = {"slack_margin"} if request.algorithm == "admission-lazy" else set()
+            if set(kwargs) - allowed:
+                return None
+            margin = kwargs.get("slack_margin", DEFAULT_SLACK_MARGIN)
+            if not isinstance(margin, (int, float)):
+                return None
+            return ("admission", request.algorithm, float(margin))
+        if request.algorithm == "revocable-greedy":
+            if set(kwargs) - {"phi"}:
+                return None
+            return ("penalties", float(kwargs.get("phi", DEFAULT_PHI)))
         return None
 
     def supports(self, request: SimulationRequest) -> bool:
@@ -145,7 +241,12 @@ class BatchBackend(KernelBackend):
 
     def run_many(self, requests: Sequence[SimulationRequest]) -> "list[RunResult]":
         from repro.baselines.registry import RunResult
-        from repro.engine.batch import run_immediate_batch
+        from repro.engine.batch import (
+            run_classify_select_batch,
+            run_immediate_batch,
+            run_random_admission_batch,
+        )
+        from repro.engine.batch_delayed import run_admission_batch, run_delayed_batch
         from repro.engine.batch_penalties import run_penalties_batch
 
         requests = list(requests)
@@ -162,23 +263,8 @@ class BatchBackend(KernelBackend):
 
         results: list[RunResult | None] = [None] * len(requests)
         for key, members in groups.items():
-            if key[0] == "immediate":
-                rule = IMMEDIATE_RULES[key[1]]
-                chunk = _chunk_size(key[2], key[3])
-                for lo in range(0, len(members), chunk):
-                    sel = members[lo : lo + chunk]
-                    schedules = run_immediate_batch(
-                        rule, [requests[i].instance for i in sel]
-                    )
-                    for i, schedule in zip(sel, schedules):
-                        results[i] = RunResult(
-                            algorithm=requests[i].algorithm,
-                            instance=schedule.instance,
-                            accepted_load=schedule.accepted_load,
-                            accepted_count=schedule.accepted_count,
-                            detail=schedule,
-                        )
-            else:
+            kind = key[0]
+            if kind == "penalties":
                 outcomes = run_penalties_batch(
                     [requests[i].instance for i in members], phi=key[1]
                 )
@@ -189,6 +275,41 @@ class BatchBackend(KernelBackend):
                         accepted_load=outcome.completed_load,
                         accepted_count=len(outcome.completed),
                         detail=outcome,
+                    )
+                continue
+            if kind == "immediate":
+                rule = IMMEDIATE_RULES[key[1]]
+                chunk = _chunk_size(key[2], key[3])
+                runner = lambda insts, rule=rule: run_immediate_batch(rule, insts)
+            elif kind == "immediate-random":
+                chunk = _chunk_size(key[3], key[4])
+                runner = lambda insts, k=key: run_random_admission_batch(
+                    insts, q=k[1], rng=k[2]
+                )
+            elif kind == "classify":
+                # Working set scales with the *virtual* machine count.
+                chunk = _chunk_size(key[1], key[4])
+                runner = lambda insts, k=key: run_classify_select_batch(
+                    insts, virtual_machines=k[1], rng=k[3], selected=k[2]
+                )
+            elif kind == "delayed":
+                chunk = len(members)  # per-instance loop: no SoA working set
+                runner = lambda insts, k=key: run_delayed_batch(insts, delta=k[1])
+            else:  # admission
+                chunk = len(members)
+                runner = lambda insts, k=key: run_admission_batch(
+                    insts, algorithm=k[1], slack_margin=k[2]
+                )
+            for lo in range(0, len(members), chunk):
+                sel = members[lo : lo + chunk]
+                schedules = runner([requests[i].instance for i in sel])
+                for i, schedule in zip(sel, schedules):
+                    results[i] = RunResult(
+                        algorithm=requests[i].algorithm,
+                        instance=schedule.instance,
+                        accepted_load=schedule.accepted_load,
+                        accepted_count=schedule.accepted_count,
+                        detail=schedule,
                     )
         return results  # type: ignore[return-value]
 
@@ -215,7 +336,8 @@ def run_simulations(
     ``backend="batch"`` batches every supported request and falls back to
     scalar for the rest with a loud :class:`BackendFallbackWarning`.
     ``backend="auto"`` batches exactly where the batch kernel is expected
-    to win (penalties always; immediate-model groups of at least
+    to win (penalties/delayed/admission always — those kernels win within
+    a single instance; immediate-model groups of at least
     ``_AUTO_MIN_GROUP`` compatible requests) and is silent about the rest.
     """
     if backend not in BACKEND_CHOICES:
@@ -247,7 +369,7 @@ def run_simulations(
         )
     if backend == "auto":
         for key in list(groups):
-            if key[0] == "immediate" and len(groups[key]) < _AUTO_MIN_GROUP:
+            if key[0] in _LANE_KINDS and len(groups[key]) < _AUTO_MIN_GROUP:
                 scalar_members.extend(groups.pop(key))
 
     results: list = [None] * len(requests)

@@ -1,0 +1,439 @@
+"""Flat batch kernels for the delayed and admission commitment models.
+
+The delayed (:mod:`repro.engine.delayed`) and commitment-on-admission
+(:mod:`repro.engine.admission`) engines run event loops whose state is a
+*pending set* plus per-machine timelines — no cross-instance lockstep
+exists (event times differ per instance), so unlike
+:mod:`repro.engine.batch` these kernels vectorise *within* an instance:
+each lane is an independent flat re-implementation that sheds the scalar
+path's dominant overheads while replaying its float operations
+operand-for-operand.
+
+What the flat re-implementation removes, and why it stays bit-identical:
+
+* **Machine clones** (delayed).  ``DelayedGreedyPolicy`` plans on
+  ``MachineState.clone()`` copies and lets the engine re-apply the
+  decisions — an O(commitments) copy of every machine at every event.
+  But the planning clones receive exactly the commits that
+  ``_apply`` later performs on the real timelines, in the same order, so
+  a single authoritative state stepped *while deciding* goes through the
+  identical sequence of float operations.
+* **Object churn** (both).  ``Decision`` objects, ``KernelContext``
+  dispatch and ``Job`` attribute walks are replaced by plain floats in
+  local variables.  Comparisons keep the exact scalar forms
+  (``fge(a, b)`` inlined as ``a >= b - TIME_EPS``; ``bisect_right`` as a
+  monotone pointer — event time never decreases and commitments always
+  append with ``end > t``).
+* **Outstanding load** keeps ``MachineState.outstanding``'s operand
+  order: ``snap((ends[j] - max(starts[j], t)) + (prefix[-1] -
+  prefix[j+1]))``.
+
+Counters match the scalar kernel exactly: ``steps`` is the number of
+event-loop iterations (*not* the job count), ``decisions`` includes
+expiries and end-of-stream unstartable rejections, and the schedules carry
+the same ``meta`` keys (``delta`` for the delayed model, the model name
+for admission).  The cross-backend suite (``tests/engine/test_backends.py``)
+pins all of it, including golden traces.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine.kernel import MAX_KERNEL_STEPS, RunStats, SimulationError
+from repro.model.instance import Instance
+from repro.model.schedule import Assignment, Schedule
+from repro.utils.tolerances import TIME_EPS
+
+#: Default ``slack_margin`` of :class:`AdmissionLazyPolicy`.
+DEFAULT_SLACK_MARGIN = 10 * TIME_EPS
+
+#: Admission-model algorithms this module covers.
+ADMISSION_ALGORITHMS = ("admission-greedy", "admission-lazy")
+
+
+class _FlatMachine:
+    """Append-only committed timeline, operand-identical to MachineState.
+
+    The delayed policy only ever appends (``start = max(max(t, r),
+    frontier)`` is never below the last end), so the scalar machine's
+    bisect/insert general case never triggers — plain list appends plus a
+    monotone ``bisect_right`` pointer replay it exactly.
+    """
+
+    __slots__ = ("index", "starts", "ends", "prefix", "ptr")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.starts: list[float] = []
+        self.ends: list[float] = []
+        self.prefix: list[float] = [0.0]
+        self.ptr = 0
+
+    def advance(self, t: float) -> None:
+        """Move the bisect_right(ends, t) pointer (t is non-decreasing)."""
+        ends = self.ends
+        j = self.ptr
+        n = len(ends)
+        while j < n and ends[j] <= t:
+            j += 1
+        self.ptr = j
+
+    def outstanding(self, t: float) -> float:
+        ends = self.ends
+        n = len(ends)
+        if n == 0:
+            return 0.0
+        j = self.ptr
+        if j >= n:
+            return 0.0
+        sj = self.starts[j]
+        mx = sj if sj > t else t
+        load = (ends[j] - mx) + (self.prefix[n] - self.prefix[j + 1])
+        return 0.0 if abs(load) <= TIME_EPS else load
+
+    def frontier(self, t: float) -> float:
+        ends = self.ends
+        if ends:
+            le = ends[-1]
+            return le if le > t else t
+        return t
+
+    def append_start(self, t: float, release: float) -> float:
+        base = t if t > release else release
+        fr = self.frontier(t)
+        return base if base > fr else fr
+
+    def fits(self, t: float, release: float, proc: float, deadline: float) -> bool:
+        return deadline >= self.append_start(t, release) + proc - TIME_EPS
+
+    def commit(self, start: float, proc: float) -> None:
+        self.starts.append(start)
+        end = start + proc
+        self.ends.append(end)
+        self.prefix.append(self.prefix[-1] + proc)
+
+
+def _steps_guard(steps: int, max_steps: int, model: str) -> None:
+    if steps >= max_steps:
+        raise SimulationError(
+            f"kernel exceeded max_steps={max_steps} (non-terminating model?)",
+            model=model,
+        )
+
+
+def _run_delayed_one(
+    inst: Instance, delta: float, max_steps: int
+) -> tuple[dict[int, Assignment], set[int], int, int]:
+    """One delayed-greedy run; returns (assignments, rejected, jobs, steps)."""
+    jobs = inst.jobs
+    n = len(jobs)
+    machines = [_FlatMachine(i) for i in range(inst.machines)]
+    # pending: jid -> (release, proc, deadline, decision_deadline), in
+    # insertion order (scalar iterates dict views the same way).
+    pending: dict[int, tuple[float, float, float, float]] = {}
+    assignments: dict[int, Assignment] = {}
+    rejected: set[int] = set()
+    fi = 0
+    submitted = 0
+    steps = 0
+
+    while fi < n or pending:
+        steps += 1
+        _steps_guard(steps, max_steps, "delayed")
+        # Next event: earlier of next release and earliest decision deadline.
+        t = jobs[fi].release if fi < n else None
+        if pending:
+            dd_min = min(item[3] for item in pending.values())
+            if t is None or dd_min < t:
+                t = dd_min
+        # Absorb all releases at or before t (JobFeed.take_released).
+        while fi < n and jobs[fi].release <= t + TIME_EPS:
+            job = jobs[fi]
+            p = job.processing
+            dd = job.release + delta * p
+            ls = job.latest_start
+            if ls < dd:
+                dd = ls
+            pending[job.job_id] = (job.release, p, job.deadline, dd)
+            submitted += 1
+            fi += 1
+
+        due = [
+            (jid, item)
+            for jid, item in pending.items()
+            if item[3] <= t + TIME_EPS
+        ]
+        if not due:
+            continue
+
+        for mach in machines:
+            mach.advance(t)
+        due_sorted = sorted(due, key=lambda pair: -pair[1][1])
+        due_ids = {jid for jid, _ in due}
+        others = [
+            item for jid, item in pending.items() if jid not in due_ids
+        ]
+        for jid, (release, p, deadline, _dd) in due_sorted:
+            candidates = [
+                mach for mach in machines if mach.fits(t, release, p, deadline)
+            ]
+            if not candidates:
+                del pending[jid]
+                rejected.add(jid)
+                continue
+            chosen = max(
+                candidates, key=lambda mach: (mach.outstanding(t), -mach.index)
+            )
+            if others:
+                # One-step look-ahead: would this acceptance starve a
+                # strictly bigger pending job of its last feasible slot?
+                # Only the chosen machine's frontier changes in the trial.
+                start = chosen.append_start(t, release)
+                trial_end = start + p
+                starved = False
+                for o_release, o_p, o_deadline, _o_dd in others:
+                    if o_p <= p:
+                        continue
+                    if not any(
+                        mach.fits(t, o_release, o_p, o_deadline)
+                        for mach in machines
+                    ):
+                        continue
+                    # fits on the trial state?
+                    trial_fits = False
+                    for mach in machines:
+                        if mach is chosen:
+                            base = t if t > o_release else o_release
+                            fr = trial_end if trial_end > t else t
+                            st = base if base > fr else fr
+                            if o_deadline >= st + o_p - TIME_EPS:
+                                trial_fits = True
+                                break
+                        elif mach.fits(t, o_release, o_p, o_deadline):
+                            trial_fits = True
+                            break
+                    if not trial_fits:
+                        starved = True
+                        break
+                if starved:
+                    del pending[jid]
+                    rejected.add(jid)
+                    continue
+            start = chosen.append_start(t, release)
+            assignments[jid] = Assignment(jid, chosen.index, start)
+            chosen.commit(start, p)
+            del pending[jid]
+
+    return assignments, rejected, submitted, steps
+
+
+def run_delayed_batch(
+    instances: list[Instance],
+    delta: float | None = None,
+    max_steps: int = MAX_KERNEL_STEPS,
+) -> list[Schedule]:
+    """Batched ``delayed-greedy`` (look-ahead variant), bit-identical.
+
+    ``delta=None`` resolves to each instance's slack, and an explicit
+    value is clamped to it — the same normalisation
+    :func:`repro.baselines.registry.run_algorithm` applies before calling
+    ``simulate_delayed``.
+    """
+    schedules: list[Schedule] = []
+    for inst in instances:
+        eff_delta = inst.epsilon if delta is None else min(delta, inst.epsilon)
+        if not 0.0 <= eff_delta <= inst.epsilon + TIME_EPS:
+            # Same message as simulate_delayed's validation.
+            raise ValueError(
+                f"delta must lie in [0, epsilon={inst.epsilon}], got {eff_delta}"
+            )
+        t0 = time.perf_counter()
+        assignments, rejected, submitted, steps = _run_delayed_one(
+            inst, eff_delta, max_steps
+        )
+        sim_seconds = time.perf_counter() - t0
+        schedule = Schedule(
+            instance=inst,
+            assignments=assignments,
+            rejected=rejected,
+            algorithm="delayed-greedy",
+            meta={"delta": eff_delta, "model": "delayed", "backend": "batch"},
+        )
+        t1 = time.perf_counter()
+        schedule.audit()
+        audit_seconds = time.perf_counter() - t1
+        schedule.meta["stats"] = RunStats(
+            model="delayed",
+            algorithm="delayed-greedy",
+            jobs=submitted,
+            decisions=len(assignments) + len(rejected),
+            accepted=len(assignments),
+            rejected=len(rejected),
+            steps=steps,
+            accepted_load=float(schedule.accepted_load),
+            sim_seconds=sim_seconds,
+            audit_seconds=audit_seconds,
+        )
+        schedules.append(schedule)
+    return schedules
+
+
+def _run_admission_one(
+    inst: Instance,
+    lazy: bool,
+    slack_margin: float,
+    max_steps: int,
+) -> tuple[dict[int, Assignment], set[int], int, int]:
+    """One admission run; returns (assignments, rejected, jobs, steps)."""
+    jobs = inst.jobs
+    n = len(jobs)
+    machine_free = [0.0] * inst.machines
+    # pending: jid -> (release, proc, latest_start), insertion-ordered.
+    pending: dict[int, tuple[float, float, float]] = {}
+    assignments: dict[int, Assignment] = {}
+    rejected: set[int] = set()
+    fi = 0
+    submitted = 0
+    steps = 0
+    now = 0.0
+
+    while fi < n or pending:
+        steps += 1
+        _steps_guard(steps, max_steps, "commitment-on-admission")
+
+        # 1) absorb all releases at or before `now`.
+        while fi < n and jobs[fi].release <= now + TIME_EPS:
+            job = jobs[fi]
+            pending[job.job_id] = (job.release, job.processing, job.latest_start)
+            submitted += 1
+            fi += 1
+
+        # 2) decisive expiry against the earliest machine-free time.
+        earliest_free = min(machine_free)
+        horizon = now if now > earliest_free else earliest_free
+        cutoff = horizon - TIME_EPS
+        expired = [jid for jid, item in pending.items() if item[2] < cutoff]
+        for jid in expired:
+            rejected.add(jid)
+            del pending[jid]
+
+        # 3) start jobs on idle machines at the current instant (fixpoint).
+        while pending:
+            idle = -1
+            for i, f in enumerate(machine_free):
+                if f <= now + TIME_EPS:
+                    idle = i
+                    break
+            if idle < 0:
+                break
+            floor = now - TIME_EPS
+            best_jid = -1
+            best_p = 0.0
+            edge = 0.0
+            have_edge = False
+            for jid, (release, p, ls) in pending.items():
+                if ls >= floor:  # fge(latest_start, now)
+                    if not have_edge or ls < edge:
+                        edge = ls
+                        have_edge = True
+                    # max(startable, key=(processing, -job_id)): strictly
+                    # greater processing wins; ties keep the smaller id
+                    # (insertion order is id order within an instance).
+                    if best_jid < 0 or p > best_p or (p == best_p and jid < best_jid):
+                        best_jid = jid
+                        best_p = p
+            if best_jid < 0:
+                break
+            if lazy and edge > now + slack_margin:
+                break  # nothing is forced yet: keep waiting
+            release = pending[best_jid][0]
+            start = now if now > release else release
+            assignments[best_jid] = Assignment(best_jid, idle, start)
+            machine_free[idle] = start + best_p
+            del pending[best_jid]
+
+        # 4) advance to the next strictly-future event.
+        nxt = None
+        if fi < n:
+            nxt = jobs[fi].release
+            if nxt <= now + TIME_EPS:
+                nxt = None
+        for f in machine_free:
+            if f > now + TIME_EPS and (nxt is None or f < nxt):
+                nxt = f
+        for _release, _p, ls in pending.values():
+            if ls > now + TIME_EPS and (nxt is None or ls < nxt):
+                nxt = ls
+        if nxt is not None:
+            now = nxt
+        elif pending:
+            # Nothing will ever change: remaining pending jobs are
+            # un-startable — reject them and finish.
+            for jid in list(pending):
+                rejected.add(jid)
+                del pending[jid]
+
+    return assignments, rejected, submitted, steps
+
+
+def run_admission_batch(
+    instances: list[Instance],
+    algorithm: str = "admission-greedy",
+    slack_margin: float = DEFAULT_SLACK_MARGIN,
+    max_steps: int = MAX_KERNEL_STEPS,
+) -> list[Schedule]:
+    """Batched commitment-on-admission runs, bit-identical to scalar.
+
+    ``algorithm`` selects :class:`AdmissionGreedyPolicy`
+    (``"admission-greedy"``) or :class:`AdmissionLazyPolicy`
+    (``"admission-lazy"``, honouring ``slack_margin``).  Both policies pick
+    ``max(startable, key=(processing, -job_id))``; lazy additionally waits
+    until some startable job's latest start is within ``slack_margin`` of
+    the clock.
+    """
+    if algorithm not in ADMISSION_ALGORITHMS:
+        raise ValueError(
+            f"unknown admission algorithm {algorithm!r}; "
+            f"known: {list(ADMISSION_ALGORITHMS)}"
+        )
+    lazy = algorithm == "admission-lazy"
+    schedules: list[Schedule] = []
+    for inst in instances:
+        t0 = time.perf_counter()
+        assignments, rejected, submitted, steps = _run_admission_one(
+            inst, lazy, slack_margin, max_steps
+        )
+        sim_seconds = time.perf_counter() - t0
+        schedule = Schedule(
+            instance=inst,
+            assignments=assignments,
+            rejected=rejected,
+            algorithm=algorithm,
+            meta={"model": "commitment-on-admission", "backend": "batch"},
+        )
+        t1 = time.perf_counter()
+        schedule.audit()
+        audit_seconds = time.perf_counter() - t1
+        schedule.meta["stats"] = RunStats(
+            model="commitment-on-admission",
+            algorithm=algorithm,
+            jobs=submitted,
+            decisions=len(assignments) + len(rejected),
+            accepted=len(assignments),
+            rejected=len(rejected),
+            steps=steps,
+            accepted_load=float(schedule.accepted_load),
+            sim_seconds=sim_seconds,
+            audit_seconds=audit_seconds,
+        )
+        schedules.append(schedule)
+    return schedules
+
+
+__all__ = [
+    "ADMISSION_ALGORITHMS",
+    "DEFAULT_SLACK_MARGIN",
+    "run_admission_batch",
+    "run_delayed_batch",
+]

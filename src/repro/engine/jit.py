@@ -1,0 +1,295 @@
+"""Optional numba-jitted inner loop for the immediate-model batch kernel.
+
+The SoA step loop of :mod:`repro.engine.batch` is NumPy-vectorised across
+lanes, which leaves one Python-level iteration per submission.  When numba
+is installed, the identical loop can run jit-compiled instead: request it
+with ``REPRO_NUMBA=1`` in the environment or
+``ExecutionPolicy(jit=True)`` (which exports the variable to sweep
+workers).  The contract is unchanged — the compiled kernel executes the
+same IEEE-754 operations in the same order as the NumPy path (and hence as
+the scalar kernel), so all three produce bit-identical schedules; the CI
+``numba`` job re-runs the backend-equivalence CSV diff under
+``REPRO_NUMBA=1`` to pin that.
+
+When numba is *absent* but the flag is set, the kernel falls back to the
+NumPy path loudly with a
+:class:`~repro.engine.backend.BackendFallbackWarning` — never silently, so
+a mis-provisioned worker fleet cannot fake a jit benchmark.
+
+The kernel body (:func:`_step_kernel`) is deliberately a plain Python
+function using only loops and scalar arithmetic: the test suite executes
+it *uncompiled* to pin its bit-identity against the scalar kernel even in
+environments without numba, and ``numba.njit`` compiles the very same
+object when available (``fastmath`` stays off — reassociation would break
+bit-identity).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Any
+
+import numpy as np
+
+#: Environment flag that requests the jit-compiled inner loop.
+JIT_ENV = "REPRO_NUMBA"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+#: Admission / allocation codes shared by the wrapper and the kernel.
+ADMISSION_CODES = {"threshold": 0, "greedy": 1, "lee": 2, "random": 3}
+ALLOCATION_CODES = {
+    "best-fit": 0,
+    "worst-fit": 1,
+    "least-loaded": 1,
+    "first-fit": 2,
+    "class": 3,
+}
+
+_numba_probe: bool | None = None
+_compiled: Any = None
+
+
+def jit_requested() -> bool:
+    """Whether the environment asks for the jit kernel (``REPRO_NUMBA``)."""
+    return os.environ.get(JIT_ENV, "").strip().lower() in _TRUTHY
+
+
+def numba_available() -> bool:
+    """Whether numba can be imported (probed once per process)."""
+    global _numba_probe
+    if _numba_probe is None:
+        try:
+            import numba  # noqa: F401
+
+            _numba_probe = True
+        except ImportError:
+            _numba_probe = False
+    return _numba_probe
+
+
+def jit_active() -> bool:
+    """Whether the batch kernel should take the jit path *right now*.
+
+    Requested-but-unavailable warns (:class:`BackendFallbackWarning`) and
+    returns ``False`` — the loud fallback the docs promise.  Python's
+    default warning filter collapses repeats, so a long sweep warns once.
+    """
+    if not jit_requested():
+        return False
+    if not numba_available():
+        from repro.engine.backend import BackendFallbackWarning
+
+        warnings.warn(
+            BackendFallbackWarning(
+                f"{JIT_ENV}=1 requests the numba-jitted batch kernel but "
+                "numba is not installed; falling back to the NumPy kernel "
+                "(results are identical, throughput is not)"
+            ),
+            stacklevel=2,
+        )
+        return False
+    return True
+
+
+def _step_kernel(rel, proc, dl, m, adm, alloc, f_pad, kvec, targets, q, draws):
+    """The immediate-model step loop, one (job, lane) pair at a time.
+
+    Mirrors :func:`repro.engine.batch._simulate` operand-for-operand:
+    bisect-pointer outstanding loads with inline ``snap``, frontier fits
+    via ``fge``, threshold ``d_lim`` as max over rank-paired products
+    (sort order cannot change the product multiset), first-occurrence
+    argmax/argmin tie-breaking, per-lane RNG stream pointers.  Returns the
+    SoA outputs plus the job index of a Claim-1 violation (-1 if none) so
+    the compiled code stays exception-free.
+    """
+    b, n = rel.shape
+    cap = n if n > 0 else 1
+    bm = b * m
+    starts = np.zeros((bm, cap))
+    ends = np.zeros((bm, cap))
+    prefix = np.zeros((bm, cap + 1))
+    cnt = np.zeros(bm, dtype=np.int64)
+    ptr = np.zeros(bm, dtype=np.int64)
+    dptr = np.zeros(b, dtype=np.int64)
+    acc = np.zeros((b, n), dtype=np.bool_)
+    mach = np.zeros((b, n), dtype=np.int64)
+    startv = np.zeros((b, n))
+    loads = np.zeros(m)
+    frontier = np.zeros(m)
+    fits = np.zeros(m, dtype=np.bool_)
+    sorted_loads = np.zeros(m)
+    eps = 1e-9
+    need_loads = not (adm == 2 and alloc == 3)
+
+    for s in range(n):
+        for i in range(b):
+            t = rel[i, s]
+            p = proc[i, s]
+            d = dl[i, s]
+            anyfit = False
+            for h in range(m):
+                r = i * m + h
+                c = cnt[r]
+                if need_loads:
+                    j = ptr[r]
+                    while j < c and ends[r, j] <= t:
+                        j += 1
+                    ptr[r] = j
+                    if j < c:
+                        sj = starts[r, j]
+                        mx = sj if sj > t else t
+                        load = (ends[r, j] - mx) + (prefix[r, c] - prefix[r, j + 1])
+                        if abs(load) <= eps:
+                            load = 0.0
+                        loads[h] = load
+                    else:
+                        loads[h] = 0.0
+                if c > 0:
+                    le = ends[r, c - 1]
+                    frontier[h] = le if le > t else t
+                else:
+                    frontier[h] = t if t > 0.0 else 0.0
+                fit = d >= frontier[h] + p - eps
+                fits[h] = fit
+                if fit:
+                    anyfit = True
+
+            if adm == 0:  # threshold
+                for h in range(m):
+                    sorted_loads[h] = loads[h]
+                for a in range(1, m):  # insertion sort, descending
+                    v = sorted_loads[a]
+                    w = a - 1
+                    while w >= 0 and sorted_loads[w] < v:
+                        sorted_loads[w + 1] = sorted_loads[w]
+                        w -= 1
+                    sorted_loads[w + 1] = v
+                best = -np.inf
+                for h in range(kvec[i] - 1, m):
+                    v = sorted_loads[h] * f_pad[i, h]
+                    if v > best:
+                        best = v
+                ok = d >= (t + best) - eps
+                if ok and not anyfit:
+                    return acc, mach, startv, starts, ends, cnt, s
+            elif adm == 2:  # lee size classes
+                ok = fits[targets[i, s]]
+            elif adm == 3:  # random admission (draw gated on anyfit)
+                if anyfit:
+                    ok = draws[dptr[i]] < q
+                    dptr[i] += 1
+                else:
+                    ok = False
+            else:  # greedy
+                ok = anyfit
+            if not ok:
+                continue
+
+            if alloc == 3:  # class: pinned to the size-class machine
+                choice = targets[i, s]
+            elif alloc == 0:  # best-fit: first-occurrence argmax of loads
+                choice = 0
+                best = -np.inf
+                for h in range(m):
+                    v = loads[h] if fits[h] else -np.inf
+                    if v > best:
+                        best = v
+                        choice = h
+            elif alloc == 1:  # worst-fit / least-loaded: argmin
+                choice = 0
+                best = np.inf
+                for h in range(m):
+                    v = loads[h] if fits[h] else np.inf
+                    if v < best:
+                        best = v
+                        choice = h
+            else:  # first-fit
+                choice = 0
+                for h in range(m):
+                    if fits[h]:
+                        choice = h
+                        break
+
+            r = i * m + choice
+            c = cnt[r]
+            st = frontier[choice]
+            starts[r, c] = st
+            ends[r, c] = st + p
+            prefix[r, c + 1] = prefix[r, c] + p
+            cnt[r] = c + 1
+            acc[i, s] = True
+            mach[i, s] = choice
+            startv[i, s] = st
+
+    return acc, mach, startv, starts, ends, cnt, -1
+
+
+def _compiled_kernel():
+    """Compile :func:`_step_kernel` once per process."""
+    global _compiled
+    if _compiled is None:
+        import numba
+
+        _compiled = numba.njit(cache=False, fastmath=False)(_step_kernel)
+    return _compiled
+
+
+def simulate_jit(
+    rel: np.ndarray,
+    proc: np.ndarray,
+    dl: np.ndarray,
+    m: int,
+    admission: str,
+    allocation: str,
+    *,
+    f_pad: np.ndarray | None = None,
+    kvec: np.ndarray | None = None,
+    targets: np.ndarray | None = None,
+    q: float = 0.0,
+    draws: np.ndarray | None = None,
+    kernel: Any = None,
+) -> tuple[np.ndarray, ...]:
+    """Run the step loop through the compiled kernel; same outputs as NumPy.
+
+    ``kernel`` overrides the compiled function — the test suite passes the
+    *uncompiled* :func:`_step_kernel` to pin the loop body's bit-identity
+    without numba installed.
+    """
+    b, n = rel.shape
+    if f_pad is None:
+        f_pad = np.zeros((b, m))
+    if kvec is None:
+        kvec = np.ones(b, dtype=np.int64)
+    if targets is None:
+        targets = np.zeros((b, n), dtype=np.int64)
+    if draws is None:
+        draws = np.zeros(1)
+    if kernel is None:
+        kernel = _compiled_kernel()
+    out = kernel(
+        rel, proc, dl, m,
+        ADMISSION_CODES[admission], ALLOCATION_CODES[allocation],
+        f_pad, kvec, np.ascontiguousarray(targets), float(q),
+        np.ascontiguousarray(draws, dtype=float),
+    )
+    acc, mach, startv, starts, ends, cnt, err = out
+    if err >= 0:
+        # Same message as the NumPy path's Claim-1 guard.
+        raise AssertionError(
+            f"job {err}: accepted by threshold but no machine can "
+            "complete it — Claim 1 invariant broken"
+        )
+    return acc, mach, startv, starts, ends, cnt
+
+
+__all__ = [
+    "ADMISSION_CODES",
+    "ALLOCATION_CODES",
+    "JIT_ENV",
+    "jit_active",
+    "jit_requested",
+    "numba_available",
+    "simulate_jit",
+]

@@ -115,6 +115,13 @@ class ExecutionPolicy:
     #: fallback for unsupported algorithms).  See
     #: :mod:`repro.engine.backend` and ``docs/engine_backends.md``.
     backend: str = "auto"
+    #: Run the immediate-model batch kernels through the optional
+    #: numba-jitted inner loop (:mod:`repro.engine.jit`): exports
+    #: ``REPRO_NUMBA=1`` for the duration of the sweep so worker
+    #: processes inherit it.  Falls back loudly
+    #: (:class:`~repro.engine.backend.BackendFallbackWarning`) when numba
+    #: is not installed — results are identical either way.
+    jit: bool = False
     #: Pull-based elastic scheduler (:mod:`repro.workloads.elastic`):
     #: persistent workers lease cells from a shared queue, heartbeats
     #: separate slow workers from hung ones, dead workers are respawned
@@ -284,6 +291,42 @@ def execute_sweep(
     policy = policy if policy is not None else ExecutionPolicy()
     algorithm_kwargs = algorithm_kwargs or {}
     cache = policy.resolve_cache()
+    if policy.jit:
+        from repro.engine import jit as _jit
+
+        if not _jit.numba_available():
+            import warnings
+
+            from repro.engine.backend import BackendFallbackWarning
+
+            warnings.warn(
+                BackendFallbackWarning(
+                    "ExecutionPolicy(jit=True) requests the numba-jitted "
+                    "batch kernel but numba is not installed; the sweep "
+                    "runs on the NumPy kernel instead (results are "
+                    "identical, throughput is not)"
+                ),
+                stacklevel=2,
+            )
+        prior = os.environ.get(_jit.JIT_ENV)
+        os.environ[_jit.JIT_ENV] = "1"
+        try:
+            return _execute_with_policy(spec, policy, algorithm_kwargs, cache)
+        finally:
+            if prior is None:
+                os.environ.pop(_jit.JIT_ENV, None)
+            else:
+                os.environ[_jit.JIT_ENV] = prior
+    return _execute_with_policy(spec, policy, algorithm_kwargs, cache)
+
+
+def _execute_with_policy(
+    spec: SweepSpec,
+    policy: ExecutionPolicy,
+    algorithm_kwargs: dict[str, dict[str, Any]],
+    cache: BracketCache | None,
+) -> ResilientSweepResult:
+    """The policy dispatch body of :func:`execute_sweep` (post jit setup)."""
     if policy.needs_processes:
         cells = None
         shard = None

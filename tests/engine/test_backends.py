@@ -14,20 +14,26 @@ These tests assert it three ways:
 
 Plus the seam's dispatch semantics: loud scalar fallback under
 ``backend="batch"``, the ``auto`` grouping heuristic, near-tie threshold
-decisions pinned identical across backends, and ``MAX_KERNEL_STEPS``
+decisions pinned identical across backends, ``MAX_KERNEL_STEPS``
 enforcement with the same :class:`~repro.engine.kernel.SimulationError`
-shape as ``run_model``.
+shape as ``run_model``, RNG seeds inside randomized grouping keys (so
+mixed-seed requests can never share a lane row), and the jit seam's loud
+numba-absent fallback plus the uncompiled
+:func:`repro.engine.jit._step_kernel` pinned bit-identical to the NumPy
+step loop.
 """
 
 import json
 from pathlib import Path
 
+import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.baselines.registry import run_algorithm
 from repro.core.params import clamp_epsilon, threshold_parameters
+from repro.engine import jit
 from repro.engine.backend import (
     _AUTO_MIN_GROUP,
     BackendFallbackWarning,
@@ -36,7 +42,13 @@ from repro.engine.backend import (
     run_simulation,
     run_simulations,
 )
-from repro.engine.batch import IMMEDIATE_RULES, run_immediate_batch
+from repro.engine.batch import (
+    IMMEDIATE_RULES,
+    run_classify_select_batch,
+    run_immediate_batch,
+    run_random_admission_batch,
+)
+from repro.engine.batch_delayed import run_admission_batch, run_delayed_batch
 from repro.engine.batch_penalties import run_penalties_batch
 from repro.engine.kernel import SimulationError, run_model
 from repro.engine.policy import SequenceSource
@@ -49,6 +61,11 @@ from repro.workloads import cloud_instance, random_instance
 GOLDEN_PATH = Path(__file__).parent.parent / "golden" / "golden_traces.json"
 
 IMMEDIATE_ALGORITHMS = sorted(IMMEDIATE_RULES)
+
+
+def _machine_grid(algorithm):
+    """m values a rule can legally run on (single-machine rules: just 1)."""
+    return (1,) if IMMEDIATE_RULES[algorithm].single_machine else (1, 2, 4)
 
 
 def _stats_key(stats):
@@ -104,7 +121,7 @@ def _assert_penalties_equal(scalar, batch):
 @pytest.mark.parametrize("family", ["random", "cloud"])
 def test_immediate_grid_bit_identical(algorithm, family):
     factory = random_instance if family == "random" else cloud_instance
-    for m in (1, 2, 4):
+    for m in _machine_grid(algorithm):
         for seed in (0, 1, 2):
             inst = factory(40, m, 0.25, seed=seed)
             scalar = run_algorithm(algorithm, inst)
@@ -112,6 +129,77 @@ def test_immediate_grid_bit_identical(algorithm, family):
                 [SimulationRequest(algorithm, inst)]
             )
             assert batch.detail.meta["backend"] == "batch"
+            _assert_immediate_equal(scalar, batch)
+
+
+@pytest.mark.parametrize("q", [0.0, 0.25, 0.5, 1.0])
+@pytest.mark.parametrize("family", ["random", "cloud"])
+def test_random_admission_grid_bit_identical(q, family):
+    factory = random_instance if family == "random" else cloud_instance
+    for m in (1, 2, 4):
+        for seed in (0, 7):
+            inst = factory(40, m, 0.25, seed=seed)
+            kwargs = {"q": q, "rng": seed}
+            scalar = run_algorithm("random-admission", inst, **kwargs)
+            (batch,) = BatchBackend().run_many(
+                [SimulationRequest("random-admission", inst, kwargs=kwargs)]
+            )
+            assert batch.detail.meta["backend"] == "batch"
+            _assert_immediate_equal(scalar, batch)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {},
+        {"rng": 5},
+        {"virtual_machines": 4, "rng": 11},
+        {"virtual_machines": 3, "selected": 1},
+        {"virtual_machines": 1},
+    ],
+)
+def test_classify_select_grid_bit_identical(kwargs):
+    for family in (random_instance, cloud_instance):
+        for seed in (0, 1, 2):
+            inst = family(40, 1, 0.25, seed=seed)
+            scalar = run_algorithm("classify-select", inst, **kwargs)
+            (batch,) = BatchBackend().run_many(
+                [SimulationRequest("classify-select", inst, kwargs=kwargs)]
+            )
+            assert batch.detail.meta["backend"] == "batch"
+            _assert_immediate_equal(scalar, batch)
+            # The virtual-selection provenance must replay too.
+            assert scalar.detail.meta["stats"].algorithm == "classify-select"
+
+
+@pytest.mark.parametrize("delta", [None, 0.0, 0.1, 10.0])
+@pytest.mark.parametrize("family", ["random", "cloud"])
+def test_delayed_grid_bit_identical(delta, family):
+    factory = random_instance if family == "random" else cloud_instance
+    kwargs = {} if delta is None else {"delta": delta}
+    for m in (1, 2, 4):
+        for seed in (0, 1):
+            inst = factory(40, m, 0.25, seed=seed)
+            scalar = run_algorithm("delayed-greedy", inst, **kwargs)
+            (batch,) = BatchBackend().run_many(
+                [SimulationRequest("delayed-greedy", inst, kwargs=kwargs)]
+            )
+            assert batch.detail.meta["backend"] == "batch"
+            assert batch.detail.meta["delta"] == scalar.detail.meta["delta"]
+            _assert_immediate_equal(scalar, batch)
+
+
+@pytest.mark.parametrize("algorithm", ["admission-greedy", "admission-lazy"])
+@pytest.mark.parametrize("family", ["random", "cloud"])
+def test_admission_grid_bit_identical(algorithm, family):
+    factory = random_instance if family == "random" else cloud_instance
+    for m in (1, 2, 4):
+        for seed in (0, 1):
+            inst = factory(40, m, 0.25, seed=seed)
+            scalar = run_algorithm(algorithm, inst)
+            (batch,) = BatchBackend().run_many([SimulationRequest(algorithm, inst)])
+            assert batch.detail.meta["backend"] == "batch"
+            assert batch.detail.meta["model"] == "commitment-on-admission"
             _assert_immediate_equal(scalar, batch)
 
 
@@ -138,19 +226,27 @@ def test_batched_group_equals_independent_runs():
 
 
 def test_empty_and_single_job_instances():
-    empty = Instance([], machines=2, epsilon=0.3)
-    one = Instance([Job(0.0, 1.0, 10.0)], machines=2, epsilon=0.3)
     for algorithm in IMMEDIATE_ALGORITHMS:
+        m = 1 if IMMEDIATE_RULES[algorithm].single_machine else 2
+        empty = Instance([], machines=m, epsilon=0.3)
+        one = Instance([Job(0.0, 1.0, 10.0)], machines=m, epsilon=0.3)
         for inst in (empty, one):
             scalar = run_algorithm(algorithm, inst)
             (batch,) = BatchBackend().run_many([SimulationRequest(algorithm, inst)])
             _assert_immediate_equal(scalar, batch)
-    for inst in (empty, one):
+    for inst in (
+        Instance([], machines=2, epsilon=0.3),
+        Instance([Job(0.0, 1.0, 10.0)], machines=2, epsilon=0.3),
+    ):
         scalar = run_algorithm("revocable-greedy", inst)
         (batch,) = BatchBackend().run_many(
             [SimulationRequest("revocable-greedy", inst)]
         )
         _assert_penalties_equal(scalar, batch)
+        for algorithm in ("random-admission", "delayed-greedy", "admission-lazy"):
+            scalar = run_algorithm(algorithm, inst)
+            (batch,) = BatchBackend().run_many([SimulationRequest(algorithm, inst)])
+            _assert_immediate_equal(scalar, batch)
 
 
 # ---------------------------------------------------------------------------
@@ -176,6 +272,62 @@ def instances(draw):
 @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(inst=instances(), algorithm=st.sampled_from(IMMEDIATE_ALGORITHMS))
 def test_property_immediate_equivalence(inst, algorithm):
+    if IMMEDIATE_RULES[algorithm].single_machine and inst.machines != 1:
+        inst = Instance(list(inst), machines=1, epsilon=inst.epsilon)
+    scalar = run_algorithm(algorithm, inst)
+    (batch,) = BatchBackend().run_many([SimulationRequest(algorithm, inst)])
+    _assert_immediate_equal(scalar, batch)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    inst=instances(),
+    q=st.sampled_from([0.0, 0.3, 0.5, 1.0]),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_random_admission_equivalence(inst, q, seed):
+    scalar = run_algorithm("random-admission", inst, q=q, rng=seed)
+    (batch,) = BatchBackend().run_many(
+        [SimulationRequest("random-admission", inst, kwargs={"q": q, "rng": seed})]
+    )
+    _assert_immediate_equal(scalar, batch)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    inst=instances(),
+    virtual_m=st.one_of(st.none(), st.integers(min_value=1, max_value=5)),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_classify_select_equivalence(inst, virtual_m, seed):
+    if inst.machines != 1:
+        inst = Instance(list(inst), machines=1, epsilon=inst.epsilon)
+    kwargs = {"virtual_machines": virtual_m, "rng": seed}
+    scalar = run_algorithm("classify-select", inst, **kwargs)
+    (batch,) = BatchBackend().run_many(
+        [SimulationRequest("classify-select", inst, kwargs=kwargs)]
+    )
+    _assert_immediate_equal(scalar, batch)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(inst=instances(), delta_frac=st.one_of(st.none(), st.floats(0.0, 1.0)))
+def test_property_delayed_equivalence(inst, delta_frac):
+    kwargs = {} if delta_frac is None else {"delta": delta_frac * inst.epsilon}
+    scalar = run_algorithm("delayed-greedy", inst, **kwargs)
+    (batch,) = BatchBackend().run_many(
+        [SimulationRequest("delayed-greedy", inst, kwargs=kwargs)]
+    )
+    _assert_immediate_equal(scalar, batch)
+    assert scalar.detail.meta["delta"] == batch.detail.meta["delta"]
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    inst=instances(),
+    algorithm=st.sampled_from(["admission-greedy", "admission-lazy"]),
+)
+def test_property_admission_equivalence(inst, algorithm):
     scalar = run_algorithm(algorithm, inst)
     (batch,) = BatchBackend().run_many([SimulationRequest(algorithm, inst)])
     _assert_immediate_equal(scalar, batch)
@@ -223,6 +375,35 @@ def test_batch_replays_golden_schedules(case, algorithm, golden, golden_instance
         "accepted_load": schedule.accepted_load,
     }
     assert snapshot == golden["models"][case]
+
+
+def _golden_schedule_snapshot(schedule):
+    return {
+        "assignments": [
+            {"job": a.job_id, "machine": a.machine, "start": a.start}
+            for a in sorted(schedule.assignments.values(), key=lambda a: a.job_id)
+        ],
+        "rejected": sorted(schedule.rejected),
+        "accepted_load": schedule.accepted_load,
+    }
+
+
+def test_batch_replays_golden_delayed(golden, golden_instance):
+    eps = golden_instance.epsilon
+    (schedule,) = run_delayed_batch([golden_instance], delta=eps / 2)
+    assert (
+        _golden_schedule_snapshot(schedule)
+        == golden["models"]["delayed[delayed-greedy,delta=0.125]"]
+    )
+
+
+@pytest.mark.parametrize("algorithm", ["admission-greedy", "admission-lazy"])
+def test_batch_replays_golden_admission(algorithm, golden, golden_instance):
+    (schedule,) = run_admission_batch([golden_instance], algorithm=algorithm)
+    assert (
+        _golden_schedule_snapshot(schedule)
+        == golden["models"][f"admission[{algorithm}]"]
+    )
 
 
 def test_batch_replays_golden_penalties(golden, golden_instance):
@@ -314,6 +495,38 @@ def test_batch_within_max_steps_is_fine():
     assert schedule.accepted_count == 6
 
 
+@pytest.mark.parametrize(
+    "runner, model",
+    [
+        (lambda inst: run_delayed_batch([inst], max_steps=3), "delayed"),
+        (
+            lambda inst: run_admission_batch(
+                [inst], algorithm="admission-greedy", max_steps=3
+            ),
+            "commitment-on-admission",
+        ),
+        (
+            lambda inst: run_random_admission_batch([inst], max_steps=3),
+            "immediate",
+        ),
+        (
+            lambda inst: run_classify_select_batch(
+                [Instance(list(inst), machines=1, epsilon=inst.epsilon)],
+                max_steps=3,
+            ),
+            "immediate",
+        ),
+    ],
+)
+def test_new_kernels_enforce_max_steps(runner, model):
+    inst = _tiny_instance(8)
+    with pytest.raises(SimulationError) as err:
+        runner(inst)
+    assert err.value.model == model
+    assert "max_steps=3" in str(err.value)
+    assert isinstance(err.value, ValueError)  # same dual inheritance
+
+
 # ---------------------------------------------------------------------------
 # dispatch semantics: fallback, auto heuristic, validation
 # ---------------------------------------------------------------------------
@@ -383,3 +596,244 @@ def test_registry_revocable_greedy_entry():
     other = run_algorithm("revocable-greedy", inst, phi=2.0)
     assert other.detail.phi == 2.0
     assert default.stats is not None
+
+
+# ---------------------------------------------------------------------------
+# grouping keys: RNG seeds, single-machine guards, scalar-only Generators
+# ---------------------------------------------------------------------------
+
+
+def test_mixed_seed_requests_never_share_a_group():
+    """Regression: the grouping key must carry the RNG seed stream.
+
+    Two random-admission requests with different seeds sharing a lane row
+    would silently replay the wrong stream — their keys must differ, and
+    a mixed-seed batch must still match per-seed scalar runs exactly.
+    """
+    backend = BatchBackend()
+    inst = random_instance(30, 2, 0.3, seed=0)
+    keys = {
+        seed: backend.group_key(
+            SimulationRequest("random-admission", inst, kwargs={"rng": seed})
+        )
+        for seed in (0, 1, 2)
+    }
+    assert len(set(keys.values())) == 3 and None not in keys.values()
+    inst1 = random_instance(30, 1, 0.3, seed=0)
+    ckeys = {
+        seed: backend.group_key(
+            SimulationRequest("classify-select", inst1, kwargs={"rng": seed})
+        )
+        for seed in (0, 1, 2)
+    }
+    assert len(set(ckeys.values())) == 3 and None not in ckeys.values()
+    # End-to-end: a mixed-seed batch equals per-seed scalar runs.
+    requests = [
+        SimulationRequest("random-admission", inst, kwargs={"q": 0.5, "rng": seed})
+        for seed in (3, 3, 9, 9, 27)
+    ]
+    for scalar, batch in zip(
+        run_simulations(requests, backend="scalar"),
+        run_simulations(requests, backend="batch"),
+    ):
+        _assert_immediate_equal(scalar, batch)
+
+
+def test_rng_none_and_absent_are_distinct_seed_streams():
+    """``rng=None`` means the library default seed, absent means the
+    policy default (0) — they are different streams and different keys."""
+    backend = BatchBackend()
+    inst = random_instance(20, 2, 0.3, seed=0)
+    k_none = backend.group_key(
+        SimulationRequest("random-admission", inst, kwargs={"rng": None})
+    )
+    k_absent = backend.group_key(SimulationRequest("random-admission", inst))
+    assert k_none is not None and k_absent is not None and k_none != k_absent
+    for kwargs in ({"rng": None}, {}):
+        scalar = run_algorithm("random-admission", inst, **kwargs)
+        (batch,) = BatchBackend().run_many(
+            [SimulationRequest("random-admission", inst, kwargs=kwargs)]
+        )
+        _assert_immediate_equal(scalar, batch)
+
+
+def test_live_generator_rng_is_scalar_only():
+    backend = BatchBackend()
+    inst = random_instance(10, 2, 0.3, seed=0)
+    inst1 = random_instance(10, 1, 0.3, seed=0)
+    gen_req = SimulationRequest(
+        "random-admission", inst, kwargs={"rng": np.random.default_rng(0)}
+    )
+    assert backend.group_key(gen_req) is None
+    assert (
+        backend.group_key(
+            SimulationRequest(
+                "classify-select", inst1, kwargs={"rng": np.random.default_rng(0)}
+            )
+        )
+        is None
+    )
+    with pytest.warns(BackendFallbackWarning, match="random-admission"):
+        result = run_simulation(gen_req, backend="batch")
+    assert result.detail.meta.get("backend") != "batch"
+
+
+def test_single_machine_rules_unsupported_on_multi_machine_instances():
+    backend = BatchBackend()
+    inst = random_instance(10, 3, 0.3, seed=0)
+    assert backend.group_key(SimulationRequest("goldwasser-kerbikov", inst)) is None
+    assert backend.group_key(SimulationRequest("classify-select", inst)) is None
+    # The scalar fallback then raises the canonical registry error.
+    with pytest.warns(BackendFallbackWarning):
+        with pytest.raises(ValueError, match="single-machine"):
+            run_simulation(
+                SimulationRequest("goldwasser-kerbikov", inst), backend="batch"
+            )
+
+
+# ---------------------------------------------------------------------------
+# auto heuristics on the newly supported algorithms
+# ---------------------------------------------------------------------------
+
+
+def test_auto_heuristics_for_new_immediate_variants():
+    inst = random_instance(12, 2, 0.3, seed=1)
+    inst1 = random_instance(12, 1, 0.3, seed=1)
+    for algorithm, target in (
+        ("lee-style", inst),
+        ("goldwasser-kerbikov", inst1),
+        ("random-admission", inst),
+        ("classify-select", inst1),
+    ):
+        single = run_simulations([SimulationRequest(algorithm, target)], backend="auto")
+        assert single[0].detail.meta.get("backend") != "batch", algorithm
+        group = run_simulations(
+            [SimulationRequest(algorithm, target)] * _AUTO_MIN_GROUP, backend="auto"
+        )
+        assert all(r.detail.meta["backend"] == "batch" for r in group), algorithm
+
+
+def test_auto_batches_delayed_and_admission_even_as_singletons():
+    """Those kernels win within one instance, like penalties."""
+    inst = random_instance(12, 2, 0.3, seed=1)
+    for algorithm in ("delayed-greedy", "admission-greedy", "admission-lazy"):
+        (result,) = run_simulations(
+            [SimulationRequest(algorithm, inst)], backend="auto"
+        )
+        assert result.detail.meta["backend"] == "batch", algorithm
+        _assert_immediate_equal(run_algorithm(algorithm, inst), result)
+
+
+def test_auto_never_mixes_seed_groups():
+    inst = random_instance(12, 2, 0.3, seed=1)
+    requests = [
+        SimulationRequest("random-admission", inst, kwargs={"rng": 1}),
+        SimulationRequest("random-admission", inst, kwargs={"rng": 1}),
+        SimulationRequest("random-admission", inst, kwargs={"rng": 2}),
+    ]
+    results = run_simulations(requests, backend="auto")
+    # The pair batches, the odd seed demotes to scalar under auto.
+    assert results[0].detail.meta["backend"] == "batch"
+    assert results[1].detail.meta["backend"] == "batch"
+    assert results[2].detail.meta.get("backend") != "batch"
+    for request, result in zip(requests, results):
+        _assert_immediate_equal(
+            run_algorithm("random-admission", inst, **dict(request.kwargs)), result
+        )
+
+
+# ---------------------------------------------------------------------------
+# the jit seam: loud numba-absent fallback, uncompiled kernel bit-identity
+# ---------------------------------------------------------------------------
+
+
+def test_jit_env_flag_parsing(monkeypatch):
+    monkeypatch.delenv(jit.JIT_ENV, raising=False)
+    assert not jit.jit_requested()
+    for value in ("1", "true", "YES", " on "):
+        monkeypatch.setenv(jit.JIT_ENV, value)
+        assert jit.jit_requested(), value
+    for value in ("0", "false", "", "off"):
+        monkeypatch.setenv(jit.JIT_ENV, value)
+        assert not jit.jit_requested(), value
+
+
+def test_jit_requested_without_numba_warns_and_falls_back(monkeypatch):
+    monkeypatch.setenv(jit.JIT_ENV, "1")
+    monkeypatch.setattr(jit, "_numba_probe", False)
+    with pytest.warns(BackendFallbackWarning, match="numba is not installed"):
+        assert not jit.jit_active()
+    # The batch path still produces bit-identical results on the fallback.
+    inst = random_instance(25, 2, 0.3, seed=4)
+    scalar = run_algorithm("threshold", inst)
+    with pytest.warns(BackendFallbackWarning):
+        (batch,) = BatchBackend().run_many([SimulationRequest("threshold", inst)])
+    _assert_immediate_equal(scalar, batch)
+
+
+def test_jit_inactive_when_not_requested(monkeypatch):
+    monkeypatch.delenv(jit.JIT_ENV, raising=False)
+    assert not jit.jit_active()
+
+
+@pytest.mark.parametrize(
+    "algorithm",
+    [
+        "threshold",
+        "threshold[first-fit]",
+        "threshold[worst-fit]",
+        "greedy",
+        "greedy[least-loaded]",
+        "lee-style",
+    ],
+)
+def test_uncompiled_step_kernel_matches_numpy_path(algorithm):
+    """The jit kernel body, run as plain Python, equals the NumPy loop.
+
+    This pins the loop's bit-identity in environments without numba; the
+    CI numba leg re-runs the same comparisons compiled.
+    """
+    from repro.engine.batch import (
+        _job_arrays,
+        _lee_targets,
+        _simulate,
+        _threshold_tables,
+    )
+
+    rule = IMMEDIATE_RULES[algorithm]
+    instances = [random_instance(30, 3, 0.25, seed=s) for s in range(4)]
+    m, n = 3, 30
+    rel, proc, dl = _job_arrays(instances, n)
+    f_pad = kvec = rank_ok = targets = None
+    if rule.admission == "threshold":
+        f_pad, kvec, rank_ok = _threshold_tables(instances, m)
+    if rule.admission == "lee":
+        targets = _lee_targets(instances, m, n)
+    numpy_out = _simulate(
+        rel, proc, dl, m, rule.admission, rule.allocation,
+        f_pad=f_pad, kvec=kvec, rank_ok=rank_ok, targets=targets,
+    )
+    jit_out = jit.simulate_jit(
+        rel, proc, dl, m, rule.admission, rule.allocation,
+        f_pad=f_pad, kvec=kvec, targets=targets, kernel=jit._step_kernel,
+    )
+    for a, b in zip(numpy_out, jit_out):
+        assert np.array_equal(a, b)
+
+
+def test_uncompiled_step_kernel_matches_numpy_random_draws():
+    from repro.engine.batch import _job_arrays, _simulate
+    from repro.utils.rng import make_rng
+
+    instances = [random_instance(30, 2, 0.25, seed=s) for s in range(4)]
+    rel, proc, dl = _job_arrays(instances, 30)
+    draws = make_rng(7).random(30)
+    numpy_out = _simulate(
+        rel, proc, dl, 2, "random", "least-loaded", q=0.6, draws=draws,
+    )
+    jit_out = jit.simulate_jit(
+        rel, proc, dl, 2, "random", "least-loaded",
+        q=0.6, draws=draws, kernel=jit._step_kernel,
+    )
+    for a, b in zip(numpy_out, jit_out):
+        assert np.array_equal(a, b)
