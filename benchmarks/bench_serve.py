@@ -1,0 +1,155 @@
+"""E27 — the live admission service under sustained MMPP load.
+
+``repro serve`` turns the paper's Threshold admission controller into a
+long-running request loop; this bench certifies its two headline claims
+on a bursty MMPP-2 arrival stream (the E20 stress workload):
+
+* **performance** — sustained decisions/sec and per-offer decision
+  latency (p50/p99/p99.9) over the NDJSON socket with a pipelined
+  client, plus the graceful-shutdown drain time, measured both with the
+  fsync'd decision journal on (the durable production config) and off
+  (the raw decision loop);
+* **fidelity** — the served decision log replays **bit-identical**
+  through the offline batch engine (``verify_decision_log``), i.e. the
+  service is the same algorithm the paper analyses, not an
+  approximation of it.
+
+Run directly (``python benchmarks/bench_serve.py``) to write the
+machine-readable snapshot ``BENCH_serve.json`` at the repository root.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.analysis.tables import format_table
+from repro.serve.loadgen import run_bench
+from repro.serve.server import ServeConfig
+from repro.serve.snapshotter import verify_decision_log
+from repro.workloads.arrivals import mmpp_instance
+
+N_JOBS = 3000
+MACHINES = 4
+EPSILON = 0.5
+SEED = 27
+WINDOW = 64
+
+
+def _report_dict(report, label: str) -> dict:
+    return {
+        "config": label,
+        "jobs": report.jobs,
+        "accepted": report.accepted,
+        "rejected": report.rejected,
+        "errors": report.errors,
+        "wall_seconds": round(report.wall_seconds, 6),
+        "decisions_per_second": round(report.decisions_per_second, 1),
+        "latency_p50_ms": round(report.latency_p50_ms, 4),
+        "latency_p99_ms": round(report.latency_p99_ms, 4),
+        "latency_p999_ms": round(report.latency_p999_ms, 4),
+        "drain_seconds": round(report.drain_seconds, 6),
+    }
+
+
+def snapshot() -> dict:
+    """Self-hosted server, pipelined socket client, journal on and off."""
+    inst = mmpp_instance(
+        N_JOBS, machines=MACHINES, epsilon=EPSILON, seed=SEED
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        log = Path(tmp) / "decisions.jsonl"
+        journaled, _ = run_bench(
+            ServeConfig(
+                machines=MACHINES, epsilon=EPSILON, name=inst.name,
+                decision_log=str(log),
+            ),
+            inst,
+            window=WINDOW,
+        )
+        bit_identical, verify_detail = verify_decision_log(log)
+
+    unjournaled, _ = run_bench(
+        ServeConfig(machines=MACHINES, epsilon=EPSILON, name=inst.name),
+        inst,
+        window=WINDOW,
+    )
+
+    return {
+        "bench": "E27 live admission service under MMPP load",
+        "workload": inst.name,
+        "n_jobs": N_JOBS,
+        "machines": MACHINES,
+        "epsilon": EPSILON,
+        "seed": SEED,
+        "window": WINDOW,
+        "algorithm": "threshold",
+        "journaled": _report_dict(journaled, "journaled"),
+        "unjournaled": _report_dict(unjournaled, "unjournaled"),
+        "bit_identical": bit_identical,
+        "verify_detail": verify_detail,
+    }
+
+
+def test_e27_serve_sustained_load(benchmark, save_artifact):
+    snap = benchmark.pedantic(snapshot, rounds=1, iterations=1)
+    journaled, unjournaled = snap["journaled"], snap["unjournaled"]
+    # fidelity: the service IS the batch algorithm, bit for bit
+    assert snap["bit_identical"], snap["verify_detail"]
+    # the full stream was decided, with no protocol errors, both ways
+    for report in (journaled, unjournaled):
+        assert report["accepted"] + report["rejected"] == snap["n_jobs"]
+        assert report["errors"] == 0
+        assert report["decisions_per_second"] > 0
+        assert report["latency_p50_ms"] <= report["latency_p99_ms"]
+        assert report["drain_seconds"] < 5.0
+    benchmark.extra_info.update(
+        {
+            "decisions_per_second": journaled["decisions_per_second"],
+            "latency_p99_ms": journaled["latency_p99_ms"],
+            "bit_identical": snap["bit_identical"],
+        }
+    )
+    save_artifact(
+        "e27_serve.txt",
+        format_table(
+            [
+                {
+                    "config": r["config"],
+                    "dec/s": r["decisions_per_second"],
+                    "p50 (ms)": r["latency_p50_ms"],
+                    "p99 (ms)": r["latency_p99_ms"],
+                    "p99.9 (ms)": r["latency_p999_ms"],
+                    "drain (s)": r["drain_seconds"],
+                }
+                for r in (journaled, unjournaled)
+            ],
+            title=(
+                f"E27 — repro serve, {snap['n_jobs']} MMPP jobs, "
+                f"window {snap['window']}, bit_identical="
+                f"{snap['bit_identical']}"
+            ),
+        ),
+    )
+
+
+def main() -> int:
+    snap = snapshot()
+    out = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+    out.write_text(json.dumps(snap, indent=2) + "\n")
+    for label in ("journaled", "unjournaled"):
+        report = snap[label]
+        print(f"{label:12s}: {report['decisions_per_second']:10,.0f} dec/s  "
+              f"p50 {report['latency_p50_ms']:7.3f} ms  "
+              f"p99 {report['latency_p99_ms']:7.3f} ms  "
+              f"p99.9 {report['latency_p999_ms']:7.3f} ms  "
+              f"drain {report['drain_seconds']:.3f}s")
+    print(f"bit-identical replay     : {snap['bit_identical']}")
+    print(f"wrote {out}")
+    return 0 if snap["bit_identical"] else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

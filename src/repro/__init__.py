@@ -26,12 +26,21 @@ from repro.core import (
     threshold_parameters,
     theorem2_bound,
 )
-from repro.engine import simulate, simulate_source, audit_run
+from repro.engine import (
+    AdmissionController,
+    SimulationRequest,
+    audit_run,
+    open_session,
+    run_simulations,
+    simulate,
+    simulate_source,
+)
 from repro.model import Instance, Job, Schedule
 from repro.baselines import ALGORITHMS, make_algorithm, run_algorithm
 from repro.adversary import ThreePhaseAdversary, duel
 from repro.analysis import compare_algorithms, fig1_series
 from repro.offline import opt_bracket
+from repro.workloads.execute import ExecutionPolicy, execute_sweep
 
 __version__ = "1.0.0"
 
@@ -49,6 +58,12 @@ __all__ = [
     "simulate",
     "simulate_source",
     "audit_run",
+    "AdmissionController",
+    "open_session",
+    "SimulationRequest",
+    "run_simulations",
+    "ExecutionPolicy",
+    "execute_sweep",
     "Instance",
     "Job",
     "Schedule",

@@ -9,6 +9,8 @@ Commands
 ``tree``     enumerate the Fig. 2 decision tree
 ``compare``  run the algorithm registry on a generated workload
 ``simulate`` run one algorithm through the kernel and print its run stats
+``serve``    run the live admission service (HTTP + NDJSON socket)
+``serve-bench`` drive a server with MMPP load and report latency stats
 ``sweep``    run a sweep grid (serial, parallel, resilient, or one shard)
 ``collect``  pull shard journals into a verified inbox (retry/salvage)
 ``verify``   check journal seals and row checksums end to end
@@ -159,27 +161,160 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     meta = getattr(result.detail, "meta", None)
     used = meta.get("backend", "scalar") if meta is not None else "scalar"
-    print(f"instance       : {inst.name} (n={len(inst)}, m={args.m}, eps={args.eps})")
-    print(f"backend        : {used} (requested: {args.backend})")
-    print(f"accepted load  : {result.accepted_load:.6f}")
-    print(f"accepted jobs  : {result.accepted_count}/{len(inst)}")
     stats = result.stats
+    # Human-readable lines go to stdout normally, but to stderr under
+    # --json so stdout stays a single machine-parseable document.  The
+    # wall-clock throughput summary is diagnostics either way and always
+    # goes to stderr, keeping stdout stable for output-diffing pipelines.
+    out = sys.stderr if args.json else sys.stdout
+    print(f"instance       : {inst.name} (n={len(inst)}, m={args.m}, eps={args.eps})",
+          file=out)
+    print(f"backend        : {used} (requested: {args.backend})", file=out)
+    print(f"accepted load  : {result.accepted_load:.6f}", file=out)
+    print(f"accepted jobs  : {result.accepted_count}/{len(inst)}", file=out)
     if stats is None:
-        print("stats          : unavailable (engine not kernel-backed)")
+        print("stats          : unavailable (engine not kernel-backed)", file=out)
     else:
-        print(f"model          : {stats.model}")
+        print(f"model          : {stats.model}", file=out)
         print(f"decisions      : {stats.decisions} ({stats.rejected} rejected, "
-              f"{stats.revoked} revoked)")
-        print(f"kernel steps   : {stats.steps}")
+              f"{stats.revoked} revoked)", file=out)
+        print(f"kernel steps   : {stats.steps}", file=out)
         print(f"sim time       : {stats.sim_seconds * 1e3:.2f} ms "
-              f"({stats.decisions_per_second / 1e3:.1f} kdec/s)")
-        print(f"audit time     : {stats.audit_seconds * 1e3:.2f} ms")
+              f"({stats.decisions_per_second / 1e3:.1f} kdec/s)", file=out)
+        print(f"audit time     : {stats.audit_seconds * 1e3:.2f} ms", file=out)
         print(f"throughput     : {stats.jobs_per_second:,.0f} jobs/s, "
-              f"{stats.decisions_per_second:,.0f} decisions/s")
+              f"{stats.decisions_per_second:,.0f} decisions/s", file=sys.stderr)
     if args.events:
         events = result.events
-        print()
-        print(events.render() if events is not None else "no event stream recorded")
+        print(file=out)
+        print(events.render() if events is not None else "no event stream recorded",
+              file=out)
+    if args.json:
+        import json
+
+        stats_dict = None
+        if stats is not None:
+            stats_dict = {
+                k: (None if isinstance(v, float) and not np.isfinite(v) else v)
+                for k, v in stats.as_dict().items()
+            }
+        print(json.dumps({
+            "instance": inst.name,
+            "n": len(inst),
+            "machines": args.m,
+            "epsilon": args.eps,
+            "backend": used,
+            "backend_requested": args.backend,
+            "accepted_load": result.accepted_load,
+            "accepted_jobs": result.accepted_count,
+            "stats": stats_dict,
+        }, indent=2))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import ServeConfig, run_server
+    from repro.serve.snapshotter import DecisionJournalError
+
+    kwargs: dict = {}
+    if args.seed is not None:
+        kwargs["rng"] = args.seed
+    config = ServeConfig(
+        algorithm=args.algorithm,
+        machines=args.m,
+        epsilon=args.eps,
+        kwargs=kwargs,
+        name=args.name,
+        host=args.host,
+        socket_port=args.socket_port,
+        http_port=args.http_port,
+        decision_log=args.decision_log,
+        resume=args.resume,
+        announce=sys.stdout,
+    )
+    try:
+        server = run_server(config)
+    except (DecisionJournalError, KeyError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stats = server.session.stats() if server.session is not None else None
+    if stats is not None:
+        print(
+            f"served {stats.decisions} decision(s) "
+            f"({stats.accepted} accepted, {stats.rejected} rejected), "
+            f"drained in {server.drain_seconds:.3f}s",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.loadgen import run_bench, run_load
+    from repro.serve.server import ServeConfig
+    from repro.serve.snapshotter import DecisionJournalError, verify_decision_log
+    from repro.workloads.arrivals import mmpp_instance
+
+    inst = mmpp_instance(args.n, machines=args.m, epsilon=args.eps, seed=args.seed)
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        try:
+            report = run_load(host or "127.0.0.1", int(port), inst,
+                              window=args.window)
+        except (OSError, ValueError, ConnectionError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        config = ServeConfig(
+            algorithm=args.algorithm,
+            machines=args.m,
+            epsilon=args.eps,
+            name=inst.name,
+            decision_log=args.decision_log,
+        )
+        try:
+            report, _ = run_bench(config, inst, window=args.window)
+        except (DecisionJournalError, KeyError, ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    print(f"workload       : {inst.name} (n={len(inst)}, m={args.m}, eps={args.eps})",
+          file=sys.stderr)
+    print(f"decisions      : {report.accepted + report.rejected} "
+          f"({report.accepted} accepted, {report.rejected} rejected, "
+          f"{report.errors} errors)", file=sys.stderr)
+    print(f"throughput     : {report.decisions_per_second:,.0f} decisions/s "
+          f"over {report.wall_seconds:.3f}s", file=sys.stderr)
+    print(f"latency        : p50 {report.latency_p50_ms:.3f} ms, "
+          f"p99 {report.latency_p99_ms:.3f} ms, "
+          f"p99.9 {report.latency_p999_ms:.3f} ms", file=sys.stderr)
+    if report.drain_seconds is not None:
+        print(f"drain          : {report.drain_seconds:.3f}s graceful shutdown",
+              file=sys.stderr)
+    bench = {"workload": inst.name, "n": len(inst), "machines": args.m,
+             "epsilon": args.eps, "algorithm": args.algorithm,
+             "window": args.window, **report.to_json()}
+    if args.verify:
+        if not args.decision_log or args.connect:
+            print("error: --verify needs a self-hosted run with --decision-log",
+                  file=sys.stderr)
+            return 2
+        ok, detail = verify_decision_log(args.decision_log)
+        bench["bit_identical"] = ok
+        print(f"verify         : {detail}", file=sys.stderr)
+        if not ok:
+            print("error: served decision log does NOT replay bit-identical "
+                  "through the batch engine", file=sys.stderr)
+            if args.json:
+                with open(args.json, "w") as fh:
+                    json.dump(bench, fh, indent=2)
+            return 1
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(bench, fh, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if report.errors:
+        return EXIT_SWEEP_DEGRADED
     return 0
 
 
@@ -597,7 +732,60 @@ def build_parser() -> argparse.ArgumentParser:
              "loop (REPRO_NUMBA=1); warns and falls back to NumPy when "
              "numba is not installed — results are identical either way",
     )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print a machine-readable JSON document on stdout and route "
+             "all human-readable lines to stderr",
+    )
     p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the live admission service (HTTP + NDJSON socket)",
+    )
+    p.add_argument("--algorithm", default="threshold",
+                   help="registry algorithm (immediate-commitment only)")
+    p.add_argument("--m", type=int, default=4, help="machine count")
+    p.add_argument("--eps", type=float, default=0.5, help="declared slack")
+    p.add_argument("--seed", type=int, default=None,
+                   help="seed forwarded to randomized algorithms")
+    p.add_argument("--name", default="", help="instance name stamped on the log")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--socket-port", type=int, default=0,
+                   help="NDJSON socket port (0 = ephemeral, announced on stdout)")
+    p.add_argument("--http-port", type=int, default=0,
+                   help="HTTP port (0 = ephemeral, announced on stdout)")
+    p.add_argument("--decision-log",
+                   help="journal every decision to this sealed JSONL log "
+                        "(enables crash recovery via --resume)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from an existing --decision-log: replay it to "
+                        "rebuild the session state, verify, and keep appending")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="drive an admission server with MMPP load; report latency stats",
+    )
+    p.add_argument("--algorithm", default="threshold")
+    p.add_argument("--m", type=int, default=4)
+    p.add_argument("--eps", type=float, default=0.5)
+    p.add_argument("--n", type=int, default=2000, help="MMPP jobs to submit")
+    p.add_argument("--seed", type=int, default=2020)
+    p.add_argument("--window", type=int, default=64,
+                   help="max offers in flight on the socket (default 64)")
+    p.add_argument("--connect", metavar="HOST:PORT",
+                   help="drive an already-running server instead of "
+                        "self-hosting one in-process")
+    p.add_argument("--decision-log",
+                   help="self-hosted runs: journal served decisions here "
+                        "(required by --verify)")
+    p.add_argument("--verify", action="store_true",
+                   help="after the run, replay the decision log through the "
+                        "offline batch engine and fail unless bit-identical")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the benchmark report (BENCH_serve schema) here")
+    p.set_defaults(fn=_cmd_serve_bench)
 
     p = sub.add_parser("plan", help="capacity planning: invert the bound function")
     p.add_argument("--target", type=float, required=True, help="target worst-case ratio")

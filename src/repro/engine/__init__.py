@@ -27,6 +27,13 @@ to the scalar golden path above or to the structure-of-arrays NumPy kernels
 (:mod:`repro.engine.jit`, ``REPRO_NUMBA=1``) accelerates the immediate
 batch kernels without changing a single bit; ``docs/kernel_authoring.md``
 explains how to add a kernel that keeps these guarantees.
+
+For request-at-a-time use (the ``repro serve`` service), the kernel's
+event loop is also exposed incrementally: :func:`~repro.engine.controller.
+open_session` opens an :class:`~repro.engine.controller.AdmissionController`
+that drives the same immediate-commitment strategy one ``offer`` at a
+time, with snapshot/restore by deterministic replay — bit-identical to
+:func:`simulate` by construction (see ``docs/serving.md``).
 """
 
 from repro.engine.kernel import (
@@ -43,6 +50,11 @@ from repro.engine.kernel import (
 )
 from repro.engine.policy import Decision, OnlinePolicy, JobSource, SequenceSource
 from repro.engine.simulator import ImmediateCommitmentModel, simulate, simulate_source
+from repro.engine.controller import (
+    AdmissionController,
+    SnapshotMismatchError,
+    open_session,
+)
 from repro.engine.recorder import DecisionRecord, TraceRecorder
 from repro.engine.preemptive import (
     PreemptiveCommitmentModel,
@@ -118,6 +130,9 @@ __all__ = [
     "ImmediateCommitmentModel",
     "simulate",
     "simulate_source",
+    "AdmissionController",
+    "SnapshotMismatchError",
+    "open_session",
     "DecisionRecord",
     "TraceRecorder",
     "PreemptiveCommitmentModel",

@@ -26,6 +26,11 @@ class _CallableFloat(float):
     callers writing ``bracket.relative_gap()`` receive this float
     subclass, whose ``__call__`` returns the same value under a
     :class:`DeprecationWarning` instead of raising ``TypeError``.
+
+    .. deprecated:: 1.0
+        The call form ``bracket.relative_gap()`` will stop working in
+        version 2.0, when this shim class is removed and the property
+        returns a plain ``float``.
     """
 
     def __call__(self) -> float:

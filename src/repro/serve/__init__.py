@@ -1,0 +1,56 @@
+"""Live admission service: the Threshold algorithm as a request loop.
+
+``repro serve`` productionizes the paper's admission controller: a
+long-running asyncio service that accepts job submissions over HTTP and a
+line-delimited-JSON socket, answers each with an immediate, irrevocable
+commit/reject decision made against live per-machine load state, streams
+decisions and load metrics to subscribers, and journals every decision
+through the sealed append-only machinery so a crashed server resumes
+bit-identically (``repro serve --resume``).
+
+The decision engine is :mod:`repro.engine.controller` — the same
+``CommitmentModel`` strategy the batch ``simulate`` path runs, driven one
+step per request — so a served decision log replays byte-identically
+through the offline engine (CI enforces this).  See ``docs/serving.md``.
+"""
+
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decision_message,
+    decode_line,
+    encode_line,
+    job_from_message,
+)
+from repro.serve.snapshotter import (
+    DecisionJournal,
+    DecisionJournalError,
+    DecisionLogState,
+    load_decision_journal,
+    replay_decision_log,
+    verify_decision_log,
+)
+from repro.serve.server import AdmissionServer, ServeConfig, run_server
+from repro.serve.loadgen import LoadReport, drive_instance, run_bench, run_load
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "decode_line",
+    "encode_line",
+    "decision_message",
+    "job_from_message",
+    "DecisionJournal",
+    "DecisionJournalError",
+    "DecisionLogState",
+    "load_decision_journal",
+    "replay_decision_log",
+    "verify_decision_log",
+    "AdmissionServer",
+    "ServeConfig",
+    "run_server",
+    "LoadReport",
+    "drive_instance",
+    "run_bench",
+    "run_load",
+]

@@ -1,0 +1,381 @@
+"""Durable decision log: crash recovery through the sealed-journal machinery.
+
+Every decision the server makes is appended to an append-only JSONL
+journal *before* the reply leaves the process, using the same primitives
+as the sweep checkpoint journal (:mod:`repro.workloads.journal`): one
+self-contained record per line with a content CRC, flushed+fsync'd per
+append, a fingerprinted header binding the log to its service
+configuration, and a SHA-256 seal record on clean shutdown.  The log is
+simultaneously:
+
+* the **snapshot** — deterministic policies rebuild their exact state by
+  replaying the logged jobs (``repro serve --resume``), and resume
+  *verifies* every replayed decision against the record, so a recovered
+  server cannot silently fork its history;
+* the **served request log** — :func:`verify_decision_log` replays it
+  through the offline batch engine (:func:`repro.engine.simulator.simulate`)
+  and asserts bit-identical decisions, the contract CI enforces.
+
+Record shapes::
+
+    {"kind": "header", "version": 1, "service": {...}}
+    {"kind": "decision", "seq": 0, "job": [r, p, d, w],
+     "dec": [accepted, machine, start], "crc": "9a0b1c2d"}
+    {"kind": "seal", ...}                      # workloads.journal.make_seal
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import IO, Any
+
+from repro.engine.controller import (
+    AdmissionController,
+    decision_to_payload,
+    job_from_payload,
+    job_to_payload,
+    open_session,
+)
+from repro.model.instance import Instance
+from repro.model.job import Job
+from repro.workloads.journal import _split_lines, fingerprint_sha256, make_seal
+
+#: Decision-log format version; bumped on incompatible record changes.
+DECISION_LOG_VERSION = 1
+
+
+class DecisionJournalError(RuntimeError):
+    """A decision log is unreadable, corrupt or belongs to another service."""
+
+
+def service_fingerprint(
+    algorithm: str,
+    machines: int,
+    epsilon: float,
+    kwargs: dict[str, Any] | None = None,
+    name: str = "",
+) -> dict[str, Any]:
+    """Structural identity of a service (what the log's header binds to)."""
+    return {
+        "algorithm": algorithm,
+        "machines": int(machines),
+        "epsilon": float(epsilon),
+        "kwargs": dict(kwargs or {}),
+        "name": name,
+    }
+
+
+def decision_crc(seq: int, job: list[Any], dec: list[Any]) -> str:
+    """8-hex-digit content CRC of one decision record."""
+    blob = json.dumps([int(seq), job, dec], allow_nan=False, separators=(",", ":"))
+    return format(zlib.crc32(blob.encode("utf-8")) & 0xFFFFFFFF, "08x")
+
+
+@dataclass
+class DecisionLogState:
+    """Everything :func:`load_decision_journal` recovers from disk."""
+
+    service: dict[str, Any]
+    #: job payloads in submission order (see ``job_to_payload``).
+    jobs: list[list[Any]] = field(default_factory=list)
+    #: decision payloads, aligned with ``jobs``.
+    decisions: list[list[Any]] = field(default_factory=list)
+    truncated_tail: bool = False
+    valid_bytes: int = 0
+    sealed: bool = False
+
+    def instance(self) -> Instance:
+        """The served request log as an offline :class:`Instance`."""
+        return Instance(
+            [job_from_payload(p) for p in self.jobs],
+            machines=int(self.service["machines"]),
+            epsilon=float(self.service["epsilon"]),
+            name=self.service.get("name", ""),
+        )
+
+    def restore_session(self, *, verify: bool = True) -> AdmissionController:
+        """Rebuild the live session by deterministic replay of the log."""
+        snapshot = {
+            "version": 1,
+            "algorithm": self.service["algorithm"],
+            "kwargs": dict(self.service.get("kwargs", {})),
+            "machines": int(self.service["machines"]),
+            "epsilon": float(self.service["epsilon"]),
+            "name": self.service.get("name", ""),
+            "jobs": self.jobs,
+            "decisions": self.decisions,
+        }
+        return AdmissionController.restore(snapshot, verify=verify)
+
+
+def load_decision_journal(path: str | os.PathLike[str]) -> DecisionLogState:
+    """Read a decision log back; tolerates one truncated trailing line.
+
+    A mid-file corruption (CRC mismatch, undecodable record) raises
+    :class:`DecisionJournalError` — unlike sweep cells, decisions are an
+    *ordered* history, so a hole cannot simply be recomputed around.
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as fh:
+        data = fh.read()
+    lines = _split_lines(data)
+    if not lines:
+        raise DecisionJournalError(f"{path}: decision log is empty")
+    state: DecisionLogState | None = None
+    truncated = False
+    valid_bytes = 0
+    sealed = False
+    import hashlib
+
+    hasher = hashlib.sha256()
+    for i, (raw, end) in enumerate(lines):
+        try:
+            record = json.loads(raw.decode("utf-8"))
+            if not isinstance(record, dict):
+                raise ValueError("record is not a JSON object")
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+            if i == len(lines) - 1:
+                truncated = True  # hard kill mid-append; decision re-served
+                break
+            raise DecisionJournalError(
+                f"{path}: corrupt decision record on line {i + 1}: {exc}"
+            ) from exc
+        kind = record.get("kind")
+        if kind == "header":
+            if record.get("version") != DECISION_LOG_VERSION:
+                raise DecisionJournalError(
+                    f"{path}: decision-log version {record.get('version')!r} "
+                    f"is not supported (expected {DECISION_LOG_VERSION})"
+                )
+            state = DecisionLogState(service=record["service"])
+        elif kind == "decision":
+            if state is None:
+                raise DecisionJournalError(f"{path}: decision before header")
+            try:
+                seq = int(record["seq"])
+                job = list(record["job"])
+                dec = list(record["dec"])
+                crc = record["crc"]
+            except (KeyError, TypeError, ValueError) as exc:
+                raise DecisionJournalError(
+                    f"{path}: malformed decision record on line {i + 1}: {exc}"
+                ) from exc
+            if seq != len(state.jobs):
+                raise DecisionJournalError(
+                    f"{path}: decision sequence broken on line {i + 1}: "
+                    f"got seq {seq}, expected {len(state.jobs)}"
+                )
+            if crc != decision_crc(seq, job, dec):
+                raise DecisionJournalError(
+                    f"{path}: decision CRC mismatch on line {i + 1} (seq {seq}) "
+                    "— the log's bytes were altered after writing"
+                )
+            state.jobs.append(job)
+            state.decisions.append(dec)
+            sealed = False
+        elif kind == "seal":
+            if state is None:
+                raise DecisionJournalError(f"{path}: seal precedes the header")
+            problems = []
+            if record.get("stream_sha256") != hasher.hexdigest():
+                problems.append("stream hash mismatch")
+            if record.get("fingerprint_sha256") != fingerprint_sha256(
+                state.service
+            ):
+                problems.append("fingerprint digest mismatch")
+            if problems:
+                raise DecisionJournalError(
+                    f"{path}: seal verification failed on line {i + 1}: "
+                    + "; ".join(problems)
+                )
+            sealed = i == len(lines) - 1
+        else:
+            raise DecisionJournalError(
+                f"{path}: unknown decision-log record kind {kind!r}"
+            )
+        hasher.update(raw)
+        valid_bytes = end
+    if state is None:
+        raise DecisionJournalError(f"{path}: decision log has no header record")
+    state.truncated_tail = truncated
+    state.valid_bytes = valid_bytes
+    state.sealed = sealed
+    return state
+
+
+class DecisionJournal:
+    """Writer handle for the append-only decision log.
+
+    One :meth:`record_decision` per served request, flushed and fsync'd
+    before the reply is sent — once the client hears "committed", the
+    decision survives a crash.  :meth:`seal` closes a clean shutdown with
+    a verifiable SHA-256 seal (same shape as sweep-journal seals).
+    """
+
+    def __init__(self, path: str, fh: IO[str], service: dict[str, Any]) -> None:
+        self.path = path
+        self._fh = fh
+        self.service = service
+        import hashlib
+
+        self._hasher = hashlib.sha256()
+        self._records = 0
+        self.decisions = 0
+
+    @classmethod
+    def create(
+        cls, path: str | os.PathLike[str], service: dict[str, Any]
+    ) -> "DecisionJournal":
+        """Start a fresh log; refuses to clobber an existing non-empty one."""
+        try:
+            fh = open(path, "x", encoding="utf-8")
+        except FileExistsError:
+            if os.path.getsize(path) > 0:
+                raise DecisionJournalError(
+                    f"{os.fspath(path)}: decision log already exists; resume "
+                    "from it (repro serve --resume) or delete it explicitly"
+                ) from None
+            fh = open(path, "w", encoding="utf-8")
+        journal = cls(os.fspath(path), fh, service)
+        journal._append(
+            {"kind": "header", "version": DECISION_LOG_VERSION, "service": service}
+        )
+        return journal
+
+    @classmethod
+    def resume(
+        cls, path: str | os.PathLike[str], service: dict[str, Any]
+    ) -> tuple["DecisionJournal", DecisionLogState]:
+        """Reopen *path* for append, returning the recovered state.
+
+        The service fingerprint must match the header (a log from a
+        different algorithm/fleet must not be extended), and a truncated
+        trailing line (hard kill mid-append) is chopped off before the
+        file is reopened, exactly like the sweep journal's resume.
+        """
+        state = load_decision_journal(path)
+        if state.service != service:
+            diffs = [
+                key
+                for key in sorted(set(state.service) | set(service))
+                if state.service.get(key) != service.get(key)
+            ]
+            raise DecisionJournalError(
+                f"{os.fspath(path)}: decision log was written by a different "
+                f"service (mismatched fields: {', '.join(diffs)})"
+            )
+        if state.truncated_tail:
+            with open(path, "r+b") as trunc:
+                trunc.truncate(state.valid_bytes)
+        fh = open(path, "a", encoding="utf-8")
+        journal = cls(os.fspath(path), fh, service)
+        journal._prime_from_disk()
+        return journal, state
+
+    def _prime_from_disk(self) -> None:
+        with open(self.path, "rb") as fh:
+            data = fh.read()
+        for raw, _ in _split_lines(data):
+            self._hasher.update(raw)
+            self._records += 1
+            try:
+                if json.loads(raw.decode("utf-8")).get("kind") == "decision":
+                    self.decisions += 1
+            except (json.JSONDecodeError, UnicodeDecodeError, AttributeError):
+                pass
+
+    def record_decision(self, seq: int, job: Job, decision: Any) -> None:
+        """Append one served decision (durable once this returns)."""
+        job_payload = job_to_payload(job)
+        dec_payload = decision_to_payload(decision)
+        self._append(
+            {
+                "kind": "decision",
+                "seq": int(seq),
+                "job": job_payload,
+                "dec": dec_payload,
+                "crc": decision_crc(int(seq), job_payload, dec_payload),
+            }
+        )
+        self.decisions += 1
+
+    def seal(self) -> None:
+        """Close a clean shutdown with a covering seal (stays resumable)."""
+        self._append(
+            make_seal(
+                stream_sha256=self._hasher.hexdigest(),
+                records=self._records,
+                cells=self.decisions,
+                fingerprint=self.service,
+            )
+        )
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def _append(self, record: dict[str, Any]) -> None:
+        line = json.dumps(record, allow_nan=False) + "\n"
+        self._fh.write(line)
+        self._fh.flush()
+        self._hasher.update(line.encode("utf-8"))
+        self._records += 1
+        try:
+            os.fsync(self._fh.fileno())
+        except (OSError, ValueError):  # pragma: no cover - mock sinks
+            pass
+
+
+# ---------------------------------------------------------------------------
+# offline replay: the bit-identity contract
+# ---------------------------------------------------------------------------
+
+
+def replay_decision_log(path: str | os.PathLike[str]) -> Any:
+    """Replay a served log through the *batch* engine, returning the schedule.
+
+    Builds the offline :class:`Instance` from the logged jobs and runs the
+    logged algorithm through :func:`repro.engine.simulator.simulate` — the
+    run-to-completion path every sweep and benchmark uses.
+    """
+    from repro.baselines.registry import make_algorithm
+    from repro.engine.simulator import simulate
+
+    state = load_decision_journal(path)
+    policy = make_algorithm(
+        state.service["algorithm"], **state.service.get("kwargs", {})
+    )
+    return simulate(policy, state.instance())
+
+
+def verify_decision_log(path: str | os.PathLike[str]) -> tuple[bool, str]:
+    """Check that the served log replays bit-identical through ``simulate``.
+
+    Returns ``(ok, detail)``: every served decision must equal — as exact
+    floats — the decision the offline batch engine makes for the same job
+    sequence.  This is the acceptance gate CI runs against the serve smoke
+    log.
+    """
+    state = load_decision_journal(path)
+    schedule = replay_decision_log(path)
+    offline = [
+        decision_to_payload(record.decision)
+        for record in schedule.meta["trace"]
+    ]
+    if len(offline) != len(state.decisions):
+        return False, (
+            f"decision count mismatch: served {len(state.decisions)}, "
+            f"offline replay {len(offline)}"
+        )
+    for i, (served, replayed) in enumerate(zip(state.decisions, offline)):
+        if served != replayed:
+            return False, (
+                f"decision {i} diverged: served {served}, offline {replayed}"
+            )
+    return True, (
+        f"{len(offline)} served decision(s) replay bit-identical through "
+        "the batch engine"
+    )

@@ -30,10 +30,10 @@ def run_sweep_parallel(
 ) -> list[SweepRow]:
     """Execute *spec* across worker processes, all-or-nothing.
 
-    .. deprecated::
-        Legacy entrypoint, kept as a thin shim.  Use
-        :func:`repro.workloads.execute.execute_sweep` with
-        ``ExecutionPolicy(parallel=True, retries=0, strict=True)``.
+    .. deprecated:: 1.0
+        Legacy entrypoint, kept as a thin shim; it will be removed in
+        version 2.0.  Use :func:`repro.workloads.execute.execute_sweep`
+        with ``ExecutionPolicy(parallel=True, retries=0, strict=True)``.
     """
     warnings.warn(
         "run_sweep_parallel is deprecated; use repro.workloads.execute."

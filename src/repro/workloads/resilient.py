@@ -626,11 +626,12 @@ def run_sweep_resilient(
 ) -> ResilientSweepResult:
     """Execute *spec* fault-tolerantly across fresh worker processes.
 
-    .. deprecated::
-        Legacy entrypoint, kept as a thin shim.  Use
-        :func:`repro.workloads.execute.execute_sweep` with an
-        :class:`~repro.workloads.execute.ExecutionPolicy` — it carries
-        these keyword arguments as policy fields and adds sharding.
+    .. deprecated:: 1.0
+        Legacy entrypoint, kept as a thin shim; it will be removed in
+        version 2.0.  Use :func:`repro.workloads.execute.execute_sweep`
+        with an :class:`~repro.workloads.execute.ExecutionPolicy` — it
+        carries these keyword arguments as policy fields and adds
+        sharding.
     """
     warnings.warn(
         "run_sweep_resilient is deprecated; use "

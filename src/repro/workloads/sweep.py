@@ -153,11 +153,12 @@ def run_sweep(
 ) -> list[SweepRow]:
     """Execute *spec* serially; returns one row per (cell, algorithm).
 
-    .. deprecated::
-        Legacy entrypoint, kept as a thin shim.  Use
-        :func:`repro.workloads.execute.execute_sweep` — the default
-        :class:`~repro.workloads.execute.ExecutionPolicy` is exactly this
-        serial in-process path and the rows are bit-identical.
+    .. deprecated:: 1.0
+        Legacy entrypoint, kept as a thin shim; it will be removed in
+        version 2.0.  Use :func:`repro.workloads.execute.execute_sweep` —
+        the default :class:`~repro.workloads.execute.ExecutionPolicy` is
+        exactly this serial in-process path and the rows are
+        bit-identical.
     """
     warnings.warn(
         "run_sweep is deprecated; use repro.workloads.execute.execute_sweep"

@@ -1,0 +1,129 @@
+"""Wire-protocol encode/decode and job normalisation rules."""
+
+import math
+
+import pytest
+
+from repro.engine.policy import Decision
+from repro.model.job import Job
+from repro.serve.protocol import (
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decision_message,
+    decode_line,
+    encode_line,
+    error_message,
+    job_from_message,
+)
+
+
+class TestLineCodec:
+    def test_round_trip(self):
+        message = {"op": "offer", "job": {"processing": 2.0}, "tag": 7}
+        assert decode_line(encode_line(message)) == message
+
+    def test_lines_are_newline_terminated_utf8(self):
+        raw = encode_line({"op": "ping"})
+        assert raw.endswith(b"\n") and raw.count(b"\n") == 1
+
+    @pytest.mark.parametrize(
+        "raw, match",
+        [
+            (b"\xff\xfe", "not UTF-8"),
+            (b"not json\n", "not valid JSON"),
+            (b"[1, 2]\n", "JSON object"),
+            (b'{"op": "frobnicate"}\n', "unknown op"),
+            (b'{"noop": true}\n', "unknown op"),
+        ],
+    )
+    def test_garbage_raises_protocol_error(self, raw, match):
+        with pytest.raises(ProtocolError, match=match):
+            decode_line(raw)
+
+    def test_every_documented_op_decodes(self):
+        for op in OPS:
+            assert decode_line(encode_line({"op": op}))["op"] == op
+
+    def test_nan_is_rejected_at_encode_time(self):
+        with pytest.raises(ValueError):
+            encode_line({"op": "offer", "x": math.nan})
+
+
+class TestJobNormalisation:
+    def test_absolute_form_passes_through(self):
+        job = job_from_message(
+            {"release": 1.5, "processing": 2.0, "deadline": 6.0},
+            clock=99.0, epsilon=0.5,
+        )
+        assert (job.release, job.processing, job.deadline) == (1.5, 2.0, 6.0)
+        assert job.weight is None
+
+    def test_relative_form_is_stamped_with_clock(self):
+        job = job_from_message(
+            {"processing": 2.0, "slack": 0.25}, clock=10.0, epsilon=0.5
+        )
+        assert job.release == 10.0
+        assert job.deadline == 10.0 + 1.25 * 2.0
+
+    def test_relative_form_defaults_slack_to_epsilon(self):
+        job = job_from_message({"processing": 4.0}, clock=0.0, epsilon=0.5)
+        assert job.deadline == 6.0
+
+    def test_weight_is_optional_and_coerced(self):
+        job = job_from_message(
+            {"processing": 1.0, "weight": "2.5"}, clock=0.0, epsilon=0.5
+        )
+        assert job.weight == 2.5
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            None,
+            "job",
+            {},
+            {"processing": "fast"},
+            {"processing": 1.0, "deadline": "never"},
+            {"processing": 1.0, "slack": "lots"},
+        ],
+    )
+    def test_bad_payloads_raise_protocol_error(self, payload):
+        with pytest.raises(ProtocolError):
+            job_from_message(payload, clock=0.0, epsilon=0.5)
+
+    def test_infeasible_job_raises_protocol_error(self):
+        # deadline before release+processing violates the Job invariant
+        with pytest.raises(ProtocolError):
+            job_from_message(
+                {"release": 0.0, "processing": 5.0, "deadline": 1.0},
+                clock=0.0, epsilon=0.5,
+            )
+
+
+class TestMessages:
+    def test_decision_message_shape(self):
+        job = Job(1.0, 2.0, 5.0)
+        message = decision_message(
+            3, job.with_id(3), Decision.accept(machine=1, start=1.0),
+            [0.5, 2.0], tag="req-9",
+        )
+        assert message["ok"] and message["kind"] == "decision"
+        assert message["seq"] == 3 and message["job_id"] == 3
+        assert message["accepted"] and message["machine"] == 1
+        assert message["loads"] == [0.5, 2.0] and message["tag"] == "req-9"
+
+    def test_rejection_has_null_assignment(self):
+        job = Job(0.0, 1.0, 2.0).with_id(0)
+        message = decision_message(0, job, Decision.reject(), [0.0])
+        assert message["accepted"] is False
+        assert message["machine"] is None and message["start"] is None
+        assert "tag" not in message
+
+    def test_error_message_shape(self):
+        message = error_message("bad job", tag=1)
+        assert message == {
+            "ok": False, "kind": "error", "error": "bad job", "tag": 1,
+        }
+
+    def test_protocol_version_is_stable(self):
+        assert PROTOCOL_VERSION == 1
