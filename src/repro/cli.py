@@ -230,6 +230,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         http_port=args.http_port,
         decision_log=args.decision_log,
         resume=args.resume,
+        drain_timeout=args.drain_timeout,
         announce=sys.stdout,
     )
     try:
@@ -239,10 +240,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     stats = server.session.stats() if server.session is not None else None
     if stats is not None:
+        drain = f"drained in {server.drain_seconds:.3f}s"
+        if server.drain_timed_out:
+            drain += (
+                f" (drain_timeout: aborted stalled connection(s) after "
+                f"{config.drain_timeout:g}s; journal sealed)"
+            )
         print(
             f"served {stats.decisions} decision(s) "
             f"({stats.accepted} accepted, {stats.rejected} rejected), "
-            f"drained in {server.drain_seconds:.3f}s",
+            f"{drain}",
             file=sys.stderr,
         )
     return 0
@@ -449,10 +456,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         or args.manifest is not None
         or args.shards > 1
         or args.elastic
+        or args.hosts is not None
     )
     if args.adaptive_reps and not args.elastic:
         print("error: --adaptive-reps requires --elastic", file=sys.stderr)
         return 2
+    hosts = None
+    if args.hosts is not None:
+        from repro.workloads.remote import load_hosts
+
+        try:
+            hosts = load_hosts(args.hosts)
+        except (OSError, ValueError) as exc:
+            print(f"error: --hosts {args.hosts}: {exc}", file=sys.stderr)
+            return 2
     if not resilient:
         # Serial fast path; still exit gracefully on ^C (no partial rows to
         # save — run with --journal to make interrupted work resumable).
@@ -489,6 +506,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             adaptive_reps=args.adaptive_reps,
             heartbeat_interval=args.heartbeat_interval,
             lease_timeout=args.lease_timeout,
+            hosts=hosts,
+            host_max_failures=args.host_max_failures,
+            local_fallback=not args.no_local_fallback,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -536,6 +556,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{worker.failures} failure(s): {worker.detail}",
             file=sys.stderr,
         )
+    for host in manifest.host_failures:
+        # Same contract one domain up: a quarantined host is recovery.
+        print(
+            f"quarantined host {host.host!r} after "
+            f"{host.failures} failure(s): {host.detail}",
+            file=sys.stderr,
+        )
+    if manifest.degraded_to_local:
+        print(
+            "every remote host quarantined; sweep finished on the local "
+            "fallback pool",
+            file=sys.stderr,
+        )
     if manifest.failures:
         for failure in manifest.failures:
             print(
@@ -555,8 +588,28 @@ EXIT_VERIFY_UNSEALED = 3
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.workloads.journal import verify_journal
 
-    worst = 0
+    # A directory argument expands to every journal inside it (sorted),
+    # so multi-shard inboxes verify in one command.  Quarantined copies
+    # under ``<dir>/quarantine/`` are damage already accounted for by
+    # collect — only the top-level journals are checked.
+    paths: list[str] = []
     for path in args.journals:
+        if os.path.isdir(path):
+            inside = sorted(
+                os.path.join(path, name)
+                for name in os.listdir(path)
+                if name.endswith(".jsonl")
+                and os.path.isfile(os.path.join(path, name))
+            )
+            if not inside:
+                print(f"error: {path}: no .jsonl journals in directory",
+                      file=sys.stderr)
+                return 2
+            paths.extend(inside)
+        else:
+            paths.append(path)
+    worst = 0
+    for path in paths:
         verification = verify_journal(path)
         print(verification.summary())
         if verification.corruption:
@@ -761,6 +814,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="resume from an existing --decision-log: replay it to "
                         "rebuild the session state, verify, and keep appending")
+    p.add_argument("--drain-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="hard bound on graceful drain: abort connections "
+                        "stalled on clients that stopped reading, seal the "
+                        "journal, and exit 0 instead of hanging forever")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
@@ -906,6 +964,23 @@ def build_parser() -> argparse.ArgumentParser:
              "presumed dead and re-dispatched (default: 10x the heartbeat "
              "interval)",
     )
+    p.add_argument(
+        "--hosts", metavar="HOSTS_JSON",
+        help="remote elastic execution: serve the lease queue to worker "
+             "processes on the hosts in this registry (name, launch "
+             "command, slots per host; see docs/remote_execution.md)",
+    )
+    p.add_argument(
+        "--host-max-failures", type=int, default=2,
+        help="with --hosts: host failures (channel EOF, handshake timeout) "
+             "tolerated before the whole host is quarantined (default 2)",
+    )
+    p.add_argument(
+        "--no-local-fallback", action="store_true",
+        help="with --hosts: when every remote host is quarantined, "
+             "quarantine the remaining cells instead of finishing the "
+             "sweep on local fallback workers",
+    )
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser(
@@ -943,7 +1018,11 @@ def build_parser() -> argparse.ArgumentParser:
         "verify",
         help="check journal seals and row checksums end to end",
     )
-    p.add_argument("journals", nargs="+", help="journal paths to verify")
+    p.add_argument(
+        "journals", nargs="+",
+        help="journal paths to verify; a directory verifies every .jsonl "
+             "inside it (worst exit code wins)",
+    )
     p.set_defaults(fn=_cmd_verify)
 
     p = sub.add_parser(

@@ -70,6 +70,15 @@ class ServeConfig:
     #: Grace period (seconds) open connections get to finish their last
     #: reply during shutdown before they are cancelled.
     drain_grace: float = 5.0
+    #: Hard bound (seconds) on the post-cancel settle: a client that
+    #: stops *reading* leaves its handler stuck flushing a write buffer
+    #: that can never empty, and cancellation alone cannot unstick it.
+    #: When the bound expires the stalled transports are aborted
+    #: (buffered bytes dropped — every acknowledged decision is already
+    #: journaled), :attr:`AdmissionServer.drain_timed_out` is set, and
+    #: shutdown still seals the journal and exits cleanly.  ``None``
+    #: (the default) waits forever, preserving the old behaviour.
+    drain_timeout: float | None = None
     #: Stream to announce ``{"kind": "listening", ...}`` on once bound
     #: (the CLI passes stdout so callers can discover ephemeral ports).
     announce: IO[str] | None = None
@@ -92,9 +101,11 @@ class AdmissionServer:
         self.http_port: int | None = None
         self.started_at = 0.0
         self.drain_seconds: float | None = None
+        self.drain_timed_out = False
         self._servers: list[asyncio.base_events.Server] = []
         self._watchers: set[asyncio.Queue] = set()
         self._connections: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
         self._stopping = asyncio.Event()
 
     # ------------------------------------------------------------------
@@ -176,7 +187,26 @@ class AdmissionServer:
                     task.cancel()
             # Consume the cancellations so no handler exception escapes
             # to the loop's exception handler during teardown.
-            await asyncio.gather(*pending, return_exceptions=True)
+            settle = asyncio.gather(*pending, return_exceptions=True)
+            if self.config.drain_timeout is None:
+                await settle
+            else:
+                try:
+                    await asyncio.wait_for(
+                        asyncio.shield(settle), self.config.drain_timeout
+                    )
+                except asyncio.TimeoutError:
+                    # A stalled client: its handler is pinned flushing a
+                    # write buffer the peer will never read.  Abort the
+                    # transports (drops the buffered bytes; the journal
+                    # already holds every acknowledged decision) so
+                    # ``wait_closed`` resolves and the handlers finish.
+                    self.drain_timed_out = True
+                    for writer in list(self._writers):
+                        transport = writer.transport
+                        if transport is not None:
+                            transport.abort()
+                    await settle
         if self.journal is not None:
             self.journal.seal()
             self.journal.close()
@@ -248,6 +278,7 @@ class AdmissionServer:
         task = asyncio.current_task()
         assert task is not None
         self._connections.add(task)
+        self._writers.add(writer)
         try:
             while not self._stopping.is_set():
                 try:
@@ -315,6 +346,7 @@ class AdmissionServer:
                 asyncio.CancelledError,
             ):  # pragma: no cover - client gone / drain-deadline cancel
                 pass
+            self._writers.discard(writer)
 
     async def _stream_watch(self, writer: asyncio.StreamWriter) -> None:
         """Turn the connection into a push stream of decision events."""
@@ -345,6 +377,7 @@ class AdmissionServer:
         task = asyncio.current_task()
         assert task is not None
         self._connections.add(task)
+        self._writers.add(writer)
         try:
             status, body = await self._handle_http(reader)
             payload = json.dumps(body).encode("utf-8")
@@ -378,6 +411,7 @@ class AdmissionServer:
                 asyncio.CancelledError,
             ):  # pragma: no cover - client gone / drain-deadline cancel
                 pass
+            self._writers.discard(writer)
 
     async def _handle_http(
         self, reader: asyncio.StreamReader

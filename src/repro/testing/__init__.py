@@ -9,6 +9,7 @@ from repro.testing.chaos import (
     ChaosError,
     ChaosPlan,
     ChaosTransport,
+    HostChaosPlan,
     WorkerChaosPlan,
     bitflip,
     corrupt_file,
@@ -20,6 +21,7 @@ __all__ = [
     "ChaosError",
     "ChaosPlan",
     "ChaosTransport",
+    "HostChaosPlan",
     "WorkerChaosPlan",
     "bitflip",
     "corrupt_file",

@@ -226,6 +226,110 @@ class WorkerChaosPlan:
         )
 
 
+@dataclass(frozen=True)
+class HostChaosPlan:
+    """Deterministic *network-level* fault plan for the remote scheduler.
+
+    Where :class:`WorkerChaosPlan` poisons worker **slots** on one
+    machine, this plan poisons the network **between** the controller
+    and whole remote hosts (:mod:`repro.workloads.remote`) — the
+    failure domains a distributed fleet exhibits even when every host
+    and every cell is healthy:
+
+    * ``partition`` — from its Nth inbound message (0-based, counted
+      after the handshake) the host's traffic is held by the network;
+      ``heal_seconds`` after the first held message the partition heals
+      and the stale backlog is delivered all at once.  Heartbeats are
+      lost meanwhile, so leases expire and re-dispatch; the healed
+      host's stale result must be deduped first-verified-wins and
+      asserted bit-identical.
+    * ``drop`` — the host's Nth inbound message vanishes (a lost
+      datagram).  Sequence numbering must make the loss harmless.
+    * ``duplicate`` — the host's Nth inbound message is delivered
+      twice (a retransmit).  Sequence numbering must dedup the copy
+      rather than double-charge the lease.
+    * ``dead_host`` — the host's worker processes hard-die when the
+      host has been granted its Nth lease (1-based): the whole machine
+      is lost.  The scheduler must quarantine the host as one failure
+      domain and requeue its leases charge-free.
+    * ``slow_host`` — every worker on the host sleeps this long before
+      each cell (an overloaded machine).  Heartbeats keep flowing, so
+      the lease keeps extending: slow, not dead.
+
+    Faults are keyed by host *name*, so every slot on the host shares
+    the fault — which is exactly how a network failure behaves.  Fully
+    deterministic: no RNG; the only clock involved is the controller's,
+    driving ``heal_seconds``.
+    """
+
+    #: ``(host, first_idx, heal_seconds)``: hold inbound messages from
+    #: index *first_idx* (0-based, post-handshake), heal after
+    #: *heal_seconds* and deliver the backlog late.
+    partition: tuple[tuple[str, int, float], ...] = ()
+    #: ``(host, idx)``: drop the host's idx-th inbound message.
+    drop: tuple[tuple[str, int], ...] = ()
+    #: ``(host, idx)``: deliver the host's idx-th inbound message twice.
+    duplicate: tuple[tuple[str, int], ...] = ()
+    #: ``(host, nth_lease)``: the host dies on its Nth granted lease
+    #: (1-based); every lease at or past the Nth kills the worker.
+    dead_host: tuple[tuple[str, int], ...] = ()
+    #: ``(host, delay_seconds)``: sleep before every cell on this host.
+    slow_host: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for host, first_idx, heal in self.partition:
+            if first_idx < 0:
+                raise ValueError(
+                    f"partition first_idx must be >= 0, got {first_idx} ({host})"
+                )
+            if heal < 0:
+                raise ValueError(
+                    f"partition heal_seconds must be >= 0, got {heal} ({host})"
+                )
+        for host, idx in self.drop + self.duplicate:
+            if idx < 0:
+                raise ValueError(f"message index must be >= 0, got {idx} ({host})")
+        for host, nth in self.dead_host:
+            if nth < 1:
+                raise ValueError(f"dead_host lease index is 1-based, got {nth} ({host})")
+        for host, delay in self.slow_host:
+            if delay < 0:
+                raise ValueError(f"slow_host delay must be >= 0, got {delay} ({host})")
+
+    def partition_for(self, host: str) -> tuple[int, float] | None:
+        """``(first_idx, heal_seconds)`` if this host gets partitioned."""
+        return next(
+            ((idx, heal) for h, idx, heal in self.partition if h == host), None
+        )
+
+    def dropped(self, host: str, idx: int) -> bool:
+        """Whether the host's idx-th inbound message is dropped."""
+        return (host, idx) in self.drop
+
+    def duplicated(self, host: str, idx: int) -> bool:
+        """Whether the host's idx-th inbound message is delivered twice."""
+        return (host, idx) in self.duplicate
+
+    def dies_on_lease(self, host: str, nth_lease: int) -> bool:
+        """Whether the host hard-dies on its *nth_lease* (1-based) grant."""
+        return any(h == host and nth_lease >= n for h, n in self.dead_host)
+
+    def slow_for(self, host: str) -> float:
+        """Injected pre-cell sleep on this host (0.0 = healthy)."""
+        return next((d for h, d in self.slow_host if h == host), 0.0)
+
+    @property
+    def faulted_hosts(self) -> set[str]:
+        """Every host this plan touches (tests assert the premise)."""
+        return (
+            {h for h, _, _ in self.partition}
+            | {h for h, _ in self.drop}
+            | {h for h, _ in self.duplicate}
+            | {h for h, _ in self.dead_host}
+            | {h for h, _ in self.slow_host}
+        )
+
+
 def truncate_tail(path: str | os.PathLike, nbytes: int = 1) -> int:
     """Chop *nbytes* off the end of a file, simulating a hard kill mid-write.
 
@@ -311,7 +415,14 @@ class ChaosTransport:
       delivered file is flipped (in-transit corruption);
     * ``"drop"`` — the transfer is cut mid-stream
       (:func:`drop_transfer`) and raises ``TransportError``;
-    * ``"fail"`` — the transfer raises before delivering anything.
+    * ``"fail"`` — the transfer raises before delivering anything;
+    * ``"delay"`` — the transfer stalls ``delay_seconds`` before
+      delivering clean (a congested link — retries must not give up on
+      a transfer that is merely slow);
+    * ``"duplicate"`` — the transfer delivers, then delivers *again*
+      (a retransmitted message: the duplicate overwrites bit-identical
+      bytes, and consumers with sequence numbering must not be
+      double-charged).
 
     Once the sequence is exhausted every further call runs clean, so a
     test expresses "first pull corrupt, retry succeeds" as
@@ -319,11 +430,21 @@ class ChaosTransport:
     fully deterministic, replayable runs.
     """
 
-    def __init__(self, inner, faults: Iterable[str | None], seed: int = 0) -> None:
+    def __init__(
+        self,
+        inner,
+        faults: Iterable[str | None],
+        seed: int = 0,
+        delay_seconds: float = 0.05,
+        sleep=time.sleep,
+    ) -> None:
         self.inner = inner
         self.faults = list(faults)
         self.seed = int(seed)
+        self.delay_seconds = float(delay_seconds)
+        self.sleep = sleep
         self.calls = 0
+        self.duplicated_calls = 0
 
     def fetch(
         self,
@@ -340,6 +461,8 @@ class ChaosTransport:
         fault = self.faults[index] if index < len(self.faults) else None
         if fault == "fail":
             raise TransportError(f"{source}: injected transport failure (call {index})")
+        if fault == "delay":
+            self.sleep(self.delay_seconds)
         total = self.inner.fetch(source, dest, offset=offset, timeout=timeout)
         if fault == "bitflip":
             bitflip(dest, seed=interleave_seeds([self.seed, index]))
@@ -348,7 +471,10 @@ class ChaosTransport:
             raise TransportError(
                 f"{source}: injected dropped connection (call {index})"
             )
-        return total if fault is None else os.path.getsize(dest)
+        elif fault == "duplicate":
+            self.inner.fetch(source, dest, offset=offset, timeout=timeout)
+            self.duplicated_calls += 1
+        return total if fault in (None, "delay", "duplicate") else os.path.getsize(dest)
 
 
 def corrupt_file(path: str | os.PathLike, seed: int = 0) -> str:

@@ -58,6 +58,7 @@ from repro.workloads.transport import (
 from repro.workloads.resilient import (
     CellFailure,
     FailureManifest,
+    HostFailure,
     ResilientSweepResult,
     SweepExecutionError,
     SweepInterrupted,
@@ -65,6 +66,12 @@ from repro.workloads.resilient import (
     run_sweep_resilient,
 )
 from repro.workloads.elastic import CellQueue, Lease, SpeculationMismatch
+from repro.workloads.remote import (
+    HostLink,
+    HostSpec,
+    env_fingerprint,
+    load_hosts,
+)
 from repro.workloads.traces import (
     instance_from_csv,
     instance_to_csv,
@@ -102,7 +109,12 @@ __all__ = [
     "CellFailure",
     "CellQueue",
     "FailureManifest",
+    "HostFailure",
+    "HostLink",
+    "HostSpec",
     "Lease",
+    "env_fingerprint",
+    "load_hosts",
     "ResilientSweepResult",
     "SpeculationMismatch",
     "SweepExecutionError",

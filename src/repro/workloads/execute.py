@@ -59,7 +59,7 @@ from repro.workloads.resilient import (
 from repro.workloads.sweep import SweepSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.testing.chaos import ChaosPlan, WorkerChaosPlan
+    from repro.testing.chaos import ChaosPlan, HostChaosPlan, WorkerChaosPlan
 
 
 @dataclass(frozen=True)
@@ -149,6 +149,23 @@ class ExecutionPolicy:
     worker_max_failures: int = 3
     #: Worker-level fault-injection plan (tests only; implies elastic).
     worker_chaos: "WorkerChaosPlan | None" = None
+    #: Remote elastic execution (:mod:`repro.workloads.remote`): a
+    #: ``hosts.json`` registry path or a tuple of
+    #: :class:`~repro.workloads.remote.HostSpec` entries.  The sweep's
+    #: lease queue is served to worker processes on these hosts over the
+    #: wire protocol (handshake-verified, CRC'd, seq-deduped).
+    hosts: Any = None
+    #: Network-level fault-injection plan (tests only; requires hosts).
+    host_chaos: "HostChaosPlan | None" = None
+    #: Host failures (channel EOF, handshake timeout, protocol garbage)
+    #: tolerated per host before the whole host is quarantined.
+    host_max_failures: int = 2
+    #: Seconds a freshly launched remote worker has to say ``hello``.
+    handshake_timeout: float = 30.0
+    #: When every remote host is quarantined, finish the sweep on local
+    #: fallback workers (recorded as ``manifest.degraded_to_local``)
+    #: instead of quarantining the remaining cells.
+    local_fallback: bool = True
 
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_CHOICES:
@@ -208,6 +225,23 @@ class ExecutionPolicy:
                 raise ValueError("adaptive_reps=True requires elastic=True")
             if self.worker_chaos is not None:
                 raise ValueError("worker_chaos requires elastic=True")
+        if self.host_max_failures < 1:
+            raise ValueError(
+                f"host_max_failures must be >= 1, got {self.host_max_failures}"
+            )
+        if self.handshake_timeout <= 0:
+            raise ValueError(
+                f"handshake_timeout must be positive, got {self.handshake_timeout}"
+            )
+        if self.hosts is None:
+            if self.host_chaos is not None:
+                raise ValueError("host_chaos requires hosts")
+        else:
+            if self.worker_chaos is not None:
+                raise ValueError("worker_chaos is slot-level (local elastic); "
+                                 "use host_chaos with hosts")
+            if self.adaptive_reps:
+                raise ValueError("adaptive_reps is not supported with hosts")
 
     # -- derived views -------------------------------------------------
 
@@ -222,6 +256,7 @@ class ExecutionPolicy:
         return (
             self.parallel
             or self.elastic
+            or self.hosts is not None
             or self.workers is not None
             or self.timeout is not None
             or self.journal is not None
@@ -336,7 +371,34 @@ def _execute_with_policy(
             plan = ShardPlan.build(spec, policy.shards)
             cells = plan.cells_for(policy.shard_index)
             shard = (policy.shard_index, policy.shards)
-        if policy.elastic:
+        if policy.hosts is not None:
+            from repro.workloads.remote import _execute_remote
+
+            result = _execute_remote(
+                spec,
+                algorithm_kwargs,
+                hosts=policy.hosts,
+                max_workers=policy.workers,
+                timeout=policy.timeout,
+                max_retries=policy.retries,
+                journal_path=policy.journal,
+                resume=policy.resume,
+                salvage=policy.salvage,
+                chaos=policy.chaos,
+                host_chaos=policy.host_chaos,
+                interrupt_after=policy.interrupt_after,
+                cache=cache,
+                cells=cells,
+                shard=shard,
+                backend=policy.backend,
+                heartbeat_interval=policy.heartbeat_interval,
+                lease_timeout=policy.lease_timeout,
+                speculate=policy.speculate,
+                host_max_failures=policy.host_max_failures,
+                handshake_timeout=policy.handshake_timeout,
+                local_fallback=policy.local_fallback,
+            )
+        elif policy.elastic:
             from repro.workloads.elastic import _execute_elastic
 
             result = _execute_elastic(

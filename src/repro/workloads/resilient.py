@@ -48,6 +48,7 @@ from repro.core.guarantees import guarantee_for
 from repro.offline.cache import BracketCache, CacheStats
 from repro.workloads.journal import SweepJournal, spec_fingerprint
 from repro.workloads.sweep import SweepRow, SweepSpec, cell_bracket
+from repro.workloads.transport import decorrelated_delay
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.testing.chaos import ChaosPlan
@@ -127,6 +128,32 @@ class WorkerFailure:
         }
 
 
+@dataclass(frozen=True)
+class HostFailure:
+    """One quarantined remote *host* (remote-elastic mode).
+
+    A whole machine is a failure domain above the worker slot: when a
+    host dies (every channel EOF), repeatedly fails its handshake, or
+    keeps losing workers, the entire host is quarantined at once and
+    every lease it held is requeued charge-free — the cells were never
+    at fault.
+    """
+
+    host: str
+    failures: int
+    detail: str  # final failure: why the host was quarantined
+    #: per-failure "kind: detail" records, oldest first.
+    history: tuple[str, ...] = ()
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "host": self.host,
+            "failures": self.failures,
+            "detail": self.detail,
+            "history": list(self.history),
+        }
+
+
 @dataclass
 class FailureManifest:
     """Structured account of everything that went wrong in a sweep."""
@@ -147,6 +174,12 @@ class FailureManifest:
     speculated: int = 0
     #: repetitions skipped by adaptive repetitions (CI already tight).
     cells_skipped: int = 0
+    #: remote hosts quarantined as whole failure domains (remote mode
+    #: only; their leases were requeued charge-free).
+    host_failures: list[HostFailure] = field(default_factory=list)
+    #: the remote pool was lost entirely and the sweep finished on the
+    #: local fallback workers (graceful degradation, not data loss).
+    degraded_to_local: bool = False
 
     @property
     def quarantined(self) -> int:
@@ -155,6 +188,10 @@ class FailureManifest:
     @property
     def workers_quarantined(self) -> int:
         return len(self.worker_failures)
+
+    @property
+    def hosts_quarantined(self) -> int:
+        return len(self.host_failures)
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -169,6 +206,9 @@ class FailureManifest:
             "failures": [f.as_dict() for f in self.failures],
             "workers_quarantined": self.workers_quarantined,
             "worker_failures": [w.as_dict() for w in self.worker_failures],
+            "hosts_quarantined": self.hosts_quarantined,
+            "host_failures": [h.as_dict() for h in self.host_failures],
+            "degraded_to_local": self.degraded_to_local,
         }
 
     def summary(self) -> str:
@@ -179,6 +219,10 @@ class FailureManifest:
             extras += f", {self.speculated} speculated"
         if self.worker_failures:
             extras += f", {self.workers_quarantined} worker(s) quarantined"
+        if self.host_failures:
+            extras += f", {self.hosts_quarantined} host(s) quarantined"
+        if self.degraded_to_local:
+            extras += ", degraded to local pool"
         return (
             f"{self.cells_completed}/{self.cells_total} cells completed "
             f"({self.cells_replayed} replayed from journal, "
@@ -685,7 +729,11 @@ def _execute_resilient(
         terminated and counted as a ``timeout`` failure (then retried).
     ``max_retries``
         extra attempts per cell after the first, each in a fresh process,
-        delayed by ``backoff * 2**(attempt-1)`` seconds.
+        delayed by a decorrelated-jittered exponential backoff bounded
+        by ``backoff * 2**(attempt-1)`` seconds (salted by the cell seed
+        under ``spec.base_seed``, so concurrent retries desynchronise
+        deterministically — see
+        :func:`repro.workloads.transport.decorrelated_delay`).
     ``journal_path`` / ``resume``
         checkpoint completed cells to an append-only JSONL journal; with
         ``resume=True`` the journal is validated against the spec and its
@@ -872,7 +920,10 @@ def _execute_resilient(
                                 g_rep,
                                 g_seed,
                                 attempt=1,
-                                ready_at=time.monotonic() + backoff,
+                                ready_at=time.monotonic()
+                                + decorrelated_delay(
+                                    backoff, 1, seed=spec.base_seed, salt=g_seed
+                                ),
                                 history=(f"group-lease {detail}",),
                             )
                         )
@@ -913,7 +964,12 @@ def _execute_resilient(
                             task.seed,
                             attempt=task.attempt + 1,
                             ready_at=time.monotonic()
-                            + backoff * (2 ** (task.attempt - 1)),
+                            + decorrelated_delay(
+                                backoff,
+                                task.attempt,
+                                seed=spec.base_seed,
+                                salt=task.seed,
+                            ),
                             history=history,
                         )
                     )
@@ -1004,6 +1060,7 @@ def _assemble(
 __all__ = [
     "CellFailure",
     "FailureManifest",
+    "HostFailure",
     "ResilientSweepResult",
     "SweepExecutionError",
     "SweepInterrupted",

@@ -38,12 +38,15 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import shlex
 import subprocess
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
+from repro.utils.rng import interleave_seeds
 from repro.workloads.journal import (
     CorruptionReport,
     JournalError,
@@ -61,14 +64,47 @@ class TransferTimeout(TransportError):
     """A transfer attempt exceeded its per-transfer time budget."""
 
 
+def decorrelated_delay(
+    base: float, attempt: int, *, seed: int = 0, salt: int = 0
+) -> float:
+    """Deterministic decorrelated jitter on a bounded exponential backoff.
+
+    Pure exponential backoff synchronises: N workers that fail against
+    the same flaky host at the same moment all sleep exactly
+    ``base * 2**(attempt-1)`` and return in lockstep — a retry storm that
+    re-creates the overload it is backing off from.  This draws each
+    delay uniformly from ``[half, full)`` of the exponential envelope
+    (``full = base * 2**(attempt-1)``), so concurrent retriers spread out
+    while the bound and the expected growth per attempt are preserved.
+
+    Determinism: the draw depends only on ``(seed, salt, attempt)`` —
+    *seed* namespaces a policy, *salt* decorrelates independent retriers
+    (one per transfer source, worker slot or cell) — so any chaotic run
+    is replayable bit-for-bit.
+    """
+    if base <= 0:
+        return 0.0
+    full = base * (2 ** (attempt - 1))
+    u = random.Random(interleave_seeds([seed, salt, attempt])).random()
+    return full * (0.5 + 0.5 * u)
+
+
+def transfer_salt(source: str, dest: str | os.PathLike[str] = "") -> int:
+    """Stable per-transfer jitter salt (decorrelates concurrent pulls)."""
+    return zlib.crc32(f"{source}->{os.fspath(dest)}".encode("utf-8", "replace"))
+
+
 @dataclass(frozen=True)
 class TransferPolicy:
     """Retry/timeout envelope around every pull.
 
     ``retries`` bounds *extra* attempts (so ``retries=2`` means at most
-    three pulls), each delayed by ``backoff * 2**(attempt-1)`` seconds —
-    the same bounded-exponential shape the sweep scheduler uses for
-    failed cells.  ``timeout`` is a per-transfer wall-clock budget;
+    three pulls), each delayed by a decorrelated-jittered exponential
+    backoff bounded by ``backoff * 2**(attempt-1)`` seconds — the same
+    envelope the sweep scheduler uses for failed cells, jittered so N
+    workers retrying one flaky host spread out instead of storming it
+    (see :func:`decorrelated_delay`; ``jitter=False`` restores the pure
+    exponential).  ``timeout`` is a per-transfer wall-clock budget;
     ``None`` waits indefinitely.  Verification failures after a complete
     pull consume transfer attempts too: a journal that keeps arriving
     corrupt is a transfer problem until proven otherwise.
@@ -78,6 +114,10 @@ class TransferPolicy:
     backoff: float = 0.25
     timeout: float | None = None
     chunk_size: int = 1 << 20
+    #: Decorrelate concurrent retriers (deterministic under ``jitter_seed``).
+    jitter: bool = True
+    #: Namespaces the jitter draws; fixed seed -> bit-identical delays.
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.retries < 0:
@@ -89,9 +129,13 @@ class TransferPolicy:
         if self.chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
 
-    def delay(self, attempt: int) -> float:
-        """Backoff before retry *attempt* (1-based)."""
-        return self.backoff * (2 ** (attempt - 1))
+    def delay(self, attempt: int, salt: int = 0) -> float:
+        """Backoff before retry *attempt* (1-based), jittered per *salt*."""
+        if not self.jitter:
+            return self.backoff * (2 ** (attempt - 1))
+        return decorrelated_delay(
+            self.backoff, attempt, seed=self.jitter_seed, salt=salt
+        )
 
 
 @runtime_checkable
@@ -238,16 +282,19 @@ def fetch_resumable(
 
     Each retry resumes from the byte offset already staged at *dest*
     (backends that cannot seek simply restart — see
-    :class:`CommandTransport`), after a bounded exponential backoff.
+    :class:`CommandTransport`), after a bounded exponential backoff with
+    deterministic per-transfer jitter (the ``(source, dest)`` pair salts
+    the draw, so concurrent pulls from one flaky host desynchronise).
     Returns the number of attempts used; raises the last
     :class:`TransportError` once ``policy.retries`` extra attempts are
     exhausted.  *sleep* is injectable so tests run at full speed.
     """
     dest = os.fspath(dest)
+    salt = transfer_salt(source, dest)
     last: TransportError | None = None
     for attempt in range(1, policy.retries + 2):
         if attempt > 1:
-            delay = policy.delay(attempt - 1)
+            delay = policy.delay(attempt - 1, salt)
             if delay > 0:
                 sleep(delay)
         offset = os.path.getsize(dest) if os.path.exists(dest) else 0
@@ -400,7 +447,7 @@ def collect_journals(
         verification: JournalVerification | None = None
         for attempt in range(1, policy.retries + 2):
             if attempt > 1:
-                delay = policy.delay(attempt - 1)
+                delay = policy.delay(attempt - 1, transfer_salt(source, part))
                 if delay > 0:
                     sleep(delay)
             try:
@@ -488,5 +535,7 @@ __all__ = [
     "TransferTimeout",
     "TransportError",
     "collect_journals",
+    "decorrelated_delay",
     "fetch_resumable",
+    "transfer_salt",
 ]

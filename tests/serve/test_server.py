@@ -299,6 +299,69 @@ class TestGracefulShutdown:
         server = asyncio.run(main())
         assert server.drain_seconds < 2.0
         assert loop_errors == []
+        assert server.drain_timed_out is False
+        state = load_decision_journal(log)
+        assert state.sealed and len(state.decisions) == 1
+
+    def test_drain_timeout_bounds_a_client_that_stopped_reading(self, tmp_path):
+        """--drain-timeout: a stalled *reader* cannot hang shutdown.
+
+        Cancellation alone cannot unstick a handler that is flushing a
+        write buffer the peer will never read (``wait_closed`` waits for
+        the flush).  The timeout aborts the stalled transport, seals the
+        journal, and shutdown completes cleanly.
+        """
+        log = tmp_path / "log.jsonl"
+        loop_errors = []
+
+        async def main():
+            server = AdmissionServer(ServeConfig(
+                machines=1, epsilon=0.5, decision_log=str(log),
+                drain_grace=0.1, drain_timeout=0.3,
+            ))
+            await server.start()
+            asyncio.get_running_loop().set_exception_handler(
+                lambda loop, ctx: loop_errors.append(ctx)
+            )
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.socket_port
+            )
+            writer.write(encode_line(
+                {"op": "offer",
+                 "job": {"release": 0.0, "processing": 1.0, "deadline": 2.0}},
+            ))
+            await writer.drain()
+            assert json.loads(await reader.readline())["ok"]
+            # Pipeline thousands of large requests and never read another
+            # byte: the replies (bad-job errors echo the 8 KiB tag, and
+            # are never journaled) overflow the socket buffers and wedge
+            # the server handler inside ``writer.drain()``.  (No ``drain``
+            # on the client side either — it would block the same way.)
+            tag = "x" * 8192
+            for _ in range(2000):
+                writer.write(encode_line({"op": "offer", "job": {},
+                                          "tag": tag}))
+            # Wait until the server handler is actually wedged: its
+            # transport holding user-space buffered bytes means the
+            # kernel buffers are full and ``drain()`` is blocked.
+            for _ in range(200):
+                if any(
+                    w.transport is not None
+                    and w.transport.get_write_buffer_size() > 0
+                    for w in server._writers
+                ):
+                    break
+                await asyncio.sleep(0.025)
+            server.request_shutdown()
+            await asyncio.wait_for(server.serve_until_shutdown(), timeout=5.0)
+            await asyncio.sleep(0.05)  # let any stray callbacks fire
+            writer.close()
+            return server
+
+        server = asyncio.run(main())
+        assert server.drain_timed_out is True
+        assert server.drain_seconds < 3.0
+        assert loop_errors == []
         state = load_decision_journal(log)
         assert state.sealed and len(state.decisions) == 1
 

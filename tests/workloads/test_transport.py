@@ -26,7 +26,9 @@ from repro.workloads.transport import (
     TransferTimeout,
     TransportError,
     collect_journals,
+    decorrelated_delay,
     fetch_resumable,
+    transfer_salt,
 )
 
 
@@ -70,8 +72,45 @@ class TestTransferPolicy:
             TransferPolicy(timeout=0.0)
 
     def test_backoff_doubles(self):
-        policy = TransferPolicy(backoff=0.1)
+        policy = TransferPolicy(backoff=0.1, jitter=False)
         assert [policy.delay(a) for a in (1, 2, 3)] == [0.1, 0.2, 0.4]
+
+
+class TestDecorrelatedJitter:
+    """Seed-derived jitter: deterministic, spread, exponential-bounded."""
+
+    def test_deterministic_under_fixed_seed(self):
+        a = [decorrelated_delay(0.1, n, seed=7, salt=3) for n in (1, 2, 3)]
+        b = [decorrelated_delay(0.1, n, seed=7, salt=3) for n in (1, 2, 3)]
+        assert a == b
+
+    def test_bounded_by_exponential_envelope(self):
+        for attempt in (1, 2, 3, 4):
+            full = 0.1 * 2 ** (attempt - 1)
+            for salt in range(20):
+                d = decorrelated_delay(0.1, attempt, seed=1, salt=salt)
+                assert full / 2 <= d <= full
+
+    def test_salts_decorrelate_concurrent_retriers(self):
+        # N workers hammering the same flaky host must not synchronize
+        # into a retry storm: distinct salts spread the delays.
+        delays = {decorrelated_delay(1.0, 1, seed=42, salt=s) for s in range(16)}
+        assert len(delays) == 16
+
+    def test_zero_base_stays_zero(self):
+        assert decorrelated_delay(0.0, 3, seed=1, salt=2) == 0.0
+
+    def test_policy_delay_jitters_by_default(self):
+        policy = TransferPolicy(backoff=0.1, jitter_seed=5)
+        jittered = [policy.delay(a, salt=9) for a in (1, 2, 3)]
+        assert jittered == [
+            decorrelated_delay(0.1, a, seed=5, salt=9) for a in (1, 2, 3)
+        ]
+        assert jittered != [0.1, 0.2, 0.4]
+
+    def test_transfer_salt_is_stable(self):
+        assert transfer_salt("a", "b") == transfer_salt("a", "b")
+        assert transfer_salt("a", "b") != transfer_salt("a", "c")
 
 
 class TestLocalDirTransport:
@@ -141,7 +180,14 @@ class TestFetchResumable:
         )
         assert attempts == 3
         assert dest.read_bytes() == src.read_bytes()
-        assert delays == [0.25, 0.5]  # bounded exponential backoff
+        # Jittered but deterministic: the exact delays replay from the
+        # policy seed and the (source, dest) salt, inside the
+        # exponential envelope.
+        salt = transfer_salt(str(src), dest)
+        policy = TransferPolicy(retries=2)
+        assert delays == [policy.delay(1, salt), policy.delay(2, salt)]
+        assert 0.125 <= delays[0] <= 0.25
+        assert 0.25 <= delays[1] <= 0.5
 
     def test_exhausted_retries_raise_last_error(self, tmp_path):
         src = tmp_path / "src.jsonl"
